@@ -1,0 +1,40 @@
+//! Ablation E5 — VT generation with the XB-Tree vs a sequential scan of T.
+//!
+//! This is the design point §III motivates: without the XB-Tree the trusted
+//! entity's effort grows linearly with the dataset instead of logarithmically.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sae_crypto::HashAlgorithm;
+use sae_storage::MemPager;
+use sae_workload::{DatasetSpec, KeyDistribution, QueryWorkload, TeTuple};
+use sae_xbtree::{TupleStore, XbTree};
+
+fn bench_ablation(c: &mut Criterion) {
+    let alg = HashAlgorithm::Sha1;
+    let q = QueryWorkload::paper(19).queries[0];
+
+    let mut group = c.benchmark_group("ablation_te_scan");
+    group.sample_size(10);
+    for n in [10_000usize, 40_000] {
+        let dataset = DatasetSpec::paper(n, KeyDistribution::unf(), 9).generate();
+        let mut tuples: Vec<TeTuple> = dataset.iter().map(|r| r.te_tuple(alg)).collect();
+        tuples.sort_by_key(|t| (t.key, t.id));
+        let tree = XbTree::bulk_load(MemPager::new_shared(), &tuples).unwrap();
+        let scan = TupleStore::build(MemPager::new_shared(), &tuples).unwrap();
+        assert_eq!(
+            tree.generate_vt(&q).unwrap(),
+            scan.generate_vt_scan(&q).unwrap()
+        );
+
+        group.bench_with_input(BenchmarkId::new("xbtree", n), &n, |b, _| {
+            b.iter(|| tree.generate_vt(&q).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("sequential_scan", n), &n, |b, _| {
+            b.iter(|| scan.generate_vt_scan(&q).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Ablation E6 — maintenance cost of the three index structures.
+//!
+//! Measures single-record insertion into the SP's plain B⁺-Tree (SAE), the
+//! SP's MB-Tree (TOM, digest maintenance along the path) and the TE's XB-Tree
+//! (XOR maintenance along the path). All three are O(log n) node accesses; the
+//! constant factors differ because of fanout and digest recomputation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sae_btree::BPlusTree;
+use sae_crypto::HashAlgorithm;
+use sae_mbtree::MbTree;
+use sae_storage::MemPager;
+use sae_workload::{DatasetSpec, KeyDistribution, Record, TeTuple};
+use sae_xbtree::XbTree;
+
+const N: usize = 20_000;
+
+fn bench_updates(c: &mut Criterion) {
+    let alg = HashAlgorithm::Sha1;
+    let dataset = DatasetSpec::paper(N, KeyDistribution::unf(), 10).generate();
+    let sorted = dataset.sorted_by_key();
+
+    let btree_entries: Vec<(u32, u64)> = sorted.iter().map(|r| (r.key, r.id)).collect();
+    let mb_entries: Vec<(u32, u64, _)> = sorted
+        .iter()
+        .map(|r| (r.key, r.id, r.digest(alg)))
+        .collect();
+    let xb_tuples: Vec<TeTuple> = sorted.iter().map(|r| r.te_tuple(alg)).collect();
+
+    let mut btree = BPlusTree::bulk_load(MemPager::new_shared(), &btree_entries).unwrap();
+    let mut mbtree = MbTree::bulk_load(MemPager::new_shared(), alg, &mb_entries).unwrap();
+    let mut xbtree = XbTree::bulk_load(MemPager::new_shared(), &xb_tuples).unwrap();
+
+    let mut group = c.benchmark_group("ablation_updates");
+    group.sample_size(20);
+    let mut next_id = 10_000_000u64;
+    group.bench_function("bplus_insert", |b| {
+        b.iter(|| {
+            next_id += 1;
+            btree.insert((next_id % 10_000_000) as u32, next_id).unwrap();
+        })
+    });
+    group.bench_function("mbtree_insert", |b| {
+        b.iter(|| {
+            next_id += 1;
+            let r = Record::with_size(next_id, (next_id % 10_000_000) as u32, 500);
+            mbtree.insert(r.key, r.id, r.digest(alg)).unwrap();
+        })
+    });
+    group.bench_function("xbtree_insert", |b| {
+        b.iter(|| {
+            next_id += 1;
+            let r = Record::with_size(next_id, (next_id % 10_000_000) as u32, 500);
+            xbtree.insert(r.te_tuple(alg)).unwrap();
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_updates);
+criterion_main!(benches);

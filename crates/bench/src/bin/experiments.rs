@@ -1,0 +1,92 @@
+//! Command-line driver that regenerates the paper's evaluation.
+//!
+//! ```text
+//! cargo run --release -p sae-bench --bin experiments -- all
+//! cargo run --release -p sae-bench --bin experiments -- fig6 --full-scale
+//! cargo run --release -p sae-bench --bin experiments -- fig5 --json out.json
+//! cargo run --release -p sae-bench --bin experiments -- ablation-scan
+//! ```
+//!
+//! Figures 5–8 share one measurement sweep (each `(distribution, n)` pair is
+//! built and queried once); the requested subcommand controls which tables
+//! are printed. `--full-scale` switches from the CI-friendly 1/10 scale to
+//! the paper's 100 K – 1 M records.
+
+use sae_bench::{
+    print_ablation_memory, print_ablation_scan, print_ablation_updates, print_fig5, print_fig6,
+    print_fig7, print_fig8, rows_to_json, run_ablation_memory, run_ablation_scan,
+    run_ablation_updates, run_comparison, ExperimentConfig,
+};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: experiments <fig5|fig6|fig7|fig8|all|ablation-scan|ablation-updates|ablation-memory> \
+         [--full-scale] [--smoke] [--json <path>]"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let command = args[0].as_str();
+    let full_scale = args.iter().any(|a| a == "--full-scale");
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let config = if full_scale {
+        ExperimentConfig::full_scale()
+    } else if smoke {
+        ExperimentConfig::smoke()
+    } else {
+        ExperimentConfig::scaled()
+    };
+
+    println!(
+        "SAE vs TOM experiment harness — cardinalities {:?}, {} queries per configuration, \
+         record size {} B, 10 ms charged per node access",
+        config.cardinalities, config.queries_per_config, config.record_size
+    );
+    if !full_scale {
+        println!(
+            "(running at 1/10 of the paper's cardinalities; pass --full-scale for 100K-1M records)"
+        );
+    }
+
+    match command {
+        "fig5" | "fig6" | "fig7" | "fig8" | "all" => {
+            let rows = run_comparison(&config);
+            match command {
+                "fig5" => print_fig5(&rows),
+                "fig6" => print_fig6(&rows),
+                "fig7" => print_fig7(&rows),
+                "fig8" => print_fig8(&rows),
+                _ => {
+                    print_fig5(&rows);
+                    print_fig6(&rows);
+                    print_fig7(&rows);
+                    print_fig8(&rows);
+                }
+            }
+            if let Some(path) = json_path {
+                std::fs::write(&path, rows_to_json(&rows)).expect("write JSON report");
+                println!("\nwrote raw rows to {path}");
+            }
+        }
+        "ablation-scan" => print_ablation_scan(&run_ablation_scan(&config)),
+        "ablation-updates" => print_ablation_updates(&run_ablation_updates(&config, 200)),
+        "ablation-memory" => {
+            let dir = std::env::temp_dir().join("sae-ablation-memory");
+            std::fs::create_dir_all(&dir).expect("create temp dir");
+            print_ablation_memory(&run_ablation_memory(&config, &dir));
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+        _ => usage(),
+    }
+}

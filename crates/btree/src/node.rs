@@ -1,0 +1,282 @@
+//! On-page node layout for the B⁺-Tree.
+//!
+//! Every node occupies exactly one 4096-byte page:
+//!
+//! ```text
+//! leaf:      [type:1][pad:1][count:2][next_leaf:8][ (key:4, rid:8) * count ]
+//! internal:  [type:1][pad:1][count:2][child0:8]  [ (key:4, child:8) * count ]
+//! ```
+//!
+//! Leaf entries map a search key to a record id in the SP's dataset heap file;
+//! internal entries are separator keys with right-child pointers (the leftmost
+//! child is stored in the header). Capacities are derived from the page size,
+//! which is how the fanout advantage of the plain B⁺-Tree over the MB-Tree
+//! arises naturally rather than being hard-coded.
+
+use sae_storage::{Page, PageId, PAGE_SIZE};
+use sae_workload::RecordKey;
+
+/// Byte offset where entries begin.
+const HEADER_LEN: usize = 12;
+/// Size of one leaf entry: key (4) + record id (8).
+const LEAF_ENTRY_LEN: usize = 12;
+/// Size of one internal entry: key (4) + child page id (8).
+const INTERNAL_ENTRY_LEN: usize = 12;
+
+/// Maximum number of entries in a leaf node.
+pub const LEAF_CAPACITY: usize = (PAGE_SIZE - HEADER_LEN) / LEAF_ENTRY_LEN;
+/// Maximum number of separator keys in an internal node.
+pub const INTERNAL_CAPACITY: usize = (PAGE_SIZE - HEADER_LEN) / INTERNAL_ENTRY_LEN;
+
+/// Whether a node is a leaf or an internal node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodeKind {
+    /// Leaf node: holds `(key, record id)` entries and a next-leaf pointer.
+    Leaf,
+    /// Internal node: holds separator keys and child pointers.
+    Internal,
+}
+
+/// An in-memory, decoded B⁺-Tree node.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BTreeNode {
+    /// Leaf or internal.
+    pub kind: NodeKind,
+    /// Leaf only: the next leaf in key order ([`PageId::INVALID`] if none).
+    pub next_leaf: PageId,
+    /// Leaf only: `(key, record id)` pairs sorted by `(key, rid)`.
+    pub leaf_entries: Vec<(RecordKey, u64)>,
+    /// Internal only: the leftmost child.
+    pub leftmost_child: PageId,
+    /// Internal only: `(separator key, right child)` pairs sorted by key.
+    pub internal_entries: Vec<(RecordKey, PageId)>,
+}
+
+impl BTreeNode {
+    /// Creates an empty leaf.
+    pub fn new_leaf() -> Self {
+        BTreeNode {
+            kind: NodeKind::Leaf,
+            next_leaf: PageId::INVALID,
+            leaf_entries: Vec::new(),
+            leftmost_child: PageId::INVALID,
+            internal_entries: Vec::new(),
+        }
+    }
+
+    /// Creates an internal node with the given leftmost child.
+    pub fn new_internal(leftmost_child: PageId) -> Self {
+        BTreeNode {
+            kind: NodeKind::Internal,
+            next_leaf: PageId::INVALID,
+            leaf_entries: Vec::new(),
+            leftmost_child,
+            internal_entries: Vec::new(),
+        }
+    }
+
+    /// Number of entries (leaf entries or separator keys).
+    pub fn len(&self) -> usize {
+        match self.kind {
+            NodeKind::Leaf => self.leaf_entries.len(),
+            NodeKind::Internal => self.internal_entries.len(),
+        }
+    }
+
+    /// Whether the node has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether the node has reached its capacity and must be split on insert.
+    pub fn is_full(&self) -> bool {
+        match self.kind {
+            NodeKind::Leaf => self.leaf_entries.len() >= LEAF_CAPACITY,
+            NodeKind::Internal => self.internal_entries.len() >= INTERNAL_CAPACITY,
+        }
+    }
+
+    /// Children of an internal node, leftmost first.
+    pub fn children(&self) -> Vec<PageId> {
+        debug_assert_eq!(self.kind, NodeKind::Internal);
+        let mut out = Vec::with_capacity(self.internal_entries.len() + 1);
+        out.push(self.leftmost_child);
+        out.extend(self.internal_entries.iter().map(|(_, c)| *c));
+        out
+    }
+
+    /// The child to descend into when looking for the *first* occurrence of
+    /// `key` (lower-bound descent): index of the first separator `>= key`.
+    pub fn child_index_for_lower_bound(&self, key: RecordKey) -> usize {
+        debug_assert_eq!(self.kind, NodeKind::Internal);
+        self.internal_entries.partition_point(|(k, _)| *k < key)
+    }
+
+    /// The child to descend into when inserting `key` (upper-bound descent),
+    /// so new duplicates go to the rightmost eligible subtree.
+    pub fn child_index_for_insert(&self, key: RecordKey) -> usize {
+        debug_assert_eq!(self.kind, NodeKind::Internal);
+        self.internal_entries.partition_point(|(k, _)| *k <= key)
+    }
+
+    /// Child page id at position `idx` (0 = leftmost child).
+    pub fn child_at(&self, idx: usize) -> PageId {
+        debug_assert_eq!(self.kind, NodeKind::Internal);
+        if idx == 0 {
+            self.leftmost_child
+        } else {
+            self.internal_entries[idx - 1].1
+        }
+    }
+
+    /// Serializes the node into a fresh page.
+    pub fn to_page(&self) -> Page {
+        let mut page = Page::new();
+        match self.kind {
+            NodeKind::Leaf => {
+                page.write_u8(0, 0);
+                page.write_u16(2, self.leaf_entries.len() as u16);
+                page.write_page_id(4, self.next_leaf);
+                let mut off = HEADER_LEN;
+                for (key, rid) in &self.leaf_entries {
+                    page.write_u32(off, *key);
+                    page.write_u64(off + 4, *rid);
+                    off += LEAF_ENTRY_LEN;
+                }
+            }
+            NodeKind::Internal => {
+                page.write_u8(0, 1);
+                page.write_u16(2, self.internal_entries.len() as u16);
+                page.write_page_id(4, self.leftmost_child);
+                let mut off = HEADER_LEN;
+                for (key, child) in &self.internal_entries {
+                    page.write_u32(off, *key);
+                    page.write_page_id(off + 4, *child);
+                    off += INTERNAL_ENTRY_LEN;
+                }
+            }
+        }
+        page
+    }
+
+    /// Decodes a node from a page.
+    pub fn from_page(page: &Page) -> Self {
+        let kind = if page.read_u8(0) == 0 {
+            NodeKind::Leaf
+        } else {
+            NodeKind::Internal
+        };
+        let count = page.read_u16(2) as usize;
+        match kind {
+            NodeKind::Leaf => {
+                let next_leaf = page.read_page_id(4);
+                let mut leaf_entries = Vec::with_capacity(count);
+                let mut off = HEADER_LEN;
+                for _ in 0..count {
+                    leaf_entries.push((page.read_u32(off), page.read_u64(off + 4)));
+                    off += LEAF_ENTRY_LEN;
+                }
+                BTreeNode {
+                    kind,
+                    next_leaf,
+                    leaf_entries,
+                    leftmost_child: PageId::INVALID,
+                    internal_entries: Vec::new(),
+                }
+            }
+            NodeKind::Internal => {
+                let leftmost_child = page.read_page_id(4);
+                let mut internal_entries = Vec::with_capacity(count);
+                let mut off = HEADER_LEN;
+                for _ in 0..count {
+                    internal_entries.push((page.read_u32(off), page.read_page_id(off + 4)));
+                    off += INTERNAL_ENTRY_LEN;
+                }
+                BTreeNode {
+                    kind,
+                    next_leaf: PageId::INVALID,
+                    leaf_entries: Vec::new(),
+                    leftmost_child,
+                    internal_entries,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacities_reflect_page_size() {
+        // (4096 - 12) / 12 = 340 for both node kinds.
+        assert_eq!(LEAF_CAPACITY, 340);
+        assert_eq!(INTERNAL_CAPACITY, 340);
+        // Fanout must exceed 100 as the paper assumes for 4 KiB pages.
+        assert!(INTERNAL_CAPACITY > 100);
+    }
+
+    #[test]
+    fn leaf_round_trip() {
+        let mut node = BTreeNode::new_leaf();
+        node.next_leaf = PageId(77);
+        for i in 0..10u64 {
+            node.leaf_entries.push((i as u32 * 3, i + 100));
+        }
+        let decoded = BTreeNode::from_page(&node.to_page());
+        assert_eq!(decoded, node);
+    }
+
+    #[test]
+    fn internal_round_trip() {
+        let mut node = BTreeNode::new_internal(PageId(5));
+        for i in 0..20u64 {
+            node.internal_entries.push((i as u32 * 10, PageId(i + 6)));
+        }
+        let decoded = BTreeNode::from_page(&node.to_page());
+        assert_eq!(decoded, node);
+        assert_eq!(decoded.children().len(), 21);
+        assert_eq!(decoded.child_at(0), PageId(5));
+        assert_eq!(decoded.child_at(3), PageId(8));
+    }
+
+    #[test]
+    fn full_leaf_round_trip() {
+        let mut node = BTreeNode::new_leaf();
+        for i in 0..LEAF_CAPACITY as u64 {
+            node.leaf_entries.push((i as u32, i));
+        }
+        assert!(node.is_full());
+        let decoded = BTreeNode::from_page(&node.to_page());
+        assert_eq!(decoded.leaf_entries.len(), LEAF_CAPACITY);
+        assert_eq!(decoded, node);
+    }
+
+    #[test]
+    fn descent_index_semantics() {
+        let mut node = BTreeNode::new_internal(PageId(0));
+        node.internal_entries = vec![(10, PageId(1)), (20, PageId(2)), (20, PageId(3)), (30, PageId(4))];
+        // Lower-bound descent: first separator >= key.
+        assert_eq!(node.child_index_for_lower_bound(5), 0);
+        assert_eq!(node.child_index_for_lower_bound(10), 0);
+        assert_eq!(node.child_index_for_lower_bound(15), 1);
+        assert_eq!(node.child_index_for_lower_bound(20), 1);
+        assert_eq!(node.child_index_for_lower_bound(25), 3);
+        assert_eq!(node.child_index_for_lower_bound(35), 4);
+        // Insert descent: first separator > key.
+        assert_eq!(node.child_index_for_insert(10), 1);
+        assert_eq!(node.child_index_for_insert(20), 3);
+        assert_eq!(node.child_index_for_insert(35), 4);
+    }
+
+    #[test]
+    fn empty_and_full_flags() {
+        let leaf = BTreeNode::new_leaf();
+        assert!(leaf.is_empty());
+        assert!(!leaf.is_full());
+        let internal = BTreeNode::new_internal(PageId(1));
+        assert!(internal.is_empty());
+        assert_eq!(internal.children(), vec![PageId(1)]);
+    }
+}

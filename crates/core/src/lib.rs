@@ -1,0 +1,37 @@
+//! # sae-core
+//!
+//! The outsourcing protocols of the paper, end to end: **SAE** (the proposed
+//! model that separates authentication from query execution) and **TOM** (the
+//! traditional model used as the baseline).
+//!
+//! ## Entities
+//!
+//! | Entity | SAE ([`sae`]) | TOM ([`tom`]) |
+//! |--------|---------------|----------------|
+//! | Data owner (DO) | ships records to the SP and reduced tuples to the TE; forwards updates | builds/maintains the MB-Tree digests, signs the root, forwards updates |
+//! | Service provider (SP) | conventional DBMS: heap file + B⁺-Tree, returns *only* results | heap file + MB-Tree, returns results **and** a VO |
+//! | Trusted entity (TE) | XB-Tree over `(id, key, digest)` tuples, returns the 20-byte VT | — (does not exist) |
+//! | Client | XORs the digests of the received records and compares with the VT | re-constructs the root digest from result + VO and checks the signature |
+//!
+//! ## What the crate provides
+//!
+//! * [`sae::SaeSystem`] and [`tom::TomSystem`] — complete, queryable
+//!   deployments of each model over any [`sae_storage::PageStore`];
+//! * [`tamper::TamperStrategy`] — malicious-SP behaviours (drop / inject /
+//!   modify / substitute results) used to exercise the security argument;
+//! * [`metrics::QueryMetrics`] — per-query cost accounting in exactly the
+//!   units the paper's figures use (authentication bytes, charged
+//!   node-access milliseconds per party, client verification time).
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod metrics;
+pub mod sae;
+pub mod tamper;
+pub mod tom;
+
+pub use metrics::{QueryMetrics, StorageBreakdown};
+pub use sae::{SaeClient, SaeQueryOutcome, SaeSystem, TrustedEntity};
+pub use tamper::TamperStrategy;
+pub use tom::{TomQueryOutcome, TomSystem};

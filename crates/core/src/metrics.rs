@@ -1,0 +1,171 @@
+//! Per-query and per-deployment cost accounting.
+//!
+//! The paper's figures report four quantities as functions of the dataset
+//! cardinality: authentication bytes exchanged (Fig. 5), query-processing
+//! milliseconds charged to each party at 10 ms per node access (Fig. 6),
+//! client verification milliseconds (Fig. 7) and storage megabytes per party
+//! (Fig. 8). [`QueryMetrics`] captures the per-query quantities;
+//! [`StorageBreakdown`] the per-deployment ones.
+
+use serde::{Deserialize, Serialize};
+
+/// Costs incurred while answering and verifying one range query.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct QueryMetrics {
+    /// Number of records in the (claimed) result.
+    pub result_cardinality: u64,
+    /// Node accesses performed by the service provider.
+    pub sp_node_accesses: u64,
+    /// Milliseconds charged to the SP (`node accesses × 10 ms` by default).
+    pub sp_charged_ms: f64,
+    /// Node accesses performed by the trusted entity (0 under TOM).
+    pub te_node_accesses: u64,
+    /// Milliseconds charged to the TE.
+    pub te_charged_ms: f64,
+    /// Authentication bytes shipped to the client: the VT size under SAE, the
+    /// VO size under TOM. Excludes the result records themselves (as in the
+    /// paper's Figure 5).
+    pub auth_bytes: u64,
+    /// Wall-clock milliseconds the client spent verifying the result.
+    pub client_verify_ms: f64,
+    /// Whether verification accepted the result.
+    pub verified: bool,
+}
+
+impl QueryMetrics {
+    /// Merges another query's metrics into an accumulating total.
+    pub fn accumulate(&mut self, other: &QueryMetrics) {
+        self.result_cardinality += other.result_cardinality;
+        self.sp_node_accesses += other.sp_node_accesses;
+        self.sp_charged_ms += other.sp_charged_ms;
+        self.te_node_accesses += other.te_node_accesses;
+        self.te_charged_ms += other.te_charged_ms;
+        self.auth_bytes += other.auth_bytes;
+        self.client_verify_ms += other.client_verify_ms;
+        self.verified &= other.verified;
+    }
+
+    /// Divides all additive fields by `n`, producing per-query averages.
+    pub fn averaged_over(&self, n: u64) -> QueryMetrics {
+        if n == 0 {
+            return *self;
+        }
+        QueryMetrics {
+            result_cardinality: self.result_cardinality / n,
+            sp_node_accesses: self.sp_node_accesses / n,
+            sp_charged_ms: self.sp_charged_ms / n as f64,
+            te_node_accesses: self.te_node_accesses / n,
+            te_charged_ms: self.te_charged_ms / n as f64,
+            auth_bytes: self.auth_bytes / n,
+            client_verify_ms: self.client_verify_ms / n as f64,
+            verified: self.verified,
+        }
+    }
+}
+
+impl Default for StorageBreakdown {
+    fn default() -> Self {
+        StorageBreakdown {
+            sp_dataset_bytes: 0,
+            sp_index_bytes: 0,
+            te_bytes: 0,
+        }
+    }
+}
+
+/// Storage consumed by each party of a deployment (Fig. 8).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StorageBreakdown {
+    /// Bytes of the outsourced dataset at the SP (heap file).
+    pub sp_dataset_bytes: u64,
+    /// Bytes of the SP's index (B⁺-Tree under SAE, MB-Tree under TOM).
+    pub sp_index_bytes: u64,
+    /// Bytes kept by the trusted entity (0 under TOM).
+    pub te_bytes: u64,
+}
+
+impl StorageBreakdown {
+    /// Total bytes at the service provider.
+    pub fn sp_total_bytes(&self) -> u64 {
+        self.sp_dataset_bytes + self.sp_index_bytes
+    }
+
+    /// Total bytes at the service provider, in megabytes.
+    pub fn sp_total_mb(&self) -> f64 {
+        self.sp_total_bytes() as f64 / (1024.0 * 1024.0)
+    }
+
+    /// Trusted entity bytes, in megabytes.
+    pub fn te_mb(&self) -> f64 {
+        self.te_bytes as f64 / (1024.0 * 1024.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulate_and_average() {
+        let mut total = QueryMetrics {
+            verified: true,
+            ..Default::default()
+        };
+        for i in 1..=4u64 {
+            total.accumulate(&QueryMetrics {
+                result_cardinality: i,
+                sp_node_accesses: 10 * i,
+                sp_charged_ms: 100.0 * i as f64,
+                te_node_accesses: i,
+                te_charged_ms: 10.0 * i as f64,
+                auth_bytes: 20,
+                client_verify_ms: 2.0,
+                verified: true,
+            });
+        }
+        assert_eq!(total.result_cardinality, 10);
+        assert_eq!(total.sp_node_accesses, 100);
+        assert_eq!(total.auth_bytes, 80);
+        assert!(total.verified);
+
+        let avg = total.averaged_over(4);
+        assert_eq!(avg.sp_node_accesses, 25);
+        assert_eq!(avg.sp_charged_ms, 250.0);
+        assert_eq!(avg.auth_bytes, 20);
+        assert_eq!(avg.client_verify_ms, 2.0);
+    }
+
+    #[test]
+    fn accumulate_propagates_verification_failure() {
+        let mut total = QueryMetrics {
+            verified: true,
+            ..Default::default()
+        };
+        total.accumulate(&QueryMetrics {
+            verified: false,
+            ..Default::default()
+        });
+        assert!(!total.verified);
+    }
+
+    #[test]
+    fn averaging_over_zero_is_identity() {
+        let m = QueryMetrics {
+            sp_node_accesses: 7,
+            ..Default::default()
+        };
+        assert_eq!(m.averaged_over(0), m);
+    }
+
+    #[test]
+    fn storage_breakdown_totals() {
+        let s = StorageBreakdown {
+            sp_dataset_bytes: 500 * 1024 * 1024,
+            sp_index_bytes: 24 * 1024 * 1024,
+            te_bytes: 32 * 1024 * 1024,
+        };
+        assert_eq!(s.sp_total_bytes(), 524 * 1024 * 1024);
+        assert!((s.sp_total_mb() - 524.0).abs() < 1e-9);
+        assert!((s.te_mb() - 32.0).abs() < 1e-9);
+    }
+}

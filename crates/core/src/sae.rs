@@ -1,0 +1,491 @@
+//! The SAE deployment: DO → (SP, TE) → client.
+//!
+//! Under SAE the service provider runs a *conventional* DBMS — a heap file
+//! holding the outsourced records plus a plain B⁺-Tree — and returns only the
+//! query result. All authentication work is outsourced to the trusted entity,
+//! which keeps one `(id, key, digest)` tuple per record in an XB-Tree and
+//! answers each verification request with the 20-byte token
+//! `VT = ⊕ h(r)` over the records qualifying the query. The client hashes the
+//! records it received from the SP, XORs the digests and compares against the
+//! VT (§II).
+
+use crate::metrics::{QueryMetrics, StorageBreakdown};
+use crate::tamper::TamperStrategy;
+use sae_btree::BPlusTree;
+use sae_crypto::{Digest, HashAlgorithm, DIGEST_LEN};
+use sae_storage::{CostModel, HeapFile, MemPager, RecordId, SharedPageStore, StorageResult};
+use sae_workload::{Dataset, RangeQuery, Record, TeTuple};
+use sae_xbtree::{TupleStore, XbTree};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// The service provider under SAE: a conventional DBMS with no authentication
+/// structures whatsoever.
+pub struct SaeServiceProvider {
+    store: SharedPageStore,
+    heap: HeapFile,
+    index: BPlusTree,
+    /// Maps a record's logical id to its position in the heap file.
+    directory: HashMap<u64, RecordId>,
+}
+
+impl SaeServiceProvider {
+    /// Ingests the outsourced dataset: the records are stored key-clustered in
+    /// a heap file and indexed by a bulk-loaded B⁺-Tree whose values are heap
+    /// positions.
+    pub fn build(store: SharedPageStore, dataset: &Dataset) -> StorageResult<Self> {
+        let sorted = dataset.sorted_by_key();
+        let mut heap = HeapFile::create(store.clone(), dataset.spec.record_size)?;
+        let encoded: Vec<Vec<u8>> = sorted.iter().map(|r| r.encode()).collect();
+        heap.append_batch(encoded.iter().map(|e| e.as_slice()))?;
+
+        let mut directory = HashMap::with_capacity(sorted.len());
+        let entries: Vec<(u32, u64)> = sorted
+            .iter()
+            .enumerate()
+            .map(|(pos, r)| {
+                directory.insert(r.id, RecordId(pos as u64));
+                (r.key, pos as u64)
+            })
+            .collect();
+        let index = BPlusTree::bulk_load(store.clone(), &entries)?;
+        Ok(SaeServiceProvider {
+            store,
+            heap,
+            index,
+            directory,
+        })
+    }
+
+    /// Answers a range query: index traversal, then retrieval of the matching
+    /// records from the dataset file. Returns the encoded records in key
+    /// order.
+    pub fn query(&self, q: &RangeQuery) -> StorageResult<Vec<Vec<u8>>> {
+        let positions = self.index.range_record_ids(q)?;
+        let mut out = Vec::with_capacity(positions.len());
+        // The heap is key-clustered for the initial load, so contiguous runs
+        // can be fetched page-by-page; updates may break contiguity, in which
+        // case records are fetched individually.
+        let mut i = 0;
+        while i < positions.len() {
+            let mut run = 1;
+            while i + run < positions.len() && positions[i + run] == positions[i] + run as u64 {
+                run += 1;
+            }
+            out.extend(self.heap.get_range(RecordId(positions[i]), run as u64)?);
+            i += run;
+        }
+        Ok(out)
+    }
+
+    /// Applies an insertion coming from the data owner.
+    pub fn insert(&mut self, record: &Record) -> StorageResult<()> {
+        let pos = self.heap.append(&record.encode())?;
+        self.directory.insert(record.id, pos);
+        self.index.insert(record.key, pos.0)
+    }
+
+    /// Applies a deletion coming from the data owner. The heap slot is left in
+    /// place (tombstoned by removing it from the index and directory).
+    pub fn delete(&mut self, id: u64, key: u32) -> StorageResult<bool> {
+        let Some(pos) = self.directory.remove(&id) else {
+            return Ok(false);
+        };
+        self.index.delete(key, pos.0)
+    }
+
+    /// The shared page store (for I/O accounting).
+    pub fn store(&self) -> &SharedPageStore {
+        &self.store
+    }
+
+    /// The B⁺-Tree index (exposed for experiments/ablations).
+    pub fn index(&self) -> &BPlusTree {
+        &self.index
+    }
+
+    /// Storage consumed by the dataset file.
+    pub fn dataset_bytes(&self) -> u64 {
+        self.heap.storage_bytes()
+    }
+
+    /// Storage consumed by the index.
+    pub fn index_bytes(&self) -> u64 {
+        self.index.storage_bytes()
+    }
+}
+
+/// How the trusted entity computes verification tokens.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TeMode {
+    /// Use the XB-Tree (the paper's design).
+    XbTree,
+    /// Sequentially scan the tuple set (the baseline of ablation E5).
+    SequentialScan,
+}
+
+/// The trusted entity: reduced tuples plus the XB-Tree.
+pub struct TrustedEntity {
+    store: SharedPageStore,
+    tree: XbTree,
+    scan: Option<TupleStore>,
+    mode: TeMode,
+    alg: HashAlgorithm,
+}
+
+impl TrustedEntity {
+    /// Ingests the reduced tuples `T` derived from the outsourced dataset.
+    pub fn build(
+        store: SharedPageStore,
+        dataset: &Dataset,
+        alg: HashAlgorithm,
+        mode: TeMode,
+    ) -> StorageResult<Self> {
+        let mut tuples: Vec<TeTuple> = dataset.iter().map(|r| r.te_tuple(alg)).collect();
+        tuples.sort_by_key(|t| (t.key, t.id));
+        let tree = XbTree::bulk_load(store.clone(), &tuples)?;
+        let scan = match mode {
+            TeMode::SequentialScan => Some(TupleStore::build(store.clone(), &tuples)?),
+            TeMode::XbTree => None,
+        };
+        Ok(TrustedEntity {
+            store,
+            tree,
+            scan,
+            mode,
+            alg,
+        })
+    }
+
+    /// Produces the verification token for a query.
+    pub fn generate_vt(&self, q: &RangeQuery) -> StorageResult<Digest> {
+        match (self.mode, &self.scan) {
+            (TeMode::SequentialScan, Some(scan)) => scan.generate_vt_scan(q),
+            _ => self.tree.generate_vt(q),
+        }
+    }
+
+    /// Applies an insertion coming from the data owner.
+    pub fn insert(&mut self, record: &Record) -> StorageResult<()> {
+        self.tree.insert(record.te_tuple(self.alg))
+    }
+
+    /// Applies a deletion coming from the data owner.
+    pub fn delete(&mut self, id: u64, key: u32) -> StorageResult<bool> {
+        self.tree.delete(key, id)
+    }
+
+    /// The shared page store (for I/O accounting).
+    pub fn store(&self) -> &SharedPageStore {
+        &self.store
+    }
+
+    /// The XB-Tree (exposed for experiments/ablations).
+    pub fn tree(&self) -> &XbTree {
+        &self.tree
+    }
+
+    /// Storage consumed by the TE (XB-Tree, plus the flat tuple set when the
+    /// sequential-scan mode keeps one).
+    pub fn storage_bytes(&self) -> u64 {
+        self.tree.storage_bytes() + self.scan.as_ref().map_or(0, TupleStore::storage_bytes)
+    }
+}
+
+/// The SAE client-side verification: hash every received record, XOR the
+/// digests and compare against the token supplied by the TE.
+pub struct SaeClient {
+    alg: HashAlgorithm,
+}
+
+impl SaeClient {
+    /// Creates a client using the system-wide hash algorithm.
+    pub fn new(alg: HashAlgorithm) -> Self {
+        SaeClient { alg }
+    }
+
+    /// Verifies a claimed result against a verification token. Returns
+    /// `(accepted, wall-clock milliseconds spent)`.
+    pub fn verify(&self, result_records: &[Vec<u8>], vt: &Digest) -> (bool, f64) {
+        let start = Instant::now();
+        let mut acc = Digest::ZERO;
+        for record in result_records {
+            acc ^= self.alg.hash(record);
+        }
+        let ok = acc == *vt;
+        (ok, start.elapsed().as_secs_f64() * 1000.0)
+    }
+}
+
+/// Everything a query run produces under SAE.
+#[derive(Clone, Debug)]
+pub struct SaeQueryOutcome {
+    /// The (possibly tampered) result the SP returned, encoded records.
+    pub records: Vec<Vec<u8>>,
+    /// The verification token from the TE.
+    pub vt: Digest,
+    /// Cost accounting for this query.
+    pub metrics: QueryMetrics,
+}
+
+/// A complete SAE deployment over in-memory or file-backed page stores.
+pub struct SaeSystem {
+    sp: SaeServiceProvider,
+    te: TrustedEntity,
+    client: SaeClient,
+    alg: HashAlgorithm,
+    cost_model: CostModel,
+}
+
+impl SaeSystem {
+    /// Builds a deployment on fresh in-memory stores (one per party).
+    pub fn build_in_memory(dataset: &Dataset, alg: HashAlgorithm) -> StorageResult<Self> {
+        Self::build(
+            MemPager::new_shared(),
+            MemPager::new_shared(),
+            dataset,
+            alg,
+            CostModel::paper(),
+            TeMode::XbTree,
+        )
+    }
+
+    /// Builds a deployment on explicit page stores.
+    pub fn build(
+        sp_store: SharedPageStore,
+        te_store: SharedPageStore,
+        dataset: &Dataset,
+        alg: HashAlgorithm,
+        cost_model: CostModel,
+        te_mode: TeMode,
+    ) -> StorageResult<Self> {
+        let sp = SaeServiceProvider::build(sp_store, dataset)?;
+        let te = TrustedEntity::build(te_store, dataset, alg, te_mode)?;
+        Ok(SaeSystem {
+            sp,
+            te,
+            client: SaeClient::new(alg),
+            alg,
+            cost_model,
+        })
+    }
+
+    /// The hash algorithm shared by all parties.
+    pub fn hash_algorithm(&self) -> HashAlgorithm {
+        self.alg
+    }
+
+    /// Access to the SP (for experiments).
+    pub fn sp(&self) -> &SaeServiceProvider {
+        &self.sp
+    }
+
+    /// Access to the TE (for experiments).
+    pub fn te(&self) -> &TrustedEntity {
+        &self.te
+    }
+
+    /// Runs one query honestly and verifies it.
+    pub fn query(&self, q: &RangeQuery) -> StorageResult<SaeQueryOutcome> {
+        self.query_with_tamper(q, TamperStrategy::Honest, 0)
+    }
+
+    /// Runs one query with the SP applying the given tampering strategy before
+    /// returning the result.
+    pub fn query_with_tamper(
+        &self,
+        q: &RangeQuery,
+        tamper: TamperStrategy,
+        seed: u64,
+    ) -> StorageResult<SaeQueryOutcome> {
+        // --- Service provider: compute the result.
+        let sp_before = self.sp.store().stats().snapshot();
+        let honest = self.sp.query(q)?;
+        let sp_delta = self.sp.store().stats().snapshot().delta_since(&sp_before);
+
+        let records = tamper.apply(&honest, q, seed);
+
+        // --- Trusted entity: compute the token (independent of the SP).
+        let te_before = self.te.store().stats().snapshot();
+        let vt = self.te.generate_vt(q)?;
+        let te_delta = self.te.store().stats().snapshot().delta_since(&te_before);
+
+        // --- Client: verify.
+        let (verified, client_ms) = self.client.verify(&records, &vt);
+
+        Ok(SaeQueryOutcome {
+            metrics: QueryMetrics {
+                result_cardinality: records.len() as u64,
+                sp_node_accesses: sp_delta.node_accesses(),
+                sp_charged_ms: self.cost_model.charge_ms(&sp_delta),
+                te_node_accesses: te_delta.node_accesses(),
+                te_charged_ms: self.cost_model.charge_ms(&te_delta),
+                auth_bytes: DIGEST_LEN as u64,
+                client_verify_ms: client_ms,
+                verified,
+            },
+            records,
+            vt,
+        })
+    }
+
+    /// Propagates an insertion from the data owner to both the SP and the TE.
+    pub fn insert_record(&mut self, record: &Record) -> StorageResult<()> {
+        self.sp.insert(record)?;
+        self.te.insert(record)
+    }
+
+    /// Propagates a deletion from the data owner to both the SP and the TE.
+    pub fn delete_record(&mut self, id: u64, key: u32) -> StorageResult<bool> {
+        let sp_removed = self.sp.delete(id, key)?;
+        let te_removed = self.te.delete(id, key)?;
+        Ok(sp_removed && te_removed)
+    }
+
+    /// Per-party storage consumption (Fig. 8).
+    pub fn storage_breakdown(&self) -> StorageBreakdown {
+        StorageBreakdown {
+            sp_dataset_bytes: self.sp.dataset_bytes(),
+            sp_index_bytes: self.sp.index_bytes(),
+            te_bytes: self.te.storage_bytes(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sae_workload::{DatasetSpec, KeyDistribution};
+
+    fn small_dataset(n: usize) -> Dataset {
+        DatasetSpec {
+            cardinality: n,
+            distribution: KeyDistribution::Uniform { domain: 50_000 },
+            record_size: 200,
+            seed: 21,
+        }
+        .generate()
+    }
+
+    #[test]
+    fn honest_queries_verify_and_match_the_oracle() {
+        let ds = small_dataset(4_000);
+        let system = SaeSystem::build_in_memory(&ds, HashAlgorithm::Sha1).unwrap();
+        for (lo, hi) in [(0u32, 50_000u32), (10_000, 12_000), (49_000, 50_000), (7, 7)] {
+            let q = RangeQuery::new(lo, hi);
+            let outcome = system.query(&q).unwrap();
+            assert!(outcome.metrics.verified, "query [{lo}, {hi}]");
+            assert_eq!(
+                outcome.records.len(),
+                ds.query_cardinality(&q),
+                "query [{lo}, {hi}]"
+            );
+            // Every returned record decodes and satisfies the query.
+            for bytes in &outcome.records {
+                let r = Record::decode(bytes).unwrap();
+                assert!(q.contains(r.key));
+            }
+            assert_eq!(outcome.metrics.auth_bytes, 20);
+        }
+    }
+
+    #[test]
+    fn tampered_results_are_rejected() {
+        let ds = small_dataset(3_000);
+        let system = SaeSystem::build_in_memory(&ds, HashAlgorithm::Sha1).unwrap();
+        let q = RangeQuery::new(20_000, 24_000);
+        assert!(ds.query_cardinality(&q) > 5);
+
+        for strategy in [
+            TamperStrategy::DropRecords { count: 1 },
+            TamperStrategy::InjectRecords { count: 1 },
+            TamperStrategy::ModifyRecords { count: 1 },
+            TamperStrategy::SubstituteResult { count: 10 },
+        ] {
+            let outcome = system.query_with_tamper(&q, strategy, 99).unwrap();
+            assert!(!outcome.metrics.verified, "{strategy:?} went undetected");
+        }
+    }
+
+    #[test]
+    fn empty_results_verify_with_zero_token() {
+        let ds = small_dataset(500);
+        let system = SaeSystem::build_in_memory(&ds, HashAlgorithm::Sha1).unwrap();
+        let q = RangeQuery::new(60_000, 70_000); // outside the key domain
+        let outcome = system.query(&q).unwrap();
+        assert!(outcome.records.is_empty());
+        assert_eq!(outcome.vt, Digest::ZERO);
+        assert!(outcome.metrics.verified);
+    }
+
+    #[test]
+    fn te_cost_is_much_smaller_than_sp_cost() {
+        let ds = small_dataset(5_000);
+        let system = SaeSystem::build_in_memory(&ds, HashAlgorithm::Sha1).unwrap();
+        let q = RangeQuery::new(0, 25_000); // half the domain
+        let outcome = system.query(&q).unwrap();
+        assert!(outcome.metrics.sp_node_accesses > 5 * outcome.metrics.te_node_accesses);
+        assert!(outcome.metrics.sp_charged_ms > outcome.metrics.te_charged_ms);
+    }
+
+    #[test]
+    fn updates_propagate_to_both_parties() {
+        let ds = small_dataset(1_000);
+        let mut system = SaeSystem::build_in_memory(&ds, HashAlgorithm::Sha1).unwrap();
+
+        // Insert a fresh record and query for it.
+        let new_record = Record::with_size(1_000_000, 123, 200);
+        system.insert_record(&new_record).unwrap();
+        let q = RangeQuery::new(123, 123);
+        let outcome = system.query(&q).unwrap();
+        assert!(outcome.metrics.verified);
+        assert!(outcome
+            .records
+            .iter()
+            .any(|r| Record::decode(r).unwrap().id == 1_000_000));
+
+        // Delete it again.
+        assert!(system.delete_record(1_000_000, 123).unwrap());
+        let outcome = system.query(&q).unwrap();
+        assert!(outcome.metrics.verified);
+        assert!(!outcome
+            .records
+            .iter()
+            .any(|r| Record::decode(r).unwrap().id == 1_000_000));
+
+        // Deleting a non-existent record reports false.
+        assert!(!system.delete_record(1_000_000, 123).unwrap());
+    }
+
+    #[test]
+    fn sequential_scan_mode_yields_the_same_tokens_at_higher_cost() {
+        let ds = small_dataset(3_000);
+        let tree_mode = SaeSystem::build_in_memory(&ds, HashAlgorithm::Sha1).unwrap();
+        let scan_mode = SaeSystem::build(
+            MemPager::new_shared(),
+            MemPager::new_shared(),
+            &ds,
+            HashAlgorithm::Sha1,
+            CostModel::paper(),
+            TeMode::SequentialScan,
+        )
+        .unwrap();
+        let q = RangeQuery::new(1_000, 2_000);
+        let a = tree_mode.query(&q).unwrap();
+        let b = scan_mode.query(&q).unwrap();
+        assert_eq!(a.vt, b.vt);
+        assert!(a.metrics.verified && b.metrics.verified);
+        assert!(b.metrics.te_node_accesses > a.metrics.te_node_accesses);
+    }
+
+    #[test]
+    fn storage_breakdown_matches_figure_8_shape() {
+        let ds = small_dataset(4_000);
+        let system = SaeSystem::build_in_memory(&ds, HashAlgorithm::Sha1).unwrap();
+        let s = system.storage_breakdown();
+        // The SP's storage is dominated by the dataset; the TE is a fraction.
+        assert!(s.sp_dataset_bytes > s.sp_index_bytes);
+        assert!(s.te_bytes < s.sp_total_bytes() / 2);
+        assert!(s.te_bytes > 0);
+    }
+}

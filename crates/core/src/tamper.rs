@@ -1,0 +1,193 @@
+//! Malicious service-provider behaviours.
+//!
+//! The paper's security analysis (§II) models a malicious SP that returns
+//! `RS^SP = (RS - DS) ∪ IS`: it may drop a subset `DS` of the genuine result
+//! (attacking completeness) and/or inject a set `IS` of fabricated records
+//! (attacking soundness); modifying a record is the combination of both.
+//! [`TamperStrategy`] reproduces those behaviours so integration tests and the
+//! examples can demonstrate that both SAE and TOM clients reject every
+//! non-trivial tampering.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sae_workload::{RangeQuery, Record};
+
+/// How a malicious SP corrupts the result set before returning it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TamperStrategy {
+    /// Behave honestly.
+    Honest,
+    /// Drop `count` records from the result (completeness attack, `DS`).
+    DropRecords {
+        /// How many records to silently remove.
+        count: usize,
+    },
+    /// Inject `count` fabricated records with in-range keys (soundness attack,
+    /// `IS`).
+    InjectRecords {
+        /// How many bogus records to add.
+        count: usize,
+    },
+    /// Flip payload bytes of `count` records (equivalent to one drop plus one
+    /// injection per record).
+    ModifyRecords {
+        /// How many records to modify in place.
+        count: usize,
+    },
+    /// Return a completely fabricated result of `count` in-range records.
+    SubstituteResult {
+        /// Cardinality of the fabricated result.
+        count: usize,
+    },
+}
+
+impl TamperStrategy {
+    /// Whether this strategy actually changes a non-empty result.
+    pub fn is_attack(&self) -> bool {
+        !matches!(self, TamperStrategy::Honest)
+    }
+
+    /// Applies the strategy to an honest result (encoded records in result
+    /// order). `query` is used to fabricate in-range records, `seed` makes the
+    /// corruption deterministic.
+    pub fn apply(&self, honest: &[Vec<u8>], query: &RangeQuery, seed: u64) -> Vec<Vec<u8>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out: Vec<Vec<u8>> = honest.to_vec();
+        let record_size = honest.first().map(|r| r.len()).unwrap_or(500);
+        match *self {
+            TamperStrategy::Honest => out,
+            TamperStrategy::DropRecords { count } => {
+                for _ in 0..count.min(out.len()) {
+                    let victim = rng.gen_range(0..out.len());
+                    out.remove(victim);
+                }
+                out
+            }
+            TamperStrategy::InjectRecords { count } => {
+                for i in 0..count {
+                    let key = rng.gen_range(query.lower..=query.upper);
+                    let bogus = Record::with_size(u64::MAX - i as u64, key, record_size);
+                    let encoded = bogus.encode();
+                    let pos = out.partition_point(|r| {
+                        Record::decode(r).map(|d| d.key <= key).unwrap_or(false)
+                    });
+                    out.insert(pos, encoded);
+                }
+                out
+            }
+            TamperStrategy::ModifyRecords { count } => {
+                for _ in 0..count.min(out.len()) {
+                    let victim = rng.gen_range(0..out.len());
+                    let len = out[victim].len();
+                    // Flip a payload byte (never the id/key header, so the
+                    // corruption is only detectable cryptographically).
+                    let byte = rng.gen_range(12..len);
+                    out[victim][byte] ^= 0xA5;
+                }
+                out
+            }
+            TamperStrategy::SubstituteResult { count } => (0..count)
+                .map(|i| {
+                    let key = rng.gen_range(query.lower..=query.upper);
+                    Record::with_size(u64::MAX / 2 + i as u64, key, record_size).encode()
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn honest(n: u64) -> Vec<Vec<u8>> {
+        (0..n)
+            .map(|i| Record::with_size(i, 100 + i as u32, 100).encode())
+            .collect()
+    }
+
+    #[test]
+    fn honest_strategy_is_identity() {
+        let rs = honest(5);
+        assert_eq!(TamperStrategy::Honest.apply(&rs, &RangeQuery::new(0, 1000), 1), rs);
+        assert!(!TamperStrategy::Honest.is_attack());
+    }
+
+    #[test]
+    fn drop_reduces_cardinality() {
+        let rs = honest(10);
+        let q = RangeQuery::new(0, 1000);
+        let out = TamperStrategy::DropRecords { count: 3 }.apply(&rs, &q, 7);
+        assert_eq!(out.len(), 7);
+        // Every surviving record is one of the originals.
+        assert!(out.iter().all(|r| rs.contains(r)));
+    }
+
+    #[test]
+    fn inject_adds_in_range_records() {
+        let rs = honest(5);
+        let q = RangeQuery::new(100, 104);
+        let out = TamperStrategy::InjectRecords { count: 2 }.apply(&rs, &q, 9);
+        assert_eq!(out.len(), 7);
+        let injected: Vec<Record> = out
+            .iter()
+            .filter(|r| !rs.contains(*r))
+            .map(|r| Record::decode(r).unwrap())
+            .collect();
+        assert_eq!(injected.len(), 2);
+        assert!(injected.iter().all(|r| q.contains(r.key)));
+        // Keys stay sorted so the attack is not trivially detectable.
+        let keys: Vec<u32> = out.iter().map(|r| Record::decode(r).unwrap().key).collect();
+        assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn modify_keeps_cardinality_but_changes_bytes() {
+        let rs = honest(6);
+        let q = RangeQuery::new(0, 1000);
+        let out = TamperStrategy::ModifyRecords { count: 2 }.apply(&rs, &q, 3);
+        assert_eq!(out.len(), 6);
+        let changed = out.iter().zip(rs.iter()).filter(|(a, b)| a != b).count();
+        assert!(changed >= 1 && changed <= 2);
+        // Keys and ids are untouched: only payload bytes differ.
+        for (a, b) in out.iter().zip(rs.iter()) {
+            assert_eq!(&a[..12], &b[..12]);
+        }
+    }
+
+    #[test]
+    fn substitute_fabricates_everything() {
+        let rs = honest(4);
+        let q = RangeQuery::new(100, 103);
+        let out = TamperStrategy::SubstituteResult { count: 3 }.apply(&rs, &q, 5);
+        assert_eq!(out.len(), 3);
+        assert!(out.iter().all(|r| !rs.contains(r)));
+        assert!(out
+            .iter()
+            .all(|r| q.contains(Record::decode(r).unwrap().key)));
+    }
+
+    #[test]
+    fn tampering_is_deterministic_per_seed() {
+        let rs = honest(10);
+        let q = RangeQuery::new(0, 1000);
+        let s = TamperStrategy::DropRecords { count: 2 };
+        assert_eq!(s.apply(&rs, &q, 42), s.apply(&rs, &q, 42));
+    }
+
+    #[test]
+    fn tampering_empty_results_is_safe() {
+        let q = RangeQuery::new(10, 20);
+        for s in [
+            TamperStrategy::DropRecords { count: 3 },
+            TamperStrategy::ModifyRecords { count: 3 },
+            TamperStrategy::InjectRecords { count: 1 },
+        ] {
+            let out = s.apply(&[], &q, 1);
+            match s {
+                TamperStrategy::InjectRecords { .. } => assert_eq!(out.len(), 1),
+                _ => assert!(out.is_empty()),
+            }
+        }
+    }
+}

@@ -1,0 +1,300 @@
+//! The TOM deployment (baseline): DO → SP → client, with an MB-Tree ADS.
+//!
+//! Under the traditional outsourcing model the data owner builds an
+//! authenticated data structure over its dataset, signs the root digest and
+//! ships everything to the service provider, which answers every query with
+//! both the result and a verification object. The client re-constructs the
+//! root digest from the result and the VO and checks it against the owner's
+//! signature (§I). This module wires those roles together so the benchmark
+//! harness can compare TOM and SAE side by side.
+
+use crate::metrics::{QueryMetrics, StorageBreakdown};
+use crate::tamper::TamperStrategy;
+use sae_crypto::signer::{SignatureBytes, Signer, Verifier};
+use sae_crypto::HashAlgorithm;
+use sae_mbtree::{MbTree, VerificationObject};
+use sae_storage::{CostModel, HeapFile, MemPager, RecordId, SharedPageStore, StorageResult};
+use sae_workload::{Dataset, RangeQuery, Record};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Everything a query run produces under TOM.
+#[derive(Clone, Debug)]
+pub struct TomQueryOutcome {
+    /// The (possibly tampered) result the SP returned, encoded records.
+    pub records: Vec<Vec<u8>>,
+    /// The verification object accompanying the result.
+    pub vo: VerificationObject,
+    /// Cost accounting for this query.
+    pub metrics: QueryMetrics,
+}
+
+/// A complete TOM deployment.
+///
+/// The `S`/`V` type parameters are the data owner's signature scheme; the
+/// benchmarks use [`sae_crypto::RsaSigner`], fast tests use
+/// [`sae_crypto::MacSigner`].
+pub struct TomSystem<S: Signer, V: Verifier> {
+    store: SharedPageStore,
+    heap: HeapFile,
+    tree: MbTree,
+    directory: HashMap<u64, RecordId>,
+    signer: S,
+    verifier: V,
+    signature: SignatureBytes,
+    alg: HashAlgorithm,
+    cost_model: CostModel,
+}
+
+impl<S: Signer, V: Verifier> TomSystem<S, V> {
+    /// Builds a TOM deployment: the DO ships the dataset, the SP builds the
+    /// MB-Tree, and the DO signs the root digest.
+    pub fn build(
+        store: SharedPageStore,
+        dataset: &Dataset,
+        alg: HashAlgorithm,
+        cost_model: CostModel,
+        signer: S,
+        verifier: V,
+    ) -> StorageResult<Self> {
+        let sorted = dataset.sorted_by_key();
+        let mut heap = HeapFile::create(store.clone(), dataset.spec.record_size)?;
+        let encoded: Vec<Vec<u8>> = sorted.iter().map(|r| r.encode()).collect();
+        heap.append_batch(encoded.iter().map(|e| e.as_slice()))?;
+
+        let mut directory = HashMap::with_capacity(sorted.len());
+        let entries: Vec<(u32, u64, _)> = sorted
+            .iter()
+            .enumerate()
+            .map(|(pos, r)| {
+                directory.insert(r.id, RecordId(pos as u64));
+                (r.key, pos as u64, r.digest(alg))
+            })
+            .collect();
+        let tree = MbTree::bulk_load(store.clone(), alg, &entries)?;
+        let signature = signer.sign(&tree.root_digest()?);
+
+        Ok(TomSystem {
+            store,
+            heap,
+            tree,
+            directory,
+            signer,
+            verifier,
+            signature,
+            alg,
+            cost_model,
+        })
+    }
+
+    /// Builds a TOM deployment on a fresh in-memory store.
+    pub fn build_in_memory(
+        dataset: &Dataset,
+        alg: HashAlgorithm,
+        signer: S,
+        verifier: V,
+    ) -> StorageResult<Self> {
+        Self::build(
+            MemPager::new_shared(),
+            dataset,
+            alg,
+            CostModel::paper(),
+            signer,
+            verifier,
+        )
+    }
+
+    /// The MB-Tree (exposed for experiments).
+    pub fn tree(&self) -> &MbTree {
+        &self.tree
+    }
+
+    /// The data owner's current signature over the root digest.
+    pub fn signature(&self) -> &SignatureBytes {
+        &self.signature
+    }
+
+    /// Runs one query honestly and verifies it.
+    pub fn query(&self, q: &RangeQuery) -> StorageResult<TomQueryOutcome> {
+        self.query_with_tamper(q, TamperStrategy::Honest, 0)
+    }
+
+    /// Runs one query with the SP applying the given tampering strategy.
+    pub fn query_with_tamper(
+        &self,
+        q: &RangeQuery,
+        tamper: TamperStrategy,
+        seed: u64,
+    ) -> StorageResult<TomQueryOutcome> {
+        // --- Service provider: result + VO.
+        let before = self.store.stats().snapshot();
+        let positions = self.tree.range_record_ids(q)?;
+        let mut honest = Vec::with_capacity(positions.len());
+        let mut i = 0;
+        while i < positions.len() {
+            let mut run = 1;
+            while i + run < positions.len() && positions[i + run] == positions[i] + run as u64 {
+                run += 1;
+            }
+            honest.extend(self.heap.get_range(RecordId(positions[i]), run as u64)?);
+            i += run;
+        }
+        let vo = self.tree.generate_vo(
+            q,
+            |pos| {
+                self.heap
+                    .get(RecordId(pos))
+                    .expect("boundary record present in the heap")
+            },
+            self.signature.clone(),
+        )?;
+        let sp_delta = self.store.stats().snapshot().delta_since(&before);
+
+        let records = tamper.apply(&honest, q, seed);
+
+        // --- Client: re-construct the root digest and check the signature.
+        let start = Instant::now();
+        let verified = vo.verify(q, &records, &self.verifier, self.alg).is_ok();
+        let client_ms = start.elapsed().as_secs_f64() * 1000.0;
+
+        Ok(TomQueryOutcome {
+            metrics: QueryMetrics {
+                result_cardinality: records.len() as u64,
+                sp_node_accesses: sp_delta.node_accesses(),
+                sp_charged_ms: self.cost_model.charge_ms(&sp_delta),
+                te_node_accesses: 0,
+                te_charged_ms: 0.0,
+                auth_bytes: vo.size_bytes() as u64,
+                client_verify_ms: client_ms,
+                verified,
+            },
+            records,
+            vo,
+        })
+    }
+
+    /// Applies an insertion from the data owner: the SP updates the MB-Tree
+    /// and the DO re-signs the new root digest.
+    pub fn insert_record(&mut self, record: &Record) -> StorageResult<()> {
+        let pos = self.heap.append(&record.encode())?;
+        self.directory.insert(record.id, pos);
+        self.tree.insert(record.key, pos.0, record.digest(self.alg))?;
+        self.signature = self.signer.sign(&self.tree.root_digest()?);
+        Ok(())
+    }
+
+    /// Applies a deletion from the data owner (and re-signs).
+    pub fn delete_record(&mut self, id: u64, key: u32) -> StorageResult<bool> {
+        let Some(pos) = self.directory.remove(&id) else {
+            return Ok(false);
+        };
+        let removed = self.tree.delete(key, pos.0)?;
+        self.signature = self.signer.sign(&self.tree.root_digest()?);
+        Ok(removed)
+    }
+
+    /// Per-party storage consumption (Fig. 8). TOM has no trusted entity.
+    pub fn storage_breakdown(&self) -> StorageBreakdown {
+        StorageBreakdown {
+            sp_dataset_bytes: self.heap.storage_bytes(),
+            sp_index_bytes: self.tree.storage_bytes(),
+            te_bytes: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sae_crypto::MacSigner;
+    use sae_workload::{DatasetSpec, KeyDistribution};
+
+    fn small_dataset(n: usize) -> Dataset {
+        DatasetSpec {
+            cardinality: n,
+            distribution: KeyDistribution::Uniform { domain: 50_000 },
+            record_size: 200,
+            seed: 77,
+        }
+        .generate()
+    }
+
+    fn build(n: usize) -> (Dataset, TomSystem<MacSigner, MacSigner>) {
+        let ds = small_dataset(n);
+        let signer = MacSigner::new(b"do-signing-key".to_vec());
+        let system =
+            TomSystem::build_in_memory(&ds, HashAlgorithm::Sha1, signer.clone(), signer).unwrap();
+        (ds, system)
+    }
+
+    #[test]
+    fn honest_queries_verify_and_match_the_oracle() {
+        let (ds, system) = build(3_000);
+        for (lo, hi) in [(0u32, 50_000u32), (10_000, 12_000), (49_500, 50_000), (3, 3)] {
+            let q = RangeQuery::new(lo, hi);
+            let outcome = system.query(&q).unwrap();
+            assert!(outcome.metrics.verified, "query [{lo}, {hi}]");
+            assert_eq!(outcome.records.len(), ds.query_cardinality(&q));
+            assert!(outcome.metrics.auth_bytes >= 20);
+        }
+    }
+
+    #[test]
+    fn tampered_results_are_rejected() {
+        let (ds, system) = build(3_000);
+        let q = RangeQuery::new(20_000, 24_000);
+        assert!(ds.query_cardinality(&q) > 5);
+        for strategy in [
+            TamperStrategy::DropRecords { count: 1 },
+            TamperStrategy::InjectRecords { count: 1 },
+            TamperStrategy::ModifyRecords { count: 1 },
+            TamperStrategy::SubstituteResult { count: 10 },
+        ] {
+            let outcome = system.query_with_tamper(&q, strategy, 5).unwrap();
+            assert!(!outcome.metrics.verified, "{strategy:?} went undetected");
+        }
+    }
+
+    #[test]
+    fn updates_re_sign_the_root_and_stay_verifiable() {
+        let (_, mut system) = build(1_000);
+        let old_signature = system.signature().clone();
+
+        let record = Record::with_size(1_000_000, 123, 200);
+        system.insert_record(&record).unwrap();
+        assert_ne!(system.signature(), &old_signature);
+
+        let q = RangeQuery::new(123, 123);
+        let outcome = system.query(&q).unwrap();
+        assert!(outcome.metrics.verified);
+        assert!(outcome
+            .records
+            .iter()
+            .any(|r| Record::decode(r).unwrap().id == 1_000_000));
+
+        assert!(system.delete_record(1_000_000, 123).unwrap());
+        let outcome = system.query(&q).unwrap();
+        assert!(outcome.metrics.verified);
+        assert!(!outcome
+            .records
+            .iter()
+            .any(|r| Record::decode(r).unwrap().id == 1_000_000));
+    }
+
+    #[test]
+    fn vo_is_orders_of_magnitude_larger_than_the_sae_token() {
+        let (_, system) = build(5_000);
+        let q = RangeQuery::new(10_000, 10_500);
+        let outcome = system.query(&q).unwrap();
+        assert!(outcome.metrics.verified);
+        assert!(outcome.metrics.auth_bytes > 100 * 20);
+    }
+
+    #[test]
+    fn storage_has_no_te_component() {
+        let (_, system) = build(2_000);
+        let s = system.storage_breakdown();
+        assert_eq!(s.te_bytes, 0);
+        assert!(s.sp_dataset_bytes > s.sp_index_bytes);
+    }
+}

@@ -1,0 +1,890 @@
+//! Arbitrary-precision unsigned integers.
+//!
+//! The TOM baseline needs a public-key signature on the MB-Tree root digest.
+//! The paper used Crypto++'s RSA; since no big-integer crate is available in
+//! the offline dependency set, this module implements the small amount of
+//! multi-precision arithmetic required for textbook RSA: addition,
+//! subtraction, schoolbook multiplication, Knuth Algorithm-D division, modular
+//! exponentiation, modular inverse and Miller–Rabin primality testing.
+//!
+//! The representation is a little-endian vector of 32-bit limbs with no
+//! trailing zero limbs (`0` is the empty vector). The implementation favours
+//! clarity and testability over raw speed; RSA signing happens once per
+//! verification object, so it is far from the critical path of the
+//! experiments.
+
+use rand::Rng;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An arbitrary-precision unsigned integer (little-endian 32-bit limbs).
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct BigUint {
+    limbs: Vec<u32>,
+}
+
+impl fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigUint(0x{})", self.to_hex())
+    }
+}
+
+impl fmt::Display for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{}", self.to_hex())
+    }
+}
+
+impl BigUint {
+    /// The value zero.
+    pub fn zero() -> Self {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// The value one.
+    pub fn one() -> Self {
+        BigUint { limbs: vec![1] }
+    }
+
+    /// Constructs from a `u64`.
+    pub fn from_u64(v: u64) -> Self {
+        let mut out = BigUint {
+            limbs: vec![(v & 0xFFFF_FFFF) as u32, (v >> 32) as u32],
+        };
+        out.normalize();
+        out
+    }
+
+    /// Constructs from big-endian bytes.
+    pub fn from_bytes_be(bytes: &[u8]) -> Self {
+        let mut limbs = Vec::with_capacity(bytes.len() / 4 + 1);
+        let mut chunk_start = bytes.len();
+        while chunk_start > 0 {
+            let take = chunk_start.min(4);
+            let lo = chunk_start - take;
+            let mut limb = 0u32;
+            for &b in &bytes[lo..chunk_start] {
+                limb = (limb << 8) | b as u32;
+            }
+            limbs.push(limb);
+            chunk_start = lo;
+        }
+        let mut out = BigUint { limbs };
+        out.normalize();
+        out
+    }
+
+    /// Serializes to big-endian bytes with no leading zeros (zero -> empty).
+    pub fn to_bytes_be(&self) -> Vec<u8> {
+        if self.is_zero() {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() * 4);
+        for (i, limb) in self.limbs.iter().enumerate().rev() {
+            let bytes = limb.to_be_bytes();
+            if i == self.limbs.len() - 1 {
+                // Skip leading zero bytes of the most significant limb.
+                let mut skip = 0;
+                while skip < 3 && bytes[skip] == 0 {
+                    skip += 1;
+                }
+                out.extend_from_slice(&bytes[skip..]);
+            } else {
+                out.extend_from_slice(&bytes);
+            }
+        }
+        out
+    }
+
+    /// Serializes to big-endian bytes left-padded with zeros to `len` bytes.
+    ///
+    /// Returns `None` if the value does not fit in `len` bytes.
+    pub fn to_bytes_be_padded(&self, len: usize) -> Option<Vec<u8>> {
+        let raw = self.to_bytes_be();
+        if raw.len() > len {
+            return None;
+        }
+        let mut out = vec![0u8; len - raw.len()];
+        out.extend_from_slice(&raw);
+        Some(out)
+    }
+
+    /// Parses a hexadecimal string (no prefix).
+    pub fn from_hex(hex: &str) -> Option<Self> {
+        let hex = hex.trim();
+        if hex.is_empty() {
+            return None;
+        }
+        let mut bytes = Vec::with_capacity(hex.len() / 2 + 1);
+        let chars: Vec<u8> = hex.bytes().collect();
+        let mut idx = 0;
+        if chars.len() % 2 == 1 {
+            let hi = (chars[0] as char).to_digit(16)?;
+            bytes.push(hi as u8);
+            idx = 1;
+        }
+        while idx < chars.len() {
+            let hi = (chars[idx] as char).to_digit(16)?;
+            let lo = (chars[idx + 1] as char).to_digit(16)?;
+            bytes.push(((hi << 4) | lo) as u8);
+            idx += 2;
+        }
+        Some(BigUint::from_bytes_be(&bytes))
+    }
+
+    /// Lowercase hexadecimal representation (no prefix, `"0"` for zero).
+    pub fn to_hex(&self) -> String {
+        if self.is_zero() {
+            return "0".to_string();
+        }
+        let mut s = String::new();
+        for (i, limb) in self.limbs.iter().enumerate().rev() {
+            if i == self.limbs.len() - 1 {
+                s.push_str(&format!("{limb:x}"));
+            } else {
+                s.push_str(&format!("{limb:08x}"));
+            }
+        }
+        s
+    }
+
+    /// Returns `true` if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Returns `true` if the value is one.
+    pub fn is_one(&self) -> bool {
+        self.limbs.len() == 1 && self.limbs[0] == 1
+    }
+
+    /// Returns `true` if the value is even.
+    pub fn is_even(&self) -> bool {
+        self.limbs.first().map(|l| l % 2 == 0).unwrap_or(true)
+    }
+
+    /// Number of significant bits (zero has zero bits).
+    pub fn bits(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => (self.limbs.len() - 1) * 32 + (32 - top.leading_zeros() as usize),
+        }
+    }
+
+    /// Returns bit `i` (LSB is bit 0).
+    pub fn bit(&self, i: usize) -> bool {
+        let limb = i / 32;
+        let off = i % 32;
+        self.limbs
+            .get(limb)
+            .map(|l| (l >> off) & 1 == 1)
+            .unwrap_or(false)
+    }
+
+    /// Converts to `u64`, returning `None` on overflow.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0] as u64),
+            2 => Some(self.limbs[0] as u64 | ((self.limbs[1] as u64) << 32)),
+            _ => None,
+        }
+    }
+
+    fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// Addition.
+    pub fn add(&self, other: &BigUint) -> BigUint {
+        let mut out = Vec::with_capacity(self.limbs.len().max(other.limbs.len()) + 1);
+        let mut carry = 0u64;
+        for i in 0..self.limbs.len().max(other.limbs.len()) {
+            let a = *self.limbs.get(i).unwrap_or(&0) as u64;
+            let b = *other.limbs.get(i).unwrap_or(&0) as u64;
+            let sum = a + b + carry;
+            out.push((sum & 0xFFFF_FFFF) as u32);
+            carry = sum >> 32;
+        }
+        if carry > 0 {
+            out.push(carry as u32);
+        }
+        let mut r = BigUint { limbs: out };
+        r.normalize();
+        r
+    }
+
+    /// Subtraction; panics if `other > self`.
+    pub fn sub(&self, other: &BigUint) -> BigUint {
+        assert!(
+            self.cmp_big(other) != Ordering::Less,
+            "BigUint::sub would underflow"
+        );
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0i64;
+        for i in 0..self.limbs.len() {
+            let a = self.limbs[i] as i64;
+            let b = *other.limbs.get(i).unwrap_or(&0) as i64;
+            let mut diff = a - b - borrow;
+            if diff < 0 {
+                diff += 1i64 << 32;
+                borrow = 1;
+            } else {
+                borrow = 0;
+            }
+            out.push(diff as u32);
+        }
+        debug_assert_eq!(borrow, 0);
+        let mut r = BigUint { limbs: out };
+        r.normalize();
+        r
+    }
+
+    /// Comparison.
+    pub fn cmp_big(&self, other: &BigUint) -> Ordering {
+        if self.limbs.len() != other.limbs.len() {
+            return self.limbs.len().cmp(&other.limbs.len());
+        }
+        for i in (0..self.limbs.len()).rev() {
+            match self.limbs[i].cmp(&other.limbs[i]) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// Schoolbook multiplication.
+    pub fn mul(&self, other: &BigUint) -> BigUint {
+        if self.is_zero() || other.is_zero() {
+            return BigUint::zero();
+        }
+        let mut out = vec![0u32; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry = 0u64;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let cur = out[i + j] as u64 + (a as u64) * (b as u64) + carry;
+                out[i + j] = (cur & 0xFFFF_FFFF) as u32;
+                carry = cur >> 32;
+            }
+            let mut k = i + other.limbs.len();
+            while carry > 0 {
+                let cur = out[k] as u64 + carry;
+                out[k] = (cur & 0xFFFF_FFFF) as u32;
+                carry = cur >> 32;
+                k += 1;
+            }
+        }
+        let mut r = BigUint { limbs: out };
+        r.normalize();
+        r
+    }
+
+    /// Left shift by `bits` bits.
+    pub fn shl(&self, bits: usize) -> BigUint {
+        if self.is_zero() {
+            return BigUint::zero();
+        }
+        let limb_shift = bits / 32;
+        let bit_shift = bits % 32;
+        let mut out = vec![0u32; limb_shift];
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u32;
+            for &l in &self.limbs {
+                out.push((l << bit_shift) | carry);
+                carry = (l >> (32 - bit_shift)) as u32;
+            }
+            if carry > 0 {
+                out.push(carry);
+            }
+        }
+        let mut r = BigUint { limbs: out };
+        r.normalize();
+        r
+    }
+
+    /// Right shift by `bits` bits.
+    pub fn shr(&self, bits: usize) -> BigUint {
+        let limb_shift = bits / 32;
+        if limb_shift >= self.limbs.len() {
+            return BigUint::zero();
+        }
+        let bit_shift = bits % 32;
+        let mut out = Vec::with_capacity(self.limbs.len() - limb_shift);
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs[limb_shift..]);
+        } else {
+            for i in limb_shift..self.limbs.len() {
+                let lo = self.limbs[i] >> bit_shift;
+                let hi = if i + 1 < self.limbs.len() {
+                    self.limbs[i + 1] << (32 - bit_shift)
+                } else {
+                    0
+                };
+                out.push(lo | hi);
+            }
+        }
+        let mut r = BigUint { limbs: out };
+        r.normalize();
+        r
+    }
+
+    /// Division with remainder: returns `(quotient, remainder)`.
+    ///
+    /// Panics if `divisor` is zero. Uses a single-limb fast path and Knuth
+    /// Algorithm D for multi-limb divisors.
+    pub fn div_rem(&self, divisor: &BigUint) -> (BigUint, BigUint) {
+        assert!(!divisor.is_zero(), "division by zero");
+        match self.cmp_big(divisor) {
+            Ordering::Less => return (BigUint::zero(), self.clone()),
+            Ordering::Equal => return (BigUint::one(), BigUint::zero()),
+            Ordering::Greater => {}
+        }
+        if divisor.limbs.len() == 1 {
+            let d = divisor.limbs[0] as u64;
+            let mut q = vec![0u32; self.limbs.len()];
+            let mut rem = 0u64;
+            for i in (0..self.limbs.len()).rev() {
+                let cur = (rem << 32) | self.limbs[i] as u64;
+                q[i] = (cur / d) as u32;
+                rem = cur % d;
+            }
+            let mut quotient = BigUint { limbs: q };
+            quotient.normalize();
+            return (quotient, BigUint::from_u64(rem));
+        }
+        self.div_rem_knuth(divisor)
+    }
+
+    /// Knuth TAOCP vol. 2, Algorithm 4.3.1 D.
+    fn div_rem_knuth(&self, divisor: &BigUint) -> (BigUint, BigUint) {
+        const BASE: u64 = 1 << 32;
+        // Normalize so the top limb of the divisor has its high bit set.
+        let shift = divisor.limbs.last().unwrap().leading_zeros() as usize;
+        let v = divisor.shl(shift);
+        let mut u = self.shl(shift).limbs;
+        let n = v.limbs.len();
+        let m = u.len() - n;
+        u.push(0); // extra limb for the algorithm
+
+        let mut q = vec![0u32; m + 1];
+        let v_hi = v.limbs[n - 1] as u64;
+        let v_next = v.limbs[n - 2] as u64;
+
+        for j in (0..=m).rev() {
+            let u_top = (u[j + n] as u64) * BASE + u[j + n - 1] as u64;
+            let mut qhat = u_top / v_hi;
+            let mut rhat = u_top % v_hi;
+
+            // Correct qhat (at most twice).
+            while qhat >= BASE || qhat * v_next > rhat * BASE + u[j + n - 2] as u64 {
+                qhat -= 1;
+                rhat += v_hi;
+                if rhat >= BASE {
+                    break;
+                }
+            }
+
+            // Multiply and subtract: u[j..j+n+1] -= qhat * v.
+            let mut borrow = 0i64;
+            let mut carry = 0u64;
+            for i in 0..n {
+                let p = qhat * v.limbs[i] as u64 + carry;
+                carry = p >> 32;
+                let sub = (p & 0xFFFF_FFFF) as i64;
+                let mut diff = u[j + i] as i64 - sub - borrow;
+                if diff < 0 {
+                    diff += BASE as i64;
+                    borrow = 1;
+                } else {
+                    borrow = 0;
+                }
+                u[j + i] = diff as u32;
+            }
+            let mut diff = u[j + n] as i64 - carry as i64 - borrow;
+            if diff < 0 {
+                diff += BASE as i64;
+                borrow = 1;
+            } else {
+                borrow = 0;
+            }
+            u[j + n] = diff as u32;
+
+            if borrow != 0 {
+                // qhat was one too large: add back.
+                qhat -= 1;
+                let mut carry = 0u64;
+                for i in 0..n {
+                    let sum = u[j + i] as u64 + v.limbs[i] as u64 + carry;
+                    u[j + i] = (sum & 0xFFFF_FFFF) as u32;
+                    carry = sum >> 32;
+                }
+                u[j + n] = (u[j + n] as u64 + carry) as u32;
+            }
+            q[j] = qhat as u32;
+        }
+
+        let mut quotient = BigUint { limbs: q };
+        quotient.normalize();
+        let mut rem = BigUint {
+            limbs: u[..n].to_vec(),
+        };
+        rem.normalize();
+        (quotient, rem.shr(shift))
+    }
+
+    /// `self mod modulus`.
+    pub fn rem(&self, modulus: &BigUint) -> BigUint {
+        self.div_rem(modulus).1
+    }
+
+    /// Modular addition.
+    pub fn add_mod(&self, other: &BigUint, modulus: &BigUint) -> BigUint {
+        self.add(other).rem(modulus)
+    }
+
+    /// Modular multiplication.
+    pub fn mul_mod(&self, other: &BigUint, modulus: &BigUint) -> BigUint {
+        self.mul(other).rem(modulus)
+    }
+
+    /// Modular exponentiation via square-and-multiply.
+    pub fn mod_pow(&self, exponent: &BigUint, modulus: &BigUint) -> BigUint {
+        assert!(!modulus.is_zero(), "mod_pow with zero modulus");
+        if modulus.is_one() {
+            return BigUint::zero();
+        }
+        let mut result = BigUint::one();
+        let mut base = self.rem(modulus);
+        let bits = exponent.bits();
+        for i in 0..bits {
+            if exponent.bit(i) {
+                result = result.mul_mod(&base, modulus);
+            }
+            if i + 1 < bits {
+                base = base.mul_mod(&base, modulus);
+            }
+        }
+        result
+    }
+
+    /// Greatest common divisor (Euclid).
+    pub fn gcd(&self, other: &BigUint) -> BigUint {
+        let mut a = self.clone();
+        let mut b = other.clone();
+        while !b.is_zero() {
+            let r = a.rem(&b);
+            a = b;
+            b = r;
+        }
+        a
+    }
+
+    /// Modular inverse of `self` modulo `modulus`, if it exists.
+    ///
+    /// Uses the extended Euclidean algorithm with explicit sign tracking.
+    pub fn mod_inverse(&self, modulus: &BigUint) -> Option<BigUint> {
+        if modulus.is_zero() || self.is_zero() {
+            return None;
+        }
+        // (old_r, r), (old_s, s) where s coefficients carry a sign flag.
+        let mut old_r = self.rem(modulus);
+        let mut r = modulus.clone();
+        let mut old_s = (BigUint::one(), false); // (magnitude, negative?)
+        let mut s = (BigUint::zero(), false);
+
+        while !r.is_zero() {
+            let (q, rem) = old_r.div_rem(&r);
+            old_r = std::mem::replace(&mut r, rem);
+
+            // new_s = old_s - q * s  (signed)
+            let qs = q.mul(&s.0);
+            let new_s = signed_sub(&old_s, &(qs, s.1));
+            old_s = std::mem::replace(&mut s, new_s);
+        }
+
+        if !old_r.is_one() {
+            return None; // not coprime
+        }
+        // Reduce old_s into [0, modulus).
+        let (mag, neg) = old_s;
+        let mag = mag.rem(modulus);
+        if neg && !mag.is_zero() {
+            Some(modulus.sub(&mag))
+        } else {
+            Some(mag)
+        }
+    }
+
+    /// Generates a uniformly random value in `[0, bound)` (`bound > 0`).
+    pub fn random_below<R: Rng + ?Sized>(bound: &BigUint, rng: &mut R) -> BigUint {
+        assert!(!bound.is_zero(), "random_below with zero bound");
+        let bits = bound.bits();
+        loop {
+            let candidate = BigUint::random_bits(bits, rng);
+            if candidate.cmp_big(bound) == Ordering::Less {
+                return candidate;
+            }
+        }
+    }
+
+    /// Generates a random value with at most `bits` bits.
+    pub fn random_bits<R: Rng + ?Sized>(bits: usize, rng: &mut R) -> BigUint {
+        let limbs_needed = bits.div_ceil(32);
+        let mut limbs = Vec::with_capacity(limbs_needed);
+        for _ in 0..limbs_needed {
+            limbs.push(rng.gen::<u32>());
+        }
+        // Mask off excess bits in the top limb.
+        let excess = limbs_needed * 32 - bits;
+        if excess > 0 && !limbs.is_empty() {
+            let top = limbs.last_mut().unwrap();
+            *top &= u32::MAX >> excess;
+        }
+        let mut out = BigUint { limbs };
+        out.normalize();
+        out
+    }
+
+    /// Generates a random odd value with exactly `bits` bits (top bit set).
+    pub fn random_odd_with_bits<R: Rng + ?Sized>(bits: usize, rng: &mut R) -> BigUint {
+        assert!(bits >= 2);
+        let v = BigUint::random_bits(bits, rng);
+        // Force the top bit (exact width) and the bottom bit (odd).
+        let mut limbs = v.limbs;
+        let limb_idx = (bits - 1) / 32;
+        while limbs.len() <= limb_idx {
+            limbs.push(0);
+        }
+        limbs[limb_idx] |= 1 << ((bits - 1) % 32);
+        limbs[0] |= 1;
+        let mut out = BigUint { limbs };
+        out.normalize();
+        out
+    }
+
+    /// Miller–Rabin probabilistic primality test with `rounds` random bases.
+    pub fn is_probable_prime<R: Rng + ?Sized>(&self, rounds: usize, rng: &mut R) -> bool {
+        const SMALL_PRIMES: [u64; 15] = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47];
+        if self.is_zero() || self.is_one() {
+            return false;
+        }
+        for &p in &SMALL_PRIMES {
+            let pb = BigUint::from_u64(p);
+            match self.cmp_big(&pb) {
+                Ordering::Equal => return true,
+                Ordering::Less => return false,
+                Ordering::Greater => {
+                    if self.rem(&pb).is_zero() {
+                        return false;
+                    }
+                }
+            }
+        }
+        // Write self - 1 = d * 2^s with d odd.
+        let one = BigUint::one();
+        let two = BigUint::from_u64(2);
+        let n_minus_1 = self.sub(&one);
+        let mut d = n_minus_1.clone();
+        let mut s = 0usize;
+        while d.is_even() {
+            d = d.shr(1);
+            s += 1;
+        }
+
+        'witness: for _ in 0..rounds {
+            // Random base in [2, n-2].
+            let range = self.sub(&BigUint::from_u64(3));
+            let a = BigUint::random_below(&range, rng).add(&two);
+            let mut x = a.mod_pow(&d, self);
+            if x.is_one() || x == n_minus_1 {
+                continue 'witness;
+            }
+            for _ in 0..s - 1 {
+                x = x.mul_mod(&x, self);
+                if x == n_minus_1 {
+                    continue 'witness;
+                }
+            }
+            return false;
+        }
+        true
+    }
+
+    /// Generates a random probable prime with exactly `bits` bits.
+    pub fn gen_prime<R: Rng + ?Sized>(bits: usize, rng: &mut R) -> BigUint {
+        loop {
+            let candidate = BigUint::random_odd_with_bits(bits, rng);
+            if candidate.is_probable_prime(20, rng) {
+                return candidate;
+            }
+        }
+    }
+}
+
+/// Signed subtraction helper for the extended Euclidean algorithm:
+/// computes `a - b` where both operands are `(magnitude, negative?)` pairs.
+fn signed_sub(a: &(BigUint, bool), b: &(BigUint, bool)) -> (BigUint, bool) {
+    match (a.1, b.1) {
+        // a - b with both non-negative.
+        (false, false) => {
+            if a.0.cmp_big(&b.0) != Ordering::Less {
+                (a.0.sub(&b.0), false)
+            } else {
+                (b.0.sub(&a.0), true)
+            }
+        }
+        // a - (-b) = a + b
+        (false, true) => (a.0.add(&b.0), false),
+        // (-a) - b = -(a + b)
+        (true, false) => (a.0.add(&b.0), true),
+        // (-a) - (-b) = b - a
+        (true, true) => {
+            if b.0.cmp_big(&a.0) != Ordering::Less {
+                (b.0.sub(&a.0), false)
+            } else {
+                (a.0.sub(&b.0), true)
+            }
+        }
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp_big(other))
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.cmp_big(other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn big(v: u64) -> BigUint {
+        BigUint::from_u64(v)
+    }
+
+    #[test]
+    fn zero_and_one_basics() {
+        assert!(BigUint::zero().is_zero());
+        assert!(BigUint::one().is_one());
+        assert!(!BigUint::one().is_zero());
+        assert_eq!(BigUint::zero().bits(), 0);
+        assert_eq!(BigUint::one().bits(), 1);
+        assert_eq!(big(0x8000_0000).bits(), 32);
+        assert_eq!(big(0x1_0000_0000).bits(), 33);
+    }
+
+    #[test]
+    fn add_sub_round_trip_u64() {
+        let a = big(0xFFFF_FFFF_FFFF_0001);
+        let b = big(0x0000_0000_FFFF_FFFF);
+        let sum = a.add(&b);
+        assert_eq!(sum.sub(&b), a);
+        assert_eq!(sum.sub(&a), b);
+    }
+
+    #[test]
+    fn addition_carries_across_limbs() {
+        let a = big(u64::MAX);
+        let one = BigUint::one();
+        let sum = a.add(&one);
+        assert_eq!(sum.to_hex(), "10000000000000000");
+        assert_eq!(sum.bits(), 65);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn subtraction_underflow_panics() {
+        let _ = big(1).sub(&big(2));
+    }
+
+    #[test]
+    fn multiplication_matches_u128() {
+        let cases = [
+            (0u64, 0u64),
+            (1, u64::MAX),
+            (u64::MAX, u64::MAX),
+            (0xDEAD_BEEF, 0xFEED_FACE_CAFE_F00D),
+            (12345678901234567, 987654321),
+        ];
+        for (x, y) in cases {
+            let expected = (x as u128) * (y as u128);
+            let got = big(x).mul(&big(y));
+            assert_eq!(got.to_hex(), format!("{expected:x}"), "{x} * {y}");
+        }
+    }
+
+    #[test]
+    fn division_single_limb() {
+        let (q, r) = big(1_000_000_007).div_rem(&big(97));
+        assert_eq!(q.to_u64(), Some(1_000_000_007 / 97));
+        assert_eq!(r.to_u64(), Some(1_000_000_007 % 97));
+    }
+
+    #[test]
+    fn division_matches_u128() {
+        let cases: [(u128, u128); 6] = [
+            (u128::MAX, 3),
+            (u128::MAX, u64::MAX as u128),
+            (0xFFFF_FFFF_FFFF_FFFF_FFFF_FFFF, 0x1_0000_0001),
+            (98765432109876543210987654321, 12345678901234567),
+            (1 << 100, (1 << 50) + 1),
+            (340282366920938463463374607431768211455, 18446744073709551616),
+        ];
+        for (x, y) in cases {
+            let xb = BigUint::from_hex(&format!("{x:x}")).unwrap();
+            let yb = BigUint::from_hex(&format!("{y:x}")).unwrap();
+            let (q, r) = xb.div_rem(&yb);
+            assert_eq!(q.to_hex(), format!("{:x}", x / y), "{x} / {y}");
+            assert_eq!(r.to_hex(), format!("{:x}", x % y), "{x} % {y}");
+        }
+    }
+
+    #[test]
+    fn division_identity_holds_for_random_values() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..200 {
+            let a = BigUint::random_bits(256, &mut rng);
+            let mut b = BigUint::random_bits(128, &mut rng);
+            if b.is_zero() {
+                b = BigUint::one();
+            }
+            let (q, r) = a.div_rem(&b);
+            assert!(r.cmp_big(&b) == Ordering::Less);
+            assert_eq!(q.mul(&b).add(&r), a);
+        }
+    }
+
+    #[test]
+    fn shifts_are_inverse() {
+        let v = BigUint::from_hex("deadbeefcafebabe1234567890abcdef").unwrap();
+        for bits in [1usize, 7, 31, 32, 33, 64, 100] {
+            assert_eq!(v.shl(bits).shr(bits), v, "shift {bits}");
+        }
+        assert_eq!(v.shr(200), BigUint::zero());
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let v = BigUint::from_hex("0123456789abcdef00ff").unwrap();
+        let bytes = v.to_bytes_be();
+        assert_eq!(BigUint::from_bytes_be(&bytes), v);
+        let padded = v.to_bytes_be_padded(16).unwrap();
+        assert_eq!(padded.len(), 16);
+        assert_eq!(BigUint::from_bytes_be(&padded), v);
+        assert!(v.to_bytes_be_padded(2).is_none());
+    }
+
+    #[test]
+    fn hex_round_trip() {
+        for hex in ["1", "ff", "deadbeef", "123456789abcdef0123456789abcdef"] {
+            let v = BigUint::from_hex(hex).unwrap();
+            assert_eq!(v.to_hex(), hex);
+        }
+        assert!(BigUint::from_hex("xyz").is_none());
+        assert!(BigUint::from_hex("").is_none());
+    }
+
+    #[test]
+    fn mod_pow_small_cases() {
+        // 4^13 mod 497 = 445
+        assert_eq!(
+            big(4).mod_pow(&big(13), &big(497)).to_u64(),
+            Some(445)
+        );
+        // Fermat: a^(p-1) = 1 mod p
+        let p = big(1_000_000_007);
+        assert_eq!(
+            big(123456).mod_pow(&p.sub(&BigUint::one()), &p).to_u64(),
+            Some(1)
+        );
+        assert_eq!(big(5).mod_pow(&BigUint::zero(), &big(7)).to_u64(), Some(1));
+        assert_eq!(big(5).mod_pow(&big(100), &BigUint::one()).to_u64(), Some(0));
+    }
+
+    #[test]
+    fn mod_inverse_small_cases() {
+        let inv = big(3).mod_inverse(&big(11)).unwrap();
+        assert_eq!(inv.to_u64(), Some(4)); // 3*4 = 12 = 1 mod 11
+        let inv = big(17).mod_inverse(&big(3120)).unwrap();
+        assert_eq!(inv.to_u64(), Some(2753)); // classic RSA example
+        assert!(big(6).mod_inverse(&big(9)).is_none()); // gcd != 1
+    }
+
+    #[test]
+    fn mod_inverse_random_values_verify() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let modulus = BigUint::from_hex("ffffffffffffffffffffffffffffff61").unwrap(); // prime-ish
+        for _ in 0..50 {
+            let a = BigUint::random_below(&modulus, &mut rng);
+            if a.is_zero() || !a.gcd(&modulus).is_one() {
+                continue;
+            }
+            let inv = a.mod_inverse(&modulus).unwrap();
+            assert!(a.mul_mod(&inv, &modulus).is_one());
+        }
+    }
+
+    #[test]
+    fn gcd_cases() {
+        assert_eq!(big(48).gcd(&big(36)).to_u64(), Some(12));
+        assert_eq!(big(17).gcd(&big(31)).to_u64(), Some(1));
+        assert_eq!(big(0).gcd(&big(5)).to_u64(), Some(5));
+    }
+
+    #[test]
+    fn miller_rabin_classifies_known_values() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let primes = [2u64, 3, 5, 97, 7919, 1_000_000_007, 2_147_483_647];
+        for p in primes {
+            assert!(big(p).is_probable_prime(20, &mut rng), "{p} should be prime");
+        }
+        let composites = [1u64, 4, 100, 561, 1105, 1729, 1_000_000_009u64 * 3];
+        for c in composites {
+            assert!(
+                !big(c).is_probable_prime(20, &mut rng),
+                "{c} should be composite"
+            );
+        }
+    }
+
+    #[test]
+    fn gen_prime_produces_primes_of_requested_size() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let p = BigUint::gen_prime(64, &mut rng);
+        assert_eq!(p.bits(), 64);
+        assert!(p.is_probable_prime(20, &mut rng));
+        assert!(!p.is_even());
+    }
+
+    #[test]
+    fn random_below_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let bound = big(1000);
+        for _ in 0..100 {
+            let v = BigUint::random_below(&bound, &mut rng);
+            assert!(v.cmp_big(&bound) == Ordering::Less);
+        }
+    }
+
+    #[test]
+    fn ordering_implementation_matches_cmp_big() {
+        let a = big(5);
+        let b = big(7);
+        assert!(a < b);
+        assert!(b > a);
+        assert_eq!(a.cmp(&a), Ordering::Equal);
+    }
+}

@@ -1,0 +1,314 @@
+//! The 20-byte digest type and the XOR-aggregation algebra used by SAE.
+//!
+//! The paper fixes the digest size at 20 bytes (the output length of SHA-1,
+//! the hash provided by Crypto++ at the time). The SAE verification token is
+//! the XOR of the digests of every record in the query result:
+//!
+//! ```text
+//! VT = TS⊕ = t_i.h ⊕ t_{i+1}.h ⊕ … ⊕ t_j.h
+//! ```
+//!
+//! [`Digest`] implements that algebra directly (`^`, `^=`), and [`XorDigest`]
+//! is a tiny accumulator with the semantics of a set-XOR: folding the same
+//! digest in twice cancels it out, and the identity element is the all-zero
+//! digest.
+
+use std::fmt;
+use std::ops::{BitXor, BitXorAssign};
+
+/// Length of every digest in the system, in bytes (the paper uses 20-byte
+/// digests for both SAE and TOM).
+pub const DIGEST_LEN: usize = 20;
+
+/// A fixed-size 20-byte message digest.
+///
+/// `Digest` is the unit of authentication information everywhere in the
+/// repository: record digests stored by the trusted entity, per-entry digests
+/// inside the MB-Tree, XOR aggregates inside the XB-Tree and the verification
+/// token itself.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Digest(pub [u8; DIGEST_LEN]);
+
+impl Digest {
+    /// The all-zero digest — the identity element of the XOR algebra.
+    pub const ZERO: Digest = Digest([0u8; DIGEST_LEN]);
+
+    /// Creates a digest from a raw 20-byte array.
+    pub const fn new(bytes: [u8; DIGEST_LEN]) -> Self {
+        Digest(bytes)
+    }
+
+    /// Creates a digest from a byte slice.
+    ///
+    /// Returns `None` if the slice is not exactly [`DIGEST_LEN`] bytes long.
+    pub fn from_slice(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() != DIGEST_LEN {
+            return None;
+        }
+        let mut out = [0u8; DIGEST_LEN];
+        out.copy_from_slice(bytes);
+        Some(Digest(out))
+    }
+
+    /// Returns the raw bytes of the digest.
+    pub const fn as_bytes(&self) -> &[u8; DIGEST_LEN] {
+        &self.0
+    }
+
+    /// Returns `true` if this is the all-zero digest.
+    pub fn is_zero(&self) -> bool {
+        self.0.iter().all(|&b| b == 0)
+    }
+
+    /// XORs `other` into `self` in place.
+    pub fn xor_in_place(&mut self, other: &Digest) {
+        for (a, b) in self.0.iter_mut().zip(other.0.iter()) {
+            *a ^= *b;
+        }
+    }
+
+    /// Returns the lowercase hexadecimal representation of the digest.
+    pub fn to_hex(&self) -> String {
+        let mut s = String::with_capacity(DIGEST_LEN * 2);
+        for b in &self.0 {
+            s.push(char::from_digit((b >> 4) as u32, 16).expect("nibble < 16"));
+            s.push(char::from_digit((b & 0xf) as u32, 16).expect("nibble < 16"));
+        }
+        s
+    }
+
+    /// Parses a digest from a 40-character hexadecimal string.
+    pub fn from_hex(hex: &str) -> Option<Self> {
+        let hex = hex.trim();
+        if hex.len() != DIGEST_LEN * 2 {
+            return None;
+        }
+        let mut out = [0u8; DIGEST_LEN];
+        let bytes = hex.as_bytes();
+        for (i, chunk) in bytes.chunks_exact(2).enumerate() {
+            let hi = (chunk[0] as char).to_digit(16)?;
+            let lo = (chunk[1] as char).to_digit(16)?;
+            out[i] = ((hi << 4) | lo) as u8;
+        }
+        Some(Digest(out))
+    }
+}
+
+impl Default for Digest {
+    fn default() -> Self {
+        Digest::ZERO
+    }
+}
+
+impl fmt::Debug for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Digest({})", self.to_hex())
+    }
+}
+
+impl fmt::Display for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+impl BitXor for Digest {
+    type Output = Digest;
+
+    fn bitxor(self, rhs: Digest) -> Digest {
+        let mut out = self;
+        out.xor_in_place(&rhs);
+        out
+    }
+}
+
+impl BitXorAssign for Digest {
+    fn bitxor_assign(&mut self, rhs: Digest) {
+        self.xor_in_place(&rhs);
+    }
+}
+
+impl AsRef<[u8]> for Digest {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<[u8; DIGEST_LEN]> for Digest {
+    fn from(bytes: [u8; DIGEST_LEN]) -> Self {
+        Digest(bytes)
+    }
+}
+
+/// Accumulator computing the XOR of a stream of digests (`S⊕` in the paper).
+///
+/// The accumulator starts at [`Digest::ZERO`]; folding the digests of a set of
+/// records in any order — or folding two accumulators together — yields the
+/// set-XOR of the digests. Folding the same digest twice cancels it, mirroring
+/// the algebra the paper relies on for its security argument
+/// (`DS⊕ = IS⊕` must be computationally infeasible to engineer).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct XorDigest {
+    acc: Digest,
+}
+
+impl XorDigest {
+    /// Creates an empty accumulator (identity element).
+    pub fn new() -> Self {
+        XorDigest { acc: Digest::ZERO }
+    }
+
+    /// Creates an accumulator seeded with a single digest.
+    pub fn from_digest(d: Digest) -> Self {
+        XorDigest { acc: d }
+    }
+
+    /// Folds one digest into the accumulator.
+    pub fn fold(&mut self, d: &Digest) {
+        self.acc.xor_in_place(d);
+    }
+
+    /// Folds another accumulator into this one.
+    pub fn merge(&mut self, other: &XorDigest) {
+        self.acc.xor_in_place(&other.acc);
+    }
+
+    /// Returns the accumulated XOR value.
+    pub fn value(&self) -> Digest {
+        self.acc
+    }
+
+    /// Returns `true` if the accumulator is the identity (all zero).
+    pub fn is_identity(&self) -> bool {
+        self.acc.is_zero()
+    }
+
+    /// Computes the XOR of an iterator of digests.
+    pub fn of<'a, I: IntoIterator<Item = &'a Digest>>(iter: I) -> Digest {
+        let mut acc = XorDigest::new();
+        for d in iter {
+            acc.fold(d);
+        }
+        acc.value()
+    }
+}
+
+impl FromIterator<Digest> for XorDigest {
+    fn from_iter<T: IntoIterator<Item = Digest>>(iter: T) -> Self {
+        let mut acc = XorDigest::new();
+        for d in iter {
+            acc.fold(&d);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(byte: u8) -> Digest {
+        Digest([byte; DIGEST_LEN])
+    }
+
+    #[test]
+    fn zero_is_identity() {
+        let a = d(0xAB);
+        assert_eq!(a ^ Digest::ZERO, a);
+        assert_eq!(Digest::ZERO ^ a, a);
+        assert!(Digest::ZERO.is_zero());
+        assert!(!a.is_zero());
+    }
+
+    #[test]
+    fn xor_is_self_inverse() {
+        let a = d(0x5C);
+        assert_eq!(a ^ a, Digest::ZERO);
+    }
+
+    #[test]
+    fn xor_is_commutative_and_associative() {
+        let a = d(0x11);
+        let b = d(0x22);
+        let c = d(0x44);
+        assert_eq!(a ^ b, b ^ a);
+        assert_eq!((a ^ b) ^ c, a ^ (b ^ c));
+    }
+
+    #[test]
+    fn xor_assign_matches_xor() {
+        let a = d(0x0F);
+        let b = d(0xF0);
+        let mut c = a;
+        c ^= b;
+        assert_eq!(c, a ^ b);
+        assert_eq!(c, d(0xFF));
+    }
+
+    #[test]
+    fn hex_round_trip() {
+        let mut bytes = [0u8; DIGEST_LEN];
+        for (i, b) in bytes.iter_mut().enumerate() {
+            *b = (i as u8).wrapping_mul(13).wrapping_add(7);
+        }
+        let digest = Digest(bytes);
+        let hex = digest.to_hex();
+        assert_eq!(hex.len(), 40);
+        assert_eq!(Digest::from_hex(&hex), Some(digest));
+    }
+
+    #[test]
+    fn from_hex_rejects_bad_input() {
+        assert_eq!(Digest::from_hex("abcd"), None);
+        assert_eq!(Digest::from_hex(&"zz".repeat(DIGEST_LEN)), None);
+    }
+
+    #[test]
+    fn from_slice_checks_length() {
+        assert!(Digest::from_slice(&[0u8; DIGEST_LEN]).is_some());
+        assert!(Digest::from_slice(&[0u8; DIGEST_LEN - 1]).is_none());
+        assert!(Digest::from_slice(&[0u8; DIGEST_LEN + 1]).is_none());
+    }
+
+    #[test]
+    fn accumulator_matches_manual_fold() {
+        let digests = vec![d(1), d(2), d(4), d(8)];
+        let acc: XorDigest = digests.iter().copied().collect();
+        assert_eq!(acc.value(), d(1 ^ 2 ^ 4 ^ 8));
+        assert_eq!(XorDigest::of(digests.iter()), d(15));
+    }
+
+    #[test]
+    fn accumulator_double_fold_cancels() {
+        let mut acc = XorDigest::new();
+        acc.fold(&d(0x77));
+        acc.fold(&d(0x77));
+        assert!(acc.is_identity());
+    }
+
+    #[test]
+    fn accumulator_merge_equals_union_fold() {
+        let left: XorDigest = [d(1), d(2)].into_iter().collect();
+        let right: XorDigest = [d(3), d(9)].into_iter().collect();
+        let mut merged = left;
+        merged.merge(&right);
+        let all: XorDigest = [d(1), d(2), d(3), d(9)].into_iter().collect();
+        assert_eq!(merged, all);
+    }
+
+    #[test]
+    fn display_and_debug_show_hex() {
+        let digest = d(0xAB);
+        assert_eq!(format!("{digest}"), "ab".repeat(DIGEST_LEN));
+        assert!(format!("{digest:?}").contains(&"ab".repeat(DIGEST_LEN)));
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let mut lo = [0u8; DIGEST_LEN];
+        let mut hi = [0u8; DIGEST_LEN];
+        lo[0] = 1;
+        hi[0] = 2;
+        assert!(Digest(lo) < Digest(hi));
+    }
+}

@@ -1,0 +1,220 @@
+//! SHA-1 implemented from FIPS 180-4.
+//!
+//! SHA-1 produces exactly the 20-byte digests the paper's experiments assume
+//! ("A digest consumes 20 bytes for both SAE and TOM"). The implementation is
+//! a straightforward streaming Merkle–Damgård construction; it is *not*
+//! intended to resist modern collision attacks, but it plays the same
+//! structural role (one-way, collision-resistant in the paper's threat model)
+//! and its cost profile matches what the original evaluation measured.
+
+use crate::digest::{Digest, DIGEST_LEN};
+
+const BLOCK_LEN: usize = 64;
+const H0: [u32; 5] = [0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0];
+
+/// Incremental SHA-1 hasher.
+#[derive(Clone)]
+pub struct Sha1 {
+    state: [u32; 5],
+    buffer: [u8; BLOCK_LEN],
+    buffer_len: usize,
+    total_len: u64,
+}
+
+impl Default for Sha1 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha1 {
+    /// Creates a fresh hasher.
+    pub fn new() -> Self {
+        Sha1 {
+            state: H0,
+            buffer: [0u8; BLOCK_LEN],
+            buffer_len: 0,
+            total_len: 0,
+        }
+    }
+
+    /// Absorbs `data` into the hash state.
+    pub fn update(&mut self, data: &[u8]) {
+        self.total_len = self.total_len.wrapping_add(data.len() as u64);
+        let mut input = data;
+
+        if self.buffer_len > 0 {
+            let want = BLOCK_LEN - self.buffer_len;
+            let take = want.min(input.len());
+            self.buffer[self.buffer_len..self.buffer_len + take].copy_from_slice(&input[..take]);
+            self.buffer_len += take;
+            input = &input[take..];
+            if self.buffer_len == BLOCK_LEN {
+                let block = self.buffer;
+                self.compress(&block);
+                self.buffer_len = 0;
+            }
+        }
+
+        let mut chunks = input.chunks_exact(BLOCK_LEN);
+        for block in &mut chunks {
+            let mut b = [0u8; BLOCK_LEN];
+            b.copy_from_slice(block);
+            self.compress(&b);
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            self.buffer[..rest.len()].copy_from_slice(rest);
+            self.buffer_len = rest.len();
+        }
+    }
+
+    /// Finalizes the hash and returns the 20-byte digest.
+    pub fn finalize(mut self) -> Digest {
+        let bit_len = self.total_len.wrapping_mul(8);
+        // Append 0x80 then zero padding, then the 64-bit big-endian length.
+        self.update_padding(0x80);
+        while self.buffer_len != 56 {
+            self.update_padding(0x00);
+        }
+        let len_bytes = bit_len.to_be_bytes();
+        for b in len_bytes {
+            self.update_padding(b);
+        }
+        debug_assert_eq!(self.buffer_len, 0);
+
+        let mut out = [0u8; DIGEST_LEN];
+        for (i, word) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        Digest::new(out)
+    }
+
+    /// One-shot convenience: hash `data` and return the digest.
+    pub fn digest(data: &[u8]) -> Digest {
+        let mut h = Sha1::new();
+        h.update(data);
+        h.finalize()
+    }
+
+    fn update_padding(&mut self, byte: u8) {
+        self.buffer[self.buffer_len] = byte;
+        self.buffer_len += 1;
+        if self.buffer_len == BLOCK_LEN {
+            let block = self.buffer;
+            self.compress(&block);
+            self.buffer_len = 0;
+        }
+    }
+
+    fn compress(&mut self, block: &[u8; BLOCK_LEN]) {
+        let mut w = [0u32; 80];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        for i in 16..80 {
+            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+        }
+
+        let [mut a, mut b, mut c, mut d, mut e] = self.state;
+
+        for (i, &wi) in w.iter().enumerate() {
+            let (f, k) = match i {
+                0..=19 => ((b & c) | ((!b) & d), 0x5A827999u32),
+                20..=39 => (b ^ c ^ d, 0x6ED9EBA1),
+                40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1BBCDC),
+                _ => (b ^ c ^ d, 0xCA62C1D6),
+            };
+            let temp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wi);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = temp;
+        }
+
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(data: &[u8]) -> String {
+        Sha1::digest(data).to_hex()
+    }
+
+    #[test]
+    fn empty_string() {
+        assert_eq!(hex(b""), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+    }
+
+    #[test]
+    fn abc() {
+        assert_eq!(hex(b"abc"), "a9993e364706816aba3e25717850c26c9cd0d89d");
+    }
+
+    #[test]
+    fn two_block_message() {
+        assert_eq!(
+            hex(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+        );
+    }
+
+    #[test]
+    fn quick_brown_fox() {
+        assert_eq!(
+            hex(b"The quick brown fox jumps over the lazy dog"),
+            "2fd4e1c67a2d28fced849ee1bb76e7391b93eb12"
+        );
+    }
+
+    #[test]
+    fn million_a() {
+        let data = vec![b'a'; 1_000_000];
+        assert_eq!(hex(&data), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let data: Vec<u8> = (0..1000u32).flat_map(|i| i.to_le_bytes()).collect();
+        let one_shot = Sha1::digest(&data);
+        for chunk_size in [1usize, 3, 17, 63, 64, 65, 200] {
+            let mut h = Sha1::new();
+            for chunk in data.chunks(chunk_size) {
+                h.update(chunk);
+            }
+            assert_eq!(h.finalize(), one_shot, "chunk size {chunk_size}");
+        }
+    }
+
+    #[test]
+    fn boundary_lengths_are_consistent() {
+        // Exercise all padding branches: lengths around the 56/64-byte
+        // boundaries must produce distinct, deterministic digests.
+        let mut seen = std::collections::HashSet::new();
+        for len in 50..=70usize {
+            let data = vec![0x42u8; len];
+            let d1 = Sha1::digest(&data);
+            let d2 = Sha1::digest(&data);
+            assert_eq!(d1, d2);
+            assert!(seen.insert(d1), "collision for length {len}");
+        }
+    }
+
+    #[test]
+    fn different_inputs_give_different_digests() {
+        assert_ne!(Sha1::digest(b"record-1"), Sha1::digest(b"record-2"));
+    }
+}

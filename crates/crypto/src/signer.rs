@@ -1,0 +1,203 @@
+//! The signature abstraction used by the outsourcing models.
+//!
+//! In TOM the data owner signs the MB-Tree root digest; the service provider
+//! forwards the signature inside every verification object and clients verify
+//! it against the owner's public key. The outsourcing code programs against
+//! [`Signer`] / [`Verifier`] so the concrete scheme can be swapped:
+//!
+//! * [`RsaSigner`] — the textbook RSA implementation from [`crate::rsa`],
+//!   mirroring the paper's Crypto++ RSA setup (signature size = modulus size).
+//! * [`MacSigner`] — an HMAC-based symmetric stand-in for unit tests where
+//!   millisecond-level key generation matters more than the public-key trust
+//!   model (tag size = 20 bytes).
+
+use crate::digest::Digest;
+use crate::hash::HashAlgorithm;
+use crate::hmac::HmacKey;
+use crate::rsa::{RsaKeyPair, RsaPublicKey, RsaSignature};
+use rand::Rng;
+
+/// An opaque signature as transmitted inside a verification object.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SignatureBytes(pub Vec<u8>);
+
+impl SignatureBytes {
+    /// Signature size in bytes (contributes to the VO communication cost).
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the signature is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+/// Something that can sign a 20-byte digest (the data owner's role).
+pub trait Signer {
+    /// Signs a digest.
+    fn sign(&self, digest: &Digest) -> SignatureBytes;
+}
+
+/// Something that can verify a signature over a digest (the client's role).
+pub trait Verifier {
+    /// Verifies `signature` over `digest`.
+    fn verify(&self, digest: &Digest, signature: &SignatureBytes) -> bool;
+}
+
+/// RSA-backed signer/verifier pair.
+#[derive(Clone, Debug)]
+pub struct RsaSigner {
+    key_pair: RsaKeyPair,
+}
+
+impl RsaSigner {
+    /// Creates a signer from an existing key pair.
+    pub fn new(key_pair: RsaKeyPair) -> Self {
+        RsaSigner { key_pair }
+    }
+
+    /// Generates a fresh key pair of `bits` bits.
+    pub fn generate<R: Rng + ?Sized>(bits: usize, rng: &mut R) -> Self {
+        RsaSigner {
+            key_pair: RsaKeyPair::generate(bits, rng),
+        }
+    }
+
+    /// Fast deterministic signer for tests (512-bit key).
+    pub fn insecure_test_signer() -> Self {
+        RsaSigner {
+            key_pair: RsaKeyPair::insecure_test_key(),
+        }
+    }
+
+    /// The public key clients use for verification.
+    pub fn public_key(&self) -> RsaPublicKey {
+        self.key_pair.public.clone()
+    }
+
+    /// The verifier half (what the data owner publishes).
+    pub fn verifier(&self) -> RsaVerifier {
+        RsaVerifier {
+            public: self.key_pair.public.clone(),
+        }
+    }
+
+    /// Signature size in bytes.
+    pub fn signature_len(&self) -> usize {
+        self.key_pair.modulus_len()
+    }
+}
+
+impl Signer for RsaSigner {
+    fn sign(&self, digest: &Digest) -> SignatureBytes {
+        SignatureBytes(self.key_pair.private.sign(digest).as_bytes().to_vec())
+    }
+}
+
+/// RSA verifier holding only the public key.
+#[derive(Clone, Debug)]
+pub struct RsaVerifier {
+    public: RsaPublicKey,
+}
+
+impl Verifier for RsaVerifier {
+    fn verify(&self, digest: &Digest, signature: &SignatureBytes) -> bool {
+        self.public
+            .verify(digest, &RsaSignature::from_bytes(signature.0.clone()))
+    }
+}
+
+impl Verifier for RsaSigner {
+    fn verify(&self, digest: &Digest, signature: &SignatureBytes) -> bool {
+        self.verifier().verify(digest, signature)
+    }
+}
+
+/// HMAC-backed symmetric signer (verification requires the same key).
+#[derive(Clone, Debug)]
+pub struct MacSigner {
+    key: HmacKey,
+}
+
+impl MacSigner {
+    /// Creates a MAC signer from key material.
+    pub fn new(key: impl Into<Vec<u8>>) -> Self {
+        MacSigner {
+            key: HmacKey::new(HashAlgorithm::Sha1, key),
+        }
+    }
+
+    /// Tag size in bytes.
+    pub fn signature_len(&self) -> usize {
+        crate::digest::DIGEST_LEN
+    }
+}
+
+impl Signer for MacSigner {
+    fn sign(&self, digest: &Digest) -> SignatureBytes {
+        SignatureBytes(self.key.tag(digest.as_bytes()).as_bytes().to_vec())
+    }
+}
+
+impl Verifier for MacSigner {
+    fn verify(&self, digest: &Digest, signature: &SignatureBytes) -> bool {
+        let Some(tag) = Digest::from_slice(&signature.0) else {
+            return false;
+        };
+        self.key.verify(digest.as_bytes(), &tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::hash_bytes;
+
+    #[test]
+    fn rsa_signer_round_trip_through_trait_objects() {
+        let signer = RsaSigner::insecure_test_signer();
+        let verifier = signer.verifier();
+        let digest = hash_bytes(b"root digest");
+        let signer_dyn: &dyn Signer = &signer;
+        let verifier_dyn: &dyn Verifier = &verifier;
+        let sig = signer_dyn.sign(&digest);
+        assert!(verifier_dyn.verify(&digest, &sig));
+        assert!(!verifier_dyn.verify(&hash_bytes(b"other"), &sig));
+    }
+
+    #[test]
+    fn rsa_signature_len_matches_modulus() {
+        let signer = RsaSigner::insecure_test_signer();
+        let sig = signer.sign(&hash_bytes(b"x"));
+        assert_eq!(sig.len(), signer.signature_len());
+        assert_eq!(sig.len(), 64); // 512-bit test key
+    }
+
+    #[test]
+    fn mac_signer_round_trip() {
+        let signer = MacSigner::new(b"do-te shared secret".to_vec());
+        let digest = hash_bytes(b"root");
+        let sig = signer.sign(&digest);
+        assert_eq!(sig.len(), 20);
+        assert!(signer.verify(&digest, &sig));
+        assert!(!signer.verify(&hash_bytes(b"not root"), &sig));
+    }
+
+    #[test]
+    fn mac_signer_rejects_garbage_signature() {
+        let signer = MacSigner::new(b"key".to_vec());
+        let digest = hash_bytes(b"root");
+        assert!(!signer.verify(&digest, &SignatureBytes(vec![1, 2, 3])));
+        assert!(!signer.verify(&digest, &SignatureBytes(vec![0u8; 20])));
+    }
+
+    #[test]
+    fn different_mac_keys_do_not_cross_verify() {
+        let a = MacSigner::new(b"key-a".to_vec());
+        let b = MacSigner::new(b"key-b".to_vec());
+        let digest = hash_bytes(b"root");
+        let sig = a.sign(&digest);
+        assert!(!b.verify(&digest, &sig));
+    }
+}

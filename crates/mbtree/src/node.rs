@@ -1,0 +1,274 @@
+//! On-page node layout for the MB-Tree.
+//!
+//! Both node kinds use a *min-key* layout: every entry describes one child (or
+//! one record) together with its authentication digest, and carries the
+//! minimum key of the subtree (or the record key). Compared to the plain
+//! B⁺-Tree's 12-byte entries, every MB-Tree entry additionally stores a
+//! 20-byte digest, which cuts the fanout from 340 to 127 — exactly the
+//! structural penalty the paper attributes TOM's higher SP cost to.
+//!
+//! ```text
+//! leaf:      [type:1][pad:1][count:2][next_leaf:8] [ (key:4, rid:8, digest:20) * count ]
+//! internal:  [type:1][pad:1][count:2][pad:8]       [ (key:4, child:8, digest:20) * count ]
+//! ```
+
+use sae_crypto::{Digest, DIGEST_LEN};
+use sae_storage::{Page, PageId, PAGE_SIZE};
+use sae_workload::RecordKey;
+
+const HEADER_LEN: usize = 12;
+/// Size of one entry (key + pointer + digest) for both node kinds.
+const ENTRY_LEN: usize = 4 + 8 + DIGEST_LEN;
+
+/// Maximum number of entries in a leaf node.
+pub const MB_LEAF_CAPACITY: usize = (PAGE_SIZE - HEADER_LEN) / ENTRY_LEN;
+/// Maximum number of entries in an internal node.
+pub const MB_INTERNAL_CAPACITY: usize = (PAGE_SIZE - HEADER_LEN) / ENTRY_LEN;
+
+/// Node kind.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MbNodeKind {
+    /// Leaf: entries are `(record key, record id, record digest)`.
+    Leaf,
+    /// Internal: entries are `(subtree min key, child page, child-page digest)`.
+    Internal,
+}
+
+/// One decoded entry of an MB-Tree node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MbEntry {
+    /// Record key (leaf) or minimum key of the child subtree (internal).
+    pub key: RecordKey,
+    /// Record id (leaf) or child page id (internal; stored as the raw u64).
+    pub ptr: u64,
+    /// Record digest (leaf) or digest over the child page's digests (internal).
+    pub digest: Digest,
+}
+
+impl MbEntry {
+    /// The entry's pointer interpreted as a child page id.
+    pub fn child(&self) -> PageId {
+        PageId(self.ptr)
+    }
+}
+
+/// An in-memory, decoded MB-Tree node.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MbNode {
+    /// Leaf or internal.
+    pub kind: MbNodeKind,
+    /// Leaf only: next leaf in key order ([`PageId::INVALID`] if last).
+    pub next_leaf: PageId,
+    /// The entries, sorted by `(key, ptr)`.
+    pub entries: Vec<MbEntry>,
+}
+
+impl MbNode {
+    /// Creates an empty leaf.
+    pub fn new_leaf() -> Self {
+        MbNode {
+            kind: MbNodeKind::Leaf,
+            next_leaf: PageId::INVALID,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Creates an empty internal node.
+    pub fn new_internal() -> Self {
+        MbNode {
+            kind: MbNodeKind::Internal,
+            next_leaf: PageId::INVALID,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the node has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether the node is at capacity.
+    pub fn is_full(&self) -> bool {
+        match self.kind {
+            MbNodeKind::Leaf => self.entries.len() >= MB_LEAF_CAPACITY,
+            MbNodeKind::Internal => self.entries.len() >= MB_INTERNAL_CAPACITY,
+        }
+    }
+
+    /// Minimum key of this node (panics on an empty node).
+    pub fn min_key(&self) -> RecordKey {
+        self.entries[0].key
+    }
+
+    /// The digest associated with this page: the hash of the concatenation of
+    /// the digests stored in it (the quantity the parent entry carries, and —
+    /// for the root — the quantity the data owner signs).
+    pub fn page_digest(&self, alg: sae_crypto::HashAlgorithm) -> Digest {
+        alg.hash_concat(self.entries.iter().map(|e| e.digest.as_bytes().as_slice()))
+    }
+
+    /// Child index to descend into when searching for the first occurrence of
+    /// `key`: the first child whose subtree may contain `key`.
+    ///
+    /// Because duplicates may straddle a split, a subtree can hold keys equal
+    /// to the *next* child's minimum key, so the correct starting child is the
+    /// one preceding the first child whose minimum is `>= key`.
+    pub fn child_index_for_lower_bound(&self, key: RecordKey) -> usize {
+        debug_assert_eq!(self.kind, MbNodeKind::Internal);
+        let idx = self.entries.partition_point(|e| e.key < key);
+        idx.saturating_sub(1)
+    }
+
+    /// Serializes the node into a page.
+    pub fn to_page(&self) -> Page {
+        let mut page = Page::new();
+        page.write_u8(0, if self.kind == MbNodeKind::Leaf { 0 } else { 1 });
+        page.write_u16(2, self.entries.len() as u16);
+        page.write_page_id(4, self.next_leaf);
+        let mut off = HEADER_LEN;
+        for e in &self.entries {
+            page.write_u32(off, e.key);
+            page.write_u64(off + 4, e.ptr);
+            page.write_bytes(off + 12, e.digest.as_bytes());
+            off += ENTRY_LEN;
+        }
+        page
+    }
+
+    /// Decodes a node from a page.
+    pub fn from_page(page: &Page) -> Self {
+        let kind = if page.read_u8(0) == 0 {
+            MbNodeKind::Leaf
+        } else {
+            MbNodeKind::Internal
+        };
+        let count = page.read_u16(2) as usize;
+        let next_leaf = page.read_page_id(4);
+        let mut entries = Vec::with_capacity(count);
+        let mut off = HEADER_LEN;
+        for _ in 0..count {
+            let key = page.read_u32(off);
+            let ptr = page.read_u64(off + 4);
+            let digest = Digest::from_slice(page.read_bytes(off + 12, DIGEST_LEN))
+                .expect("digest length is fixed");
+            entries.push(MbEntry { key, ptr, digest });
+            off += ENTRY_LEN;
+        }
+        MbNode {
+            kind,
+            next_leaf,
+            entries,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sae_crypto::HashAlgorithm;
+
+    fn digest(tag: u8) -> Digest {
+        Digest::new([tag; DIGEST_LEN])
+    }
+
+    #[test]
+    fn capacity_reflects_digest_overhead() {
+        assert_eq!(MB_LEAF_CAPACITY, 127);
+        assert_eq!(MB_INTERNAL_CAPACITY, 127);
+        // The MB-Tree fanout is roughly a third of the plain B+-Tree's 340
+        // (see sae-btree), as the paper's Figure 6 discussion assumes.
+        assert!(MB_INTERNAL_CAPACITY < 340 / 2);
+    }
+
+    #[test]
+    fn leaf_round_trip() {
+        let mut node = MbNode::new_leaf();
+        node.next_leaf = PageId(9);
+        for i in 0..5u64 {
+            node.entries.push(MbEntry {
+                key: i as u32,
+                ptr: i + 100,
+                digest: digest(i as u8),
+            });
+        }
+        let decoded = MbNode::from_page(&node.to_page());
+        assert_eq!(decoded, node);
+        assert_eq!(decoded.min_key(), 0);
+    }
+
+    #[test]
+    fn internal_round_trip_and_descent() {
+        let mut node = MbNode::new_internal();
+        for (i, key) in [10u32, 20, 20, 30].iter().enumerate() {
+            node.entries.push(MbEntry {
+                key: *key,
+                ptr: i as u64,
+                digest: digest(i as u8),
+            });
+        }
+        let decoded = MbNode::from_page(&node.to_page());
+        assert_eq!(decoded, node);
+        assert_eq!(decoded.entries[2].child(), PageId(2));
+        // Lower-bound descent: first child whose subtree may contain the key
+        // (duplicates may be equal to the next child's minimum).
+        assert_eq!(node.child_index_for_lower_bound(5), 0);
+        assert_eq!(node.child_index_for_lower_bound(10), 0);
+        assert_eq!(node.child_index_for_lower_bound(19), 0);
+        assert_eq!(node.child_index_for_lower_bound(20), 0);
+        assert_eq!(node.child_index_for_lower_bound(25), 2);
+        assert_eq!(node.child_index_for_lower_bound(99), 3);
+    }
+
+    #[test]
+    fn page_digest_is_hash_of_concatenated_digests() {
+        let mut node = MbNode::new_leaf();
+        node.entries.push(MbEntry {
+            key: 1,
+            ptr: 1,
+            digest: digest(0xAA),
+        });
+        node.entries.push(MbEntry {
+            key: 2,
+            ptr: 2,
+            digest: digest(0xBB),
+        });
+        let alg = HashAlgorithm::Sha1;
+        let mut concat = Vec::new();
+        concat.extend_from_slice(digest(0xAA).as_bytes());
+        concat.extend_from_slice(digest(0xBB).as_bytes());
+        assert_eq!(node.page_digest(alg), alg.hash(&concat));
+    }
+
+    #[test]
+    fn page_digest_changes_with_entry_order_and_content() {
+        let alg = HashAlgorithm::Sha1;
+        let mut a = MbNode::new_leaf();
+        a.entries.push(MbEntry { key: 1, ptr: 1, digest: digest(1) });
+        a.entries.push(MbEntry { key: 2, ptr: 2, digest: digest(2) });
+        let mut b = a.clone();
+        b.entries.swap(0, 1);
+        assert_ne!(a.page_digest(alg), b.page_digest(alg));
+        let mut c = a.clone();
+        c.entries[0].digest = digest(9);
+        assert_ne!(a.page_digest(alg), c.page_digest(alg));
+    }
+
+    #[test]
+    fn full_node_round_trip() {
+        let mut node = MbNode::new_internal();
+        for i in 0..MB_INTERNAL_CAPACITY as u64 {
+            node.entries.push(MbEntry {
+                key: i as u32,
+                ptr: i,
+                digest: digest((i % 251) as u8),
+            });
+        }
+        assert!(node.is_full());
+        assert_eq!(MbNode::from_page(&node.to_page()), node);
+    }
+}

@@ -1,0 +1,571 @@
+//! Verification objects (VOs) and their client-side verification.
+//!
+//! A [`VerificationObject`] is the authentication payload the SP attaches to a
+//! query result under TOM. It is a pre-order token stream of the part of the
+//! MB-Tree the query touches:
+//!
+//! * [`VoItem::NodeBegin`] / [`VoItem::NodeEnd`] delimit one tree page;
+//! * [`VoItem::Digest`] stands for a pruned sibling entry (its stored digest);
+//! * [`VoItem::BoundaryRecord`] carries the full binary encoding of one of the
+//!   two boundary records that enclose the result (the paper's `r_{i-1}`,
+//!   `r_{j+1}`);
+//! * [`VoItem::ResultRun`] says "the next *n* records of the result go here" —
+//!   the records themselves travel in the result set, not in the VO.
+//!
+//! The client replays the stream, hashing result and boundary records and
+//! recombining digests bottom-up, to re-construct the root digest, then checks
+//! the data owner's signature over it ([`VerificationObject::verify`]).
+//! Soundness follows from collision resistance; completeness from the boundary
+//! records plus the structural rule that no pruned digest may appear between
+//! the boundaries (any hidden result record would have to surface as exactly
+//! such a digest, or break the root digest).
+
+use sae_crypto::signer::{SignatureBytes, Verifier};
+use sae_crypto::{Digest, HashAlgorithm, DIGEST_LEN};
+use sae_workload::{RangeQuery, Record};
+
+/// One token of the VO stream.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VoItem {
+    /// Start of a tree page.
+    NodeBegin,
+    /// End of a tree page.
+    NodeEnd,
+    /// Digest of a pruned entry (sibling subtree or non-qualifying record).
+    Digest(Digest),
+    /// Full binary encoding of a boundary record.
+    BoundaryRecord(Vec<u8>),
+    /// The next `n` result records (taken from the result set) belong here.
+    ResultRun(u32),
+}
+
+impl VoItem {
+    /// Size of this item on the wire, in bytes (1 tag byte plus payload).
+    pub fn wire_size(&self) -> usize {
+        match self {
+            VoItem::NodeBegin | VoItem::NodeEnd => 1,
+            VoItem::Digest(_) => 1 + DIGEST_LEN,
+            VoItem::BoundaryRecord(bytes) => 1 + 4 + bytes.len(),
+            VoItem::ResultRun(_) => 1 + 4,
+        }
+    }
+}
+
+/// Errors reported by client-side VO verification.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VerifyError {
+    /// The VO token stream is structurally malformed.
+    Malformed(&'static str),
+    /// A result record could not be decoded.
+    BadRecordEncoding,
+    /// A result record's key falls outside the query range.
+    ResultOutOfRange,
+    /// Result records are not sorted by `(key, id)`.
+    ResultNotSorted,
+    /// The number of result records does not match the VO's result runs.
+    ResultCountMismatch {
+        /// Records the VO accounts for.
+        expected: usize,
+        /// Records actually supplied.
+        actual: usize,
+    },
+    /// A boundary record's key lies inside the query range.
+    BoundaryInRange,
+    /// More than one boundary record on one side of the result.
+    TooManyBoundaries,
+    /// A pruned digest appears between the boundary records, i.e. inside the
+    /// region that must be fully covered by the result (completeness attack).
+    CompletenessGap,
+    /// The reconstructed root digest does not verify against the signature.
+    SignatureMismatch,
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerifyError::Malformed(what) => write!(f, "malformed VO: {what}"),
+            VerifyError::BadRecordEncoding => write!(f, "result record failed to decode"),
+            VerifyError::ResultOutOfRange => write!(f, "result record outside the query range"),
+            VerifyError::ResultNotSorted => write!(f, "result records not sorted by (key, id)"),
+            VerifyError::ResultCountMismatch { expected, actual } => write!(
+                f,
+                "result count mismatch: VO covers {expected} records, got {actual}"
+            ),
+            VerifyError::BoundaryInRange => write!(f, "boundary record inside the query range"),
+            VerifyError::TooManyBoundaries => write!(f, "more than one boundary record per side"),
+            VerifyError::CompletenessGap => {
+                write!(f, "pruned digest between the boundary records")
+            }
+            VerifyError::SignatureMismatch => write!(f, "root digest does not match the signature"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// The verification object for one range query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VerificationObject {
+    /// Pre-order token stream of the traversed part of the tree.
+    pub items: Vec<VoItem>,
+    /// The data owner's signature over the root digest.
+    pub signature: SignatureBytes,
+}
+
+impl VerificationObject {
+    /// Total size of the VO on the wire, in bytes (items + signature).
+    ///
+    /// This is the "communication overhead" quantity of the paper's Figure 5
+    /// for TOM (the result records themselves are not part of the VO).
+    pub fn size_bytes(&self) -> usize {
+        self.items.iter().map(VoItem::wire_size).sum::<usize>() + self.signature.len()
+    }
+
+    /// Number of digests carried by the VO.
+    pub fn digest_count(&self) -> usize {
+        self.items
+            .iter()
+            .filter(|i| matches!(i, VoItem::Digest(_)))
+            .count()
+    }
+
+    /// Verifies the result set against this VO.
+    ///
+    /// `result_records` must be the binary encodings of the records the SP
+    /// returned, in `(key, id)` order. On success the result is proven sound
+    /// and complete with respect to the signed root digest.
+    pub fn verify(
+        &self,
+        query: &RangeQuery,
+        result_records: &[Vec<u8>],
+        verifier: &dyn Verifier,
+        alg: HashAlgorithm,
+    ) -> Result<(), VerifyError> {
+        // ---- 1. Decode and sanity-check the result records themselves.
+        let mut decoded = Vec::with_capacity(result_records.len());
+        for bytes in result_records {
+            let record = Record::decode(bytes).ok_or(VerifyError::BadRecordEncoding)?;
+            if !query.contains(record.key) {
+                return Err(VerifyError::ResultOutOfRange);
+            }
+            decoded.push(record);
+        }
+        // Keys must be non-decreasing (the order of equal-key records is the
+        // tree's leaf order, which need not be sorted by id).
+        if !decoded.windows(2).all(|w| w[0].key <= w[1].key) {
+            return Err(VerifyError::ResultNotSorted);
+        }
+
+        // ---- 2. Structural completeness checks on the flat stream.
+        self.check_completeness(query)?;
+
+        // ---- 3. Reconstruct the root digest.
+        let mut pos = 0usize;
+        let mut consumed = 0usize;
+        let root = self.reconstruct(&mut pos, result_records, &mut consumed, alg)?;
+        if pos != self.items.len() {
+            return Err(VerifyError::Malformed("trailing items after the root page"));
+        }
+        if consumed != result_records.len() {
+            return Err(VerifyError::ResultCountMismatch {
+                expected: consumed,
+                actual: result_records.len(),
+            });
+        }
+
+        // ---- 4. Check the owner's signature over the reconstructed root.
+        if !verifier.verify(&root, &self.signature) {
+            return Err(VerifyError::SignatureMismatch);
+        }
+        Ok(())
+    }
+
+    /// Enforces the boundary/pruning rules that give completeness:
+    /// * at most one boundary record before the first result run and at most
+    ///   one after the last, each with a key outside the query range;
+    /// * no pruned digest may appear after the left boundary (or after the
+    ///   start, if the result begins at the first record of the dataset) and
+    ///   before the right boundary (or the end, symmetrically).
+    fn check_completeness(&self, query: &RangeQuery) -> Result<(), VerifyError> {
+        let first_run = self
+            .items
+            .iter()
+            .position(|i| matches!(i, VoItem::ResultRun(_)));
+        let last_run = self
+            .items
+            .iter()
+            .rposition(|i| matches!(i, VoItem::ResultRun(_)));
+
+        // Identify boundary records and check their keys.
+        let mut left_boundary: Option<usize> = None;
+        let mut right_boundary: Option<usize> = None;
+        for (idx, item) in self.items.iter().enumerate() {
+            let VoItem::BoundaryRecord(bytes) = item else {
+                continue;
+            };
+            let record = Record::decode(bytes).ok_or(VerifyError::BadRecordEncoding)?;
+            if query.contains(record.key) {
+                return Err(VerifyError::BoundaryInRange);
+            }
+            let is_left = match first_run {
+                Some(first) => idx < first,
+                // No result: classify by key side.
+                None => record.key < query.lower,
+            };
+            let slot = if is_left {
+                &mut left_boundary
+            } else {
+                &mut right_boundary
+            };
+            if slot.is_some() {
+                return Err(VerifyError::TooManyBoundaries);
+            }
+            *slot = Some(idx);
+        }
+
+        // The protected region: everything after the left anchor and before
+        // the right anchor must be free of pruned digests.
+        let lo = match (left_boundary, first_run) {
+            (Some(b), _) => b,
+            (None, Some(first)) => {
+                // Result starts at the very beginning of the dataset: nothing
+                // may be pruned before it.
+                if self.items[..first]
+                    .iter()
+                    .any(|i| matches!(i, VoItem::Digest(_)))
+                {
+                    return Err(VerifyError::CompletenessGap);
+                }
+                first
+            }
+            (None, None) => 0,
+        };
+        let hi = match (right_boundary, last_run) {
+            (Some(b), _) => b,
+            (None, Some(last)) => {
+                if self.items[last + 1..]
+                    .iter()
+                    .any(|i| matches!(i, VoItem::Digest(_)))
+                {
+                    return Err(VerifyError::CompletenessGap);
+                }
+                last
+            }
+            (None, None) => self.items.len(),
+        };
+        if lo < hi
+            && self.items[lo + 1..hi]
+                .iter()
+                .any(|i| matches!(i, VoItem::Digest(_)))
+        {
+            return Err(VerifyError::CompletenessGap);
+        }
+        Ok(())
+    }
+
+    /// Recursively reconstructs the digest of the page starting at `pos`.
+    fn reconstruct(
+        &self,
+        pos: &mut usize,
+        result_records: &[Vec<u8>],
+        consumed: &mut usize,
+        alg: HashAlgorithm,
+    ) -> Result<Digest, VerifyError> {
+        match self.items.get(*pos) {
+            Some(VoItem::NodeBegin) => *pos += 1,
+            _ => return Err(VerifyError::Malformed("expected NodeBegin")),
+        }
+        let mut component_digests: Vec<Digest> = Vec::new();
+        loop {
+            match self.items.get(*pos) {
+                Some(VoItem::NodeEnd) => {
+                    *pos += 1;
+                    let digest = alg.hash_concat(
+                        component_digests.iter().map(|d| d.as_bytes().as_slice()),
+                    );
+                    return Ok(digest);
+                }
+                Some(VoItem::NodeBegin) => {
+                    let child = self.reconstruct(pos, result_records, consumed, alg)?;
+                    component_digests.push(child);
+                }
+                Some(VoItem::Digest(d)) => {
+                    *pos += 1;
+                    component_digests.push(*d);
+                }
+                Some(VoItem::BoundaryRecord(bytes)) => {
+                    *pos += 1;
+                    component_digests.push(alg.hash(bytes));
+                }
+                Some(VoItem::ResultRun(n)) => {
+                    *pos += 1;
+                    for _ in 0..*n {
+                        let bytes = result_records.get(*consumed).ok_or(
+                            VerifyError::ResultCountMismatch {
+                                expected: *consumed + 1,
+                                actual: result_records.len(),
+                            },
+                        )?;
+                        component_digests.push(alg.hash(bytes));
+                        *consumed += 1;
+                    }
+                }
+                None => return Err(VerifyError::Malformed("unterminated page")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sae_crypto::signer::{MacSigner, Signer};
+
+    fn d(tag: u8) -> Digest {
+        Digest::new([tag; DIGEST_LEN])
+    }
+
+    #[test]
+    fn wire_sizes_are_accounted() {
+        assert_eq!(VoItem::NodeBegin.wire_size(), 1);
+        assert_eq!(VoItem::NodeEnd.wire_size(), 1);
+        assert_eq!(VoItem::Digest(d(1)).wire_size(), 21);
+        assert_eq!(VoItem::ResultRun(5).wire_size(), 5);
+        assert_eq!(VoItem::BoundaryRecord(vec![0u8; 500]).wire_size(), 505);
+
+        let vo = VerificationObject {
+            items: vec![
+                VoItem::NodeBegin,
+                VoItem::Digest(d(1)),
+                VoItem::ResultRun(2),
+                VoItem::NodeEnd,
+            ],
+            signature: SignatureBytes(vec![0u8; 64]),
+        };
+        assert_eq!(vo.size_bytes(), 1 + 21 + 5 + 1 + 64);
+        assert_eq!(vo.digest_count(), 1);
+    }
+
+    #[test]
+    fn reconstruct_single_leaf_vo() {
+        // A VO over a single-leaf tree: two result records and one pruned
+        // record digest on each side, with boundary records omitted (the
+        // pruned digests here *are* outside the protected region because
+        // boundary records replace them in real VOs; this test exercises the
+        // digest math only).
+        let alg = HashAlgorithm::Sha1;
+        let signer = MacSigner::new(b"owner-key".to_vec());
+
+        let records: Vec<Record> = (0..4u64).map(|i| Record::with_size(i, 10 + i as u32 * 10, 40)).collect();
+        let digests: Vec<Digest> = records.iter().map(|r| r.digest(alg)).collect();
+        let root = alg.hash_concat(digests.iter().map(|x| x.as_bytes().as_slice()));
+        let signature = signer.sign(&root);
+
+        // Query [20, 30] -> results are records 1 and 2; boundaries are 0 and 3.
+        let vo = VerificationObject {
+            items: vec![
+                VoItem::NodeBegin,
+                VoItem::BoundaryRecord(records[0].encode()),
+                VoItem::ResultRun(2),
+                VoItem::BoundaryRecord(records[3].encode()),
+                VoItem::NodeEnd,
+            ],
+            signature,
+        };
+        let query = RangeQuery::new(20, 30);
+        let rs: Vec<Vec<u8>> = records[1..3].iter().map(|r| r.encode()).collect();
+        assert_eq!(vo.verify(&query, &rs, &signer, alg), Ok(()));
+    }
+
+    #[test]
+    fn tampered_result_record_is_rejected() {
+        let alg = HashAlgorithm::Sha1;
+        let signer = MacSigner::new(b"owner-key".to_vec());
+        let records: Vec<Record> =
+            (0..4u64).map(|i| Record::with_size(i, 10 + i as u32 * 10, 40)).collect();
+        let digests: Vec<Digest> = records.iter().map(|r| r.digest(alg)).collect();
+        let root = alg.hash_concat(digests.iter().map(|x| x.as_bytes().as_slice()));
+        let vo = VerificationObject {
+            items: vec![
+                VoItem::NodeBegin,
+                VoItem::BoundaryRecord(records[0].encode()),
+                VoItem::ResultRun(2),
+                VoItem::BoundaryRecord(records[3].encode()),
+                VoItem::NodeEnd,
+            ],
+            signature: signer.sign(&root),
+        };
+        let query = RangeQuery::new(20, 30);
+
+        // Modify one returned record's payload (soundness attack).
+        let mut tampered = Record::with_size(1, 20, 40);
+        tampered.payload[0] ^= 0xFF;
+        let rs = vec![tampered.encode(), records[2].encode()];
+        assert_eq!(
+            vo.verify(&query, &rs, &signer, alg),
+            Err(VerifyError::SignatureMismatch)
+        );
+    }
+
+    #[test]
+    fn hidden_record_is_rejected_as_completeness_gap() {
+        let alg = HashAlgorithm::Sha1;
+        let signer = MacSigner::new(b"owner-key".to_vec());
+        let records: Vec<Record> =
+            (0..4u64).map(|i| Record::with_size(i, 10 + i as u32 * 10, 40)).collect();
+        let digests: Vec<Digest> = records.iter().map(|r| r.digest(alg)).collect();
+        let root = alg.hash_concat(digests.iter().map(|x| x.as_bytes().as_slice()));
+        // The SP hides record 1 by shipping its digest instead of including it
+        // in the result run.
+        let vo = VerificationObject {
+            items: vec![
+                VoItem::NodeBegin,
+                VoItem::BoundaryRecord(records[0].encode()),
+                VoItem::Digest(records[1].digest(alg)),
+                VoItem::ResultRun(1),
+                VoItem::BoundaryRecord(records[3].encode()),
+                VoItem::NodeEnd,
+            ],
+            signature: signer.sign(&root),
+        };
+        let query = RangeQuery::new(20, 30);
+        let rs = vec![records[2].encode()];
+        assert_eq!(
+            vo.verify(&query, &rs, &signer, alg),
+            Err(VerifyError::CompletenessGap)
+        );
+    }
+
+    #[test]
+    fn out_of_range_results_and_boundaries_are_rejected() {
+        let alg = HashAlgorithm::Sha1;
+        let signer = MacSigner::new(b"k".to_vec());
+        let vo = VerificationObject {
+            items: vec![VoItem::NodeBegin, VoItem::ResultRun(1), VoItem::NodeEnd],
+            signature: signer.sign(&d(0)),
+        };
+        let query = RangeQuery::new(100, 200);
+        // Result outside the range.
+        let rs = vec![Record::with_size(1, 500, 40).encode()];
+        assert_eq!(
+            vo.verify(&query, &rs, &signer, alg),
+            Err(VerifyError::ResultOutOfRange)
+        );
+        // Boundary inside the range.
+        let vo2 = VerificationObject {
+            items: vec![
+                VoItem::NodeBegin,
+                VoItem::BoundaryRecord(Record::with_size(0, 150, 40).encode()),
+                VoItem::ResultRun(1),
+                VoItem::NodeEnd,
+            ],
+            signature: signer.sign(&d(0)),
+        };
+        let rs2 = vec![Record::with_size(1, 150, 40).encode()];
+        assert_eq!(
+            vo2.verify(&query, &rs2, &signer, alg),
+            Err(VerifyError::BoundaryInRange)
+        );
+    }
+
+    #[test]
+    fn malformed_streams_are_rejected() {
+        let alg = HashAlgorithm::Sha1;
+        let signer = MacSigner::new(b"k".to_vec());
+        let query = RangeQuery::new(0, 10);
+
+        let unterminated = VerificationObject {
+            items: vec![VoItem::NodeBegin, VoItem::Digest(d(1))],
+            signature: signer.sign(&d(0)),
+        };
+        assert!(unterminated.verify(&query, &[], &signer, alg).is_err());
+        let unterminated_empty = VerificationObject {
+            items: vec![VoItem::NodeBegin],
+            signature: signer.sign(&d(0)),
+        };
+        assert!(matches!(
+            unterminated_empty.verify(&query, &[], &signer, alg),
+            Err(VerifyError::Malformed(_))
+        ));
+
+        let missing_begin = VerificationObject {
+            items: vec![VoItem::Digest(d(1))],
+            signature: signer.sign(&d(0)),
+        };
+        assert!(matches!(
+            missing_begin.verify(&query, &[], &signer, alg),
+            Err(VerifyError::Malformed(_))
+        ));
+
+        // Trailing garbage after the root page is rejected (either as a
+        // structural error or as a completeness gap, depending on the item).
+        let trailing = VerificationObject {
+            items: vec![
+                VoItem::NodeBegin,
+                VoItem::NodeEnd,
+                VoItem::Digest(d(2)),
+            ],
+            signature: signer.sign(&alg.hash_concat(std::iter::empty::<&[u8]>())),
+        };
+        assert!(trailing.verify(&query, &[], &signer, alg).is_err());
+        let trailing_marker = VerificationObject {
+            items: vec![VoItem::NodeBegin, VoItem::NodeEnd, VoItem::NodeBegin],
+            signature: signer.sign(&alg.hash_concat(std::iter::empty::<&[u8]>())),
+        };
+        assert!(matches!(
+            trailing_marker.verify(&query, &[], &signer, alg),
+            Err(VerifyError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn result_count_mismatch_is_reported() {
+        let alg = HashAlgorithm::Sha1;
+        let signer = MacSigner::new(b"k".to_vec());
+        let query = RangeQuery::new(0, 100);
+        let record = Record::with_size(0, 50, 40);
+        let root = alg.hash_concat([record.digest(alg)].iter().map(|x| x.as_bytes().as_slice()));
+        let vo = VerificationObject {
+            items: vec![VoItem::NodeBegin, VoItem::ResultRun(1), VoItem::NodeEnd],
+            signature: signer.sign(&root),
+        };
+        // Too few records supplied.
+        assert!(matches!(
+            vo.verify(&query, &[], &signer, alg),
+            Err(VerifyError::ResultCountMismatch { .. })
+        ));
+        // Too many records supplied.
+        let extra = Record::with_size(1, 60, 40);
+        assert!(matches!(
+            vo.verify(&query, &[record.encode(), extra.encode()], &signer, alg),
+            Err(VerifyError::ResultCountMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn unsorted_results_are_rejected() {
+        let alg = HashAlgorithm::Sha1;
+        let signer = MacSigner::new(b"k".to_vec());
+        let query = RangeQuery::new(0, 100);
+        let a = Record::with_size(0, 50, 40);
+        let b = Record::with_size(1, 40, 40);
+        let vo = VerificationObject {
+            items: vec![VoItem::NodeBegin, VoItem::ResultRun(2), VoItem::NodeEnd],
+            signature: signer.sign(&d(0)),
+        };
+        assert_eq!(
+            vo.verify(&query, &[a.encode(), b.encode()], &signer, alg),
+            Err(VerifyError::ResultNotSorted)
+        );
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = VerifyError::ResultCountMismatch {
+            expected: 3,
+            actual: 2,
+        };
+        assert!(e.to_string().contains('3'));
+        assert!(VerifyError::SignatureMismatch.to_string().contains("signature"));
+    }
+}

@@ -1,0 +1,242 @@
+//! End-to-end MB-Tree tests: VO generation on real trees + client verification.
+
+use sae_crypto::signer::{MacSigner, Signer};
+use sae_crypto::HashAlgorithm;
+use sae_mbtree::{MbTree, VerifyError};
+use sae_storage::MemPager;
+use sae_workload::{RangeQuery, Record};
+
+const ALG: HashAlgorithm = HashAlgorithm::Sha1;
+
+struct Fixture {
+    tree: MbTree,
+    records: Vec<Record>,
+    signer: MacSigner,
+}
+
+impl Fixture {
+    /// Builds an MB-Tree over `n` records with keys `id * key_stride % modulus`.
+    fn new(n: u64, key_fn: impl Fn(u64) -> u32) -> Fixture {
+        let records: Vec<Record> = (0..n).map(|i| Record::with_size(i, key_fn(i), 100)).collect();
+        let mut entries: Vec<(u32, u64, _)> = records
+            .iter()
+            .map(|r| (r.key, r.id, r.digest(ALG)))
+            .collect();
+        entries.sort_by_key(|&(k, id, _)| (k, id));
+        let tree = MbTree::bulk_load(MemPager::new_shared(), ALG, &entries).unwrap();
+        Fixture {
+            tree,
+            records,
+            signer: MacSigner::new(b"data-owner-signing-key".to_vec()),
+        }
+    }
+
+    fn fetch(&self, rid: u64) -> Vec<u8> {
+        self.records[rid as usize].encode()
+    }
+
+    /// The result an honest SP returns: the records matching the query, in the
+    /// MB-Tree's leaf order (which is also the order the VO's result runs use).
+    fn honest_result(&self, q: &RangeQuery) -> Vec<Vec<u8>> {
+        self.tree
+            .range(q)
+            .unwrap()
+            .into_iter()
+            .map(|(_, rid)| {
+                self.records
+                    .iter()
+                    .find(|r| r.id == rid)
+                    .expect("record for id")
+                    .encode()
+            })
+            .collect()
+    }
+
+    fn signed_vo(&self, q: &RangeQuery) -> sae_mbtree::VerificationObject {
+        let signature = self.signer.sign(&self.tree.root_digest().unwrap());
+        self.tree
+            .generate_vo(q, |rid| self.fetch(rid), signature)
+            .unwrap()
+    }
+}
+
+#[test]
+fn honest_results_verify_for_many_queries() {
+    let fx = Fixture::new(5_000, |i| (i * 37 % 20_000) as u32);
+    for (lo, hi) in [
+        (0u32, 20_000u32), // everything
+        (1_000, 1_200),
+        (0, 50),           // touches the dataset start
+        (19_900, 20_000),  // touches the dataset end
+        (7_777, 7_777),    // point query
+        (19_999, 19_999),
+    ] {
+        let q = RangeQuery::new(lo, hi);
+        let rs = fx.honest_result(&q);
+        let vo = fx.signed_vo(&q);
+        assert_eq!(
+            vo.verify(&q, &rs, &fx.signer, ALG),
+            Ok(()),
+            "query [{lo}, {hi}] with {} results",
+            rs.len()
+        );
+    }
+}
+
+#[test]
+fn empty_results_verify() {
+    // Keys are all multiples of 100, so [150, 180] is empty but enclosed.
+    let fx = Fixture::new(1_000, |i| (i * 100) as u32);
+    let q = RangeQuery::new(150, 180);
+    let rs = fx.honest_result(&q);
+    assert!(rs.is_empty());
+    let vo = fx.signed_vo(&q);
+    assert_eq!(vo.verify(&q, &rs, &fx.signer, ALG), Ok(()));
+}
+
+#[test]
+fn queries_outside_the_key_domain_verify_as_empty() {
+    let fx = Fixture::new(500, |i| (i % 1_000) as u32);
+    let q = RangeQuery::new(5_000, 6_000);
+    let rs = fx.honest_result(&q);
+    assert!(rs.is_empty());
+    let vo = fx.signed_vo(&q);
+    assert_eq!(vo.verify(&q, &rs, &fx.signer, ALG), Ok(()));
+}
+
+#[test]
+fn duplicate_heavy_datasets_verify() {
+    // Only 20 distinct keys across 2000 records: duplicates span many leaves.
+    let fx = Fixture::new(2_000, |i| (i % 20) as u32 * 5);
+    for (lo, hi) in [(0u32, 0u32), (5, 25), (95, 95), (0, 200)] {
+        let q = RangeQuery::new(lo, hi);
+        let rs = fx.honest_result(&q);
+        let vo = fx.signed_vo(&q);
+        assert_eq!(vo.verify(&q, &rs, &fx.signer, ALG), Ok(()), "query [{lo}, {hi}]");
+    }
+}
+
+#[test]
+fn dropping_a_result_record_is_detected() {
+    let fx = Fixture::new(3_000, |i| (i * 3 % 9_000) as u32);
+    let q = RangeQuery::new(4_000, 4_200);
+    let mut rs = fx.honest_result(&q);
+    assert!(rs.len() > 3);
+    let vo = fx.signed_vo(&q);
+
+    // Drop a record from the middle of the result.
+    rs.remove(rs.len() / 2);
+    assert!(vo.verify(&q, &rs, &fx.signer, ALG).is_err());
+}
+
+#[test]
+fn modifying_a_result_record_is_detected() {
+    let fx = Fixture::new(3_000, |i| (i % 9_000) as u32);
+    let q = RangeQuery::new(1_000, 1_300);
+    let mut rs = fx.honest_result(&q);
+    let vo = fx.signed_vo(&q);
+
+    // Flip one byte of one record's payload: key/id unchanged, so only the
+    // digest math can catch it.
+    let idx = rs.len() / 2;
+    let last = rs[idx].len() - 1;
+    rs[idx][last] ^= 0x01;
+    assert_eq!(
+        vo.verify(&q, &rs, &fx.signer, ALG),
+        Err(VerifyError::SignatureMismatch)
+    );
+}
+
+#[test]
+fn injecting_a_bogus_record_is_detected() {
+    let fx = Fixture::new(2_000, |i| (i * 3 % 6_000) as u32);
+    let q = RangeQuery::new(2_000, 2_300);
+    let mut rs = fx.honest_result(&q);
+    let vo = fx.signed_vo(&q);
+
+    let bogus = Record::with_size(999_999, 2_100, 100);
+    let pos = rs.partition_point(|r| {
+        let rec = Record::decode(r).unwrap();
+        (rec.key, rec.id) <= (2_100, 999_999)
+    });
+    rs.insert(pos, bogus.encode());
+    assert!(vo.verify(&q, &rs, &fx.signer, ALG).is_err());
+}
+
+#[test]
+fn stale_signature_is_detected_after_updates() {
+    let mut fx = Fixture::new(1_000, |i| (i % 3_000) as u32);
+    let q = RangeQuery::new(100, 400);
+
+    // Sign the root, then update the tree (the DO would normally re-sign).
+    let stale_signature = fx.signer.sign(&fx.tree.root_digest().unwrap());
+    let new_record = Record::with_size(5_000, 250, 100);
+    fx.tree
+        .insert(new_record.key, new_record.id, new_record.digest(ALG))
+        .unwrap();
+    fx.records.push(new_record);
+
+    let rs = fx.honest_result(&q);
+    let vo = fx
+        .tree
+        .generate_vo(&q, |rid| {
+            fx.records
+                .iter()
+                .find(|r| r.id == rid)
+                .map(|r| r.encode())
+                .unwrap()
+        }, stale_signature)
+        .unwrap();
+    assert_eq!(
+        vo.verify(&q, &rs, &fx.signer, ALG),
+        Err(VerifyError::SignatureMismatch)
+    );
+}
+
+#[test]
+fn vo_verifies_after_inserts_and_deletes_with_fresh_signature() {
+    let mut fx = Fixture::new(1_500, |i| (i % 4_000) as u32);
+
+    // Apply updates.
+    for i in 0..200u64 {
+        let r = Record::with_size(10_000 + i, (i * 13 % 4_000) as u32, 100);
+        fx.tree.insert(r.key, r.id, r.digest(ALG)).unwrap();
+        fx.records.push(r);
+    }
+    for i in (0..1_500u64).step_by(7) {
+        let r = fx.records[i as usize].clone();
+        assert!(fx.tree.delete(r.key, r.id).unwrap());
+    }
+    let deleted: std::collections::HashSet<u64> = (0..1_500u64).step_by(7).collect();
+    fx.records.retain(|r| !deleted.contains(&r.id));
+    fx.tree.check_invariants().unwrap();
+
+    let q = RangeQuery::new(500, 900);
+    let rs = fx.honest_result(&q);
+    let signature = fx.signer.sign(&fx.tree.root_digest().unwrap());
+    let by_id: std::collections::HashMap<u64, Vec<u8>> =
+        fx.records.iter().map(|r| (r.id, r.encode())).collect();
+    let vo = fx
+        .tree
+        .generate_vo(&q, |rid| by_id[&rid].clone(), signature)
+        .unwrap();
+    assert_eq!(vo.verify(&q, &rs, &fx.signer, ALG), Ok(()));
+}
+
+#[test]
+fn vo_size_is_orders_of_magnitude_above_a_digest() {
+    // Figure 5's qualitative claim: the VO is in the KB range while the SAE
+    // token is 20 bytes.
+    let fx = Fixture::new(20_000, |i| (i % 1_000_000) as u32 * 7);
+    let q = RangeQuery::new(100_000, 135_000); // ~0.5% of the populated domain
+    let rs = fx.honest_result(&q);
+    assert!(!rs.is_empty());
+    let vo = fx.signed_vo(&q);
+    assert_eq!(vo.verify(&q, &rs, &fx.signer, ALG), Ok(()));
+    assert!(
+        vo.size_bytes() > 100 * 20,
+        "VO only {} bytes for {} results",
+        vo.size_bytes(),
+        rs.len()
+    );
+}

@@ -1,0 +1,113 @@
+//! Error types for the storage engine.
+
+use std::fmt;
+use std::io;
+
+/// Result alias for storage operations.
+pub type StorageResult<T> = Result<T, StorageError>;
+
+/// Errors surfaced by pagers, buffer pools and heap files.
+#[derive(Debug)]
+pub enum StorageError {
+    /// A page id outside the allocated range was requested.
+    PageOutOfBounds {
+        /// The requested page.
+        page_id: u64,
+        /// Number of pages currently allocated.
+        page_count: u64,
+    },
+    /// A record id outside the heap file was requested.
+    RecordOutOfBounds {
+        /// The requested record index.
+        record_id: u64,
+        /// Number of records currently stored.
+        record_count: u64,
+    },
+    /// A record did not have the fixed length the heap file was created with.
+    RecordSizeMismatch {
+        /// The expected fixed record length.
+        expected: usize,
+        /// The length of the record that was supplied.
+        actual: usize,
+    },
+    /// The fixed record length is invalid (zero or larger than a page).
+    InvalidRecordLength(usize),
+    /// An on-disk structure failed validation (corrupt page, bad magic, ...).
+    Corrupted(String),
+    /// Underlying I/O failure.
+    Io(io::Error),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::PageOutOfBounds {
+                page_id,
+                page_count,
+            } => write!(
+                f,
+                "page {page_id} out of bounds (only {page_count} pages allocated)"
+            ),
+            StorageError::RecordOutOfBounds {
+                record_id,
+                record_count,
+            } => write!(
+                f,
+                "record {record_id} out of bounds (only {record_count} records stored)"
+            ),
+            StorageError::RecordSizeMismatch { expected, actual } => write!(
+                f,
+                "record size mismatch: expected {expected} bytes, got {actual}"
+            ),
+            StorageError::InvalidRecordLength(len) => {
+                write!(f, "invalid fixed record length: {len}")
+            }
+            StorageError::Corrupted(msg) => write!(f, "corrupted storage: {msg}"),
+            StorageError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StorageError {
+    fn from(e: io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = StorageError::PageOutOfBounds {
+            page_id: 12,
+            page_count: 3,
+        };
+        assert!(e.to_string().contains("page 12"));
+        let e = StorageError::RecordSizeMismatch {
+            expected: 500,
+            actual: 100,
+        };
+        assert!(e.to_string().contains("500"));
+        let e = StorageError::Corrupted("bad magic".into());
+        assert!(e.to_string().contains("bad magic"));
+    }
+
+    #[test]
+    fn io_errors_convert_and_expose_source() {
+        let io_err = io::Error::new(io::ErrorKind::NotFound, "missing");
+        let e: StorageError = io_err.into();
+        assert!(matches!(e, StorageError::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,233 @@
+//! Fixed-size page buffers.
+//!
+//! All indexes in the evaluation use disk pages of 4096 bytes (§IV of the
+//! paper). A [`Page`] is an owned 4096-byte buffer with bounds-checked,
+//! little-endian accessors used by the tree node serializers and the heap
+//! file.
+
+use std::fmt;
+
+/// The page size used by every disk-based structure, in bytes.
+pub const PAGE_SIZE: usize = 4096;
+
+/// Identifier of a page within a [`crate::pager::PageStore`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId(pub u64);
+
+impl PageId {
+    /// A sentinel id used for "no page" (e.g. a missing child pointer).
+    pub const INVALID: PageId = PageId(u64::MAX);
+
+    /// Returns `true` if this id is the invalid sentinel.
+    pub fn is_invalid(&self) -> bool {
+        *self == PageId::INVALID
+    }
+}
+
+impl fmt::Debug for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_invalid() {
+            write!(f, "PageId(INVALID)")
+        } else {
+            write!(f, "PageId({})", self.0)
+        }
+    }
+}
+
+impl fmt::Display for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// An owned, fixed-size page buffer.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Page {
+    data: Box<[u8; PAGE_SIZE]>,
+}
+
+impl Default for Page {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for Page {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Page({} bytes)", PAGE_SIZE)
+    }
+}
+
+impl Page {
+    /// Creates a zero-filled page.
+    pub fn new() -> Self {
+        Page {
+            data: Box::new([0u8; PAGE_SIZE]),
+        }
+    }
+
+    /// Creates a page from an existing buffer.
+    ///
+    /// Returns `None` if `bytes` is not exactly [`PAGE_SIZE`] long.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() != PAGE_SIZE {
+            return None;
+        }
+        let mut page = Page::new();
+        page.data.copy_from_slice(bytes);
+        Some(page)
+    }
+
+    /// The full page contents.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[..]
+    }
+
+    /// The full page contents, mutably.
+    pub fn as_mut_slice(&mut self) -> &mut [u8] {
+        &mut self.data[..]
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&self, offset: usize) -> u8 {
+        self.data[offset]
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, offset: usize, value: u8) {
+        self.data[offset] = value;
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn read_u16(&self, offset: usize) -> u16 {
+        u16::from_le_bytes(self.data[offset..offset + 2].try_into().expect("2 bytes"))
+    }
+
+    /// Writes a little-endian `u16`.
+    pub fn write_u16(&mut self, offset: usize, value: u16) {
+        self.data[offset..offset + 2].copy_from_slice(&value.to_le_bytes());
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn read_u32(&self, offset: usize) -> u32 {
+        u32::from_le_bytes(self.data[offset..offset + 4].try_into().expect("4 bytes"))
+    }
+
+    /// Writes a little-endian `u32`.
+    pub fn write_u32(&mut self, offset: usize, value: u32) {
+        self.data[offset..offset + 4].copy_from_slice(&value.to_le_bytes());
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn read_u64(&self, offset: usize) -> u64 {
+        u64::from_le_bytes(self.data[offset..offset + 8].try_into().expect("8 bytes"))
+    }
+
+    /// Writes a little-endian `u64`.
+    pub fn write_u64(&mut self, offset: usize, value: u64) {
+        self.data[offset..offset + 8].copy_from_slice(&value.to_le_bytes());
+    }
+
+    /// Reads `len` bytes starting at `offset`.
+    pub fn read_bytes(&self, offset: usize, len: usize) -> &[u8] {
+        &self.data[offset..offset + len]
+    }
+
+    /// Writes `bytes` starting at `offset`.
+    pub fn write_bytes(&mut self, offset: usize, bytes: &[u8]) {
+        self.data[offset..offset + bytes.len()].copy_from_slice(bytes);
+    }
+
+    /// Reads a [`PageId`] (stored as a `u64`).
+    pub fn read_page_id(&self, offset: usize) -> PageId {
+        PageId(self.read_u64(offset))
+    }
+
+    /// Writes a [`PageId`].
+    pub fn write_page_id(&mut self, offset: usize, id: PageId) {
+        self.write_u64(offset, id.0);
+    }
+
+    /// Zeroes the whole page.
+    pub fn clear(&mut self) {
+        self.data.fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_page_is_zeroed() {
+        let p = Page::new();
+        assert!(p.as_slice().iter().all(|&b| b == 0));
+        assert_eq!(p.as_slice().len(), PAGE_SIZE);
+    }
+
+    #[test]
+    fn integer_round_trips() {
+        let mut p = Page::new();
+        p.write_u8(0, 0xAB);
+        p.write_u16(1, 0xBEEF);
+        p.write_u32(3, 0xDEAD_BEEF);
+        p.write_u64(7, 0x0123_4567_89AB_CDEF);
+        assert_eq!(p.read_u8(0), 0xAB);
+        assert_eq!(p.read_u16(1), 0xBEEF);
+        assert_eq!(p.read_u32(3), 0xDEAD_BEEF);
+        assert_eq!(p.read_u64(7), 0x0123_4567_89AB_CDEF);
+    }
+
+    #[test]
+    fn byte_slices_round_trip() {
+        let mut p = Page::new();
+        let payload = [7u8, 8, 9, 10, 11];
+        p.write_bytes(100, &payload);
+        assert_eq!(p.read_bytes(100, 5), &payload);
+        assert_eq!(p.read_u8(99), 0);
+        assert_eq!(p.read_u8(105), 0);
+    }
+
+    #[test]
+    fn page_id_round_trip_and_sentinel() {
+        let mut p = Page::new();
+        p.write_page_id(16, PageId(42));
+        assert_eq!(p.read_page_id(16), PageId(42));
+        p.write_page_id(16, PageId::INVALID);
+        assert!(p.read_page_id(16).is_invalid());
+        assert!(!PageId(0).is_invalid());
+    }
+
+    #[test]
+    fn from_bytes_validates_length() {
+        assert!(Page::from_bytes(&[0u8; PAGE_SIZE]).is_some());
+        assert!(Page::from_bytes(&[0u8; 100]).is_none());
+        let mut buf = vec![3u8; PAGE_SIZE];
+        buf[0] = 9;
+        let p = Page::from_bytes(&buf).unwrap();
+        assert_eq!(p.read_u8(0), 9);
+        assert_eq!(p.read_u8(1), 3);
+    }
+
+    #[test]
+    fn clear_resets_contents() {
+        let mut p = Page::new();
+        p.write_u64(0, u64::MAX);
+        p.clear();
+        assert!(p.as_slice().iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn writes_at_page_end_are_allowed() {
+        let mut p = Page::new();
+        p.write_u32(PAGE_SIZE - 4, 0xFFFF_FFFF);
+        assert_eq!(p.read_u32(PAGE_SIZE - 4), 0xFFFF_FFFF);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_write_panics() {
+        let mut p = Page::new();
+        p.write_u32(PAGE_SIZE - 2, 1);
+    }
+}

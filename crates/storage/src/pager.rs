@@ -1,0 +1,331 @@
+//! Page stores: the abstraction the trees and heap files are built on.
+//!
+//! A [`PageStore`] hands out 4096-byte pages by id and records every logical
+//! access in its [`IoStats`]. Two implementations are provided:
+//!
+//! * [`MemPager`] — pages live in a `Vec` in memory. This is the "main memory
+//!   index" configuration the paper mentions for the trusted entity (§IV) and
+//!   the default for unit tests.
+//! * [`FilePager`] — pages live in a real file, read and written with
+//!   positioned I/O. This is the disk-based configuration of the evaluation.
+//!
+//! Both are thread-safe (`Send + Sync`) so the concurrent-throughput
+//! extension experiment can share a store across worker threads.
+
+use crate::error::{StorageError, StorageResult};
+use crate::page::{Page, PageId, PAGE_SIZE};
+use crate::stats::IoStats;
+use parking_lot::Mutex;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A shared, dynamically-dispatched page store.
+pub type SharedPageStore = Arc<dyn PageStore>;
+
+/// Storage abstraction for fixed-size pages.
+///
+/// Every `read`/`write` counts as one logical node access in the attached
+/// [`IoStats`], which is what the paper's 10 ms/access cost model charges.
+pub trait PageStore: Send + Sync {
+    /// Allocates a new zeroed page and returns its id.
+    fn allocate(&self) -> StorageResult<PageId>;
+
+    /// Reads the page with the given id.
+    fn read(&self, id: PageId) -> StorageResult<Page>;
+
+    /// Writes the page with the given id.
+    fn write(&self, id: PageId, page: &Page) -> StorageResult<()>;
+
+    /// Number of pages allocated so far.
+    fn page_count(&self) -> u64;
+
+    /// The I/O counters attached to this store.
+    fn stats(&self) -> Arc<IoStats>;
+
+    /// Total bytes occupied by the allocated pages.
+    fn storage_bytes(&self) -> u64 {
+        self.page_count() * PAGE_SIZE as u64
+    }
+}
+
+/// An in-memory page store.
+pub struct MemPager {
+    pages: Mutex<Vec<Page>>,
+    stats: Arc<IoStats>,
+}
+
+impl Default for MemPager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MemPager {
+    /// Creates an empty in-memory store.
+    pub fn new() -> Self {
+        MemPager {
+            pages: Mutex::new(Vec::new()),
+            stats: IoStats::new_shared(),
+        }
+    }
+
+    /// Creates an empty in-memory store behind an `Arc`.
+    pub fn new_shared() -> SharedPageStore {
+        Arc::new(Self::new())
+    }
+}
+
+impl PageStore for MemPager {
+    fn allocate(&self) -> StorageResult<PageId> {
+        let mut pages = self.pages.lock();
+        pages.push(Page::new());
+        Ok(PageId(pages.len() as u64 - 1))
+    }
+
+    fn read(&self, id: PageId) -> StorageResult<Page> {
+        self.stats.record_node_read();
+        self.stats.record_physical_read();
+        let pages = self.pages.lock();
+        pages
+            .get(id.0 as usize)
+            .cloned()
+            .ok_or(StorageError::PageOutOfBounds {
+                page_id: id.0,
+                page_count: pages.len() as u64,
+            })
+    }
+
+    fn write(&self, id: PageId, page: &Page) -> StorageResult<()> {
+        self.stats.record_node_write();
+        self.stats.record_physical_write();
+        let mut pages = self.pages.lock();
+        let len = pages.len() as u64;
+        match pages.get_mut(id.0 as usize) {
+            Some(slot) => {
+                *slot = page.clone();
+                Ok(())
+            }
+            None => Err(StorageError::PageOutOfBounds {
+                page_id: id.0,
+                page_count: len,
+            }),
+        }
+    }
+
+    fn page_count(&self) -> u64 {
+        self.pages.lock().len() as u64
+    }
+
+    fn stats(&self) -> Arc<IoStats> {
+        Arc::clone(&self.stats)
+    }
+}
+
+/// A file-backed page store using positioned reads/writes.
+pub struct FilePager {
+    file: Mutex<File>,
+    page_count: AtomicU64,
+    stats: Arc<IoStats>,
+}
+
+impl FilePager {
+    /// Creates (or truncates) a pager file at `path`.
+    pub fn create<P: AsRef<Path>>(path: P) -> StorageResult<Self> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(FilePager {
+            file: Mutex::new(file),
+            page_count: AtomicU64::new(0),
+            stats: IoStats::new_shared(),
+        })
+    }
+
+    /// Opens an existing pager file at `path`.
+    pub fn open<P: AsRef<Path>>(path: P) -> StorageResult<Self> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let len = file.metadata()?.len();
+        if len % PAGE_SIZE as u64 != 0 {
+            return Err(StorageError::Corrupted(format!(
+                "file length {len} is not a multiple of the page size"
+            )));
+        }
+        Ok(FilePager {
+            file: Mutex::new(file),
+            page_count: AtomicU64::new(len / PAGE_SIZE as u64),
+            stats: IoStats::new_shared(),
+        })
+    }
+
+    /// Flushes the underlying file to stable storage.
+    pub fn sync(&self) -> StorageResult<()> {
+        self.file.lock().sync_data()?;
+        Ok(())
+    }
+}
+
+impl PageStore for FilePager {
+    fn allocate(&self) -> StorageResult<PageId> {
+        let id = self.page_count.fetch_add(1, Ordering::SeqCst);
+        let mut file = self.file.lock();
+        file.seek(SeekFrom::Start(id * PAGE_SIZE as u64))?;
+        file.write_all(&[0u8; PAGE_SIZE])?;
+        Ok(PageId(id))
+    }
+
+    fn read(&self, id: PageId) -> StorageResult<Page> {
+        let count = self.page_count.load(Ordering::SeqCst);
+        if id.0 >= count {
+            return Err(StorageError::PageOutOfBounds {
+                page_id: id.0,
+                page_count: count,
+            });
+        }
+        self.stats.record_node_read();
+        self.stats.record_physical_read();
+        let mut buf = vec![0u8; PAGE_SIZE];
+        {
+            let mut file = self.file.lock();
+            file.seek(SeekFrom::Start(id.0 * PAGE_SIZE as u64))?;
+            file.read_exact(&mut buf)?;
+        }
+        Page::from_bytes(&buf).ok_or_else(|| StorageError::Corrupted("short page read".into()))
+    }
+
+    fn write(&self, id: PageId, page: &Page) -> StorageResult<()> {
+        let count = self.page_count.load(Ordering::SeqCst);
+        if id.0 >= count {
+            return Err(StorageError::PageOutOfBounds {
+                page_id: id.0,
+                page_count: count,
+            });
+        }
+        self.stats.record_node_write();
+        self.stats.record_physical_write();
+        let mut file = self.file.lock();
+        file.seek(SeekFrom::Start(id.0 * PAGE_SIZE as u64))?;
+        file.write_all(page.as_slice())?;
+        Ok(())
+    }
+
+    fn page_count(&self) -> u64 {
+        self.page_count.load(Ordering::SeqCst)
+    }
+
+    fn stats(&self) -> Arc<IoStats> {
+        Arc::clone(&self.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise_store(store: &dyn PageStore) {
+        let a = store.allocate().unwrap();
+        let b = store.allocate().unwrap();
+        assert_ne!(a, b);
+        assert_eq!(store.page_count(), 2);
+
+        let mut page = Page::new();
+        page.write_u64(0, 0xFEED_FACE);
+        page.write_bytes(100, b"hello pages");
+        store.write(a, &page).unwrap();
+
+        let loaded = store.read(a).unwrap();
+        assert_eq!(loaded.read_u64(0), 0xFEED_FACE);
+        assert_eq!(loaded.read_bytes(100, 11), b"hello pages");
+
+        // Page b is still zeroed.
+        let empty = store.read(b).unwrap();
+        assert!(empty.as_slice().iter().all(|&x| x == 0));
+
+        // Out-of-bounds access errors.
+        assert!(matches!(
+            store.read(PageId(99)),
+            Err(StorageError::PageOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            store.write(PageId(99), &page),
+            Err(StorageError::PageOutOfBounds { .. })
+        ));
+
+        // Stats recorded the accesses.
+        let snap = store.stats().snapshot();
+        assert!(snap.node_reads >= 2);
+        assert!(snap.node_writes >= 1);
+        assert_eq!(store.storage_bytes(), 2 * PAGE_SIZE as u64);
+    }
+
+    #[test]
+    fn mem_pager_basics() {
+        let store = MemPager::new();
+        exercise_store(&store);
+    }
+
+    #[test]
+    fn file_pager_basics() {
+        let dir = tempfile::tempdir().unwrap();
+        let store = FilePager::create(dir.path().join("pages.db")).unwrap();
+        exercise_store(&store);
+        store.sync().unwrap();
+    }
+
+    #[test]
+    fn file_pager_persists_across_reopen() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("persist.db");
+        let id;
+        {
+            let store = FilePager::create(&path).unwrap();
+            id = store.allocate().unwrap();
+            let mut page = Page::new();
+            page.write_u32(8, 1234);
+            store.write(id, &page).unwrap();
+            store.sync().unwrap();
+        }
+        let reopened = FilePager::open(&path).unwrap();
+        assert_eq!(reopened.page_count(), 1);
+        assert_eq!(reopened.read(id).unwrap().read_u32(8), 1234);
+    }
+
+    #[test]
+    fn file_pager_open_rejects_torn_file() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("torn.db");
+        std::fs::write(&path, vec![0u8; PAGE_SIZE + 17]).unwrap();
+        assert!(matches!(
+            FilePager::open(&path),
+            Err(StorageError::Corrupted(_))
+        ));
+    }
+
+    #[test]
+    fn mem_pager_concurrent_allocation_is_consistent() {
+        let store = Arc::new(MemPager::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let st = Arc::clone(&store);
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        st.allocate().unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(store.page_count(), 400);
+    }
+
+    #[test]
+    fn shared_page_store_is_object_safe() {
+        let store: SharedPageStore = MemPager::new_shared();
+        let id = store.allocate().unwrap();
+        assert_eq!(id, PageId(0));
+    }
+}

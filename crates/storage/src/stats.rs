@@ -1,0 +1,236 @@
+//! I/O accounting and the paper's node-access cost model.
+//!
+//! The evaluation in the paper charges **10 milliseconds per node access** and
+//! reports processing cost as charged time. [`IoStats`] counts node accesses
+//! (logical reads/writes seen by the index code) as well as physical page
+//! transfers and cache hits, and [`CostModel`] converts a counter snapshot
+//! into charged milliseconds exactly as the paper does.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared, thread-safe I/O counters.
+///
+/// One `IoStats` instance is typically attached to a pager and shared (via
+/// `Arc`) with every structure built on top of it; experiments snapshot the
+/// counters before and after an operation and report the delta.
+#[derive(Debug, Default)]
+pub struct IoStats {
+    node_reads: AtomicU64,
+    node_writes: AtomicU64,
+    physical_reads: AtomicU64,
+    physical_writes: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+}
+
+impl IoStats {
+    /// Creates a fresh, zeroed counter set behind an `Arc`.
+    pub fn new_shared() -> Arc<IoStats> {
+        Arc::new(IoStats::default())
+    }
+
+    /// Records a logical node read (one "node access" in the paper's model).
+    pub fn record_node_read(&self) {
+        self.node_reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a logical node write.
+    pub fn record_node_write(&self) {
+        self.node_writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a physical page read (cache miss reaching the backing store).
+    pub fn record_physical_read(&self) {
+        self.physical_reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a physical page write.
+    pub fn record_physical_write(&self) {
+        self.physical_writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a buffer-pool hit.
+    pub fn record_cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a buffer-pool miss.
+    pub fn record_cache_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Takes a point-in-time snapshot of all counters.
+    pub fn snapshot(&self) -> IoSnapshot {
+        IoSnapshot {
+            node_reads: self.node_reads.load(Ordering::Relaxed),
+            node_writes: self.node_writes.load(Ordering::Relaxed),
+            physical_reads: self.physical_reads.load(Ordering::Relaxed),
+            physical_writes: self.physical_writes.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&self) {
+        self.node_reads.store(0, Ordering::Relaxed);
+        self.node_writes.store(0, Ordering::Relaxed);
+        self.physical_reads.store(0, Ordering::Relaxed);
+        self.physical_writes.store(0, Ordering::Relaxed);
+        self.cache_hits.store(0, Ordering::Relaxed);
+        self.cache_misses.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of [`IoStats`] counters; supports delta arithmetic.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IoSnapshot {
+    /// Logical node reads ("node accesses" in the paper).
+    pub node_reads: u64,
+    /// Logical node writes.
+    pub node_writes: u64,
+    /// Physical page reads that reached the backing store.
+    pub physical_reads: u64,
+    /// Physical page writes that reached the backing store.
+    pub physical_writes: u64,
+    /// Buffer-pool hits.
+    pub cache_hits: u64,
+    /// Buffer-pool misses.
+    pub cache_misses: u64,
+}
+
+impl IoSnapshot {
+    /// Component-wise difference `self - earlier` (saturating).
+    pub fn delta_since(&self, earlier: &IoSnapshot) -> IoSnapshot {
+        IoSnapshot {
+            node_reads: self.node_reads.saturating_sub(earlier.node_reads),
+            node_writes: self.node_writes.saturating_sub(earlier.node_writes),
+            physical_reads: self.physical_reads.saturating_sub(earlier.physical_reads),
+            physical_writes: self.physical_writes.saturating_sub(earlier.physical_writes),
+            cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
+            cache_misses: self.cache_misses.saturating_sub(earlier.cache_misses),
+        }
+    }
+
+    /// Total logical node accesses (reads + writes) — the quantity the paper
+    /// charges for.
+    pub fn node_accesses(&self) -> u64 {
+        self.node_reads + self.node_writes
+    }
+}
+
+/// The charging scheme of the paper's evaluation (§IV).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostModel {
+    /// Milliseconds charged per node access. The paper uses 10 ms.
+    pub ms_per_node_access: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            ms_per_node_access: 10.0,
+        }
+    }
+}
+
+impl CostModel {
+    /// The paper's configuration: 10 ms per node access.
+    pub fn paper() -> Self {
+        Self::default()
+    }
+
+    /// A cost model that charges nothing (useful to isolate CPU-only costs).
+    pub fn free() -> Self {
+        CostModel {
+            ms_per_node_access: 0.0,
+        }
+    }
+
+    /// Charged milliseconds for a counter delta.
+    pub fn charge_ms(&self, delta: &IoSnapshot) -> f64 {
+        delta.node_accesses() as f64 * self.ms_per_node_access
+    }
+
+    /// Charged milliseconds for an explicit number of node accesses.
+    pub fn charge_accesses_ms(&self, accesses: u64) -> f64 {
+        accesses as f64 * self.ms_per_node_access
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let stats = IoStats::new_shared();
+        stats.record_node_read();
+        stats.record_node_read();
+        stats.record_node_write();
+        stats.record_physical_read();
+        stats.record_cache_hit();
+        stats.record_cache_miss();
+        let snap = stats.snapshot();
+        assert_eq!(snap.node_reads, 2);
+        assert_eq!(snap.node_writes, 1);
+        assert_eq!(snap.physical_reads, 1);
+        assert_eq!(snap.physical_writes, 0);
+        assert_eq!(snap.cache_hits, 1);
+        assert_eq!(snap.cache_misses, 1);
+        assert_eq!(snap.node_accesses(), 3);
+    }
+
+    #[test]
+    fn delta_since_subtracts_componentwise() {
+        let stats = IoStats::new_shared();
+        stats.record_node_read();
+        let before = stats.snapshot();
+        stats.record_node_read();
+        stats.record_node_read();
+        stats.record_node_write();
+        let after = stats.snapshot();
+        let delta = after.delta_since(&before);
+        assert_eq!(delta.node_reads, 2);
+        assert_eq!(delta.node_writes, 1);
+        assert_eq!(delta.node_accesses(), 3);
+    }
+
+    #[test]
+    fn reset_zeroes_counters() {
+        let stats = IoStats::new_shared();
+        stats.record_node_read();
+        stats.reset();
+        assert_eq!(stats.snapshot(), IoSnapshot::default());
+    }
+
+    #[test]
+    fn paper_cost_model_charges_10ms_per_access() {
+        let model = CostModel::paper();
+        let delta = IoSnapshot {
+            node_reads: 7,
+            node_writes: 3,
+            ..Default::default()
+        };
+        assert_eq!(model.charge_ms(&delta), 100.0);
+        assert_eq!(model.charge_accesses_ms(5), 50.0);
+        assert_eq!(CostModel::free().charge_ms(&delta), 0.0);
+    }
+
+    #[test]
+    fn counters_are_thread_safe() {
+        let stats = IoStats::new_shared();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let st = Arc::clone(&stats);
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        st.record_node_read();
+                    }
+                });
+            }
+        });
+        assert_eq!(stats.snapshot().node_reads, 4000);
+    }
+}

@@ -1,0 +1,234 @@
+//! Dataset specification and generation.
+//!
+//! A [`DatasetSpec`] captures one experimental configuration (cardinality,
+//! key distribution, record size, RNG seed); [`Dataset`] is the materialized
+//! relation `R`. Generation is deterministic, so the data owner, the brute
+//! force oracle used in tests and the benchmark harness all see identical
+//! data for the same spec.
+
+use crate::distribution::KeyDistribution;
+use crate::query::RangeQuery;
+use crate::record::{Record, RecordKey};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// The full description of a synthetic dataset.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DatasetSpec {
+    /// Number of records (`n` in the paper's figures).
+    pub cardinality: usize,
+    /// Search-key distribution (UNF or SKW).
+    pub distribution: KeyDistribution,
+    /// Encoded record size in bytes (500 in the paper).
+    pub record_size: usize,
+    /// RNG seed; the same spec always yields the same dataset.
+    pub seed: u64,
+}
+
+impl DatasetSpec {
+    /// The paper's configuration for a given cardinality and distribution.
+    pub fn paper(cardinality: usize, distribution: KeyDistribution, seed: u64) -> Self {
+        DatasetSpec {
+            cardinality,
+            distribution,
+            record_size: crate::paper::RECORD_SIZE,
+            seed,
+        }
+    }
+
+    /// Generates the dataset described by this spec.
+    pub fn generate(&self) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let keys = self.distribution.sample_many(self.cardinality, &mut rng);
+        let records = keys
+            .into_iter()
+            .enumerate()
+            .map(|(id, key)| Record::with_size(id as u64, key, self.record_size))
+            .collect();
+        Dataset {
+            spec: *self,
+            records,
+        }
+    }
+
+    /// A short, human-readable label, e.g. `UNF-100000`.
+    pub fn label(&self) -> String {
+        format!("{}-{}", self.distribution.name(), self.cardinality)
+    }
+}
+
+/// A materialized synthetic relation.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    /// The spec this dataset was generated from.
+    pub spec: DatasetSpec,
+    /// The records, in id order (`records[i].id == i`).
+    pub records: Vec<Record>,
+}
+
+impl Dataset {
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Iterates over the records in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &Record> {
+        self.records.iter()
+    }
+
+    /// Returns the record with the given id, if present.
+    pub fn get(&self, id: u64) -> Option<&Record> {
+        self.records.get(id as usize)
+    }
+
+    /// Brute-force evaluation of a range query (the correctness oracle used in
+    /// tests): all records whose key lies in `[q.lower, q.upper]`, ordered by
+    /// `(key, id)` — the order the SP's index range-scan returns.
+    pub fn query_oracle(&self, q: &RangeQuery) -> Vec<&Record> {
+        let mut out: Vec<&Record> = self
+            .records
+            .iter()
+            .filter(|r| q.contains(r.key))
+            .collect();
+        out.sort_by_key(|r| (r.key, r.id));
+        out
+    }
+
+    /// Number of records matching the query (without materializing them).
+    pub fn query_cardinality(&self, q: &RangeQuery) -> usize {
+        self.records.iter().filter(|r| q.contains(r.key)).count()
+    }
+
+    /// The records sorted by `(key, id)` — the bulk-load order for the SP/TE
+    /// indexes.
+    pub fn sorted_by_key(&self) -> Vec<&Record> {
+        let mut out: Vec<&Record> = self.records.iter().collect();
+        out.sort_by_key(|r| (r.key, r.id));
+        out
+    }
+
+    /// Keys present in the dataset, sorted ascending (with duplicates).
+    pub fn sorted_keys(&self) -> Vec<RecordKey> {
+        let mut keys: Vec<RecordKey> = self.records.iter().map(|r| r.key).collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    /// Total bytes of the encoded relation (what the DO ships to the SP).
+    pub fn encoded_bytes(&self) -> u64 {
+        self.records.iter().map(|r| r.encoded_len() as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec() -> DatasetSpec {
+        DatasetSpec {
+            cardinality: 1_000,
+            distribution: KeyDistribution::Uniform { domain: 10_000 },
+            record_size: 64,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = small_spec().generate();
+        let b = small_spec().generate();
+        assert_eq!(a.records, b.records);
+        let mut other = small_spec();
+        other.seed = 12;
+        assert_ne!(a.records, other.generate().records);
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let ds = small_spec().generate();
+        assert_eq!(ds.len(), 1_000);
+        for (i, r) in ds.iter().enumerate() {
+            assert_eq!(r.id, i as u64);
+            assert_eq!(r.encoded_len(), 64);
+        }
+        assert_eq!(ds.get(999).unwrap().id, 999);
+        assert!(ds.get(1000).is_none());
+    }
+
+    #[test]
+    fn paper_spec_uses_500_byte_records() {
+        let spec = DatasetSpec::paper(100, KeyDistribution::unf(), 1);
+        let ds = spec.generate();
+        assert_eq!(ds.records[0].encoded_len(), 500);
+        assert_eq!(ds.encoded_bytes(), 100 * 500);
+        assert_eq!(spec.label(), "UNF-100");
+    }
+
+    #[test]
+    fn query_oracle_matches_manual_filter() {
+        let ds = small_spec().generate();
+        let q = RangeQuery::new(2_000, 2_500);
+        let oracle = ds.query_oracle(&q);
+        assert_eq!(oracle.len(), ds.query_cardinality(&q));
+        assert!(oracle.iter().all(|r| q.contains(r.key)));
+        // Sorted by (key, id).
+        for w in oracle.windows(2) {
+            assert!((w[0].key, w[0].id) <= (w[1].key, w[1].id));
+        }
+        // Everything not returned is genuinely outside the range.
+        let returned: std::collections::HashSet<u64> = oracle.iter().map(|r| r.id).collect();
+        for r in ds.iter() {
+            if !returned.contains(&r.id) {
+                assert!(!q.contains(r.key));
+            }
+        }
+    }
+
+    #[test]
+    fn sorted_views_are_sorted() {
+        let ds = small_spec().generate();
+        let keys = ds.sorted_keys();
+        assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+        let sorted = ds.sorted_by_key();
+        assert!(sorted
+            .windows(2)
+            .all(|w| (w[0].key, w[0].id) <= (w[1].key, w[1].id)));
+        assert_eq!(sorted.len(), ds.len());
+    }
+
+    #[test]
+    fn skw_dataset_generates_and_respects_domain() {
+        let spec = DatasetSpec {
+            cardinality: 5_000,
+            distribution: KeyDistribution::Zipf {
+                domain: 100_000,
+                theta: 0.8,
+            },
+            record_size: 32,
+            seed: 5,
+        };
+        let ds = spec.generate();
+        assert!(ds.iter().all(|r| r.key <= 100_000));
+        assert_eq!(spec.label(), "SKW-5000");
+    }
+
+    #[test]
+    fn empty_dataset_is_supported() {
+        let spec = DatasetSpec {
+            cardinality: 0,
+            distribution: KeyDistribution::unf(),
+            record_size: 500,
+            seed: 0,
+        };
+        let ds = spec.generate();
+        assert!(ds.is_empty());
+        assert_eq!(ds.query_cardinality(&RangeQuery::new(0, 100)), 0);
+    }
+}

@@ -1,0 +1,189 @@
+//! Search-key distributions: UNF (uniform) and SKW (Zipf, θ = 0.8).
+//!
+//! The paper evaluates two datasets: *UNF*, whose search keys are uniform over
+//! the domain `[0, 10^7]`, and *SKW*, whose keys follow a Zipf distribution
+//! with skew parameter 0.8 so that roughly 77 % of the keys fall in 20 % of
+//! the domain. Only the `rand` crate is available offline, so the Zipf sampler
+//! is implemented here via inversion of the continuous approximation of the
+//! Zipf CDF (accurate for large domains, which is exactly our setting).
+
+use crate::record::RecordKey;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A search-key distribution over the domain `[0, domain]`.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum KeyDistribution {
+    /// Uniform keys (the paper's UNF dataset).
+    Uniform {
+        /// Inclusive upper bound of the key domain.
+        domain: RecordKey,
+    },
+    /// Zipf-distributed keys (the paper's SKW dataset).
+    Zipf {
+        /// Inclusive upper bound of the key domain.
+        domain: RecordKey,
+        /// Skew parameter θ (0 = uniform, larger = more skew). The paper uses 0.8.
+        theta: f64,
+    },
+}
+
+impl KeyDistribution {
+    /// The paper's UNF distribution over the standard domain.
+    pub fn unf() -> Self {
+        KeyDistribution::Uniform {
+            domain: crate::paper::KEY_DOMAIN,
+        }
+    }
+
+    /// The paper's SKW distribution over the standard domain.
+    pub fn skw() -> Self {
+        KeyDistribution::Zipf {
+            domain: crate::paper::KEY_DOMAIN,
+            theta: crate::paper::ZIPF_THETA,
+        }
+    }
+
+    /// The inclusive upper bound of the key domain.
+    pub fn domain(&self) -> RecordKey {
+        match self {
+            KeyDistribution::Uniform { domain } => *domain,
+            KeyDistribution::Zipf { domain, .. } => *domain,
+        }
+    }
+
+    /// Short name used in experiment reports ("UNF"/"SKW").
+    pub fn name(&self) -> &'static str {
+        match self {
+            KeyDistribution::Uniform { .. } => "UNF",
+            KeyDistribution::Zipf { .. } => "SKW",
+        }
+    }
+
+    /// Samples one search key.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> RecordKey {
+        match self {
+            KeyDistribution::Uniform { domain } => rng.gen_range(0..=*domain),
+            KeyDistribution::Zipf { domain, theta } => {
+                sample_zipf(*domain as u64 + 1, *theta, rng) as RecordKey
+            }
+        }
+    }
+
+    /// Samples `n` search keys.
+    pub fn sample_many<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Vec<RecordKey> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+/// Samples a value in `[0, n)` following (approximately) a Zipf distribution
+/// with exponent `theta`, using inversion of the continuous CDF
+/// `F(x) ∝ x^(1-θ)`. For θ in (0, 1) and large `n` this matches the discrete
+/// Zipf closely and is O(1) per sample.
+fn sample_zipf<R: Rng + ?Sized>(n: u64, theta: f64, rng: &mut R) -> u64 {
+    assert!(n > 0);
+    assert!(
+        (0.0..1.0).contains(&theta),
+        "this sampler supports 0 <= theta < 1 (paper uses 0.8)"
+    );
+    let u: f64 = rng.gen::<f64>();
+    let exp = 1.0 - theta;
+    // Inverse of F(x) = (x^exp - 1) / (n^exp - 1) over x in [1, n].
+    let x = (1.0 + u * ((n as f64).powf(exp) - 1.0)).powf(1.0 / exp);
+    // Map rank x in [1, n] to a key in [0, n).
+    (x.floor() as u64 - 1).min(n - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn names_and_domains() {
+        assert_eq!(KeyDistribution::unf().name(), "UNF");
+        assert_eq!(KeyDistribution::skw().name(), "SKW");
+        assert_eq!(KeyDistribution::unf().domain(), 10_000_000);
+        assert_eq!(KeyDistribution::skw().domain(), 10_000_000);
+    }
+
+    #[test]
+    fn uniform_samples_stay_in_domain_and_cover_it() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let dist = KeyDistribution::Uniform { domain: 1000 };
+        let keys = dist.sample_many(10_000, &mut rng);
+        assert!(keys.iter().all(|&k| k <= 1000));
+        // Coverage: both halves of the domain are hit roughly equally.
+        let low = keys.iter().filter(|&&k| k <= 500).count();
+        assert!((4000..6000).contains(&low), "low half count {low}");
+    }
+
+    #[test]
+    fn zipf_samples_stay_in_domain() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let dist = KeyDistribution::Zipf {
+            domain: 9_999,
+            theta: 0.8,
+        };
+        let keys = dist.sample_many(20_000, &mut rng);
+        assert!(keys.iter().all(|&k| k <= 9_999));
+    }
+
+    #[test]
+    fn zipf_is_skewed_toward_small_keys() {
+        // The paper calibrates θ=0.8 as "77% of the search keys are
+        // concentrated in 20% of the domain". The continuous-inversion
+        // sampler should land in the same ballpark (we accept 60%–90%).
+        let mut rng = StdRng::seed_from_u64(3);
+        let domain: u32 = 1_000_000;
+        let dist = KeyDistribution::Zipf { domain, theta: 0.8 };
+        let keys = dist.sample_many(50_000, &mut rng);
+        let in_first_fifth = keys
+            .iter()
+            .filter(|&&k| (k as f64) < domain as f64 * 0.2)
+            .count() as f64
+            / keys.len() as f64;
+        assert!(
+            (0.6..0.9).contains(&in_first_fifth),
+            "fraction in first 20% of domain: {in_first_fifth}"
+        );
+    }
+
+    #[test]
+    fn zipf_is_more_skewed_than_uniform() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let domain: u32 = 100_000;
+        let unf = KeyDistribution::Uniform { domain };
+        let skw = KeyDistribution::Zipf { domain, theta: 0.8 };
+        let unf_low = unf
+            .sample_many(20_000, &mut rng)
+            .iter()
+            .filter(|&&k| (k as f64) < domain as f64 * 0.2)
+            .count();
+        let skw_low = skw
+            .sample_many(20_000, &mut rng)
+            .iter()
+            .filter(|&&k| (k as f64) < domain as f64 * 0.2)
+            .count();
+        assert!(skw_low > unf_low * 2);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_for_a_fixed_seed() {
+        let a: Vec<u32> = KeyDistribution::skw().sample_many(100, &mut StdRng::seed_from_u64(7));
+        let b: Vec<u32> = KeyDistribution::skw().sample_many(100, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "theta")]
+    fn zipf_theta_out_of_range_is_rejected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let dist = KeyDistribution::Zipf {
+            domain: 100,
+            theta: 1.5,
+        };
+        let _ = dist.sample(&mut rng);
+    }
+}

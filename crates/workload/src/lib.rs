@@ -1,0 +1,33 @@
+//! # sae-workload
+//!
+//! Dataset and query workload generation for the SAE evaluation.
+//!
+//! The paper's experiments (§IV) use synthetic relations with:
+//!
+//! * 4-byte integer search keys drawn from the domain `[0, 10^7]`,
+//! * a total record size of 500 bytes,
+//! * two key distributions — **UNF** (uniform) and **SKW** (Zipf with
+//!   skew 0.8, concentrating ~77 % of the keys in 20 % of the domain),
+//! * dataset cardinalities from 100 K to 1 M records, and
+//! * query workloads of 100 uniformly placed range queries whose extent is
+//!   0.5 % of the domain.
+//!
+//! This crate reproduces those generators deterministically (seeded RNG) so
+//! every experiment is repeatable: [`record::Record`] and its canonical binary
+//! encoding, [`dataset::DatasetSpec`]/[`dataset::Dataset`], the
+//! [`distribution::KeyDistribution`] samplers and
+//! [`query::QueryWorkload`]/[`query::RangeQuery`].
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod dataset;
+pub mod distribution;
+pub mod paper;
+pub mod query;
+pub mod record;
+
+pub use dataset::{Dataset, DatasetSpec};
+pub use distribution::KeyDistribution;
+pub use query::{QueryWorkload, RangeQuery};
+pub use record::{Record, RecordKey, TeTuple};

@@ -1,0 +1,58 @@
+//! Constants of the paper's experimental setup (§IV), in one place.
+//!
+//! The benchmark harness and the examples read these values so that the
+//! default configuration of every experiment is exactly the configuration
+//! reported in the paper.
+
+/// Size of every record in bytes ("The total record size is set to 500 bytes").
+pub const RECORD_SIZE: usize = 500;
+
+/// Upper bound of the search-key domain (keys are integers in `[0, 10^7]`).
+pub const KEY_DOMAIN: u32 = 10_000_000;
+
+/// Query extent as a fraction of the domain ("100 uniform queries with extent
+/// 0.5% of the entire domain").
+pub const QUERY_EXTENT_FRACTION: f64 = 0.005;
+
+/// Number of queries per experiment.
+pub const QUERIES_PER_EXPERIMENT: usize = 100;
+
+/// Zipf skew parameter for the SKW datasets.
+pub const ZIPF_THETA: f64 = 0.8;
+
+/// Dataset cardinalities evaluated in the paper (Figures 5–8).
+pub const CARDINALITIES: [usize; 5] = [100_000, 250_000, 500_000, 750_000, 1_000_000];
+
+/// Scaled-down cardinalities used by default so the full suite runs in CI
+/// time; the harness exposes `--full-scale` to switch to [`CARDINALITIES`].
+pub const SCALED_CARDINALITIES: [usize; 5] = [10_000, 25_000, 50_000, 75_000, 100_000];
+
+/// Milliseconds charged per node access in the processing-cost experiments.
+pub const MS_PER_NODE_ACCESS: f64 = 10.0;
+
+/// Digest size in bytes (also the size of the SAE verification token).
+pub const DIGEST_SIZE: usize = 20;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_match_the_paper() {
+        assert_eq!(RECORD_SIZE, 500);
+        assert_eq!(KEY_DOMAIN, 10_000_000);
+        assert_eq!(QUERY_EXTENT_FRACTION, 0.005);
+        assert_eq!(QUERIES_PER_EXPERIMENT, 100);
+        assert_eq!(ZIPF_THETA, 0.8);
+        assert_eq!(CARDINALITIES, [100_000, 250_000, 500_000, 750_000, 1_000_000]);
+        assert_eq!(MS_PER_NODE_ACCESS, 10.0);
+        assert_eq!(DIGEST_SIZE, 20);
+    }
+
+    #[test]
+    fn scaled_cardinalities_preserve_the_ratios() {
+        for (full, scaled) in CARDINALITIES.iter().zip(SCALED_CARDINALITIES.iter()) {
+            assert_eq!(full / scaled, 10);
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Range queries and query workloads.
+//!
+//! The evaluation issues 100 uniformly placed range queries per configuration,
+//! each covering 0.5 % of the key domain. [`RangeQuery`] is the 1-D range
+//! `[lower, upper]` (inclusive bounds, matching the paper's example "price
+//! between 200 and 300 euros"), and [`QueryWorkload`] generates such workloads
+//! deterministically.
+
+use crate::record::RecordKey;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A one-dimensional range query `q:[ql, qu]` with inclusive bounds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RangeQuery {
+    /// Lower bound `ql` (inclusive).
+    pub lower: RecordKey,
+    /// Upper bound `qu` (inclusive).
+    pub upper: RecordKey,
+}
+
+impl RangeQuery {
+    /// Creates a query, normalizing reversed bounds.
+    pub fn new(lower: RecordKey, upper: RecordKey) -> Self {
+        if lower <= upper {
+            RangeQuery { lower, upper }
+        } else {
+            RangeQuery {
+                lower: upper,
+                upper: lower,
+            }
+        }
+    }
+
+    /// Whether `key` satisfies the query.
+    pub fn contains(&self, key: RecordKey) -> bool {
+        self.lower <= key && key <= self.upper
+    }
+
+    /// The extent (width) of the query range.
+    pub fn extent(&self) -> u64 {
+        self.upper as u64 - self.lower as u64
+    }
+}
+
+impl std::fmt::Display for RangeQuery {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}, {}]", self.lower, self.upper)
+    }
+}
+
+/// A deterministic workload of uniformly placed fixed-extent range queries.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct QueryWorkload {
+    /// The queries, in issue order.
+    pub queries: Vec<RangeQuery>,
+}
+
+impl QueryWorkload {
+    /// Generates `count` queries over `[0, domain]`, each with an extent equal
+    /// to `extent_fraction` of the domain, placed uniformly at random.
+    pub fn uniform(
+        count: usize,
+        domain: RecordKey,
+        extent_fraction: f64,
+        seed: u64,
+    ) -> QueryWorkload {
+        assert!(
+            (0.0..=1.0).contains(&extent_fraction),
+            "extent fraction must be in [0, 1]"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let extent = ((domain as f64) * extent_fraction).round() as u64;
+        let max_start = domain as u64 - extent;
+        let queries = (0..count)
+            .map(|_| {
+                let start = rng.gen_range(0..=max_start);
+                RangeQuery::new(start as RecordKey, (start + extent) as RecordKey)
+            })
+            .collect();
+        QueryWorkload { queries }
+    }
+
+    /// The paper's workload: 100 queries, 0.5 % extent, standard domain.
+    pub fn paper(seed: u64) -> QueryWorkload {
+        QueryWorkload::uniform(
+            crate::paper::QUERIES_PER_EXPERIMENT,
+            crate::paper::KEY_DOMAIN,
+            crate::paper::QUERY_EXTENT_FRACTION,
+            seed,
+        )
+    }
+
+    /// Number of queries in the workload.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Whether the workload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// Iterates over the queries.
+    pub fn iter(&self) -> impl Iterator<Item = &RangeQuery> {
+        self.queries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_normalizes_reversed_bounds() {
+        let q = RangeQuery::new(300, 200);
+        assert_eq!(q.lower, 200);
+        assert_eq!(q.upper, 300);
+        assert_eq!(q.extent(), 100);
+    }
+
+    #[test]
+    fn contains_uses_inclusive_bounds() {
+        let q = RangeQuery::new(200, 300);
+        assert!(q.contains(200));
+        assert!(q.contains(300));
+        assert!(q.contains(250));
+        assert!(!q.contains(199));
+        assert!(!q.contains(301));
+    }
+
+    #[test]
+    fn display_shows_bounds() {
+        assert_eq!(RangeQuery::new(5, 17).to_string(), "[5, 17]");
+    }
+
+    #[test]
+    fn uniform_workload_respects_domain_and_extent() {
+        let wl = QueryWorkload::uniform(500, 1_000_000, 0.005, 42);
+        assert_eq!(wl.len(), 500);
+        for q in wl.iter() {
+            assert_eq!(q.extent(), 5_000);
+            assert!(q.upper <= 1_000_000);
+        }
+    }
+
+    #[test]
+    fn paper_workload_has_paper_parameters() {
+        let wl = QueryWorkload::paper(1);
+        assert_eq!(wl.len(), 100);
+        for q in wl.iter() {
+            assert_eq!(q.extent(), 50_000); // 0.5% of 10^7
+            assert!(q.upper <= 10_000_000);
+        }
+    }
+
+    #[test]
+    fn workloads_are_deterministic_per_seed() {
+        assert_eq!(QueryWorkload::paper(9), QueryWorkload::paper(9));
+        assert_ne!(QueryWorkload::paper(9), QueryWorkload::paper(10));
+    }
+
+    #[test]
+    fn query_starts_are_spread_over_the_domain() {
+        let wl = QueryWorkload::uniform(1000, 1_000_000, 0.001, 3);
+        let in_upper_half = wl.iter().filter(|q| q.lower > 500_000).count();
+        assert!((350..650).contains(&in_upper_half));
+    }
+
+    #[test]
+    #[should_panic(expected = "extent fraction")]
+    fn invalid_extent_fraction_is_rejected() {
+        let _ = QueryWorkload::uniform(1, 100, 1.5, 0);
+    }
+
+    #[test]
+    fn zero_count_gives_empty_workload() {
+        let wl = QueryWorkload::uniform(0, 100, 0.1, 0);
+        assert!(wl.is_empty());
+    }
+}

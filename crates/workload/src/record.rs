@@ -1,0 +1,208 @@
+//! The record model shared by every entity in the system.
+//!
+//! A [`Record`] is one row of the outsourced relation `R`: a unique id, the
+//! value of the query attribute (`r.a`, the *search key*) and the remaining
+//! attributes modelled as an opaque payload that pads the record to its fixed
+//! size (500 bytes in the evaluation). The canonical binary encoding produced
+//! by [`Record::encode`] is what gets hashed — the paper computes record
+//! digests "on the binary representation of r".
+//!
+//! A [`TeTuple`] is the reduced tuple `t = <id, a, h>` the trusted entity
+//! keeps for each record (§II).
+
+use sae_crypto::{Digest, HashAlgorithm};
+use serde::{Deserialize, Serialize};
+
+/// The search-key type (4-byte integer, as in the paper).
+pub type RecordKey = u32;
+
+/// Number of bytes of fixed header in the encoding (id + key).
+pub const RECORD_HEADER_LEN: usize = 8 + 4;
+
+/// One record of the outsourced relation.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Record {
+    /// Unique record identifier (`t.id` refers back to this).
+    pub id: u64,
+    /// Value of the query attribute (the search key `r.a`).
+    pub key: RecordKey,
+    /// All remaining attributes, serialized; pads the record to its fixed size.
+    pub payload: Vec<u8>,
+}
+
+impl Record {
+    /// Creates a record with the given payload.
+    pub fn new(id: u64, key: RecordKey, payload: Vec<u8>) -> Self {
+        Record { id, key, payload }
+    }
+
+    /// Creates a record padded with a deterministic pseudo-payload so that the
+    /// encoded record is exactly `record_size` bytes.
+    ///
+    /// Panics if `record_size` is smaller than the fixed header.
+    pub fn with_size(id: u64, key: RecordKey, record_size: usize) -> Self {
+        assert!(
+            record_size >= RECORD_HEADER_LEN,
+            "record size {record_size} smaller than header {RECORD_HEADER_LEN}"
+        );
+        let payload_len = record_size - RECORD_HEADER_LEN;
+        // Deterministic filler derived from the id so two different records
+        // never share a payload byte-for-byte by accident.
+        let mut payload = Vec::with_capacity(payload_len);
+        let mut state = id.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(key as u64);
+        while payload.len() < payload_len {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            payload.extend_from_slice(&state.to_le_bytes());
+        }
+        payload.truncate(payload_len);
+        Record { id, key, payload }
+    }
+
+    /// Total encoded size in bytes.
+    pub fn encoded_len(&self) -> usize {
+        RECORD_HEADER_LEN + self.payload.len()
+    }
+
+    /// Canonical binary encoding: `id (8 LE) || key (4 LE) || payload`.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len());
+        out.extend_from_slice(&self.id.to_le_bytes());
+        out.extend_from_slice(&self.key.to_le_bytes());
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Decodes a record from its canonical encoding.
+    pub fn decode(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() < RECORD_HEADER_LEN {
+            return None;
+        }
+        let id = u64::from_le_bytes(bytes[0..8].try_into().ok()?);
+        let key = u32::from_le_bytes(bytes[8..12].try_into().ok()?);
+        Some(Record {
+            id,
+            key,
+            payload: bytes[RECORD_HEADER_LEN..].to_vec(),
+        })
+    }
+
+    /// The record digest `h = H(binary representation of r)`.
+    pub fn digest(&self, alg: HashAlgorithm) -> Digest {
+        alg.hash(&self.encode())
+    }
+
+    /// The reduced tuple the trusted entity stores for this record.
+    pub fn te_tuple(&self, alg: HashAlgorithm) -> TeTuple {
+        TeTuple {
+            id: self.id,
+            key: self.key,
+            digest: self.digest(alg),
+        }
+    }
+}
+
+/// The tuple `t = <t.id, t.a, t.h>` maintained by the trusted entity (§II).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TeTuple {
+    /// The unique identifier of the corresponding record.
+    pub id: u64,
+    /// The value of the query attribute of the corresponding record.
+    pub key: RecordKey,
+    /// The digest of the binary representation of the corresponding record.
+    pub digest: Digest,
+}
+
+impl TeTuple {
+    /// Size in bytes of the information the TE keeps per record
+    /// (id + key + digest) — used in the storage-cost experiment (Fig. 8).
+    pub const STORED_SIZE: usize = 8 + 4 + sae_crypto::DIGEST_LEN;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn with_size_produces_exact_encoded_length() {
+        for size in [12usize, 100, 500, 777] {
+            let r = Record::with_size(42, 1234, size);
+            assert_eq!(r.encode().len(), size);
+            assert_eq!(r.encoded_len(), size);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller than header")]
+    fn with_size_rejects_tiny_records() {
+        let _ = Record::with_size(1, 1, 4);
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let r = Record::new(7, 250, b"Canon SD850 IS".to_vec());
+        let decoded = Record::decode(&r.encode()).unwrap();
+        assert_eq!(decoded, r);
+    }
+
+    #[test]
+    fn decode_rejects_short_buffers() {
+        assert!(Record::decode(&[0u8; 11]).is_none());
+        assert!(Record::decode(&[]).is_none());
+        // Exactly the header is a valid empty-payload record.
+        let r = Record::decode(&[0u8; 12]).unwrap();
+        assert!(r.payload.is_empty());
+    }
+
+    #[test]
+    fn encoding_layout_is_id_key_payload() {
+        let r = Record::new(0x0102030405060708, 0xAABBCCDD, vec![0xEE, 0xFF]);
+        let enc = r.encode();
+        assert_eq!(&enc[0..8], &0x0102030405060708u64.to_le_bytes());
+        assert_eq!(&enc[8..12], &0xAABBCCDDu32.to_le_bytes());
+        assert_eq!(&enc[12..], &[0xEE, 0xFF]);
+    }
+
+    #[test]
+    fn digest_depends_on_every_field() {
+        let alg = HashAlgorithm::Sha1;
+        let base = Record::with_size(1, 100, 64);
+        let mut other_id = base.clone();
+        other_id.id = 2;
+        let mut other_key = base.clone();
+        other_key.key = 101;
+        let mut other_payload = base.clone();
+        other_payload.payload[0] ^= 1;
+        assert_ne!(base.digest(alg), other_id.digest(alg));
+        assert_ne!(base.digest(alg), other_key.digest(alg));
+        assert_ne!(base.digest(alg), other_payload.digest(alg));
+    }
+
+    #[test]
+    fn digest_is_deterministic_across_algorithms() {
+        let r = Record::with_size(9, 500_000, 500);
+        assert_eq!(r.digest(HashAlgorithm::Sha1), r.digest(HashAlgorithm::Sha1));
+        assert_ne!(
+            r.digest(HashAlgorithm::Sha1),
+            r.digest(HashAlgorithm::Sha256)
+        );
+    }
+
+    #[test]
+    fn te_tuple_mirrors_record_fields() {
+        let r = Record::with_size(33, 777, 500);
+        let t = r.te_tuple(HashAlgorithm::Sha1);
+        assert_eq!(t.id, 33);
+        assert_eq!(t.key, 777);
+        assert_eq!(t.digest, r.digest(HashAlgorithm::Sha1));
+        assert_eq!(TeTuple::STORED_SIZE, 32);
+    }
+
+    #[test]
+    fn with_size_payloads_differ_between_records() {
+        let a = Record::with_size(1, 10, 500);
+        let b = Record::with_size(2, 10, 500);
+        assert_ne!(a.payload, b.payload);
+    }
+}

@@ -1,0 +1,240 @@
+//! On-page node layout for the XB-Tree.
+//!
+//! ```text
+//! leaf:      [type:1][pad:1][count:2][next_leaf:8] [ (key:4, id:8,    digest:20) * count ]
+//! internal:  [type:1][pad:1][count:2][pad:8]       [ (key:4, child:8, X:20)      * count ]
+//! ```
+//!
+//! A leaf entry is one TE tuple `<id, key, h>`; an internal entry carries the
+//! minimum key of its child subtree and the XOR (`X`) of every tuple digest
+//! stored below that child — the partial aggregates `GenerateVT` combines.
+
+use sae_crypto::{Digest, DIGEST_LEN};
+use sae_storage::{Page, PageId, PAGE_SIZE};
+use sae_workload::RecordKey;
+
+const HEADER_LEN: usize = 12;
+const ENTRY_LEN: usize = 4 + 8 + DIGEST_LEN;
+
+/// Maximum entries per leaf node.
+pub const XB_LEAF_CAPACITY: usize = (PAGE_SIZE - HEADER_LEN) / ENTRY_LEN;
+/// Maximum entries per internal node.
+pub const XB_INTERNAL_CAPACITY: usize = (PAGE_SIZE - HEADER_LEN) / ENTRY_LEN;
+
+/// Node kind.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum XbNodeKind {
+    /// Leaf: entries are TE tuples `(key, record id, record digest)`.
+    Leaf,
+    /// Internal: entries are `(subtree min key, child page, subtree XOR)`.
+    Internal,
+}
+
+/// One decoded XB-Tree entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct XbEntry {
+    /// Tuple key (leaf) or minimum key of the child subtree (internal).
+    pub key: RecordKey,
+    /// Record id (leaf) or child page id as a raw u64 (internal).
+    pub ptr: u64,
+    /// Record digest (leaf) or XOR of all digests in the subtree (internal).
+    pub x: Digest,
+}
+
+impl XbEntry {
+    /// The pointer interpreted as a child page id.
+    pub fn child(&self) -> PageId {
+        PageId(self.ptr)
+    }
+}
+
+/// An in-memory, decoded XB-Tree node.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct XbNode {
+    /// Leaf or internal.
+    pub kind: XbNodeKind,
+    /// Leaf only: next leaf in key order.
+    pub next_leaf: PageId,
+    /// Entries sorted by key.
+    pub entries: Vec<XbEntry>,
+}
+
+impl XbNode {
+    /// Creates an empty leaf.
+    pub fn new_leaf() -> Self {
+        XbNode {
+            kind: XbNodeKind::Leaf,
+            next_leaf: PageId::INVALID,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Creates an empty internal node.
+    pub fn new_internal() -> Self {
+        XbNode {
+            kind: XbNodeKind::Internal,
+            next_leaf: PageId::INVALID,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the node is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether the node is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= XB_LEAF_CAPACITY
+    }
+
+    /// Minimum key stored in (or below) this node. Panics on empty nodes.
+    pub fn min_key(&self) -> RecordKey {
+        self.entries[0].key
+    }
+
+    /// XOR of all `x` values stored in this node — for a leaf that is the XOR
+    /// of its tuple digests, for an internal node the XOR of its children's
+    /// aggregates; in both cases it equals the XOR of every tuple digest in
+    /// the subtree rooted at this node.
+    pub fn node_xor(&self) -> Digest {
+        let mut acc = Digest::ZERO;
+        for e in &self.entries {
+            acc ^= e.x;
+        }
+        acc
+    }
+
+    /// First child whose subtree may contain `key` (see the MB-Tree note on
+    /// duplicates straddling splits).
+    pub fn child_index_for_lower_bound(&self, key: RecordKey) -> usize {
+        debug_assert_eq!(self.kind, XbNodeKind::Internal);
+        self.entries.partition_point(|e| e.key < key).saturating_sub(1)
+    }
+
+    /// Serializes the node into a page.
+    pub fn to_page(&self) -> Page {
+        let mut page = Page::new();
+        page.write_u8(0, if self.kind == XbNodeKind::Leaf { 0 } else { 1 });
+        page.write_u16(2, self.entries.len() as u16);
+        page.write_page_id(4, self.next_leaf);
+        let mut off = HEADER_LEN;
+        for e in &self.entries {
+            page.write_u32(off, e.key);
+            page.write_u64(off + 4, e.ptr);
+            page.write_bytes(off + 12, e.x.as_bytes());
+            off += ENTRY_LEN;
+        }
+        page
+    }
+
+    /// Decodes a node from a page.
+    pub fn from_page(page: &Page) -> Self {
+        let kind = if page.read_u8(0) == 0 {
+            XbNodeKind::Leaf
+        } else {
+            XbNodeKind::Internal
+        };
+        let count = page.read_u16(2) as usize;
+        let next_leaf = page.read_page_id(4);
+        let mut entries = Vec::with_capacity(count);
+        let mut off = HEADER_LEN;
+        for _ in 0..count {
+            entries.push(XbEntry {
+                key: page.read_u32(off),
+                ptr: page.read_u64(off + 4),
+                x: Digest::from_slice(page.read_bytes(off + 12, DIGEST_LEN))
+                    .expect("digest length is fixed"),
+            });
+            off += ENTRY_LEN;
+        }
+        XbNode {
+            kind,
+            next_leaf,
+            entries,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(tag: u8) -> Digest {
+        Digest::new([tag; DIGEST_LEN])
+    }
+
+    #[test]
+    fn capacities_match_entry_size() {
+        assert_eq!(XB_LEAF_CAPACITY, 127);
+        assert_eq!(XB_INTERNAL_CAPACITY, 127);
+    }
+
+    #[test]
+    fn round_trips_for_both_kinds() {
+        let mut leaf = XbNode::new_leaf();
+        leaf.next_leaf = PageId(3);
+        for i in 0..7u64 {
+            leaf.entries.push(XbEntry {
+                key: i as u32 * 2,
+                ptr: i,
+                x: d(i as u8),
+            });
+        }
+        assert_eq!(XbNode::from_page(&leaf.to_page()), leaf);
+
+        let mut internal = XbNode::new_internal();
+        for i in 0..4u64 {
+            internal.entries.push(XbEntry {
+                key: i as u32 * 100,
+                ptr: i + 10,
+                x: d(0xF0 | i as u8),
+            });
+        }
+        let decoded = XbNode::from_page(&internal.to_page());
+        assert_eq!(decoded, internal);
+        assert_eq!(decoded.entries[2].child(), PageId(12));
+    }
+
+    #[test]
+    fn node_xor_is_xor_of_entry_aggregates() {
+        let mut node = XbNode::new_leaf();
+        node.entries.push(XbEntry { key: 1, ptr: 1, x: d(0b0011) });
+        node.entries.push(XbEntry { key: 2, ptr: 2, x: d(0b0101) });
+        node.entries.push(XbEntry { key: 3, ptr: 3, x: d(0b1001) });
+        assert_eq!(node.node_xor(), d(0b0011 ^ 0b0101 ^ 0b1001));
+        assert_eq!(XbNode::new_leaf().node_xor(), Digest::ZERO);
+    }
+
+    #[test]
+    fn lower_bound_descent_handles_duplicate_minimums() {
+        let mut node = XbNode::new_internal();
+        for (i, key) in [10u32, 20, 20, 30].iter().enumerate() {
+            node.entries.push(XbEntry { key: *key, ptr: i as u64, x: d(0) });
+        }
+        assert_eq!(node.child_index_for_lower_bound(5), 0);
+        assert_eq!(node.child_index_for_lower_bound(20), 0);
+        assert_eq!(node.child_index_for_lower_bound(21), 2);
+        assert_eq!(node.child_index_for_lower_bound(30), 2);
+        assert_eq!(node.child_index_for_lower_bound(31), 3);
+    }
+
+    #[test]
+    fn full_node_round_trip() {
+        let mut node = XbNode::new_leaf();
+        for i in 0..XB_LEAF_CAPACITY as u64 {
+            node.entries.push(XbEntry {
+                key: i as u32,
+                ptr: i,
+                x: d((i % 255) as u8),
+            });
+        }
+        assert!(node.is_full());
+        assert_eq!(XbNode::from_page(&node.to_page()), node);
+    }
+}

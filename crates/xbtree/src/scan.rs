@@ -1,0 +1,171 @@
+//! The sequential-scan baseline for VT generation (ablation E5).
+//!
+//! §III motivates the XB-Tree by noting that without an index "the TE could
+//! perform a sequential scan of T and retrieve the digests of all records
+//! qualifying q", which makes the TE's effort proportional to the dataset and
+//! "can be expensive, contradicting the goal of SAE". [`TupleStore`] is that
+//! baseline: the TE tuple set `T` packed into pages, with VT generation by a
+//! full scan. The ablation benchmark compares its node accesses against the
+//! XB-Tree's logarithmic traversal.
+
+use sae_crypto::{Digest, DIGEST_LEN};
+use sae_storage::{PageId, SharedPageStore, StorageResult, PAGE_SIZE};
+use sae_workload::{RangeQuery, TeTuple};
+
+/// Bytes per packed tuple: key (4) + id (8) + digest (20).
+const TUPLE_LEN: usize = 4 + 8 + DIGEST_LEN;
+/// Tuples per page (a 4-byte count header precedes the packed tuples).
+const TUPLES_PER_PAGE: usize = (PAGE_SIZE - 4) / TUPLE_LEN;
+
+/// The TE's tuple set `T` stored flat in pages, without any index.
+pub struct TupleStore {
+    store: SharedPageStore,
+    pages: Vec<PageId>,
+    len: u64,
+}
+
+impl TupleStore {
+    /// Packs the given tuples into pages (any order is accepted).
+    pub fn build(store: SharedPageStore, tuples: &[TeTuple]) -> StorageResult<Self> {
+        let mut pages = Vec::new();
+        for chunk in tuples.chunks(TUPLES_PER_PAGE) {
+            let page_id = store.allocate()?;
+            let mut page = sae_storage::Page::new();
+            page.write_u16(0, chunk.len() as u16);
+            let mut off = 4;
+            for t in chunk {
+                page.write_u32(off, t.key);
+                page.write_u64(off + 4, t.id);
+                page.write_bytes(off + 12, t.digest.as_bytes());
+                off += TUPLE_LEN;
+            }
+            store.write(page_id, &page)?;
+            pages.push(page_id);
+        }
+        Ok(TupleStore {
+            store,
+            pages,
+            len: tuples.len() as u64,
+        })
+    }
+
+    /// Number of tuples stored.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of pages occupied.
+    pub fn page_count(&self) -> u64 {
+        self.pages.len() as u64
+    }
+
+    /// Bytes occupied by the packed tuple set.
+    pub fn storage_bytes(&self) -> u64 {
+        self.page_count() * PAGE_SIZE as u64
+    }
+
+    /// Computes the verification token by scanning every page — the baseline
+    /// whose cost the XB-Tree eliminates.
+    pub fn generate_vt_scan(&self, q: &RangeQuery) -> StorageResult<Digest> {
+        let mut vt = Digest::ZERO;
+        for &page_id in &self.pages {
+            let page = self.store.read(page_id)?;
+            let count = page.read_u16(0) as usize;
+            let mut off = 4;
+            for _ in 0..count {
+                let key = page.read_u32(off);
+                if q.contains(key) {
+                    let digest = Digest::from_slice(page.read_bytes(off + 12, DIGEST_LEN))
+                        .expect("digest length is fixed");
+                    vt ^= digest;
+                }
+                off += TUPLE_LEN;
+            }
+        }
+        Ok(vt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sae_crypto::HashAlgorithm;
+    use sae_storage::MemPager;
+    use sae_workload::Record;
+
+    fn tuples(n: u64) -> Vec<TeTuple> {
+        (0..n)
+            .map(|i| Record::with_size(i, (i * 11 % 5_000) as u32, 64).te_tuple(HashAlgorithm::Sha1))
+            .collect()
+    }
+
+    #[test]
+    fn scan_vt_matches_brute_force_and_xbtree() {
+        let ts = tuples(3_000);
+        let mut sorted = ts.clone();
+        sorted.sort_by_key(|t| (t.key, t.id));
+
+        let scan = TupleStore::build(MemPager::new_shared(), &ts).unwrap();
+        let tree = crate::XbTree::bulk_load(MemPager::new_shared(), &sorted).unwrap();
+
+        for (lo, hi) in [(0u32, 5_000u32), (100, 900), (4_400, 4_401)] {
+            let q = RangeQuery::new(lo, hi);
+            let mut expected = Digest::ZERO;
+            for t in &ts {
+                if q.contains(t.key) {
+                    expected ^= t.digest;
+                }
+            }
+            assert_eq!(scan.generate_vt_scan(&q).unwrap(), expected);
+            assert_eq!(tree.generate_vt(&q).unwrap(), expected);
+        }
+    }
+
+    #[test]
+    fn scan_touches_every_page_while_the_tree_does_not() {
+        let ts = tuples(20_000);
+        let mut sorted = ts.clone();
+        sorted.sort_by_key(|t| (t.key, t.id));
+
+        let scan_store = MemPager::new_shared();
+        let scan = TupleStore::build(scan_store.clone(), &ts).unwrap();
+        let tree_store = MemPager::new_shared();
+        let tree = crate::XbTree::bulk_load(tree_store.clone(), &sorted).unwrap();
+
+        let q = RangeQuery::new(1_000, 1_050);
+        let before_scan = scan_store.stats().snapshot();
+        scan.generate_vt_scan(&q).unwrap();
+        let scan_reads = scan_store.stats().snapshot().delta_since(&before_scan).node_reads;
+
+        let before_tree = tree_store.stats().snapshot();
+        tree.generate_vt(&q).unwrap();
+        let tree_reads = tree_store.stats().snapshot().delta_since(&before_tree).node_reads;
+
+        assert_eq!(scan_reads, scan.page_count());
+        assert!(tree_reads * 10 < scan_reads, "{tree_reads} vs {scan_reads}");
+    }
+
+    #[test]
+    fn empty_store() {
+        let scan = TupleStore::build(MemPager::new_shared(), &[]).unwrap();
+        assert!(scan.is_empty());
+        assert_eq!(scan.page_count(), 0);
+        assert_eq!(
+            scan.generate_vt_scan(&RangeQuery::new(0, 10)).unwrap(),
+            Digest::ZERO
+        );
+    }
+
+    #[test]
+    fn packing_density_is_127_tuples_per_page() {
+        assert_eq!(TUPLES_PER_PAGE, 127);
+        let scan = TupleStore::build(MemPager::new_shared(), &tuples(1_000)).unwrap();
+        assert_eq!(scan.page_count(), 8); // ceil(1000 / 127)
+        assert_eq!(scan.len(), 1_000);
+    }
+}
