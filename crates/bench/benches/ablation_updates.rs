@@ -37,7 +37,9 @@ fn bench_updates(c: &mut Criterion) {
     group.bench_function("bplus_insert", |b| {
         b.iter(|| {
             next_id += 1;
-            btree.insert((next_id % 10_000_000) as u32, next_id).unwrap();
+            btree
+                .insert((next_id % 10_000_000) as u32, next_id)
+                .unwrap();
         })
     });
     group.bench_function("mbtree_insert", |b| {

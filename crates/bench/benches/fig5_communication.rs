@@ -17,8 +17,8 @@ fn bench_fig5(c: &mut Criterion) {
     let dataset = DatasetSpec::paper(N, KeyDistribution::unf(), 5).generate();
     let sae = SaeSystem::build_in_memory(&dataset, HashAlgorithm::Sha1).unwrap();
     let signer = MacSigner::new(b"do-key".to_vec());
-    let tom = TomSystem::build_in_memory(&dataset, HashAlgorithm::Sha1, signer.clone(), signer)
-        .unwrap();
+    let tom =
+        TomSystem::build_in_memory(&dataset, HashAlgorithm::Sha1, signer.clone(), signer).unwrap();
     let workload = QueryWorkload::paper(11);
     let q = workload.queries[0];
 

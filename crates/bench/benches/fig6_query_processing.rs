@@ -17,8 +17,8 @@ fn bench_fig6(c: &mut Criterion) {
     let dataset = DatasetSpec::paper(N, KeyDistribution::unf(), 6).generate();
     let sae = SaeSystem::build_in_memory(&dataset, HashAlgorithm::Sha1).unwrap();
     let signer = MacSigner::new(b"do-key".to_vec());
-    let tom = TomSystem::build_in_memory(&dataset, HashAlgorithm::Sha1, signer.clone(), signer)
-        .unwrap();
+    let tom =
+        TomSystem::build_in_memory(&dataset, HashAlgorithm::Sha1, signer.clone(), signer).unwrap();
     let q = QueryWorkload::paper(13).queries[0];
 
     let outcome = sae.query(&q).unwrap();
@@ -32,7 +32,9 @@ fn bench_fig6(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig6_query_processing");
     group.sample_size(20);
     group.bench_function("sp_sae_query", |b| b.iter(|| sae.sp().query(&q).unwrap()));
-    group.bench_function("sp_tom_query_with_vo", |b| b.iter(|| tom.query(&q).unwrap()));
+    group.bench_function("sp_tom_query_with_vo", |b| {
+        b.iter(|| tom.query(&q).unwrap())
+    });
     group.bench_function("te_sae_generate_vt", |b| {
         b.iter(|| sae.te().generate_vt(&q).unwrap())
     });

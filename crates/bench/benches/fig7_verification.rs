@@ -39,7 +39,12 @@ fn bench_fig7(c: &mut Criterion) {
         b.iter(|| {
             tom_outcome
                 .vo
-                .verify(&q, &tom_outcome.records, &MacSigner::new(b"do-key".to_vec()), alg)
+                .verify(
+                    &q,
+                    &tom_outcome.records,
+                    &MacSigner::new(b"do-key".to_vec()),
+                    alg,
+                )
                 .unwrap()
         })
     });

@@ -19,8 +19,7 @@ fn bench_fig8(c: &mut Criterion) {
 
     let sae = SaeSystem::build_in_memory(&dataset, alg).unwrap();
     let signer = MacSigner::new(b"do-key".to_vec());
-    let tom =
-        TomSystem::build_in_memory(&dataset, alg, signer.clone(), signer.clone()).unwrap();
+    let tom = TomSystem::build_in_memory(&dataset, alg, signer.clone(), signer.clone()).unwrap();
     let s = sae.storage_breakdown();
     let t = tom.storage_breakdown();
     eprintln!(

@@ -1,8 +1,8 @@
 //! Experiment drivers: build SAE and TOM side by side and measure them.
 
 use sae_core::{QueryMetrics, SaeSystem, StorageBreakdown, TomSystem};
-use sae_crypto::{HashAlgorithm, MacSigner, RsaSigner};
 use sae_crypto::signer::{Signer, Verifier};
+use sae_crypto::{HashAlgorithm, MacSigner, RsaSigner};
 use sae_storage::{CostModel, FilePager, MemPager, SharedPageStore};
 use sae_workload::{paper, Dataset, DatasetSpec, KeyDistribution, QueryWorkload, Record};
 use sae_xbtree::XbTree;
@@ -147,17 +147,22 @@ pub fn run_comparison(config: &ExperimentConfig) -> Vec<ComparisonRow> {
             let (tom_avg, tom_storage) = match config.signature {
                 SignatureScheme::Mac => {
                     let signer = MacSigner::new(b"do-signing-key".to_vec());
-                    let system =
-                        TomSystem::build_in_memory(&dataset, alg, signer.clone(), signer)
-                            .expect("build TOM");
-                    (run_tom_workload(&system, &workload), system.storage_breakdown())
+                    let system = TomSystem::build_in_memory(&dataset, alg, signer.clone(), signer)
+                        .expect("build TOM");
+                    (
+                        run_tom_workload(&system, &workload),
+                        system.storage_breakdown(),
+                    )
                 }
                 SignatureScheme::Rsa => {
                     let signer = RsaSigner::insecure_test_signer();
                     let verifier = signer.verifier();
                     let system = TomSystem::build_in_memory(&dataset, alg, signer, verifier)
                         .expect("build TOM");
-                    (run_tom_workload(&system, &workload), system.storage_breakdown())
+                    (
+                        run_tom_workload(&system, &workload),
+                        system.storage_breakdown(),
+                    )
                 }
             };
 
@@ -281,8 +286,16 @@ pub fn run_ablation_updates(config: &ExperimentConfig, updates: usize) -> Vec<Up
         for r in &fresh {
             sae.delete_record(r.id, r.key).expect("delete");
         }
-        let sp_accesses = sp_store.stats().snapshot().delta_since(&sp_before).node_accesses();
-        let te_accesses = te_store.stats().snapshot().delta_since(&te_before).node_accesses();
+        let sp_accesses = sp_store
+            .stats()
+            .snapshot()
+            .delta_since(&sp_before)
+            .node_accesses();
+        let te_accesses = te_store
+            .stats()
+            .snapshot()
+            .delta_since(&te_before)
+            .node_accesses();
 
         // TOM deployment.
         let tom_store = MemPager::new_shared();
@@ -303,7 +316,11 @@ pub fn run_ablation_updates(config: &ExperimentConfig, updates: usize) -> Vec<Up
         for r in &fresh {
             tom.delete_record(r.id, r.key).expect("delete");
         }
-        let tom_accesses = tom_store.stats().snapshot().delta_since(&tom_before).node_accesses();
+        let tom_accesses = tom_store
+            .stats()
+            .snapshot()
+            .delta_since(&tom_before)
+            .node_accesses();
 
         let pairs = updates as f64;
         rows.push(UpdateRow {
@@ -331,7 +348,10 @@ pub struct MemoryAblationRow {
 /// Ablation E7: the paper remarks that the TE's footprint is small enough for
 /// a main-memory index; this compares a file-backed against an in-memory
 /// XB-Tree on real wall-clock time (not the simulated cost model).
-pub fn run_ablation_memory(config: &ExperimentConfig, dir: &std::path::Path) -> Vec<MemoryAblationRow> {
+pub fn run_ablation_memory(
+    config: &ExperimentConfig,
+    dir: &std::path::Path,
+) -> Vec<MemoryAblationRow> {
     let alg = HashAlgorithm::Sha1;
     let mut rows = Vec::new();
     for &n in &config.cardinalities {
@@ -363,7 +383,11 @@ pub fn run_ablation_memory(config: &ExperimentConfig, dir: &std::path::Path) -> 
         }
         let memory_ms = t1.elapsed().as_secs_f64() * 1000.0;
 
-        rows.push(MemoryAblationRow { n, disk_ms, memory_ms });
+        rows.push(MemoryAblationRow {
+            n,
+            disk_ms,
+            memory_ms,
+        });
     }
     rows
 }

@@ -20,7 +20,10 @@ pub fn print_fig5(rows: &[ComparisonRow]) {
             continue;
         }
         println!("  ({dist})");
-        println!("  {:>10} {:>18} {:>18} {:>10}", "n", "SAE TE-client [B]", "TOM SP-client [B]", "ratio");
+        println!(
+            "  {:>10} {:>18} {:>18} {:>10}",
+            "n", "SAE TE-client [B]", "TOM SP-client [B]", "ratio"
+        );
         for r in subset {
             println!(
                 "  {:>10} {:>18} {:>18} {:>9.0}x",
@@ -113,7 +116,11 @@ pub fn print_ablation_scan(rows: &[AblationRow]) {
     for r in rows {
         println!(
             "  {:>10} {:>16} {:>16} {:>14.1} {:>14.1}",
-            r.n, r.xbtree_node_accesses, r.scan_node_accesses, r.xbtree_charged_ms, r.scan_charged_ms
+            r.n,
+            r.xbtree_node_accesses,
+            r.scan_node_accesses,
+            r.xbtree_charged_ms,
+            r.scan_charged_ms
         );
     }
 }
@@ -128,7 +135,10 @@ pub fn print_ablation_updates(rows: &[UpdateRow]) {
     for r in rows {
         println!(
             "  {:>10} {:>18.1} {:>18.1} {:>18.1}",
-            r.n, r.sae_sp_accesses_per_update, r.te_accesses_per_update, r.tom_sp_accesses_per_update
+            r.n,
+            r.sae_sp_accesses_per_update,
+            r.te_accesses_per_update,
+            r.tom_sp_accesses_per_update
         );
     }
 }

@@ -214,7 +214,7 @@ mod tests {
         assert_eq!(LEAF_CAPACITY, 340);
         assert_eq!(INTERNAL_CAPACITY, 340);
         // Fanout must exceed 100 as the paper assumes for 4 KiB pages.
-        assert!(INTERNAL_CAPACITY > 100);
+        const { assert!(INTERNAL_CAPACITY > 100) };
     }
 
     #[test]
@@ -256,7 +256,12 @@ mod tests {
     #[test]
     fn descent_index_semantics() {
         let mut node = BTreeNode::new_internal(PageId(0));
-        node.internal_entries = vec![(10, PageId(1)), (20, PageId(2)), (20, PageId(3)), (30, PageId(4))];
+        node.internal_entries = vec![
+            (10, PageId(1)),
+            (20, PageId(2)),
+            (20, PageId(3)),
+            (30, PageId(4)),
+        ];
         // Lower-bound descent: first separator >= key.
         assert_eq!(node.child_index_for_lower_bound(5), 0);
         assert_eq!(node.child_index_for_lower_bound(10), 0);

@@ -59,10 +59,7 @@ impl BPlusTree {
     ///
     /// Panics if the entries are not sorted — bulk loading is only used for
     /// the initial dataset, which the data owner ships sorted by search key.
-    pub fn bulk_load(
-        store: SharedPageStore,
-        entries: &[(RecordKey, u64)],
-    ) -> StorageResult<Self> {
+    pub fn bulk_load(store: SharedPageStore, entries: &[(RecordKey, u64)]) -> StorageResult<Self> {
         assert!(
             entries.windows(2).all(|w| w[0] <= w[1]),
             "bulk_load requires entries sorted by (key, record id)"
@@ -620,7 +617,10 @@ mod tests {
             assert!(tree.delete(i as u32, i).unwrap(), "delete {i}");
         }
         assert!(tree.is_empty());
-        assert!(tree.range(&RangeQuery::new(0, u32::MAX)).unwrap().is_empty());
+        assert!(tree
+            .range(&RangeQuery::new(0, u32::MAX))
+            .unwrap()
+            .is_empty());
         // Can keep inserting after full deletion.
         tree.insert(5, 5).unwrap();
         assert_eq!(tree.range(&RangeQuery::new(0, 10)).unwrap(), vec![(5, 5)]);

@@ -63,18 +63,8 @@ impl QueryMetrics {
     }
 }
 
-impl Default for StorageBreakdown {
-    fn default() -> Self {
-        StorageBreakdown {
-            sp_dataset_bytes: 0,
-            sp_index_bytes: 0,
-            te_bytes: 0,
-        }
-    }
-}
-
 /// Storage consumed by each party of a deployment (Fig. 8).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct StorageBreakdown {
     /// Bytes of the outsourced dataset at the SP (heap file).
     pub sp_dataset_bytes: u64,

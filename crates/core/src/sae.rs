@@ -371,7 +371,12 @@ mod tests {
     fn honest_queries_verify_and_match_the_oracle() {
         let ds = small_dataset(4_000);
         let system = SaeSystem::build_in_memory(&ds, HashAlgorithm::Sha1).unwrap();
-        for (lo, hi) in [(0u32, 50_000u32), (10_000, 12_000), (49_000, 50_000), (7, 7)] {
+        for (lo, hi) in [
+            (0u32, 50_000u32),
+            (10_000, 12_000),
+            (49_000, 50_000),
+            (7, 7),
+        ] {
             let q = RangeQuery::new(lo, hi);
             let outcome = system.query(&q).unwrap();
             assert!(outcome.metrics.verified, "query [{lo}, {hi}]");

@@ -109,7 +109,10 @@ mod tests {
     #[test]
     fn honest_strategy_is_identity() {
         let rs = honest(5);
-        assert_eq!(TamperStrategy::Honest.apply(&rs, &RangeQuery::new(0, 1000), 1), rs);
+        assert_eq!(
+            TamperStrategy::Honest.apply(&rs, &RangeQuery::new(0, 1000), 1),
+            rs
+        );
         assert!(!TamperStrategy::Honest.is_attack());
     }
 
@@ -148,7 +151,7 @@ mod tests {
         let out = TamperStrategy::ModifyRecords { count: 2 }.apply(&rs, &q, 3);
         assert_eq!(out.len(), 6);
         let changed = out.iter().zip(rs.iter()).filter(|(a, b)| a != b).count();
-        assert!(changed >= 1 && changed <= 2);
+        assert!((1..=2).contains(&changed));
         // Keys and ids are untouched: only payload bytes differ.
         for (a, b) in out.iter().zip(rs.iter()) {
             assert_eq!(&a[..12], &b[..12]);

@@ -178,7 +178,8 @@ impl<S: Signer, V: Verifier> TomSystem<S, V> {
     pub fn insert_record(&mut self, record: &Record) -> StorageResult<()> {
         let pos = self.heap.append(&record.encode())?;
         self.directory.insert(record.id, pos);
-        self.tree.insert(record.key, pos.0, record.digest(self.alg))?;
+        self.tree
+            .insert(record.key, pos.0, record.digest(self.alg))?;
         self.signature = self.signer.sign(&self.tree.root_digest()?);
         Ok(())
     }
@@ -230,7 +231,12 @@ mod tests {
     #[test]
     fn honest_queries_verify_and_match_the_oracle() {
         let (ds, system) = build(3_000);
-        for (lo, hi) in [(0u32, 50_000u32), (10_000, 12_000), (49_500, 50_000), (3, 3)] {
+        for (lo, hi) in [
+            (0u32, 50_000u32),
+            (10_000, 12_000),
+            (49_500, 50_000),
+            (3, 3),
+        ] {
             let q = RangeQuery::new(lo, hi);
             let outcome = system.query(&q).unwrap();
             assert!(outcome.metrics.verified, "query [{lo}, {hi}]");

@@ -296,7 +296,7 @@ impl BigUint {
             let mut carry = 0u32;
             for &l in &self.limbs {
                 out.push((l << bit_shift) | carry);
-                carry = (l >> (32 - bit_shift)) as u32;
+                carry = l >> (32 - bit_shift);
             }
             if carry > 0 {
                 out.push(carry);
@@ -655,7 +655,7 @@ fn signed_sub(a: &(BigUint, bool), b: &(BigUint, bool)) -> (BigUint, bool) {
 
 impl PartialOrd for BigUint {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp_big(other))
+        Some(self.cmp(other))
     }
 }
 
@@ -741,7 +741,10 @@ mod tests {
             (0xFFFF_FFFF_FFFF_FFFF_FFFF_FFFF, 0x1_0000_0001),
             (98765432109876543210987654321, 12345678901234567),
             (1 << 100, (1 << 50) + 1),
-            (340282366920938463463374607431768211455, 18446744073709551616),
+            (
+                340282366920938463463374607431768211455,
+                18446744073709551616,
+            ),
         ];
         for (x, y) in cases {
             let xb = BigUint::from_hex(&format!("{x:x}")).unwrap();
@@ -800,10 +803,7 @@ mod tests {
     #[test]
     fn mod_pow_small_cases() {
         // 4^13 mod 497 = 445
-        assert_eq!(
-            big(4).mod_pow(&big(13), &big(497)).to_u64(),
-            Some(445)
-        );
+        assert_eq!(big(4).mod_pow(&big(13), &big(497)).to_u64(), Some(445));
         // Fermat: a^(p-1) = 1 mod p
         let p = big(1_000_000_007);
         assert_eq!(
@@ -849,7 +849,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let primes = [2u64, 3, 5, 97, 7919, 1_000_000_007, 2_147_483_647];
         for p in primes {
-            assert!(big(p).is_probable_prime(20, &mut rng), "{p} should be prime");
+            assert!(
+                big(p).is_probable_prime(20, &mut rng),
+                "{p} should be prime"
+            );
         }
         let composites = [1u64, 4, 100, 561, 1105, 1729, 1_000_000_009u64 * 3];
         for c in composites {

@@ -272,7 +272,7 @@ mod tests {
 
     #[test]
     fn accumulator_matches_manual_fold() {
-        let digests = vec![d(1), d(2), d(4), d(8)];
+        let digests = [d(1), d(2), d(4), d(8)];
         let acc: XorDigest = digests.iter().copied().collect();
         assert_eq!(acc.value(), d(1 ^ 2 ^ 4 ^ 8));
         assert_eq!(XorDigest::of(digests.iter()), d(15));

@@ -111,14 +111,12 @@ impl RsaKeyPair {
     pub fn insecure_test_key() -> Self {
         // 512-bit modulus generated once with this crate and frozen here so
         // tests avoid the cost of prime generation.
-        let p = BigUint::from_hex(
-            "f7f84ae15bcbd3faa2ba7c5f4b14a2d62f23d54203ab0a8b687f2b3c7d0e2a4f",
-        )
-        .unwrap();
-        let q = BigUint::from_hex(
-            "e3c1a9b54e0d7c2f9b3e8d165a40b1cd2e97f60381b24a6d5c8e90f1a7b3c64b",
-        )
-        .unwrap();
+        let p =
+            BigUint::from_hex("f7f84ae15bcbd3faa2ba7c5f4b14a2d62f23d54203ab0a8b687f2b3c7d0e2a4f")
+                .unwrap();
+        let q =
+            BigUint::from_hex("e3c1a9b54e0d7c2f9b3e8d165a40b1cd2e97f60381b24a6d5c8e90f1a7b3c64b")
+                .unwrap();
         // p and q above are odd 256-bit integers but not guaranteed prime; for
         // the *test* key we only need the RSA identity to hold, which requires
         // real primes. Instead of trusting the constants, derive a key pair
@@ -146,7 +144,7 @@ fn pad_digest(digest: &Digest, modulus_len: usize) -> Vec<u8> {
     out.push(0x00);
     out.push(0x01);
     let ff_len = modulus_len - digest.as_bytes().len() - 3;
-    out.extend(std::iter::repeat(0xFF).take(ff_len));
+    out.extend(std::iter::repeat_n(0xFF, ff_len));
     out.push(0x00);
     out.extend_from_slice(digest.as_bytes());
     out

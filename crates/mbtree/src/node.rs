@@ -182,7 +182,7 @@ mod tests {
         assert_eq!(MB_INTERNAL_CAPACITY, 127);
         // The MB-Tree fanout is roughly a third of the plain B+-Tree's 340
         // (see sae-btree), as the paper's Figure 6 discussion assumes.
-        assert!(MB_INTERNAL_CAPACITY < 340 / 2);
+        const { assert!(MB_INTERNAL_CAPACITY < 340 / 2) };
     }
 
     #[test]
@@ -248,8 +248,16 @@ mod tests {
     fn page_digest_changes_with_entry_order_and_content() {
         let alg = HashAlgorithm::Sha1;
         let mut a = MbNode::new_leaf();
-        a.entries.push(MbEntry { key: 1, ptr: 1, digest: digest(1) });
-        a.entries.push(MbEntry { key: 2, ptr: 2, digest: digest(2) });
+        a.entries.push(MbEntry {
+            key: 1,
+            ptr: 1,
+            digest: digest(1),
+        });
+        a.entries.push(MbEntry {
+            key: 2,
+            ptr: 2,
+            digest: digest(2),
+        });
         let mut b = a.clone();
         b.entries.swap(0, 1);
         assert_ne!(a.page_digest(alg), b.page_digest(alg));

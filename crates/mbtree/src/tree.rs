@@ -374,7 +374,12 @@ impl MbTree {
     }
 
     /// Recursive delete; returns `(removed, node_became_empty)`.
-    fn delete_rec(&mut self, page_id: PageId, key: RecordKey, rid: u64) -> StorageResult<(bool, bool)> {
+    fn delete_rec(
+        &mut self,
+        page_id: PageId,
+        key: RecordKey,
+        rid: u64,
+    ) -> StorageResult<(bool, bool)> {
         let mut node = self.read_node(page_id)?;
         match node.kind {
             MbNodeKind::Leaf => {
@@ -445,7 +450,6 @@ impl MbTree {
         let mut items = Vec::new();
         self.build_vo(
             self.root,
-            1,
             q,
             ext_lower,
             ext_upper,
@@ -461,7 +465,6 @@ impl MbTree {
     fn build_vo<F>(
         &self,
         page_id: PageId,
-        depth: u32,
         q: &RangeQuery,
         ext_lower: RecordKey,
         ext_upper: RecordKey,
@@ -511,7 +514,6 @@ impl MbTree {
                     if overlaps {
                         self.build_vo(
                             e.child(),
-                            depth + 1,
                             q,
                             ext_lower,
                             ext_upper,
@@ -613,7 +615,13 @@ impl MbTree {
         let mut entry_total = 0u64;
         let mut node_total = 0u64;
         let mut leaf_pages = Vec::new();
-        self.check_node(self.root, 1, &mut entry_total, &mut node_total, &mut leaf_pages)?;
+        self.check_node(
+            self.root,
+            1,
+            &mut entry_total,
+            &mut node_total,
+            &mut leaf_pages,
+        )?;
         assert_eq!(entry_total, self.len, "entry count mismatch");
         assert_eq!(node_total, self.node_count, "node count mismatch");
         for w in leaf_pages.windows(2) {
@@ -652,7 +660,8 @@ impl MbTree {
                     let child_digest =
                         self.check_node(e.child(), depth + 1, entry_total, node_total, leaf_pages)?;
                     assert_eq!(
-                        e.digest, child_digest,
+                        e.digest,
+                        child_digest,
                         "stale digest for child {:?}",
                         e.child()
                     );
@@ -695,16 +704,15 @@ mod tests {
         let tree = MbTree::new(MemPager::new_shared(), HashAlgorithm::Sha1).unwrap();
         assert!(tree.is_empty());
         // Digest of an empty page is the hash of the empty string.
-        assert_eq!(
-            tree.root_digest().unwrap(),
-            HashAlgorithm::Sha1.hash(b"")
-        );
+        assert_eq!(tree.root_digest().unwrap(), HashAlgorithm::Sha1.hash(b""));
         tree.check_invariants().unwrap();
     }
 
     #[test]
     fn bulk_load_and_range_match_oracle() {
-        let records: Vec<Record> = (0..2_000u64).map(|i| rec(i, (i * 7 % 5_000) as u32)).collect();
+        let records: Vec<Record> = (0..2_000u64)
+            .map(|i| rec(i, (i * 7 % 5_000) as u32))
+            .collect();
         let entries = entries_for(&records);
         let tree =
             MbTree::bulk_load(MemPager::new_shared(), HashAlgorithm::Sha1, &entries).unwrap();
@@ -747,9 +755,11 @@ mod tests {
         let mut tree = MbTree::new(MemPager::new_shared(), HashAlgorithm::Sha1).unwrap();
         let r1 = rec(1, 10);
         let r2 = rec(2, 20);
-        tree.insert(r1.key, r1.id, r1.digest(HashAlgorithm::Sha1)).unwrap();
+        tree.insert(r1.key, r1.id, r1.digest(HashAlgorithm::Sha1))
+            .unwrap();
         let d1 = tree.root_digest().unwrap();
-        tree.insert(r2.key, r2.id, r2.digest(HashAlgorithm::Sha1)).unwrap();
+        tree.insert(r2.key, r2.id, r2.digest(HashAlgorithm::Sha1))
+            .unwrap();
         let d2 = tree.root_digest().unwrap();
         assert_ne!(d1, d2);
         tree.check_invariants().unwrap();
@@ -761,7 +771,8 @@ mod tests {
         let n = 3 * MB_LEAF_CAPACITY as u64 + 17;
         for i in 0..n {
             let r = rec(i, (i % 977) as u32);
-            tree.insert(r.key, r.id, r.digest(HashAlgorithm::Sha1)).unwrap();
+            tree.insert(r.key, r.id, r.digest(HashAlgorithm::Sha1))
+                .unwrap();
         }
         assert!(tree.height() >= 2);
         tree.check_invariants().unwrap();
@@ -802,8 +813,12 @@ mod tests {
         assert!(tree.is_empty());
         tree.check_invariants().unwrap();
         let r = rec(1000, 5);
-        tree.insert(r.key, r.id, r.digest(HashAlgorithm::Sha1)).unwrap();
-        assert_eq!(tree.range(&RangeQuery::new(0, 10)).unwrap(), vec![(5, 1000)]);
+        tree.insert(r.key, r.id, r.digest(HashAlgorithm::Sha1))
+            .unwrap();
+        assert_eq!(
+            tree.range(&RangeQuery::new(0, 10)).unwrap(),
+            vec![(5, 1000)]
+        );
     }
 
     #[test]

@@ -280,9 +280,8 @@ impl VerificationObject {
             match self.items.get(*pos) {
                 Some(VoItem::NodeEnd) => {
                     *pos += 1;
-                    let digest = alg.hash_concat(
-                        component_digests.iter().map(|d| d.as_bytes().as_slice()),
-                    );
+                    let digest =
+                        alg.hash_concat(component_digests.iter().map(|d| d.as_bytes().as_slice()));
                     return Ok(digest);
                 }
                 Some(VoItem::NodeBegin) => {
@@ -356,7 +355,9 @@ mod tests {
         let alg = HashAlgorithm::Sha1;
         let signer = MacSigner::new(b"owner-key".to_vec());
 
-        let records: Vec<Record> = (0..4u64).map(|i| Record::with_size(i, 10 + i as u32 * 10, 40)).collect();
+        let records: Vec<Record> = (0..4u64)
+            .map(|i| Record::with_size(i, 10 + i as u32 * 10, 40))
+            .collect();
         let digests: Vec<Digest> = records.iter().map(|r| r.digest(alg)).collect();
         let root = alg.hash_concat(digests.iter().map(|x| x.as_bytes().as_slice()));
         let signature = signer.sign(&root);
@@ -381,8 +382,9 @@ mod tests {
     fn tampered_result_record_is_rejected() {
         let alg = HashAlgorithm::Sha1;
         let signer = MacSigner::new(b"owner-key".to_vec());
-        let records: Vec<Record> =
-            (0..4u64).map(|i| Record::with_size(i, 10 + i as u32 * 10, 40)).collect();
+        let records: Vec<Record> = (0..4u64)
+            .map(|i| Record::with_size(i, 10 + i as u32 * 10, 40))
+            .collect();
         let digests: Vec<Digest> = records.iter().map(|r| r.digest(alg)).collect();
         let root = alg.hash_concat(digests.iter().map(|x| x.as_bytes().as_slice()));
         let vo = VerificationObject {
@@ -411,8 +413,9 @@ mod tests {
     fn hidden_record_is_rejected_as_completeness_gap() {
         let alg = HashAlgorithm::Sha1;
         let signer = MacSigner::new(b"owner-key".to_vec());
-        let records: Vec<Record> =
-            (0..4u64).map(|i| Record::with_size(i, 10 + i as u32 * 10, 40)).collect();
+        let records: Vec<Record> = (0..4u64)
+            .map(|i| Record::with_size(i, 10 + i as u32 * 10, 40))
+            .collect();
         let digests: Vec<Digest> = records.iter().map(|r| r.digest(alg)).collect();
         let root = alg.hash_concat(digests.iter().map(|x| x.as_bytes().as_slice()));
         // The SP hides record 1 by shipping its digest instead of including it
@@ -500,11 +503,7 @@ mod tests {
         // Trailing garbage after the root page is rejected (either as a
         // structural error or as a completeness gap, depending on the item).
         let trailing = VerificationObject {
-            items: vec![
-                VoItem::NodeBegin,
-                VoItem::NodeEnd,
-                VoItem::Digest(d(2)),
-            ],
+            items: vec![VoItem::NodeBegin, VoItem::NodeEnd, VoItem::Digest(d(2))],
             signature: signer.sign(&alg.hash_concat(std::iter::empty::<&[u8]>())),
         };
         assert!(trailing.verify(&query, &[], &signer, alg).is_err());
@@ -566,6 +565,8 @@ mod tests {
             actual: 2,
         };
         assert!(e.to_string().contains('3'));
-        assert!(VerifyError::SignatureMismatch.to_string().contains("signature"));
+        assert!(VerifyError::SignatureMismatch
+            .to_string()
+            .contains("signature"));
     }
 }

@@ -17,7 +17,9 @@ struct Fixture {
 impl Fixture {
     /// Builds an MB-Tree over `n` records with keys `id * key_stride % modulus`.
     fn new(n: u64, key_fn: impl Fn(u64) -> u32) -> Fixture {
-        let records: Vec<Record> = (0..n).map(|i| Record::with_size(i, key_fn(i), 100)).collect();
+        let records: Vec<Record> = (0..n)
+            .map(|i| Record::with_size(i, key_fn(i), 100))
+            .collect();
         let mut entries: Vec<(u32, u64, _)> = records
             .iter()
             .map(|r| (r.key, r.id, r.digest(ALG)))
@@ -66,9 +68,9 @@ fn honest_results_verify_for_many_queries() {
     for (lo, hi) in [
         (0u32, 20_000u32), // everything
         (1_000, 1_200),
-        (0, 50),           // touches the dataset start
-        (19_900, 20_000),  // touches the dataset end
-        (7_777, 7_777),    // point query
+        (0, 50),          // touches the dataset start
+        (19_900, 20_000), // touches the dataset end
+        (7_777, 7_777),   // point query
         (19_999, 19_999),
     ] {
         let q = RangeQuery::new(lo, hi);
@@ -112,7 +114,11 @@ fn duplicate_heavy_datasets_verify() {
         let q = RangeQuery::new(lo, hi);
         let rs = fx.honest_result(&q);
         let vo = fx.signed_vo(&q);
-        assert_eq!(vo.verify(&q, &rs, &fx.signer, ALG), Ok(()), "query [{lo}, {hi}]");
+        assert_eq!(
+            vo.verify(&q, &rs, &fx.signer, ALG),
+            Ok(()),
+            "query [{lo}, {hi}]"
+        );
     }
 }
 
@@ -179,13 +185,17 @@ fn stale_signature_is_detected_after_updates() {
     let rs = fx.honest_result(&q);
     let vo = fx
         .tree
-        .generate_vo(&q, |rid| {
-            fx.records
-                .iter()
-                .find(|r| r.id == rid)
-                .map(|r| r.encode())
-                .unwrap()
-        }, stale_signature)
+        .generate_vo(
+            &q,
+            |rid| {
+                fx.records
+                    .iter()
+                    .find(|r| r.id == rid)
+                    .map(|r| r.encode())
+                    .unwrap()
+            },
+            stale_signature,
+        )
         .unwrap();
     assert_eq!(
         vo.verify(&q, &rs, &fx.signer, ALG),

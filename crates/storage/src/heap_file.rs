@@ -199,7 +199,10 @@ impl HeapFile {
                 current_page_idx = page_idx;
             }
             let page = current_page.as_ref().expect("page loaded above");
-            out.push(page.read_bytes(slot * self.record_len, self.record_len).to_vec());
+            out.push(
+                page.read_bytes(slot * self.record_len, self.record_len)
+                    .to_vec(),
+            );
         }
         Ok(out)
     }

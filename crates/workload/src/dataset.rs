@@ -92,11 +92,7 @@ impl Dataset {
     /// tests): all records whose key lies in `[q.lower, q.upper]`, ordered by
     /// `(key, id)` — the order the SP's index range-scan returns.
     pub fn query_oracle(&self, q: &RangeQuery) -> Vec<&Record> {
-        let mut out: Vec<&Record> = self
-            .records
-            .iter()
-            .filter(|r| q.contains(r.key))
-            .collect();
+        let mut out: Vec<&Record> = self.records.iter().filter(|r| q.contains(r.key)).collect();
         out.sort_by_key(|r| (r.key, r.id));
         out
     }

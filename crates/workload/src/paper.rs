@@ -44,7 +44,10 @@ mod tests {
         assert_eq!(QUERY_EXTENT_FRACTION, 0.005);
         assert_eq!(QUERIES_PER_EXPERIMENT, 100);
         assert_eq!(ZIPF_THETA, 0.8);
-        assert_eq!(CARDINALITIES, [100_000, 250_000, 500_000, 750_000, 1_000_000]);
+        assert_eq!(
+            CARDINALITIES,
+            [100_000, 250_000, 500_000, 750_000, 1_000_000]
+        );
         assert_eq!(MS_PER_NODE_ACCESS, 10.0);
         assert_eq!(DIGEST_SIZE, 20);
     }

@@ -49,7 +49,9 @@ impl Record {
         // Deterministic filler derived from the id so two different records
         // never share a payload byte-for-byte by accident.
         let mut payload = Vec::with_capacity(payload_len);
-        let mut state = id.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(key as u64);
+        let mut state = id
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(key as u64);
         while payload.len() < payload_len {
             state = state
                 .wrapping_mul(6364136223846793005)

@@ -114,7 +114,9 @@ impl XbNode {
     /// duplicates straddling splits).
     pub fn child_index_for_lower_bound(&self, key: RecordKey) -> usize {
         debug_assert_eq!(self.kind, XbNodeKind::Internal);
-        self.entries.partition_point(|e| e.key < key).saturating_sub(1)
+        self.entries
+            .partition_point(|e| e.key < key)
+            .saturating_sub(1)
     }
 
     /// Serializes the node into a page.
@@ -204,9 +206,21 @@ mod tests {
     #[test]
     fn node_xor_is_xor_of_entry_aggregates() {
         let mut node = XbNode::new_leaf();
-        node.entries.push(XbEntry { key: 1, ptr: 1, x: d(0b0011) });
-        node.entries.push(XbEntry { key: 2, ptr: 2, x: d(0b0101) });
-        node.entries.push(XbEntry { key: 3, ptr: 3, x: d(0b1001) });
+        node.entries.push(XbEntry {
+            key: 1,
+            ptr: 1,
+            x: d(0b0011),
+        });
+        node.entries.push(XbEntry {
+            key: 2,
+            ptr: 2,
+            x: d(0b0101),
+        });
+        node.entries.push(XbEntry {
+            key: 3,
+            ptr: 3,
+            x: d(0b1001),
+        });
         assert_eq!(node.node_xor(), d(0b0011 ^ 0b0101 ^ 0b1001));
         assert_eq!(XbNode::new_leaf().node_xor(), Digest::ZERO);
     }
@@ -215,7 +229,11 @@ mod tests {
     fn lower_bound_descent_handles_duplicate_minimums() {
         let mut node = XbNode::new_internal();
         for (i, key) in [10u32, 20, 20, 30].iter().enumerate() {
-            node.entries.push(XbEntry { key: *key, ptr: i as u64, x: d(0) });
+            node.entries.push(XbEntry {
+                key: *key,
+                ptr: i as u64,
+                x: d(0),
+            });
         }
         assert_eq!(node.child_index_for_lower_bound(5), 0);
         assert_eq!(node.child_index_for_lower_bound(20), 0);

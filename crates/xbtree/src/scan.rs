@@ -100,7 +100,9 @@ mod tests {
 
     fn tuples(n: u64) -> Vec<TeTuple> {
         (0..n)
-            .map(|i| Record::with_size(i, (i * 11 % 5_000) as u32, 64).te_tuple(HashAlgorithm::Sha1))
+            .map(|i| {
+                Record::with_size(i, (i * 11 % 5_000) as u32, 64).te_tuple(HashAlgorithm::Sha1)
+            })
             .collect()
     }
 
@@ -140,11 +142,19 @@ mod tests {
         let q = RangeQuery::new(1_000, 1_050);
         let before_scan = scan_store.stats().snapshot();
         scan.generate_vt_scan(&q).unwrap();
-        let scan_reads = scan_store.stats().snapshot().delta_since(&before_scan).node_reads;
+        let scan_reads = scan_store
+            .stats()
+            .snapshot()
+            .delta_since(&before_scan)
+            .node_reads;
 
         let before_tree = tree_store.stats().snapshot();
         tree.generate_vt(&q).unwrap();
-        let tree_reads = tree_store.stats().snapshot().delta_since(&before_tree).node_reads;
+        let tree_reads = tree_store
+            .stats()
+            .snapshot()
+            .delta_since(&before_tree)
+            .node_reads;
 
         assert_eq!(scan_reads, scan.page_count());
         assert!(tree_reads * 10 < scan_reads, "{tree_reads} vs {scan_reads}");

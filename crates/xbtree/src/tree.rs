@@ -48,7 +48,9 @@ impl XbTree {
     /// Bulk-loads from TE tuples sorted by `(key, id)`.
     pub fn bulk_load(store: SharedPageStore, tuples: &[TeTuple]) -> StorageResult<Self> {
         assert!(
-            tuples.windows(2).all(|w| (w[0].key, w[0].id) <= (w[1].key, w[1].id)),
+            tuples
+                .windows(2)
+                .all(|w| (w[0].key, w[0].id) <= (w[1].key, w[1].id)),
             "bulk_load requires tuples sorted by (key, id)"
         );
         if tuples.is_empty() {
@@ -90,7 +92,11 @@ impl XbTree {
                 let mut node = XbNode::new_internal();
                 node.entries = group
                     .iter()
-                    .map(|&(key, page, x)| XbEntry { key, ptr: page.0, x })
+                    .map(|&(key, page, x)| XbEntry {
+                        key,
+                        ptr: page.0,
+                        x,
+                    })
                     .collect();
                 let page_id = store.allocate()?;
                 store.write(page_id, &node.to_page())?;
@@ -423,7 +429,13 @@ impl XbTree {
         let mut entry_total = 0u64;
         let mut node_total = 0u64;
         let mut leaf_pages = Vec::new();
-        self.check_node(self.root, 1, &mut entry_total, &mut node_total, &mut leaf_pages)?;
+        self.check_node(
+            self.root,
+            1,
+            &mut entry_total,
+            &mut node_total,
+            &mut leaf_pages,
+        )?;
         assert_eq!(entry_total, self.len, "tuple count mismatch");
         assert_eq!(node_total, self.node_count, "node count mismatch");
         for w in leaf_pages.windows(2) {
@@ -507,7 +519,10 @@ mod tests {
     fn empty_tree_yields_zero_token() {
         let tree = XbTree::new(MemPager::new_shared()).unwrap();
         assert!(tree.is_empty());
-        assert_eq!(tree.generate_vt(&RangeQuery::new(0, 100)).unwrap(), Digest::ZERO);
+        assert_eq!(
+            tree.generate_vt(&RangeQuery::new(0, 100)).unwrap(),
+            Digest::ZERO
+        );
         tree.check_invariants().unwrap();
     }
 
@@ -517,7 +532,13 @@ mod tests {
         let tree = XbTree::bulk_load(MemPager::new_shared(), &ts).unwrap();
         tree.check_invariants().unwrap();
 
-        for (lo, hi) in [(0u32, 20_000u32), (0, 0), (500, 1_500), (19_000, 19_999), (7, 7)] {
+        for (lo, hi) in [
+            (0u32, 20_000u32),
+            (0, 0),
+            (500, 1_500),
+            (19_000, 19_999),
+            (7, 7),
+        ] {
             let q = RangeQuery::new(lo, hi);
             assert_eq!(
                 tree.generate_vt(&q).unwrap(),
@@ -557,7 +578,10 @@ mod tests {
         assert_eq!(incremental.total_xor().unwrap(), bulk.total_xor().unwrap());
         for (lo, hi) in [(0u32, 5_000u32), (100, 300), (4_900, 5_000)] {
             let q = RangeQuery::new(lo, hi);
-            assert_eq!(incremental.generate_vt(&q).unwrap(), bulk.generate_vt(&q).unwrap());
+            assert_eq!(
+                incremental.generate_vt(&q).unwrap(),
+                bulk.generate_vt(&q).unwrap()
+            );
         }
     }
 
@@ -608,7 +632,10 @@ mod tests {
         assert_eq!(tree.total_xor().unwrap(), Digest::ZERO);
         tree.check_invariants().unwrap();
         tree.insert(ts[0]).unwrap();
-        assert_eq!(tree.generate_vt(&RangeQuery::new(0, 10)).unwrap(), ts[0].digest);
+        assert_eq!(
+            tree.generate_vt(&RangeQuery::new(0, 10)).unwrap(),
+            ts[0].digest
+        );
     }
 
     #[test]
@@ -661,7 +688,7 @@ mod tests {
     }
 
     #[test]
-    fn storage_is_a_small_fraction_of_the_dataset(){
+    fn storage_is_a_small_fraction_of_the_dataset() {
         // 10k records of 500 bytes = ~5 MB of data; the TE keeps ~32 bytes per
         // record plus tree overhead, i.e. well under a sixth of the dataset.
         let ts = tuples(10_000, |i| (i % 100_000) as u32);

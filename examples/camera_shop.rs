@@ -94,12 +94,15 @@ fn main() {
     }
     println!(
         "verification token from the TE: {} ({} bytes)",
-        outcome.vt,
-        outcome.metrics.auth_bytes
+        outcome.vt, outcome.metrics.auth_bytes
     );
     println!(
         "client verification: {}",
-        if outcome.metrics.verified { "ACCEPTED" } else { "REJECTED" }
+        if outcome.metrics.verified {
+            "ACCEPTED"
+        } else {
+            "REJECTED"
+        }
     );
     assert!(outcome.metrics.verified);
     assert_eq!(outcome.records.len(), 5);
@@ -114,7 +117,11 @@ fn main() {
     println!("  returned {} records instead of 5", tampered.records.len());
     println!(
         "  client verification: {}",
-        if tampered.metrics.verified { "ACCEPTED (!)" } else { "REJECTED" }
+        if tampered.metrics.verified {
+            "ACCEPTED (!)"
+        } else {
+            "REJECTED"
+        }
     );
     assert!(!tampered.metrics.verified, "the attack must be detected");
 }

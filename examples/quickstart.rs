@@ -25,8 +25,8 @@ fn main() {
     // ------------------------------------------------------ outsourcing step
     // SaeSystem::build ships the records to the SP (heap file + B+-Tree) and
     // the (id, key, digest) tuples to the TE (XB-Tree).
-    let system = SaeSystem::build_in_memory(&dataset, HashAlgorithm::Sha1)
-        .expect("outsourcing the dataset");
+    let system =
+        SaeSystem::build_in_memory(&dataset, HashAlgorithm::Sha1).expect("outsourcing the dataset");
     let storage = system.storage_breakdown();
     println!(
         "service provider: {:.1} MB (dataset) + {:.1} MB (B+-Tree index)",
@@ -59,7 +59,11 @@ fn main() {
     );
     println!(
         "  verified                : {}",
-        if outcome.metrics.verified { "YES" } else { "NO" }
+        if outcome.metrics.verified {
+            "YES"
+        } else {
+            "NO"
+        }
     );
 
     assert!(outcome.metrics.verified, "an honest result must verify");

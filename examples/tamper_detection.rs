@@ -32,10 +32,22 @@ fn main() {
         ("honest", TamperStrategy::Honest),
         ("drop 1 record", TamperStrategy::DropRecords { count: 1 }),
         ("drop 10 records", TamperStrategy::DropRecords { count: 10 }),
-        ("inject 1 bogus record", TamperStrategy::InjectRecords { count: 1 }),
-        ("inject 5 bogus records", TamperStrategy::InjectRecords { count: 5 }),
-        ("modify 1 record", TamperStrategy::ModifyRecords { count: 1 }),
-        ("modify 3 records", TamperStrategy::ModifyRecords { count: 3 }),
+        (
+            "inject 1 bogus record",
+            TamperStrategy::InjectRecords { count: 1 },
+        ),
+        (
+            "inject 5 bogus records",
+            TamperStrategy::InjectRecords { count: 5 },
+        ),
+        (
+            "modify 1 record",
+            TamperStrategy::ModifyRecords { count: 1 },
+        ),
+        (
+            "modify 3 records",
+            TamperStrategy::ModifyRecords { count: 3 },
+        ),
         (
             "substitute entire result",
             TamperStrategy::SubstituteResult { count: 40 },
@@ -62,8 +74,7 @@ fn main() {
             verdict(tom_outcome.metrics.verified)
         );
         if strategy.is_attack() {
-            all_attacks_detected &=
-                !sae_outcome.metrics.verified && !tom_outcome.metrics.verified;
+            all_attacks_detected &= !sae_outcome.metrics.verified && !tom_outcome.metrics.verified;
         } else {
             assert!(sae_outcome.metrics.verified && tom_outcome.metrics.verified);
         }

@@ -71,9 +71,21 @@ fn main() {
     }
 
     let updates = (inserts.len() + deletions.len()) as f64;
-    let sp_cost = sae_sp_store.stats().snapshot().delta_since(&sp_before).node_accesses() as f64;
-    let te_cost = sae_te_store.stats().snapshot().delta_since(&te_before).node_accesses() as f64;
-    let tom_cost = tom_store.stats().snapshot().delta_since(&tom_before).node_accesses() as f64;
+    let sp_cost = sae_sp_store
+        .stats()
+        .snapshot()
+        .delta_since(&sp_before)
+        .node_accesses() as f64;
+    let te_cost = sae_te_store
+        .stats()
+        .snapshot()
+        .delta_since(&te_before)
+        .node_accesses() as f64;
+    let tom_cost = tom_store
+        .stats()
+        .snapshot()
+        .delta_since(&tom_before)
+        .node_accesses() as f64;
 
     println!();
     println!(
@@ -81,21 +93,39 @@ fn main() {
         inserts.len(),
         deletions.len()
     );
-    println!("  SAE SP  (B+-Tree) : {:>6.1} node accesses per update", sp_cost / updates);
-    println!("  SAE TE  (XB-Tree) : {:>6.1} node accesses per update", te_cost / updates);
-    println!("  TOM SP  (MB-Tree) : {:>6.1} node accesses per update", tom_cost / updates);
+    println!(
+        "  SAE SP  (B+-Tree) : {:>6.1} node accesses per update",
+        sp_cost / updates
+    );
+    println!(
+        "  SAE TE  (XB-Tree) : {:>6.1} node accesses per update",
+        te_cost / updates
+    );
+    println!(
+        "  TOM SP  (MB-Tree) : {:>6.1} node accesses per update",
+        tom_cost / updates
+    );
 
     // ------------------------------------------------------- query again
     let sae_after = sae.query(&query).expect("query");
     let tom_after = tom.query(&query).expect("query");
-    let expected = baseline + inserts.iter().filter(|r| query.contains(r.key)).count()
-        - deletions.len();
+    let expected =
+        baseline + inserts.iter().filter(|r| query.contains(r.key)).count() - deletions.len();
 
     println!();
-    println!("after updates: {} records match {query}", sae_after.records.len());
+    println!(
+        "after updates: {} records match {query}",
+        sae_after.records.len()
+    );
     assert_eq!(sae_after.records.len(), expected);
     assert_eq!(tom_after.records.len(), expected);
-    assert!(sae_after.metrics.verified, "SAE result verifies after updates");
-    assert!(tom_after.metrics.verified, "TOM result verifies after updates");
+    assert!(
+        sae_after.metrics.verified,
+        "SAE result verifies after updates"
+    );
+    assert!(
+        tom_after.metrics.verified,
+        "TOM result verifies after updates"
+    );
     println!("both models still verify their results ✓");
 }

@@ -177,8 +177,14 @@ fn metrics_reflect_the_papers_qualitative_claims() {
     let signer = MacSigner::new(b"key".to_vec());
     let tom = TomSystem::build_in_memory(&ds, ALG, signer.clone(), signer).unwrap();
 
-    let mut sae_total = QueryMetrics { verified: true, ..Default::default() };
-    let mut tom_total = QueryMetrics { verified: true, ..Default::default() };
+    let mut sae_total = QueryMetrics {
+        verified: true,
+        ..Default::default()
+    };
+    let mut tom_total = QueryMetrics {
+        verified: true,
+        ..Default::default()
+    };
     let workload = QueryWorkload::uniform(25, 10_000_000, 0.005, 77);
     for q in workload.iter() {
         sae_total.accumulate(&sae.query(q).unwrap().metrics);

@@ -1,0 +1,184 @@
+//! Offline stand-in for the [`serde`](https://crates.io/crates/serde) crate.
+//!
+//! The real serde models serialization through visitor-based `Serializer` /
+//! `Deserializer` traits. This shim collapses that machinery into a single
+//! self-describing tree, [`Content`]: [`Serialize`] renders a value into a
+//! `Content`, and downstream consumers (the `serde_json` shim) render the
+//! tree into their format. That is exactly enough for the workspace, which
+//! only derives `Serialize`/`Deserialize` on plain data rows and serializes
+//! them to JSON.
+//!
+//! The derive macros are re-exported from the sibling `serde_derive` shim,
+//! so `use serde::{Serialize, Deserialize}` + `#[derive(Serialize,
+//! Deserialize)]` works exactly like the real crate.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing serialized value (serde's data model, flattened).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Content {
+    /// JSON `null` / Rust `Option::None`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    I64(i64),
+    /// An unsigned integer.
+    U64(u64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Content>),
+    /// An ordered map with string keys (struct fields keep declaration order).
+    Map(Vec<(String, Content)>),
+}
+
+/// Types renderable into the serde data model.
+///
+/// The trait method name differs from real serde (`to_content` vs
+/// `serialize`), but user code never calls it directly — it only derives the
+/// trait and hands values to `serde_json`.
+pub trait Serialize {
+    /// Renders `self` into a [`Content`] tree.
+    fn to_content(&self) -> Content;
+}
+
+/// Marker trait mirroring `serde::Deserialize`.
+///
+/// Nothing in the workspace deserializes into user types (only into
+/// `serde_json::Value`, which has its own parser), so the shim derive emits
+/// an empty impl purely so `#[derive(Deserialize)]` compiles.
+pub trait Deserialize: Sized {}
+
+macro_rules! impl_serialize_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::U64(u64::from(*self))
+            }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+impl_serialize_unsigned!(u8, u16, u32, u64);
+
+impl Serialize for usize {
+    fn to_content(&self) -> Content {
+        Content::U64(*self as u64)
+    }
+}
+impl Deserialize for usize {}
+
+macro_rules! impl_serialize_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::I64(i64::from(*self))
+            }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+impl_serialize_signed!(i8, i16, i32, i64);
+
+impl Serialize for isize {
+    fn to_content(&self) -> Content {
+        Content::I64(*self as i64)
+    }
+}
+impl Deserialize for isize {}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(f64::from(*self))
+    }
+}
+impl Deserialize for f32 {}
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+impl Deserialize for f64 {}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+impl Deserialize for bool {}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_owned())
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+impl Deserialize for String {}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        self.as_slice().to_content()
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        self.as_slice().to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            None => Content::Null,
+            Some(v) => v.to_content(),
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_render() {
+        assert_eq!(1u32.to_content(), Content::U64(1));
+        assert_eq!((-1i32).to_content(), Content::I64(-1));
+        assert_eq!(1.5f64.to_content(), Content::F64(1.5));
+        assert_eq!("x".to_content(), Content::Str("x".into()));
+        assert_eq!(
+            vec![true, false].to_content(),
+            Content::Seq(vec![Content::Bool(true), Content::Bool(false)])
+        );
+        assert_eq!(Option::<u8>::None.to_content(), Content::Null);
+    }
+}

@@ -1,0 +1,256 @@
+//! Offline shim for serde's derive macros.
+//!
+//! `syn`/`quote` are unavailable in this environment, so the derive input is
+//! parsed directly from [`proc_macro::TokenTree`]s. The parser understands
+//! exactly the shapes this workspace derives on:
+//!
+//! * structs with named fields, and
+//! * enums whose variants are units or have named fields,
+//!
+//! with no generic parameters. Anything else produces a compile error
+//! explaining the limitation. `#[serde(...)]` attributes are not supported
+//! and are rejected rather than silently ignored.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the shim `serde::Serialize` (renders into `serde::Content`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, true)
+}
+
+/// Derives the shim `serde::Deserialize` (an empty marker impl).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, false)
+}
+
+fn expand(input: TokenStream, serialize: bool) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => return compile_error(&msg),
+    };
+    let code = if serialize {
+        render_serialize(&item)
+    } else {
+        format!("impl serde::Deserialize for {} {{}}", item.name)
+    };
+    code.parse().expect("derive shim generated invalid Rust")
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("literal")
+}
+
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+/// An enum variant: name plus `None` for unit or `Some(fields)` for named
+/// fields.
+type Variant = (String, Option<Vec<String>>);
+
+enum Kind {
+    /// Named fields, in declaration order.
+    Struct(Vec<String>),
+    /// The enum's variants.
+    Enum(Vec<Variant>),
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes and visibility, find `struct` / `enum`.
+    let is_enum = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2, // `#` + `[...]`
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // `pub(crate)` etc.
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => break false,
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => break true,
+            Some(_) => i += 1,
+            None => return Err("serde shim derive: no struct or enum found".into()),
+        }
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde shim derive: missing item name".into()),
+    };
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde shim derive: `{name}` is generic; the offline shim only supports \
+                 non-generic items"
+            ));
+        }
+    }
+
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        _ => {
+            return Err(format!(
+                "serde shim derive: `{name}` must have a braced body (named-field struct or \
+                 enum); tuple and unit structs are not supported"
+            ))
+        }
+    };
+
+    let kind = if is_enum {
+        Kind::Enum(parse_variants(body, &name)?)
+    } else {
+        Kind::Struct(parse_named_fields(body, &name)?)
+    };
+    Ok(Item { name, kind })
+}
+
+/// Parses `ident: Type, ...` out of a named-field body, skipping attributes
+/// and visibility, and tracking `<...>` depth so commas inside generic types
+/// don't split a field.
+fn parse_named_fields(body: TokenStream, context: &str) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            TokenTree::Ident(id) => {
+                fields.push(id.to_string());
+                i += 1;
+                match tokens.get(i) {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+                    _ => {
+                        return Err(format!(
+                            "serde shim derive: expected `:` after field `{}` in `{context}`",
+                            fields.last().expect("just pushed")
+                        ))
+                    }
+                }
+                // Consume the type up to a top-level comma.
+                let mut angle_depth = 0i32;
+                while i < tokens.len() {
+                    match &tokens[i] {
+                        TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                        TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                            break;
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+                i += 1; // past the comma (or end)
+            }
+            other => {
+                return Err(format!(
+                    "serde shim derive: unexpected token `{other}` in `{context}` body"
+                ))
+            }
+        }
+    }
+    Ok(fields)
+}
+
+fn parse_variants(body: TokenStream, context: &str) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Punct(p) if p.as_char() == ',' => i += 1,
+            TokenTree::Ident(id) => {
+                let variant = id.to_string();
+                i += 1;
+                match tokens.get(i) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let fields = parse_named_fields(g.stream(), context)?;
+                        variants.push((variant, Some(fields)));
+                        i += 1;
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        return Err(format!(
+                            "serde shim derive: tuple variant `{context}::{variant}` is not \
+                             supported; use named fields"
+                        ));
+                    }
+                    _ => variants.push((variant, None)),
+                }
+            }
+            other => {
+                return Err(format!(
+                    "serde shim derive: unexpected token `{other}` in enum `{context}`"
+                ))
+            }
+        }
+    }
+    Ok(variants)
+}
+
+fn render_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(String::from({f:?}), serde::Serialize::to_content(&self.{f}))"))
+                .collect();
+            format!("serde::Content::Map(vec![{}])", entries.join(", "))
+        }
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(variant, fields)| match fields {
+                    // Externally tagged, like real serde: unit -> "Variant",
+                    // struct variant -> {"Variant": {fields...}}.
+                    None => format!(
+                        "{name}::{variant} => serde::Content::Str(String::from({variant:?}))"
+                    ),
+                    Some(fields) => {
+                        let binders = fields.join(", ");
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!("(String::from({f:?}), serde::Serialize::to_content({f}))")
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{variant} {{ {binders} }} => serde::Content::Map(vec![\
+                             (String::from({variant:?}), serde::Content::Map(vec![{}]))])",
+                            entries.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn to_content(&self) -> serde::Content {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}

@@ -1,0 +1,85 @@
+//! Offline stand-in for the [`tempfile`](https://crates.io/crates/tempfile)
+//! crate: just [`tempdir`] / [`TempDir`], which is all the workspace's tests
+//! use.
+//!
+//! Uniqueness comes from the process id plus a process-wide counter plus a
+//! nanosecond timestamp, so concurrently running test binaries cannot
+//! collide. The directory and its contents are removed on drop.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
+use std::{env, fs, io};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A directory under the system temp dir, deleted (recursively) on drop.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// The path of the directory.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        // Best effort, like the real crate: ignore races with concurrent
+        // deletion or lingering open handles.
+        let _ = fs::remove_dir_all(&self.path);
+    }
+}
+
+/// Creates a fresh, uniquely named temporary directory.
+pub fn tempdir() -> io::Result<TempDir> {
+    // `create_dir` (not `create_dir_all`) so a name collision with a
+    // leftover or concurrent directory errors instead of silently sharing
+    // it; retry with the next counter value in that case.
+    for _ in 0..16 {
+        let nanos = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.subsec_nanos())
+            .unwrap_or(0);
+        let name = format!(
+            ".tmp-{}-{}-{nanos}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed),
+        );
+        let path = env::temp_dir().join(name);
+        match fs::create_dir(&path) {
+            Ok(()) => return Ok(TempDir { path }),
+            Err(e) if e.kind() == io::ErrorKind::AlreadyExists => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Err(io::Error::new(
+        io::ErrorKind::AlreadyExists,
+        "tempfile shim: could not find a free temp directory name",
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn creates_and_removes_on_drop() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().to_path_buf();
+        std::fs::write(path.join("f"), b"x").unwrap();
+        assert!(path.is_dir());
+        drop(dir);
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn distinct_names() {
+        let a = tempdir().unwrap();
+        let b = tempdir().unwrap();
+        assert_ne!(a.path(), b.path());
+    }
+}
