@@ -31,7 +31,7 @@ fn bench_fig7(c: &mut Criterion) {
     group.sample_size(20);
     group.bench_function("client_sae_verify", |b| {
         b.iter(|| {
-            let (ok, _) = client.verify(&sae_outcome.records, &sae_outcome.vt);
+            let (ok, _) = client.verify(&q, &sae_outcome.records, &sae_outcome.vt);
             assert!(ok);
         })
     });

@@ -14,14 +14,14 @@
 
 use sae_bench::{
     print_ablation_memory, print_ablation_scan, print_ablation_updates, print_fig5, print_fig6,
-    print_fig7, print_fig8, rows_to_json, run_ablation_memory, run_ablation_scan,
-    run_ablation_updates, run_comparison, ExperimentConfig,
+    print_fig7, print_fig8, print_throughput, rows_to_json, run_ablation_memory, run_ablation_scan,
+    run_ablation_updates, run_comparison, run_throughput, ExperimentConfig, ThroughputConfig,
 };
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments <fig5|fig6|fig7|fig8|all|ablation-scan|ablation-updates|ablation-memory> \
-         [--full-scale] [--smoke] [--json <path>]"
+        "usage: experiments <fig5|fig6|fig7|fig8|all|ablation-scan|ablation-updates|ablation-memory|throughput> \
+         [--full-scale] [--smoke] [--zipf] [--json <path>]"
     );
     std::process::exit(2)
 }
@@ -78,6 +78,25 @@ fn main() {
                 std::fs::write(&path, rows_to_json(&rows)).expect("write JSON report");
                 println!("\nwrote raw rows to {path}");
             }
+        }
+        "throughput" => {
+            let tp_config = ThroughputConfig {
+                zipf_placement: args.iter().any(|a| a == "--zipf"),
+                ..if smoke {
+                    ThroughputConfig::smoke()
+                } else {
+                    ThroughputConfig::default()
+                }
+            };
+            println!(
+                "throughput experiment — n={}, {} queries, {} µs simulated I/O per query, \
+                 {}-page buffer pool per party",
+                tp_config.cardinality,
+                tp_config.total_queries,
+                tp_config.io_micros_per_query,
+                tp_config.cache_pages
+            );
+            print_throughput(&run_throughput(&tp_config));
         }
         "ablation-scan" => print_ablation_scan(&run_ablation_scan(&config)),
         "ablation-updates" => print_ablation_updates(&run_ablation_updates(&config, 200)),

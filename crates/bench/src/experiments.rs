@@ -1,10 +1,10 @@
 //! Experiment drivers: build SAE and TOM side by side and measure them.
 
-use sae_core::{QueryMetrics, SaeSystem, StorageBreakdown, TomSystem};
+use sae_core::{QueryMetrics, SaeEngine, SaeSystem, ServeOptions, StorageBreakdown, TomSystem};
 use sae_crypto::signer::{Signer, Verifier};
 use sae_crypto::{HashAlgorithm, MacSigner, RsaSigner};
 use sae_storage::{CostModel, FilePager, MemPager, SharedPageStore};
-use sae_workload::{paper, Dataset, DatasetSpec, KeyDistribution, QueryWorkload, Record};
+use sae_workload::{paper, Dataset, DatasetSpec, KeyDistribution, QueryMix, QueryWorkload, Record};
 use sae_xbtree::XbTree;
 use serde::Serialize;
 use std::sync::Arc;
@@ -392,6 +392,160 @@ pub fn run_ablation_memory(
     rows
 }
 
+/// Configuration of the concurrent-throughput experiment (E8).
+#[derive(Clone, Debug)]
+pub struct ThroughputConfig {
+    /// Dataset cardinality.
+    pub cardinality: usize,
+    /// Encoded record size in bytes.
+    pub record_size: usize,
+    /// Thread counts to sweep (each serves the same total workload).
+    pub thread_counts: Vec<usize>,
+    /// Total queries in the fixed workload shared by every sweep point.
+    pub total_queries: usize,
+    /// Query extent as a fraction of the key domain.
+    pub query_extent: f64,
+    /// Simulated per-query I/O latency in microseconds (slept outside all
+    /// locks; see `sae_core::engine`). This is what the threads overlap.
+    pub io_micros_per_query: u64,
+    /// Buffer-pool capacity in pages, wired under both parties.
+    pub cache_pages: usize,
+    /// Whether queries are placed uniformly or Zipf-skewed.
+    pub zipf_placement: bool,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ThroughputConfig {
+    fn default() -> Self {
+        ThroughputConfig {
+            cardinality: 20_000,
+            record_size: paper::RECORD_SIZE,
+            thread_counts: vec![1, 2, 4, 8],
+            total_queries: 240,
+            query_extent: 0.002,
+            io_micros_per_query: 1_000,
+            cache_pages: 512,
+            zipf_placement: false,
+            seed: 2009,
+        }
+    }
+}
+
+impl ThroughputConfig {
+    /// A fast configuration for smoke tests.
+    pub fn smoke() -> Self {
+        ThroughputConfig {
+            cardinality: 4_000,
+            thread_counts: vec![1, 4],
+            total_queries: 80,
+            io_micros_per_query: 500,
+            ..Default::default()
+        }
+    }
+}
+
+/// One `(threads)` measurement of the throughput sweep.
+#[derive(Clone, Debug, Serialize)]
+pub struct ThroughputRow {
+    /// Worker threads serving the batch.
+    pub threads: usize,
+    /// Queries served.
+    pub queries: u64,
+    /// Whether every query verified.
+    pub all_verified: bool,
+    /// Wall-clock milliseconds for the batch.
+    pub wall_ms: f64,
+    /// Queries per second.
+    pub queries_per_sec: f64,
+    /// Median query latency (ms).
+    pub p50_ms: f64,
+    /// 99th-percentile query latency (ms).
+    pub p99_ms: f64,
+    /// Throughput relative to the 1-thread row.
+    pub speedup: f64,
+    /// Buffer-pool hit fraction at the SP over the whole run.
+    pub sp_cache_hit_rate: f64,
+}
+
+/// Experiment E8: closed-loop throughput of the concurrent SAE engine as the
+/// number of serving threads grows. Every sweep point replays the *same*
+/// fixed workload, so `speedup` isolates the effect of concurrency.
+pub fn run_throughput(config: &ThroughputConfig) -> Vec<ThroughputRow> {
+    let dataset = DatasetSpec {
+        cardinality: config.cardinality,
+        distribution: KeyDistribution::unf(),
+        record_size: config.record_size,
+        seed: config.seed,
+    }
+    .generate();
+    let engine = SaeEngine::build_cached(&dataset, HashAlgorithm::Sha1, config.cache_pages)
+        .expect("build engine");
+    let domain = KeyDistribution::unf().domain();
+    let mix = if config.zipf_placement {
+        QueryMix::zipf(domain, config.query_extent, paper::ZIPF_THETA)
+    } else {
+        QueryMix::uniform(domain, config.query_extent)
+    };
+    let queries = mix
+        .workload(config.total_queries, config.seed ^ 0xE8)
+        .queries;
+
+    // One untimed warm-up pass: the first sweep point must not pay the buffer
+    // pool's cold misses that later points would no longer see, or warm-up
+    // would masquerade as thread scaling.
+    let _ = engine.serve_batch(
+        &queries,
+        &ServeOptions {
+            threads: 1,
+            io_micros_per_query: 0,
+        },
+    );
+
+    let mut measured = Vec::with_capacity(config.thread_counts.len());
+    for &threads in &config.thread_counts {
+        let hits_before = engine
+            .sp_cache_stats()
+            .map(|s| (s.cache_hits, s.cache_misses))
+            .unwrap_or_default();
+        let report = engine.serve_batch(
+            &queries,
+            &ServeOptions {
+                threads,
+                io_micros_per_query: config.io_micros_per_query,
+            },
+        );
+        let (hits, misses) = engine
+            .sp_cache_stats()
+            .map(|s| (s.cache_hits - hits_before.0, s.cache_misses - hits_before.1))
+            .unwrap_or_default();
+        measured.push((threads, report, hits, misses));
+    }
+
+    // Speedup is relative to the 1-thread row when the sweep contains one,
+    // falling back to the first row otherwise.
+    let baseline = measured
+        .iter()
+        .find(|(threads, ..)| *threads == 1)
+        .or_else(|| measured.first())
+        .map(|(_, report, ..)| report.queries_per_sec)
+        .unwrap_or(1.0);
+    measured
+        .into_iter()
+        .map(|(threads, report, hits, misses)| ThroughputRow {
+            threads,
+            queries: report.queries,
+            all_verified: report.all_verified,
+            wall_ms: report.wall_ms,
+            queries_per_sec: report.queries_per_sec,
+            p50_ms: report.latency.p50_ms,
+            p99_ms: report.latency.p99_ms,
+            speedup: report.queries_per_sec / baseline,
+            sp_cache_hit_rate: hits as f64 / (hits + misses).max(1) as f64,
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -448,6 +602,39 @@ mod tests {
         assert!(row.sae_sp_accesses_per_update > 0.0);
         assert!(row.te_accesses_per_update > 0.0);
         assert!(row.tom_sp_accesses_per_update > 0.0);
+    }
+
+    /// Acceptance: queries/sec must scale > 1.5x from 1 to 4 threads. The
+    /// engine overlaps the simulated per-query I/O latency, so this holds
+    /// even on a single hardware core.
+    #[test]
+    fn throughput_scales_with_threads() {
+        let config = ThroughputConfig {
+            cardinality: 3_000,
+            thread_counts: vec![1, 4],
+            total_queries: 120,
+            io_micros_per_query: 1_500,
+            ..ThroughputConfig::smoke()
+        };
+        let rows = run_throughput(&config);
+        assert_eq!(rows.len(), 2);
+        assert!(rows.iter().all(|r| r.all_verified), "{rows:?}");
+        assert_eq!(rows[0].threads, 1);
+        assert_eq!(rows[1].threads, 4);
+        assert!(
+            rows[1].speedup > 1.5,
+            "1→4 thread speedup {:.2} (qps {:.0} → {:.0})",
+            rows[1].speedup,
+            rows[0].queries_per_sec,
+            rows[1].queries_per_sec
+        );
+        // The Zipf-placed mix keeps the buffer pool hot.
+        let zipf = run_throughput(&ThroughputConfig {
+            zipf_placement: true,
+            ..config
+        });
+        assert!(zipf.iter().all(|r| r.all_verified));
+        assert!(zipf.last().unwrap().sp_cache_hit_rate > 0.0);
     }
 
     #[test]

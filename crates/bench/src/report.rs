@@ -1,6 +1,6 @@
 //! Pretty-printers that lay the measured rows out like the paper's figures.
 
-use crate::experiments::{AblationRow, ComparisonRow, MemoryAblationRow, UpdateRow};
+use crate::experiments::{AblationRow, ComparisonRow, MemoryAblationRow, ThroughputRow, UpdateRow};
 
 fn header(title: &str) {
     println!();
@@ -149,6 +149,28 @@ pub fn print_ablation_memory(rows: &[MemoryAblationRow]) {
     println!("  {:>10} {:>14} {:>14}", "n", "disk [ms]", "memory [ms]");
     for r in rows {
         println!("  {:>10} {:>14.2} {:>14.2}", r.n, r.disk_ms, r.memory_ms);
+    }
+}
+
+/// Experiment E8: concurrent-engine throughput as serving threads grow.
+pub fn print_throughput(rows: &[ThroughputRow]) {
+    header("Experiment E8 — SAE engine throughput vs serving threads (fixed workload)");
+    println!(
+        "  {:>8} {:>9} {:>12} {:>10} {:>10} {:>9} {:>10} {:>9}",
+        "threads", "queries", "qps", "p50 [ms]", "p99 [ms]", "speedup", "SP hit %", "verified"
+    );
+    for r in rows {
+        println!(
+            "  {:>8} {:>9} {:>12.0} {:>10.2} {:>10.2} {:>8.2}x {:>10.1} {:>9}",
+            r.threads,
+            r.queries,
+            r.queries_per_sec,
+            r.p50_ms,
+            r.p99_ms,
+            r.speedup,
+            100.0 * r.sp_cache_hit_rate,
+            if r.all_verified { "all" } else { "NO" }
+        );
     }
 }
 

@@ -1,0 +1,719 @@
+//! A concurrent, multi-client serving layer over the SAE and TOM deployments.
+//!
+//! [`SaeSystem`]/[`TomSystem`] answer one query at a time through `&self`
+//! paths; this module turns them into engines that serve many clients at
+//! once:
+//!
+//! * **Partitioned locking.** Under SAE the service provider and the trusted
+//!   entity are separate machines, so [`SaeEngine`] puts each party behind its
+//!   own `RwLock`: any number of queries share the read locks while data-owner
+//!   updates take both write locks (always SP before TE — the single global
+//!   lock order) and therefore appear atomic to every reader.
+//! * **Thread-pooled drivers.** [`serve_batch`] fans a fixed workload out over
+//!   N worker threads; [`serve_mix`] runs a closed loop in which every worker
+//!   plays one client replaying its own deterministic
+//!   [`QueryMix`](sae_workload::QueryMix) stream. Both aggregate per-thread
+//!   [`QueryMetrics`] and wall-clock latencies into a [`ThroughputReport`]
+//!   (p50/p95/p99 latency, queries per second).
+//! * **Buffer pooling.** [`SaeEngine::build_cached`] wires a
+//!   [`CachedPager`] under both parties so hot index pages are served from
+//!   memory instead of hitting the backing store on every traversal.
+//!
+//! ## Cost accounting under concurrency
+//!
+//! The shared [`IoStats`] counters are atomic, but a *per-query* delta of a
+//! shared counter is meaningless while other threads are mid-query — the
+//! window would absorb their accesses too. The drivers therefore account node
+//! accesses at batch granularity: counters are snapshotted before the workers
+//! start and after they all join (both quiescent points), which makes the
+//! totals in [`ThroughputReport::party_io`] exact. Per-query fields that are
+//! attributable to one thread (cardinality, verification outcome and time)
+//! are aggregated per worker as usual.
+//!
+//! Because the cost model *charges* rather than performs I/O, a batch served
+//! purely from memory would overlap nothing; [`ServeOptions::io_micros_per_query`]
+//! injects the charged latency as real sleep — outside every lock — so
+//! thread-scaling measurements reflect how the engine overlaps I/O stalls,
+//! exactly what the paper's 10 ms/node-access model simulates.
+
+use crate::metrics::{LatencySummary, QueryMetrics};
+use crate::sae::{
+    delete_from_parties, insert_into_parties, SaeClient, SaeServiceProvider, SaeSystem,
+    TrustedEntity,
+};
+use crate::tom::TomSystem;
+use parking_lot::RwLock;
+use sae_crypto::signer::{Signer, Verifier};
+use sae_crypto::{HashAlgorithm, DIGEST_LEN};
+use sae_storage::{
+    CachedPager, CostModel, IoSnapshot, IoStats, MemPager, PageStore, SharedPageStore,
+    StorageResult,
+};
+use sae_workload::{Dataset, QueryMix, RangeQuery, Record};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Anything that can execute one authenticated query end to end, safely from
+/// many threads at once.
+pub trait QueryService: Send + Sync {
+    /// Executes one query (SP result, authentication payload, client
+    /// verification) and returns its per-query metrics. Node-access and
+    /// charged-time fields are zero — under concurrency they are only
+    /// attributable at batch granularity (see the module docs).
+    fn execute(&self, q: &RangeQuery) -> StorageResult<QueryMetrics>;
+
+    /// The I/O counters of each party's store, labelled. The first entry is
+    /// taken as the SP, the second (if any) as the TE when filling the batch
+    /// totals of a [`ThroughputReport`].
+    fn party_stats(&self) -> Vec<(&'static str, Arc<IoStats>)>;
+
+    /// The cost model used to convert batch node accesses into charged time.
+    fn cost_model(&self) -> CostModel {
+        CostModel::paper()
+    }
+}
+
+/// Options for the concurrent drivers.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeOptions {
+    /// Number of worker threads (clients served concurrently). Zero is
+    /// clamped to one.
+    pub threads: usize,
+    /// Simulated per-query I/O latency in microseconds, slept outside all
+    /// locks. The cost model only *charges* for node accesses; this turns the
+    /// charge into real, overlappable latency so closed-loop throughput
+    /// behaves like a deployment that actually waits for its disks and
+    /// network. Zero disables the sleep.
+    pub io_micros_per_query: u64,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            io_micros_per_query: 0,
+        }
+    }
+}
+
+/// Node accesses one party performed during a batch (exact: snapshotted at
+/// quiescent points only).
+#[derive(Clone, Copy, Debug)]
+pub struct PartyIo {
+    /// Which party ("sp", "te").
+    pub party: &'static str,
+    /// Counter delta over the batch.
+    pub delta: IoSnapshot,
+}
+
+/// Per-worker view of a batch.
+#[derive(Clone, Debug)]
+pub struct ThreadReport {
+    /// Worker index (0-based).
+    pub thread: usize,
+    /// Queries this worker served.
+    pub queries: u64,
+    /// Latency distribution of this worker's queries.
+    pub latency: LatencySummary,
+}
+
+/// What a concurrent batch run produced.
+#[derive(Clone, Debug)]
+pub struct ThroughputReport {
+    /// Worker threads used.
+    pub threads: usize,
+    /// Total queries served.
+    pub queries: u64,
+    /// Queries that returned a storage error (not counted as verified).
+    pub failed: u64,
+    /// Whether every served query passed client verification.
+    pub all_verified: bool,
+    /// Wall-clock duration of the whole batch in milliseconds.
+    pub wall_ms: f64,
+    /// Aggregate throughput: `queries / wall_ms`, in queries per second.
+    pub queries_per_sec: f64,
+    /// Merged latency distribution over all workers.
+    pub latency: LatencySummary,
+    /// Per-worker breakdowns.
+    pub per_thread: Vec<ThreadReport>,
+    /// Summed per-query metrics; node-access and charged fields are filled
+    /// from the exact batch deltas in [`ThroughputReport::party_io`].
+    pub totals: QueryMetrics,
+    /// Exact per-party node-access deltas for the batch.
+    pub party_io: Vec<PartyIo>,
+}
+
+struct WorkerOutcome {
+    latencies: Vec<f64>,
+    totals: QueryMetrics,
+    failed: u64,
+}
+
+fn run_worker<S: QueryService + ?Sized>(
+    service: &S,
+    queries: &[RangeQuery],
+    io_sleep: Duration,
+) -> WorkerOutcome {
+    let mut latencies = Vec::with_capacity(queries.len());
+    let mut totals = QueryMetrics {
+        verified: true,
+        ..Default::default()
+    };
+    let mut failed = 0u64;
+    for q in queries {
+        let start = Instant::now();
+        match service.execute(q) {
+            Ok(metrics) => totals.accumulate(&metrics),
+            Err(_) => {
+                failed += 1;
+                totals.verified = false;
+            }
+        }
+        if !io_sleep.is_zero() {
+            std::thread::sleep(io_sleep);
+        }
+        latencies.push(start.elapsed().as_secs_f64() * 1000.0);
+    }
+    WorkerOutcome {
+        latencies,
+        totals,
+        failed,
+    }
+}
+
+fn build_report<S: QueryService + ?Sized>(
+    service: &S,
+    threads: usize,
+    wall_ms: f64,
+    before: &[(&'static str, IoSnapshot)],
+    outcomes: Vec<WorkerOutcome>,
+) -> ThroughputReport {
+    let mut totals = QueryMetrics {
+        verified: true,
+        ..Default::default()
+    };
+    let mut failed = 0u64;
+    let mut all_latencies = Vec::new();
+    let mut per_thread = Vec::with_capacity(outcomes.len());
+    for (idx, mut outcome) in outcomes.into_iter().enumerate() {
+        totals.accumulate(&outcome.totals);
+        failed += outcome.failed;
+        per_thread.push(ThreadReport {
+            thread: idx,
+            queries: outcome.latencies.len() as u64,
+            latency: LatencySummary::from_samples(&mut outcome.latencies),
+        });
+        all_latencies.extend(outcome.latencies);
+    }
+
+    let party_io: Vec<PartyIo> = service
+        .party_stats()
+        .iter()
+        .zip(before)
+        .map(|((party, stats), (_, earlier))| PartyIo {
+            party,
+            delta: stats.snapshot().delta_since(earlier),
+        })
+        .collect();
+    let cost = service.cost_model();
+    if let Some(sp) = party_io.first() {
+        totals.sp_node_accesses = sp.delta.node_accesses();
+        totals.sp_charged_ms = cost.charge_ms(&sp.delta);
+    }
+    if let Some(te) = party_io.get(1) {
+        totals.te_node_accesses = te.delta.node_accesses();
+        totals.te_charged_ms = cost.charge_ms(&te.delta);
+    }
+
+    let queries = all_latencies.len() as u64;
+    ThroughputReport {
+        threads,
+        queries,
+        failed,
+        all_verified: failed == 0 && totals.verified,
+        wall_ms,
+        queries_per_sec: if wall_ms > 0.0 {
+            queries as f64 * 1000.0 / wall_ms
+        } else {
+            0.0
+        },
+        latency: LatencySummary::from_samples(&mut all_latencies),
+        per_thread,
+        totals,
+        party_io,
+    }
+}
+
+/// Serves a fixed batch of queries over `opts.threads` workers (queries are
+/// dealt round-robin) and aggregates the outcome.
+pub fn serve_batch<S: QueryService + ?Sized>(
+    service: &S,
+    queries: &[RangeQuery],
+    opts: &ServeOptions,
+) -> ThroughputReport {
+    let threads = opts.threads.max(1);
+    let io_sleep = Duration::from_micros(opts.io_micros_per_query);
+    let assignments: Vec<Vec<RangeQuery>> = (0..threads)
+        .map(|t| queries.iter().skip(t).step_by(threads).copied().collect())
+        .collect();
+    let before: Vec<(&'static str, IoSnapshot)> = service
+        .party_stats()
+        .iter()
+        .map(|(party, stats)| (*party, stats.snapshot()))
+        .collect();
+
+    let start = Instant::now();
+    let outcomes: Vec<WorkerOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = assignments
+            .iter()
+            .map(|chunk| scope.spawn(move || run_worker(service, chunk, io_sleep)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("engine worker panicked"))
+            .collect()
+    });
+    let wall_ms = start.elapsed().as_secs_f64() * 1000.0;
+    build_report(service, threads, wall_ms, &before, outcomes)
+}
+
+/// Closed-loop driver: every worker plays one client that draws
+/// `queries_per_client` queries from its own deterministic [`QueryMix`]
+/// stream (see [`QueryMix::client_seed`]) and issues them back to back.
+pub fn serve_mix<S: QueryService + ?Sized>(
+    service: &S,
+    mix: &QueryMix,
+    queries_per_client: usize,
+    seed: u64,
+    opts: &ServeOptions,
+) -> ThroughputReport {
+    let threads = opts.threads.max(1);
+    let io_sleep = Duration::from_micros(opts.io_micros_per_query);
+    let assignments: Vec<Vec<RangeQuery>> = (0..threads as u64)
+        .map(|client| mix.client_queries(seed, client, queries_per_client))
+        .collect();
+    let before: Vec<(&'static str, IoSnapshot)> = service
+        .party_stats()
+        .iter()
+        .map(|(party, stats)| (*party, stats.snapshot()))
+        .collect();
+
+    let start = Instant::now();
+    let outcomes: Vec<WorkerOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = assignments
+            .iter()
+            .map(|chunk| scope.spawn(move || run_worker(service, chunk, io_sleep)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("engine worker panicked"))
+            .collect()
+    });
+    let wall_ms = start.elapsed().as_secs_f64() * 1000.0;
+    build_report(service, threads, wall_ms, &before, outcomes)
+}
+
+/// The SAE deployment behind independently lockable parties.
+///
+/// Lock order is **SP before TE** everywhere. Queries hold the SP read lock
+/// across the TE read so each query sees one consistent deployment state
+/// (updates take both write locks, so a reader that acquired the SP lock
+/// first is guaranteed the TE has not advanced past it).
+pub struct SaeEngine {
+    sp: RwLock<SaeServiceProvider>,
+    te: RwLock<TrustedEntity>,
+    client: SaeClient,
+    cost_model: CostModel,
+    sp_stats: Arc<IoStats>,
+    te_stats: Arc<IoStats>,
+    sp_cache: Option<Arc<CachedPager>>,
+    te_cache: Option<Arc<CachedPager>>,
+}
+
+impl SaeEngine {
+    /// Wraps an existing deployment's parties in locks.
+    pub fn from_system(system: SaeSystem) -> SaeEngine {
+        let cost_model = system.cost_model();
+        let (sp, te, client) = system.into_parts();
+        let sp_stats = sp.store().stats();
+        let te_stats = te.store().stats();
+        SaeEngine {
+            sp: RwLock::new(sp),
+            te: RwLock::new(te),
+            client,
+            cost_model,
+            sp_stats,
+            te_stats,
+            sp_cache: None,
+            te_cache: None,
+        }
+    }
+
+    /// Builds a fresh in-memory deployment with a [`CachedPager`] of
+    /// `cache_pages` pages wired under **each** party, so hot index pages are
+    /// served from the buffer pool.
+    pub fn build_cached(
+        dataset: &Dataset,
+        alg: HashAlgorithm,
+        cache_pages: usize,
+    ) -> StorageResult<SaeEngine> {
+        let sp_cache = Arc::new(CachedPager::new(MemPager::new_shared(), cache_pages));
+        let te_cache = Arc::new(CachedPager::new(MemPager::new_shared(), cache_pages));
+        let system = SaeSystem::build(
+            Arc::clone(&sp_cache) as SharedPageStore,
+            Arc::clone(&te_cache) as SharedPageStore,
+            dataset,
+            alg,
+            CostModel::paper(),
+            crate::sae::TeMode::XbTree,
+        )?;
+        let mut engine = SaeEngine::from_system(system);
+        engine.sp_cache = Some(sp_cache);
+        engine.te_cache = Some(te_cache);
+        Ok(engine)
+    }
+
+    /// Builds a fresh in-memory deployment without a buffer pool.
+    pub fn build_in_memory(dataset: &Dataset, alg: HashAlgorithm) -> StorageResult<SaeEngine> {
+        Ok(SaeEngine::from_system(SaeSystem::build_in_memory(
+            dataset, alg,
+        )?))
+    }
+
+    /// Propagates a data-owner insertion to both parties, atomically with
+    /// respect to concurrent queries; a TE failure rolls the SP insertion
+    /// back so the parties never diverge.
+    pub fn insert(&self, record: &Record) -> StorageResult<()> {
+        let mut sp = self.sp.write();
+        let mut te = self.te.write();
+        insert_into_parties(&mut sp, &mut te, record)
+    }
+
+    /// Propagates a data-owner deletion to both parties, atomically with
+    /// respect to concurrent queries; one-sided deletions are rolled back and
+    /// reported as [`sae_storage::StorageError::Desync`].
+    pub fn delete(&self, id: u64, key: u32) -> StorageResult<bool> {
+        let mut sp = self.sp.write();
+        let mut te = self.te.write();
+        delete_from_parties(&mut sp, &mut te, id, key)
+    }
+
+    /// Buffer-pool counters of the SP, when built with a cache.
+    pub fn sp_cache_stats(&self) -> Option<IoSnapshot> {
+        self.sp_cache.as_ref().map(|c| c.stats().snapshot())
+    }
+
+    /// Buffer-pool counters of the TE, when built with a cache.
+    pub fn te_cache_stats(&self) -> Option<IoSnapshot> {
+        self.te_cache.as_ref().map(|c| c.stats().snapshot())
+    }
+
+    /// Serves a fixed batch (see [`serve_batch`]).
+    pub fn serve_batch(&self, queries: &[RangeQuery], opts: &ServeOptions) -> ThroughputReport {
+        serve_batch(self, queries, opts)
+    }
+
+    /// Runs the closed-loop per-client driver (see [`serve_mix`]).
+    pub fn serve_mix(
+        &self,
+        mix: &QueryMix,
+        queries_per_client: usize,
+        seed: u64,
+        opts: &ServeOptions,
+    ) -> ThroughputReport {
+        serve_mix(self, mix, queries_per_client, seed, opts)
+    }
+}
+
+impl QueryService for SaeEngine {
+    fn execute(&self, q: &RangeQuery) -> StorageResult<QueryMetrics> {
+        // SP read lock held across the TE read: see the lock-order note on
+        // the struct.
+        let sp = self.sp.read();
+        let records = sp.query(q)?;
+        let vt = self.te.read().generate_vt(q)?;
+        drop(sp);
+        let (verified, client_ms) = self.client.verify(q, &records, &vt);
+        Ok(QueryMetrics {
+            result_cardinality: records.len() as u64,
+            auth_bytes: DIGEST_LEN as u64,
+            client_verify_ms: client_ms,
+            verified,
+            ..Default::default()
+        })
+    }
+
+    fn party_stats(&self) -> Vec<(&'static str, Arc<IoStats>)> {
+        vec![
+            ("sp", Arc::clone(&self.sp_stats)),
+            ("te", Arc::clone(&self.te_stats)),
+        ]
+    }
+
+    fn cost_model(&self) -> CostModel {
+        self.cost_model
+    }
+}
+
+/// The TOM deployment behind one lock (TOM has a single server-side party).
+pub struct TomEngine<S: Signer + Send + Sync, V: Verifier + Send + Sync> {
+    system: RwLock<TomSystem<S, V>>,
+    stats: Arc<IoStats>,
+}
+
+impl<S: Signer + Send + Sync, V: Verifier + Send + Sync> TomEngine<S, V> {
+    /// Wraps an existing TOM deployment.
+    pub fn from_system(system: TomSystem<S, V>) -> TomEngine<S, V> {
+        let stats = system.store_stats();
+        TomEngine {
+            system: RwLock::new(system),
+            stats,
+        }
+    }
+
+    /// Propagates a data-owner insertion (re-signs the root).
+    pub fn insert(&self, record: &Record) -> StorageResult<()> {
+        self.system.write().insert_record(record)
+    }
+
+    /// Propagates a data-owner deletion (re-signs the root).
+    pub fn delete(&self, id: u64, key: u32) -> StorageResult<bool> {
+        self.system.write().delete_record(id, key)
+    }
+
+    /// Serves a fixed batch (see [`serve_batch`]).
+    pub fn serve_batch(&self, queries: &[RangeQuery], opts: &ServeOptions) -> ThroughputReport {
+        serve_batch(self, queries, opts)
+    }
+
+    /// Runs the closed-loop per-client driver (see [`serve_mix`]).
+    pub fn serve_mix(
+        &self,
+        mix: &QueryMix,
+        queries_per_client: usize,
+        seed: u64,
+        opts: &ServeOptions,
+    ) -> ThroughputReport {
+        serve_mix(self, mix, queries_per_client, seed, opts)
+    }
+}
+
+impl<S: Signer + Send + Sync, V: Verifier + Send + Sync> QueryService for TomEngine<S, V> {
+    fn execute(&self, q: &RangeQuery) -> StorageResult<QueryMetrics> {
+        let outcome = self.system.read().query(q)?;
+        Ok(QueryMetrics {
+            // Zero the delta-derived fields: they were measured against the
+            // shared counters and are not attributable under concurrency.
+            sp_node_accesses: 0,
+            sp_charged_ms: 0.0,
+            te_node_accesses: 0,
+            te_charged_ms: 0.0,
+            ..outcome.metrics
+        })
+    }
+
+    fn party_stats(&self) -> Vec<(&'static str, Arc<IoStats>)> {
+        vec![("sp", Arc::clone(&self.stats))]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sae_crypto::MacSigner;
+    use sae_storage::StorageError;
+    use sae_workload::{DatasetSpec, KeyDistribution};
+
+    fn dataset(n: usize) -> Dataset {
+        DatasetSpec {
+            cardinality: n,
+            distribution: KeyDistribution::Uniform { domain: 100_000 },
+            record_size: 120,
+            seed: 5,
+        }
+        .generate()
+    }
+
+    fn opts(threads: usize) -> ServeOptions {
+        ServeOptions {
+            threads,
+            io_micros_per_query: 0,
+        }
+    }
+
+    #[test]
+    fn engines_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SaeEngine>();
+        assert_send_sync::<TomEngine<MacSigner, MacSigner>>();
+    }
+
+    #[test]
+    fn concurrent_batches_verify_and_count_everything() {
+        let ds = dataset(4_000);
+        let engine = SaeEngine::build_in_memory(&ds, HashAlgorithm::Sha1).unwrap();
+        let queries = QueryMix::uniform(100_000, 0.01).workload(64, 3).queries;
+        let report = engine.serve_batch(&queries, &opts(4));
+        assert_eq!(report.queries, 64);
+        assert_eq!(report.failed, 0);
+        assert!(report.all_verified);
+        assert_eq!(report.threads, 4);
+        assert_eq!(report.per_thread.len(), 4);
+        assert_eq!(report.per_thread.iter().map(|t| t.queries).sum::<u64>(), 64);
+        assert!(report.queries_per_sec > 0.0);
+        assert!(report.latency.p50_ms <= report.latency.p99_ms);
+        // Batch-level accounting is exact and non-trivial.
+        assert_eq!(report.party_io.len(), 2);
+        assert!(report.totals.sp_node_accesses > 0);
+        assert!(report.totals.te_node_accesses > 0);
+        assert!(report.totals.sp_node_accesses > report.totals.te_node_accesses);
+        // The result cardinalities match the single-threaded oracle.
+        let expected: u64 = queries.iter().map(|q| ds.query_cardinality(q) as u64).sum();
+        assert_eq!(report.totals.result_cardinality, expected);
+    }
+
+    #[test]
+    fn concurrent_results_match_the_sequential_system() {
+        let ds = dataset(2_000);
+        let system = SaeSystem::build_in_memory(&ds, HashAlgorithm::Sha1).unwrap();
+        let engine = SaeEngine::build_in_memory(&ds, HashAlgorithm::Sha1).unwrap();
+        for q in QueryMix::uniform(100_000, 0.02).workload(10, 9).iter() {
+            let sequential = system.query(q).unwrap();
+            let concurrent = engine.execute(q).unwrap();
+            assert!(concurrent.verified);
+            assert_eq!(
+                concurrent.result_cardinality,
+                sequential.metrics.result_cardinality
+            );
+        }
+    }
+
+    #[test]
+    fn cached_engine_serves_identical_results_with_buffer_pool_hits() {
+        let ds = dataset(3_000);
+        let plain = SaeEngine::build_in_memory(&ds, HashAlgorithm::Sha1).unwrap();
+        let cached = SaeEngine::build_cached(&ds, HashAlgorithm::Sha1, 256).unwrap();
+        let queries = QueryMix::zipf(100_000, 0.01, 0.8).workload(40, 17).queries;
+
+        let a = plain.serve_batch(&queries, &opts(2));
+        let b = cached.serve_batch(&queries, &opts(2));
+        assert!(a.all_verified && b.all_verified);
+        assert_eq!(a.totals.result_cardinality, b.totals.result_cardinality);
+        // Logical accounting is preserved by the cache...
+        assert_eq!(
+            a.totals.sp_node_accesses + a.totals.te_node_accesses,
+            b.totals.sp_node_accesses + b.totals.te_node_accesses
+        );
+        // ...while repeated traversals hit the pool.
+        let sp = cached.sp_cache_stats().unwrap();
+        assert!(sp.cache_hits > 0, "{sp:?}");
+        let te = cached.te_cache_stats().unwrap();
+        assert!(te.cache_hits > 0, "{te:?}");
+    }
+
+    #[test]
+    fn closed_loop_mix_driver_runs_distinct_client_streams() {
+        let ds = dataset(2_000);
+        let engine = SaeEngine::build_cached(&ds, HashAlgorithm::Sha1, 128).unwrap();
+        let mix = QueryMix::uniform(100_000, 0.005);
+        let report = engine.serve_mix(&mix, 12, 77, &opts(3));
+        assert_eq!(report.queries, 36);
+        assert!(report.all_verified);
+        // Each client replayed its own stream deterministically.
+        let again = engine.serve_mix(&mix, 12, 77, &opts(3));
+        assert_eq!(
+            report.totals.result_cardinality,
+            again.totals.result_cardinality
+        );
+    }
+
+    #[test]
+    fn updates_are_atomic_under_concurrent_queries() {
+        let ds = dataset(2_000);
+        let engine = Arc::new(SaeEngine::build_in_memory(&ds, HashAlgorithm::Sha1).unwrap());
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+
+        std::thread::scope(|scope| {
+            // A writer inserting and deleting fresh records in a loop.
+            let writer_engine = Arc::clone(&engine);
+            let writer_stop = Arc::clone(&stop);
+            scope.spawn(move || {
+                let mut i = 0u64;
+                while !writer_stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let r = Record::with_size(5_000_000 + i, (i % 100_000) as u32, 120);
+                    writer_engine.insert(&r).unwrap();
+                    assert!(writer_engine.delete(r.id, r.key).unwrap());
+                    i += 1;
+                }
+            });
+            // Readers must see every query verify: a torn update (SP ahead of
+            // TE or vice versa) would surface as a verification failure.
+            let queries = QueryMix::uniform(100_000, 0.01).workload(120, 41).queries;
+            let report = engine.serve_batch(&queries, &opts(3));
+            stop.store(true, std::sync::atomic::Ordering::Relaxed);
+            assert_eq!(report.failed, 0);
+            assert!(
+                report.all_verified,
+                "a concurrent update tore a query's view"
+            );
+        });
+    }
+
+    #[test]
+    fn engine_delete_reports_desync_like_the_system() {
+        let ds = dataset(500);
+        let mut system = SaeSystem::build_in_memory(&ds, HashAlgorithm::Sha1).unwrap();
+        let victim = ds.records[3].clone();
+        assert!(system.te_mut().delete(victim.id, victim.key).unwrap());
+        let engine = SaeEngine::from_system(system);
+        assert!(matches!(
+            engine.delete(victim.id, victim.key),
+            Err(StorageError::Desync(_))
+        ));
+        // Rolled back: the record is still served.
+        let q = RangeQuery::new(victim.key, victim.key);
+        let metrics = engine.execute(&q).unwrap();
+        assert!(metrics.result_cardinality >= 1);
+    }
+
+    #[test]
+    fn tom_engine_serves_concurrent_verified_batches() {
+        let ds = dataset(2_000);
+        let signer = MacSigner::new(b"do-key".to_vec());
+        let system =
+            TomSystem::build_in_memory(&ds, HashAlgorithm::Sha1, signer.clone(), signer).unwrap();
+        let engine = TomEngine::from_system(system);
+        let queries = QueryMix::uniform(100_000, 0.01).workload(32, 13).queries;
+        let report = engine.serve_batch(&queries, &opts(4));
+        assert_eq!(report.queries, 32);
+        assert!(report.all_verified);
+        assert_eq!(report.party_io.len(), 1);
+        assert!(report.totals.sp_node_accesses > 0);
+        // The VO travels with every result.
+        assert!(report.totals.auth_bytes > 32 * 20);
+    }
+
+    #[test]
+    fn simulated_io_latency_is_overlapped_by_threads() {
+        let ds = dataset(800);
+        let engine = SaeEngine::build_in_memory(&ds, HashAlgorithm::Sha1).unwrap();
+        let queries = QueryMix::uniform(100_000, 0.002).workload(48, 23).queries;
+        let serve = |threads: usize| {
+            engine
+                .serve_batch(
+                    &queries,
+                    &ServeOptions {
+                        threads,
+                        io_micros_per_query: 1_000,
+                    },
+                )
+                .queries_per_sec
+        };
+        let one = serve(1);
+        let four = serve(4);
+        assert!(
+            four > 1.5 * one,
+            "4-thread qps {four:.0} did not scale over 1-thread qps {one:.0}"
+        );
+    }
+}

@@ -21,17 +21,23 @@
 //!   modify / substitute results) used to exercise the security argument;
 //! * [`metrics::QueryMetrics`] — per-query cost accounting in exactly the
 //!   units the paper's figures use (authentication bytes, charged
-//!   node-access milliseconds per party, client verification time).
+//!   node-access milliseconds per party, client verification time);
+//! * [`engine::SaeEngine`]/[`engine::TomEngine`] — the concurrent serving
+//!   layer: `RwLock`-partitioned parties, thread-pooled batch/closed-loop
+//!   drivers with p50/p99 latency and queries/sec aggregation, and optional
+//!   buffer pooling under both parties.
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub mod engine;
 pub mod metrics;
 pub mod sae;
 pub mod tamper;
 pub mod tom;
 
-pub use metrics::{QueryMetrics, StorageBreakdown};
-pub use sae::{SaeClient, SaeQueryOutcome, SaeSystem, TrustedEntity};
+pub use engine::{SaeEngine, ServeOptions, ThroughputReport, TomEngine};
+pub use metrics::{LatencySummary, QueryMetrics, StorageBreakdown};
+pub use sae::{SaeClient, SaeQueryOutcome, SaeSystem, SaeVerifyError, TrustedEntity};
 pub use tamper::TamperStrategy;
 pub use tom::{TomQueryOutcome, TomSystem};

@@ -63,6 +63,51 @@ impl QueryMetrics {
     }
 }
 
+/// Latency distribution of a batch of queries, in wall-clock milliseconds.
+///
+/// Produced by the concurrent engine's drivers (see [`crate::engine`]): each
+/// worker thread records one wall-clock latency per query, and the per-thread
+/// samples are merged into one summary for the batch.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Number of latency samples summarized.
+    pub samples: u64,
+    /// Arithmetic mean.
+    pub mean_ms: f64,
+    /// Median (50th percentile).
+    pub p50_ms: f64,
+    /// 95th percentile.
+    pub p95_ms: f64,
+    /// 99th percentile.
+    pub p99_ms: f64,
+    /// Worst observed latency.
+    pub max_ms: f64,
+}
+
+impl LatencySummary {
+    /// Summarizes a set of latency samples. The slice is sorted in place.
+    pub fn from_samples(samples: &mut [f64]) -> LatencySummary {
+        if samples.is_empty() {
+            return LatencySummary::default();
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let n = samples.len();
+        let pct = |p: f64| {
+            // Nearest-rank percentile: the smallest sample ≥ p% of the data.
+            let rank = ((p / 100.0) * n as f64).ceil() as usize;
+            samples[rank.clamp(1, n) - 1]
+        };
+        LatencySummary {
+            samples: n as u64,
+            mean_ms: samples.iter().sum::<f64>() / n as f64,
+            p50_ms: pct(50.0),
+            p95_ms: pct(95.0),
+            p99_ms: pct(99.0),
+            max_ms: samples[n - 1],
+        }
+    }
+}
+
 /// Storage consumed by each party of a deployment (Fig. 8).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct StorageBreakdown {
@@ -145,6 +190,26 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(m.averaged_over(0), m);
+    }
+
+    #[test]
+    fn latency_summary_percentiles() {
+        let mut samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = LatencySummary::from_samples(&mut samples);
+        assert_eq!(s.samples, 100);
+        assert_eq!(s.p50_ms, 50.0);
+        assert_eq!(s.p95_ms, 95.0);
+        assert_eq!(s.p99_ms, 99.0);
+        assert_eq!(s.max_ms, 100.0);
+        assert!((s.mean_ms - 50.5).abs() < 1e-9);
+
+        assert_eq!(
+            LatencySummary::from_samples(&mut []),
+            LatencySummary::default()
+        );
+        let mut one = vec![7.0];
+        let s = LatencySummary::from_samples(&mut one);
+        assert_eq!((s.p50_ms, s.p99_ms, s.max_ms), (7.0, 7.0, 7.0));
     }
 
     #[test]

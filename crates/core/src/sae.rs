@@ -13,10 +13,12 @@ use crate::metrics::{QueryMetrics, StorageBreakdown};
 use crate::tamper::TamperStrategy;
 use sae_btree::BPlusTree;
 use sae_crypto::{Digest, HashAlgorithm, DIGEST_LEN};
-use sae_storage::{CostModel, HeapFile, MemPager, RecordId, SharedPageStore, StorageResult};
-use sae_workload::{Dataset, RangeQuery, Record, TeTuple};
+use sae_storage::{
+    CostModel, HeapFile, MemPager, RecordId, SharedPageStore, StorageError, StorageResult,
+};
+use sae_workload::{Dataset, RangeQuery, Record, TeTuple, RECORD_HEADER_LEN};
 use sae_xbtree::{TupleStore, XbTree};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::time::Instant;
 
 /// The service provider under SAE: a conventional DBMS with no authentication
@@ -79,7 +81,14 @@ impl SaeServiceProvider {
     }
 
     /// Applies an insertion coming from the data owner.
+    ///
+    /// Duplicate ids are rejected: silently overwriting the directory entry
+    /// would leave the old heap slot reachable through the index while the
+    /// directory points elsewhere, silently corrupting later deletions.
     pub fn insert(&mut self, record: &Record) -> StorageResult<()> {
+        if self.directory.contains_key(&record.id) {
+            return Err(StorageError::DuplicateRecordId(record.id));
+        }
         let pos = self.heap.append(&record.encode())?;
         self.directory.insert(record.id, pos);
         self.index.insert(record.key, pos.0)
@@ -88,10 +97,46 @@ impl SaeServiceProvider {
     /// Applies a deletion coming from the data owner. The heap slot is left in
     /// place (tombstoned by removing it from the index and directory).
     pub fn delete(&mut self, id: u64, key: u32) -> StorageResult<bool> {
+        Ok(self.take(id, key)?.is_some())
+    }
+
+    /// Removes a record from the directory and index, returning its heap
+    /// position so the caller can roll the deletion back with
+    /// [`SaeServiceProvider::restore`]. Returns `Ok(None)` when the record is
+    /// unknown (nothing changed).
+    pub fn take(&mut self, id: u64, key: u32) -> StorageResult<Option<RecordId>> {
         let Some(pos) = self.directory.remove(&id) else {
-            return Ok(false);
+            return Ok(None);
         };
-        self.index.delete(key, pos.0)
+        match self.index.delete(key, pos.0) {
+            Ok(true) => Ok(Some(pos)),
+            // The directory and the index disagreed (or the index errored):
+            // undo the directory removal so the SP stays self-consistent.
+            Ok(false) => {
+                self.directory.insert(id, pos);
+                Err(StorageError::Desync(format!(
+                    "SP directory maps record {id} to heap slot {} but the index has no entry \
+                     for key {key}",
+                    pos.0
+                )))
+            }
+            Err(e) => {
+                self.directory.insert(id, pos);
+                Err(e)
+            }
+        }
+    }
+
+    /// Undoes a [`SaeServiceProvider::take`]: re-links the (still present)
+    /// heap slot into the directory and index.
+    pub fn restore(&mut self, id: u64, key: u32, pos: RecordId) -> StorageResult<()> {
+        self.directory.insert(id, pos);
+        self.index.insert(key, pos.0)
+    }
+
+    /// The fixed encoded record length of the outsourced dataset.
+    pub fn record_len(&self) -> usize {
+        self.heap.record_len()
     }
 
     /// The shared page store (for I/O accounting).
@@ -175,6 +220,21 @@ impl TrustedEntity {
         self.tree.delete(key, id)
     }
 
+    /// Removes the tuple for `(id, key)`, returning it so the caller can roll
+    /// the deletion back with [`TrustedEntity::restore`]. `Ok(None)` when the
+    /// TE holds no such tuple.
+    pub fn take(&mut self, id: u64, key: u32) -> StorageResult<Option<TeTuple>> {
+        Ok(self
+            .tree
+            .take(key, id)?
+            .map(|digest| TeTuple { id, key, digest }))
+    }
+
+    /// Undoes a [`TrustedEntity::take`] by re-inserting the removed tuple.
+    pub fn restore(&mut self, tuple: TeTuple) -> StorageResult<()> {
+        self.tree.insert(tuple)
+    }
+
     /// The shared page store (for I/O accounting).
     pub fn store(&self) -> &SharedPageStore {
         &self.store
@@ -192,28 +252,161 @@ impl TrustedEntity {
     }
 }
 
-/// The SAE client-side verification: hash every received record, XOR the
-/// digests and compare against the token supplied by the TE.
+/// Why the SAE client rejected a claimed result.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SaeVerifyError {
+    /// A result record could not be decoded as a record of the outsourced
+    /// relation.
+    BadRecordEncoding,
+    /// A record's encoded length does not match the dataset's record format.
+    WrongRecordLength {
+        /// The fixed length the data owner published.
+        expected: usize,
+        /// The length of the offending record.
+        actual: usize,
+    },
+    /// Two result records share a record id. Ids are unique in the outsourced
+    /// relation, so a duplicate is always fabricated — and an even number of
+    /// copies would cancel out of a bare XOR fold (`h(r) ⊕ h(r) = 0`).
+    DuplicateRecordId(u64),
+    /// A result record's key falls outside `[q.lower, q.upper]`.
+    KeyOutOfRange,
+    /// Result records are not sorted by key.
+    NotSorted,
+    /// The XOR of the record digests does not equal the verification token.
+    TokenMismatch,
+}
+
+impl std::fmt::Display for SaeVerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SaeVerifyError::BadRecordEncoding => write!(f, "result record failed to decode"),
+            SaeVerifyError::WrongRecordLength { expected, actual } => write!(
+                f,
+                "record length mismatch: expected {expected} bytes, got {actual}"
+            ),
+            SaeVerifyError::DuplicateRecordId(id) => {
+                write!(f, "record id {id} appears more than once in the result")
+            }
+            SaeVerifyError::KeyOutOfRange => write!(f, "result record outside the query range"),
+            SaeVerifyError::NotSorted => write!(f, "result records not sorted by key"),
+            SaeVerifyError::TokenMismatch => {
+                write!(f, "digest XOR does not match the verification token")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SaeVerifyError {}
+
+/// The SAE client-side verification.
+///
+/// The TE's token is the XOR of the digests of the records qualifying the
+/// query, so before comparing against it the client must enforce the result
+/// structure that makes the XOR fold sound: the outsourced relation has unique
+/// record ids, the SP returns records in key order within `[q.lower,
+/// q.upper]`, and every record uses the fixed encoded length the data owner
+/// published. Without those checks an SP that injects the same fabricated
+/// record an even number of times passes a bare XOR comparison, because
+/// `h(r) ⊕ h(r) = 0`.
 pub struct SaeClient {
     alg: HashAlgorithm,
+    /// The fixed encoded record length of the outsourced relation, when the
+    /// client knows it (published by the data owner alongside the schema).
+    record_len: Option<usize>,
 }
 
 impl SaeClient {
-    /// Creates a client using the system-wide hash algorithm.
+    /// Creates a client using the system-wide hash algorithm. The record
+    /// length check degrades to "all records equally long" until
+    /// [`SaeClient::with_record_len`] supplies the published format.
     pub fn new(alg: HashAlgorithm) -> Self {
-        SaeClient { alg }
+        SaeClient {
+            alg,
+            record_len: None,
+        }
+    }
+
+    /// Creates a client that also knows the published fixed record length.
+    pub fn with_record_len(alg: HashAlgorithm, record_len: usize) -> Self {
+        SaeClient {
+            alg,
+            record_len: Some(record_len),
+        }
     }
 
     /// Verifies a claimed result against a verification token. Returns
     /// `(accepted, wall-clock milliseconds spent)`.
-    pub fn verify(&self, result_records: &[Vec<u8>], vt: &Digest) -> (bool, f64) {
+    pub fn verify(&self, q: &RangeQuery, result_records: &[Vec<u8>], vt: &Digest) -> (bool, f64) {
+        let (outcome, ms) = self.verify_detailed(q, result_records, vt);
+        (outcome.is_ok(), ms)
+    }
+
+    /// Verifies a claimed result, reporting *why* a tampered result was
+    /// rejected. Returns the verdict and the wall-clock milliseconds spent.
+    pub fn verify_detailed(
+        &self,
+        q: &RangeQuery,
+        result_records: &[Vec<u8>],
+        vt: &Digest,
+    ) -> (Result<(), SaeVerifyError>, f64) {
         let start = Instant::now();
+        let outcome = self.check(q, result_records, vt);
+        (outcome, start.elapsed().as_secs_f64() * 1000.0)
+    }
+
+    fn check(
+        &self,
+        q: &RangeQuery,
+        result_records: &[Vec<u8>],
+        vt: &Digest,
+    ) -> Result<(), SaeVerifyError> {
+        // ---- 1. Structural checks: the result must look like a contiguous
+        // slice of the outsourced relation before the XOR fold means anything.
+        let expected_len = self
+            .record_len
+            .or_else(|| result_records.first().map(Vec::len));
+        let mut seen_ids = HashSet::with_capacity(result_records.len());
+        let mut prev_key: Option<u32> = None;
+        for bytes in result_records {
+            if let Some(expected) = expected_len {
+                if bytes.len() != expected {
+                    return Err(SaeVerifyError::WrongRecordLength {
+                        expected,
+                        actual: bytes.len(),
+                    });
+                }
+            }
+            // Read the id/key header in place: verification is on the
+            // client's hot path (Fig. 7) and a full `Record::decode` would
+            // copy the payload just to look at the first 12 bytes.
+            if bytes.len() < RECORD_HEADER_LEN {
+                return Err(SaeVerifyError::BadRecordEncoding);
+            }
+            let id = u64::from_le_bytes(bytes[0..8].try_into().expect("8-byte id header"));
+            let key = u32::from_le_bytes(bytes[8..12].try_into().expect("4-byte key header"));
+            if !seen_ids.insert(id) {
+                return Err(SaeVerifyError::DuplicateRecordId(id));
+            }
+            if !q.contains(key) {
+                return Err(SaeVerifyError::KeyOutOfRange);
+            }
+            if prev_key.is_some_and(|p| p > key) {
+                return Err(SaeVerifyError::NotSorted);
+            }
+            prev_key = Some(key);
+        }
+
+        // ---- 2. The cryptographic check: XOR the digests, compare with VT.
         let mut acc = Digest::ZERO;
         for record in result_records {
             acc ^= self.alg.hash(record);
         }
-        let ok = acc == *vt;
-        (ok, start.elapsed().as_secs_f64() * 1000.0)
+        if acc == *vt {
+            Ok(())
+        } else {
+            Err(SaeVerifyError::TokenMismatch)
+        }
     }
 }
 
@@ -264,7 +457,7 @@ impl SaeSystem {
         Ok(SaeSystem {
             sp,
             te,
-            client: SaeClient::new(alg),
+            client: SaeClient::with_record_len(alg, dataset.spec.record_size),
             alg,
             cost_model,
         })
@@ -285,6 +478,27 @@ impl SaeSystem {
         &self.te
     }
 
+    /// Mutable access to the SP (for experiments and fault injection).
+    pub fn sp_mut(&mut self) -> &mut SaeServiceProvider {
+        &mut self.sp
+    }
+
+    /// Mutable access to the TE (for experiments and fault injection).
+    pub fn te_mut(&mut self) -> &mut TrustedEntity {
+        &mut self.te
+    }
+
+    /// The cost model charged for node accesses.
+    pub fn cost_model(&self) -> CostModel {
+        self.cost_model
+    }
+
+    /// Decomposes the deployment into its parties so they can be placed
+    /// behind independent locks (see [`crate::engine`]).
+    pub fn into_parts(self) -> (SaeServiceProvider, TrustedEntity, SaeClient) {
+        (self.sp, self.te, self.client)
+    }
+
     /// Runs one query honestly and verifies it.
     pub fn query(&self, q: &RangeQuery) -> StorageResult<SaeQueryOutcome> {
         self.query_with_tamper(q, TamperStrategy::Honest, 0)
@@ -303,7 +517,7 @@ impl SaeSystem {
         let honest = self.sp.query(q)?;
         let sp_delta = self.sp.store().stats().snapshot().delta_since(&sp_before);
 
-        let records = tamper.apply(&honest, q, seed);
+        let records = tamper.apply_sized(&honest, q, seed, self.sp.record_len());
 
         // --- Trusted entity: compute the token (independent of the SP).
         let te_before = self.te.store().stats().snapshot();
@@ -311,7 +525,7 @@ impl SaeSystem {
         let te_delta = self.te.store().stats().snapshot().delta_since(&te_before);
 
         // --- Client: verify.
-        let (verified, client_ms) = self.client.verify(&records, &vt);
+        let (verified, client_ms) = self.client.verify(q, &records, &vt);
 
         Ok(SaeQueryOutcome {
             metrics: QueryMetrics {
@@ -330,16 +544,20 @@ impl SaeSystem {
     }
 
     /// Propagates an insertion from the data owner to both the SP and the TE.
+    /// If the TE insertion fails after the SP accepted the record, the SP
+    /// insertion is rolled back so the parties never diverge.
     pub fn insert_record(&mut self, record: &Record) -> StorageResult<()> {
-        self.sp.insert(record)?;
-        self.te.insert(record)
+        insert_into_parties(&mut self.sp, &mut self.te, record)
     }
 
     /// Propagates a deletion from the data owner to both the SP and the TE.
+    ///
+    /// The parties must agree: if exactly one of them holds the record, the
+    /// successful removal is rolled back and [`StorageError::Desync`] is
+    /// returned instead of leaving the deployment silently diverged (which
+    /// would make every later query covering the key fail verification).
     pub fn delete_record(&mut self, id: u64, key: u32) -> StorageResult<bool> {
-        let sp_removed = self.sp.delete(id, key)?;
-        let te_removed = self.te.delete(id, key)?;
-        Ok(sp_removed && te_removed)
+        delete_from_parties(&mut self.sp, &mut self.te, id, key)
     }
 
     /// Per-party storage consumption (Fig. 8).
@@ -348,6 +566,64 @@ impl SaeSystem {
             sp_dataset_bytes: self.sp.dataset_bytes(),
             sp_index_bytes: self.sp.index_bytes(),
             te_bytes: self.te.storage_bytes(),
+        }
+    }
+}
+
+/// Inserts a record into both parties; a TE failure rolls the SP insertion
+/// back (tombstoning the fresh heap slot) so the parties never diverge.
+/// Shared between [`SaeSystem::insert_record`] and the concurrent engine.
+pub(crate) fn insert_into_parties(
+    sp: &mut SaeServiceProvider,
+    te: &mut TrustedEntity,
+    record: &Record,
+) -> StorageResult<()> {
+    sp.insert(record)?;
+    if let Err(e) = te.insert(record) {
+        sp.take(record.id, record.key)?;
+        return Err(e);
+    }
+    Ok(())
+}
+
+/// Deletes `(id, key)` from both parties with rollback on disagreement.
+/// Shared between [`SaeSystem::delete_record`] and the concurrent engine,
+/// which holds the parties behind independent locks.
+pub(crate) fn delete_from_parties(
+    sp: &mut SaeServiceProvider,
+    te: &mut TrustedEntity,
+    id: u64,
+    key: u32,
+) -> StorageResult<bool> {
+    let sp_pos = sp.take(id, key)?;
+    let te_tuple = match te.take(id, key) {
+        Ok(tuple) => tuple,
+        Err(e) => {
+            // A TE *storage error* (not a disagreement) must also undo the SP
+            // removal, or the error path itself would desynchronize the
+            // parties.
+            if let Some(pos) = sp_pos {
+                sp.restore(id, key, pos)?;
+            }
+            return Err(e);
+        }
+    };
+    match (sp_pos, te_tuple) {
+        (Some(_), Some(_)) => Ok(true),
+        (None, None) => Ok(false),
+        (Some(pos), None) => {
+            sp.restore(id, key, pos)?;
+            Err(StorageError::Desync(format!(
+                "delete({id}, {key}): the SP held the record but the TE had no tuple; \
+                 the SP removal was rolled back"
+            )))
+        }
+        (None, Some(tuple)) => {
+            te.restore(tuple)?;
+            Err(StorageError::Desync(format!(
+                "delete({id}, {key}): the TE held a tuple but the SP had no record; \
+                 the TE removal was rolled back"
+            )))
         }
     }
 }
@@ -406,10 +682,156 @@ mod tests {
             TamperStrategy::InjectRecords { count: 1 },
             TamperStrategy::ModifyRecords { count: 1 },
             TamperStrategy::SubstituteResult { count: 10 },
+            TamperStrategy::DuplicatePair { count: 1 },
+            TamperStrategy::DuplicateExisting { count: 1 },
         ] {
             let outcome = system.query_with_tamper(&q, strategy, 99).unwrap();
             assert!(!outcome.metrics.verified, "{strategy:?} went undetected");
         }
+    }
+
+    /// Regression for the XOR duplicate-injection soundness hole: a bare XOR
+    /// fold of the digests *accepts* a result with even-multiplicity
+    /// duplicates (`h(r) ⊕ h(r) = 0`), so the demonstration below would have
+    /// passed the old `SaeClient::verify`. The structural checks must reject
+    /// it.
+    #[test]
+    fn duplicate_injection_cancels_the_xor_fold_but_is_rejected() {
+        let ds = small_dataset(3_000);
+        let system = SaeSystem::build_in_memory(&ds, HashAlgorithm::Sha1).unwrap();
+        let q = RangeQuery::new(20_000, 24_000);
+
+        for strategy in [
+            TamperStrategy::DuplicatePair { count: 2 },
+            TamperStrategy::DuplicateExisting { count: 1 },
+        ] {
+            let outcome = system.query_with_tamper(&q, strategy, 7).unwrap();
+            // The tampered result really differs from the honest one...
+            assert!(
+                outcome.records.len() > ds.query_cardinality(&q),
+                "{strategy:?}"
+            );
+            // ...yet its bare XOR fold still equals the TE's token: the old
+            // fold-only client accepted exactly this result.
+            let mut acc = Digest::ZERO;
+            for r in &outcome.records {
+                acc ^= HashAlgorithm::Sha1.hash(r);
+            }
+            assert_eq!(acc, outcome.vt, "{strategy:?} no longer cancels");
+            // The structural client rejects it.
+            assert!(!outcome.metrics.verified, "{strategy:?} went undetected");
+            let client = SaeClient::with_record_len(HashAlgorithm::Sha1, 200);
+            let (verdict, _) = client.verify_detailed(&q, &outcome.records, &outcome.vt);
+            assert!(
+                matches!(verdict, Err(SaeVerifyError::DuplicateRecordId(_))),
+                "{strategy:?}: {verdict:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn client_rejects_malformed_result_structures() {
+        let alg = HashAlgorithm::Sha1;
+        let client = SaeClient::with_record_len(alg, 64);
+        let q = RangeQuery::new(100, 200);
+        let a = Record::with_size(1, 120, 64);
+        let b = Record::with_size(2, 150, 64);
+        let vt_of = |records: &[&Record]| {
+            let mut acc = Digest::ZERO;
+            for r in records {
+                acc ^= r.digest(alg);
+            }
+            acc
+        };
+
+        // Honest baseline accepts.
+        let vt = vt_of(&[&a, &b]);
+        let (ok, _) = client.verify(&q, &[a.encode(), b.encode()], &vt);
+        assert!(ok);
+
+        // Wrong record length (the fabricated record cancels itself, so only
+        // the length check can catch it).
+        let bogus = Record::with_size(99, 150, 32);
+        let with_pair = vec![a.encode(), bogus.encode(), bogus.encode(), b.encode()];
+        let (verdict, _) = client.verify_detailed(&q, &with_pair, &vt_of(&[&a, &b]));
+        assert!(matches!(
+            verdict,
+            Err(SaeVerifyError::WrongRecordLength { expected: 64, .. })
+        ));
+
+        // Key outside the query range.
+        let outside = Record::with_size(3, 500, 64);
+        let (verdict, _) =
+            client.verify_detailed(&q, &[a.encode(), outside.encode()], &vt_of(&[&a, &outside]));
+        assert_eq!(verdict, Err(SaeVerifyError::KeyOutOfRange));
+
+        // Unsorted keys.
+        let (verdict, _) = client.verify_detailed(&q, &[b.encode(), a.encode()], &vt_of(&[&a, &b]));
+        assert_eq!(verdict, Err(SaeVerifyError::NotSorted));
+
+        // Undecodable record (too short for the header) with a matching
+        // record-length-free client.
+        let free_client = SaeClient::new(alg);
+        let stub = vec![0u8; 4];
+        let mut acc = Digest::ZERO;
+        acc ^= alg.hash(&stub);
+        let (verdict, _) = free_client.verify_detailed(&q, &[stub], &acc);
+        assert_eq!(verdict, Err(SaeVerifyError::BadRecordEncoding));
+
+        // Plain token mismatch still reported.
+        let (verdict, _) = client.verify_detailed(&q, &[a.encode()], &vt_of(&[&a, &b]));
+        assert_eq!(verdict, Err(SaeVerifyError::TokenMismatch));
+    }
+
+    #[test]
+    fn duplicate_insert_is_rejected_without_corrupting_the_sp() {
+        let ds = small_dataset(500);
+        let mut system = SaeSystem::build_in_memory(&ds, HashAlgorithm::Sha1).unwrap();
+        let existing = ds.records[0].clone();
+        let clash = Record::with_size(existing.id, 49_999, 200);
+        assert!(matches!(
+            system.insert_record(&clash),
+            Err(StorageError::DuplicateRecordId(_))
+        ));
+        // The original record is still served and verifiable.
+        let q = RangeQuery::new(existing.key, existing.key);
+        let outcome = system.query(&q).unwrap();
+        assert!(outcome.metrics.verified);
+        assert!(outcome
+            .records
+            .iter()
+            .any(|r| Record::decode(r).unwrap().id == existing.id));
+    }
+
+    #[test]
+    fn one_sided_deletes_roll_back_and_report_desync() {
+        let ds = small_dataset(1_000);
+        let mut system = SaeSystem::build_in_memory(&ds, HashAlgorithm::Sha1).unwrap();
+        let victim = ds.records[7].clone();
+
+        // Diverge the parties: the TE loses the tuple, the SP keeps the record.
+        assert!(system.te_mut().delete(victim.id, victim.key).unwrap());
+        let err = system.delete_record(victim.id, victim.key).unwrap_err();
+        assert!(matches!(err, StorageError::Desync(_)), "{err}");
+        // The SP removal was rolled back: the record is still queryable.
+        let q = RangeQuery::new(victim.key, victim.key);
+        let outcome = system.query(&q).unwrap();
+        assert!(outcome
+            .records
+            .iter()
+            .any(|r| Record::decode(r).unwrap().id == victim.id));
+
+        // The mirrored direction: the SP loses the record, the TE keeps it.
+        let victim2 = ds.records[13].clone();
+        assert!(system.sp_mut().delete(victim2.id, victim2.key).unwrap());
+        let err = system.delete_record(victim2.id, victim2.key).unwrap_err();
+        assert!(matches!(err, StorageError::Desync(_)), "{err}");
+        // The TE rollback keeps its tuple: the honest token still covers the
+        // record, so the (now incomplete) SP result fails verification — the
+        // divergence is *detected*, not silently accepted.
+        let q2 = RangeQuery::new(victim2.key, victim2.key);
+        let outcome = system.query(&q2).unwrap();
+        assert!(!outcome.metrics.verified);
     }
 
     #[test]

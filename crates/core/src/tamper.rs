@@ -10,7 +10,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use sae_workload::{RangeQuery, Record};
+use sae_workload::{RangeQuery, Record, RECORD_HEADER_LEN};
 
 /// How a malicious SP corrupts the result set before returning it.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -39,6 +39,20 @@ pub enum TamperStrategy {
         /// Cardinality of the fabricated result.
         count: usize,
     },
+    /// Inject the *same* fabricated in-range record twice, `count` times
+    /// (soundness attack targeting XOR cancellation: `h(r) ⊕ h(r) = 0`, so a
+    /// bare XOR fold of the digests is unchanged by the pair).
+    DuplicatePair {
+        /// How many bogus record pairs to inject.
+        count: usize,
+    },
+    /// Duplicate `count` genuine result records twice each (two extra copies
+    /// per victim), again exploiting even-multiplicity XOR cancellation while
+    /// only using records the SP legitimately holds.
+    DuplicateExisting {
+        /// How many genuine records to triple up.
+        count: usize,
+    },
 }
 
 impl TamperStrategy {
@@ -50,10 +64,30 @@ impl TamperStrategy {
     /// Applies the strategy to an honest result (encoded records in result
     /// order). `query` is used to fabricate in-range records, `seed` makes the
     /// corruption deterministic.
+    ///
+    /// Fabricated records take their size from the first honest record; on an
+    /// empty result this falls back to 500 bytes (the paper's record size).
+    /// Callers that know the dataset's actual record format should use
+    /// [`TamperStrategy::apply_sized`] instead.
     pub fn apply(&self, honest: &[Vec<u8>], query: &RangeQuery, seed: u64) -> Vec<Vec<u8>> {
+        let record_size = honest.first().map(|r| r.len()).unwrap_or(500);
+        self.apply_sized(honest, query, seed, record_size)
+    }
+
+    /// Like [`TamperStrategy::apply`], but fabricating records of exactly
+    /// `record_size` bytes, so an attack against an empty result still matches
+    /// the dataset's record format. `record_size` is clamped to the record
+    /// header so fabrication never panics on tiny formats.
+    pub fn apply_sized(
+        &self,
+        honest: &[Vec<u8>],
+        query: &RangeQuery,
+        seed: u64,
+        record_size: usize,
+    ) -> Vec<Vec<u8>> {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut out: Vec<Vec<u8>> = honest.to_vec();
-        let record_size = honest.first().map(|r| r.len()).unwrap_or(500);
+        let record_size = record_size.max(RECORD_HEADER_LEN);
         match *self {
             TamperStrategy::Honest => out,
             TamperStrategy::DropRecords { count } => {
@@ -67,11 +101,7 @@ impl TamperStrategy {
                 for i in 0..count {
                     let key = rng.gen_range(query.lower..=query.upper);
                     let bogus = Record::with_size(u64::MAX - i as u64, key, record_size);
-                    let encoded = bogus.encode();
-                    let pos = out.partition_point(|r| {
-                        Record::decode(r).map(|d| d.key <= key).unwrap_or(false)
-                    });
-                    out.insert(pos, encoded);
+                    insert_sorted(&mut out, bogus.encode(), key);
                 }
                 out
             }
@@ -79,9 +109,17 @@ impl TamperStrategy {
                 for _ in 0..count.min(out.len()) {
                     let victim = rng.gen_range(0..out.len());
                     let len = out[victim].len();
-                    // Flip a payload byte (never the id/key header, so the
-                    // corruption is only detectable cryptographically).
-                    let byte = rng.gen_range(12..len);
+                    // Flip a payload byte where one exists (never the id/key
+                    // header, so the corruption is only detectable
+                    // cryptographically); header-only records have no payload,
+                    // so fall back to flipping a header byte.
+                    let byte = if len > RECORD_HEADER_LEN {
+                        rng.gen_range(RECORD_HEADER_LEN..len)
+                    } else if len > 0 {
+                        rng.gen_range(0..len)
+                    } else {
+                        continue;
+                    };
                     out[victim][byte] ^= 0xA5;
                 }
                 out
@@ -92,8 +130,33 @@ impl TamperStrategy {
                     Record::with_size(u64::MAX / 2 + i as u64, key, record_size).encode()
                 })
                 .collect(),
+            TamperStrategy::DuplicatePair { count } => {
+                for i in 0..count {
+                    let key = rng.gen_range(query.lower..=query.upper);
+                    let bogus = Record::with_size(u64::MAX - i as u64, key, record_size).encode();
+                    insert_sorted(&mut out, bogus.clone(), key);
+                    insert_sorted(&mut out, bogus, key);
+                }
+                out
+            }
+            TamperStrategy::DuplicateExisting { count } => {
+                for _ in 0..count.min(honest.len()) {
+                    let victim = out[rng.gen_range(0..out.len())].clone();
+                    let key = Record::decode(&victim).map(|r| r.key).unwrap_or_default();
+                    insert_sorted(&mut out, victim.clone(), key);
+                    insert_sorted(&mut out, victim, key);
+                }
+                out
+            }
         }
     }
+}
+
+/// Inserts an encoded record so the result stays sorted by key (the attack
+/// must not be trivially detectable from the ordering alone).
+fn insert_sorted(out: &mut Vec<Vec<u8>>, encoded: Vec<u8>, key: u32) {
+    let pos = out.partition_point(|r| Record::decode(r).map(|d| d.key <= key).unwrap_or(false));
+    out.insert(pos, encoded);
 }
 
 #[cfg(test)]
@@ -168,6 +231,72 @@ mod tests {
         assert!(out
             .iter()
             .all(|r| q.contains(Record::decode(r).unwrap().key)));
+    }
+
+    #[test]
+    fn duplicate_pair_injects_the_same_record_twice() {
+        let rs = honest(5);
+        let q = RangeQuery::new(100, 104);
+        let out = TamperStrategy::DuplicatePair { count: 2 }.apply(&rs, &q, 11);
+        assert_eq!(out.len(), 9);
+        let injected: Vec<&Vec<u8>> = out.iter().filter(|r| !rs.contains(*r)).collect();
+        assert_eq!(injected.len(), 4);
+        // Each bogus record appears an even number of times.
+        for r in &injected {
+            assert_eq!(injected.iter().filter(|x| x == &r).count() % 2, 0);
+        }
+        // Keys stay sorted so the attack is not trivially detectable.
+        let keys: Vec<u32> = out.iter().map(|r| Record::decode(r).unwrap().key).collect();
+        assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn duplicate_existing_triples_genuine_records() {
+        let rs = honest(6);
+        let q = RangeQuery::new(0, 1000);
+        let out = TamperStrategy::DuplicateExisting { count: 1 }.apply(&rs, &q, 4);
+        assert_eq!(out.len(), 8);
+        // Every record in the tampered result is a genuine one, and exactly
+        // one of them occurs three times.
+        assert!(out.iter().all(|r| rs.contains(r)));
+        let tripled = rs
+            .iter()
+            .filter(|r| out.iter().filter(|x| x == r).count() == 3)
+            .count();
+        assert_eq!(tripled, 1);
+        let keys: Vec<u32> = out.iter().map(|r| Record::decode(r).unwrap().key).collect();
+        assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn modify_does_not_panic_on_header_only_records() {
+        // 12-byte records have no payload; the old implementation panicked in
+        // gen_range(12..12).
+        let rs: Vec<Vec<u8>> = (0..4u64)
+            .map(|i| Record::with_size(i, 100 + i as u32, RECORD_HEADER_LEN).encode())
+            .collect();
+        let q = RangeQuery::new(0, 1000);
+        let out = TamperStrategy::ModifyRecords { count: 2 }.apply(&rs, &q, 3);
+        assert_eq!(out.len(), 4);
+        // Something changed (a header byte, since there is no payload).
+        assert!(out.iter().zip(rs.iter()).any(|(a, b)| a != b));
+    }
+
+    #[test]
+    fn inject_into_empty_result_respects_the_dataset_record_size() {
+        let q = RangeQuery::new(10, 20);
+        for strategy in [
+            TamperStrategy::InjectRecords { count: 2 },
+            TamperStrategy::SubstituteResult { count: 2 },
+            TamperStrategy::DuplicatePair { count: 1 },
+        ] {
+            let out = strategy.apply_sized(&[], &q, 1, 64);
+            assert_eq!(out.len(), 2, "{strategy:?}");
+            assert!(out.iter().all(|r| r.len() == 64), "{strategy:?}");
+        }
+        // Sizes below the record header are clamped instead of panicking.
+        let out = TamperStrategy::InjectRecords { count: 1 }.apply_sized(&[], &q, 1, 3);
+        assert_eq!(out[0].len(), RECORD_HEADER_LEN);
     }
 
     #[test]

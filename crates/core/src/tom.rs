@@ -114,6 +114,12 @@ impl<S: Signer, V: Verifier> TomSystem<S, V> {
         &self.signature
     }
 
+    /// The I/O counters of the SP's store (for batch-level accounting in the
+    /// concurrent engine).
+    pub fn store_stats(&self) -> std::sync::Arc<sae_storage::IoStats> {
+        self.store.stats()
+    }
+
     /// Runs one query honestly and verifies it.
     pub fn query(&self, q: &RangeQuery) -> StorageResult<TomQueryOutcome> {
         self.query_with_tamper(q, TamperStrategy::Honest, 0)
@@ -150,7 +156,7 @@ impl<S: Signer, V: Verifier> TomSystem<S, V> {
         )?;
         let sp_delta = self.store.stats().snapshot().delta_since(&before);
 
-        let records = tamper.apply(&honest, q, seed);
+        let records = tamper.apply_sized(&honest, q, seed, self.heap.record_len());
 
         // --- Client: re-construct the root digest and check the signature.
         let start = Instant::now();
@@ -255,8 +261,28 @@ mod tests {
             TamperStrategy::InjectRecords { count: 1 },
             TamperStrategy::ModifyRecords { count: 1 },
             TamperStrategy::SubstituteResult { count: 10 },
+            TamperStrategy::DuplicatePair { count: 1 },
+            TamperStrategy::DuplicateExisting { count: 1 },
         ] {
             let outcome = system.query_with_tamper(&q, strategy, 5).unwrap();
+            assert!(!outcome.metrics.verified, "{strategy:?} went undetected");
+        }
+    }
+
+    /// Companion to the SAE duplicate-injection regression: the TOM client
+    /// reconstructs the MB-Tree root digest, so even-multiplicity duplicates
+    /// do not cancel — but the rejection must be exercised explicitly.
+    #[test]
+    fn duplicate_injection_is_rejected_by_the_vo_client() {
+        let (ds, system) = build(2_000);
+        let q = RangeQuery::new(10_000, 14_000);
+        assert!(ds.query_cardinality(&q) > 2);
+        for strategy in [
+            TamperStrategy::DuplicatePair { count: 1 },
+            TamperStrategy::DuplicateExisting { count: 2 },
+        ] {
+            let outcome = system.query_with_tamper(&q, strategy, 21).unwrap();
+            assert!(outcome.records.len() > ds.query_cardinality(&q));
             assert!(!outcome.metrics.verified, "{strategy:?} went undetected");
         }
     }

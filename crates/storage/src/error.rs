@@ -34,6 +34,14 @@ pub enum StorageError {
     InvalidRecordLength(usize),
     /// An on-disk structure failed validation (corrupt page, bad magic, ...).
     Corrupted(String),
+    /// A record with this id already exists and overwriting it would leave a
+    /// stale copy indexed elsewhere.
+    DuplicateRecordId(u64),
+    /// Two parties that must stay in lockstep (e.g. the SAE service provider
+    /// and trusted entity) disagreed about an update. The message names the
+    /// parties and the operation; any rollback already performed is described
+    /// there too.
+    Desync(String),
     /// Underlying I/O failure.
     Io(io::Error),
 }
@@ -63,6 +71,10 @@ impl fmt::Display for StorageError {
                 write!(f, "invalid fixed record length: {len}")
             }
             StorageError::Corrupted(msg) => write!(f, "corrupted storage: {msg}"),
+            StorageError::DuplicateRecordId(id) => {
+                write!(f, "record id {id} already exists")
+            }
+            StorageError::Desync(msg) => write!(f, "parties desynchronized: {msg}"),
             StorageError::Io(e) => write!(f, "I/O error: {e}"),
         }
     }
@@ -101,6 +113,11 @@ mod tests {
         assert!(e.to_string().contains("500"));
         let e = StorageError::Corrupted("bad magic".into());
         assert!(e.to_string().contains("bad magic"));
+        let e = StorageError::DuplicateRecordId(42);
+        assert!(e.to_string().contains("42"));
+        let e = StorageError::Desync("SP removed id 7 but TE did not".into());
+        assert!(e.to_string().contains("desynchronized"));
+        assert!(e.to_string().contains("id 7"));
     }
 
     #[test]

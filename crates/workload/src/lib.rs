@@ -23,11 +23,13 @@
 
 pub mod dataset;
 pub mod distribution;
+pub mod mix;
 pub mod paper;
 pub mod query;
 pub mod record;
 
 pub use dataset::{Dataset, DatasetSpec};
 pub use distribution::KeyDistribution;
+pub use mix::{QueryMix, QueryStream};
 pub use query::{QueryWorkload, RangeQuery};
-pub use record::{Record, RecordKey, TeTuple};
+pub use record::{Record, RecordKey, TeTuple, RECORD_HEADER_LEN};

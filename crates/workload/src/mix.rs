@@ -1,0 +1,177 @@
+//! Query mixes for concurrent client streams.
+//!
+//! The paper's evaluation replays one batch of uniformly placed queries; the
+//! concurrent engine instead serves many clients at once, each issuing its own
+//! stream. [`QueryMix`] describes *how* those queries are placed — uniformly
+//! over the domain, or Zipf-skewed so a hot region of the key space absorbs
+//! most of the traffic (the usual shape of real query popularity) — and
+//! derives a deterministic, independently seeded stream per client so
+//! multi-threaded runs stay reproducible.
+
+use crate::distribution::KeyDistribution;
+use crate::query::{QueryWorkload, RangeQuery};
+use crate::record::RecordKey;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// A recipe for generating range queries of a fixed extent whose placement
+/// over the key domain follows a [`KeyDistribution`].
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct QueryMix {
+    /// How query *start* positions are placed over the domain. The
+    /// distribution's own domain bound is the query domain.
+    pub placement: KeyDistribution,
+    /// Query extent as a fraction of the domain (the paper uses 0.5 %).
+    pub extent_fraction: f64,
+}
+
+impl QueryMix {
+    /// Uniformly placed queries over `[0, domain]`.
+    pub fn uniform(domain: RecordKey, extent_fraction: f64) -> QueryMix {
+        QueryMix {
+            placement: KeyDistribution::Uniform { domain },
+            extent_fraction,
+        }
+    }
+
+    /// Zipf-placed queries: most query starts land in the low-key hot region.
+    pub fn zipf(domain: RecordKey, extent_fraction: f64, theta: f64) -> QueryMix {
+        QueryMix {
+            placement: KeyDistribution::Zipf { domain, theta },
+            extent_fraction,
+        }
+    }
+
+    /// The paper's workload shape (0.5 % extent over the standard domain),
+    /// uniformly placed.
+    pub fn paper_uniform() -> QueryMix {
+        QueryMix::uniform(
+            crate::paper::KEY_DOMAIN,
+            crate::paper::QUERY_EXTENT_FRACTION,
+        )
+    }
+
+    /// The paper's workload shape with Zipf(θ = 0.8) placement.
+    pub fn paper_zipf() -> QueryMix {
+        QueryMix::zipf(
+            crate::paper::KEY_DOMAIN,
+            crate::paper::QUERY_EXTENT_FRACTION,
+            crate::paper::ZIPF_THETA,
+        )
+    }
+
+    /// The inclusive upper bound of the key domain.
+    pub fn domain(&self) -> RecordKey {
+        self.placement.domain()
+    }
+
+    /// The fixed query extent in key units.
+    pub fn extent(&self) -> u64 {
+        assert!(
+            (0.0..=1.0).contains(&self.extent_fraction),
+            "extent fraction must be in [0, 1]"
+        );
+        ((self.domain() as f64) * self.extent_fraction).round() as u64
+    }
+
+    /// An infinite, deterministic stream of queries for one seed.
+    pub fn stream(&self, seed: u64) -> QueryStream {
+        QueryStream {
+            mix: *self,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The seed for `client_id`'s stream, derived so concurrent clients issue
+    /// distinct (but individually reproducible) query sequences.
+    pub fn client_seed(base_seed: u64, client_id: u64) -> u64 {
+        base_seed ^ client_id.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+
+    /// The first `count` queries of `client_id`'s stream.
+    pub fn client_queries(&self, base_seed: u64, client_id: u64, count: usize) -> Vec<RangeQuery> {
+        self.stream(Self::client_seed(base_seed, client_id))
+            .take(count)
+            .collect()
+    }
+
+    /// A finite workload drawn from one stream (for single-threaded replays).
+    pub fn workload(&self, count: usize, seed: u64) -> QueryWorkload {
+        QueryWorkload {
+            queries: self.stream(seed).take(count).collect(),
+        }
+    }
+}
+
+/// Infinite iterator over a [`QueryMix`]'s queries.
+pub struct QueryStream {
+    mix: QueryMix,
+    rng: StdRng,
+}
+
+impl Iterator for QueryStream {
+    type Item = RangeQuery;
+
+    fn next(&mut self) -> Option<RangeQuery> {
+        let domain = self.mix.domain() as u64;
+        let extent = self.mix.extent();
+        let start = (self.mix.placement.sample(&mut self.rng) as u64).min(domain - extent);
+        Some(RangeQuery::new(
+            start as RecordKey,
+            (start + extent) as RecordKey,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_mix_matches_domain_and_extent() {
+        let mix = QueryMix::uniform(1_000_000, 0.005);
+        for q in mix.stream(3).take(500) {
+            assert_eq!(q.extent(), 5_000);
+            assert!(q.upper <= 1_000_000);
+        }
+    }
+
+    #[test]
+    fn zipf_mix_concentrates_queries_in_the_hot_region() {
+        let domain = 1_000_000u32;
+        let zipf = QueryMix::zipf(domain, 0.001, 0.8);
+        let unf = QueryMix::uniform(domain, 0.001);
+        let hot = |mix: &QueryMix| {
+            mix.stream(5)
+                .take(2_000)
+                .filter(|q| (q.lower as f64) < domain as f64 * 0.2)
+                .count()
+        };
+        assert!(hot(&zipf) > 2 * hot(&unf));
+    }
+
+    #[test]
+    fn client_streams_are_deterministic_and_distinct() {
+        let mix = QueryMix::paper_uniform();
+        let a = mix.client_queries(9, 0, 50);
+        let b = mix.client_queries(9, 0, 50);
+        let c = mix.client_queries(9, 1, 50);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn workload_wraps_the_stream() {
+        let mix = QueryMix::paper_zipf();
+        let wl = mix.workload(25, 7);
+        assert_eq!(wl.len(), 25);
+        assert_eq!(wl.queries, mix.stream(7).take(25).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "extent fraction")]
+    fn invalid_extent_fraction_is_rejected() {
+        let _ = QueryMix::uniform(100, 2.0).extent();
+    }
+}

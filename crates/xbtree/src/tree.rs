@@ -347,6 +347,13 @@ impl XbTree {
     /// Deletes the tuple with the given `(key, id)`, patching the XOR
     /// aggregates along the path. Returns `true` if a tuple was removed.
     pub fn delete(&mut self, key: RecordKey, id: u64) -> StorageResult<bool> {
+        Ok(self.take(key, id)?.is_some())
+    }
+
+    /// Like [`XbTree::delete`], but returns the removed tuple's digest so a
+    /// caller coordinating multiple parties can re-insert the tuple to roll
+    /// the deletion back. Returns `Ok(None)` if no tuple matched.
+    pub fn take(&mut self, key: RecordKey, id: u64) -> StorageResult<Option<Digest>> {
         let outcome = self.delete_rec(self.root, key, id)?;
         let removed = outcome.is_some();
         if removed {
@@ -368,7 +375,7 @@ impl XbTree {
                 }
             }
         }
-        Ok(removed)
+        Ok(outcome.map(|(digest, _)| digest))
     }
 
     /// Recursive delete. Returns `Some((removed digest, node became empty))`

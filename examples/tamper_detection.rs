@@ -52,6 +52,17 @@ fn main() {
             "substitute entire result",
             TamperStrategy::SubstituteResult { count: 40 },
         ),
+        // The XOR-cancellation attacks: an even number of copies of the same
+        // record vanishes from a bare digest fold (h(r) ⊕ h(r) = 0), so only
+        // the client's structural checks catch these.
+        (
+            "inject same bogus pair",
+            TamperStrategy::DuplicatePair { count: 1 },
+        ),
+        (
+            "triple a genuine record",
+            TamperStrategy::DuplicateExisting { count: 1 },
+        ),
     ];
 
     println!(

@@ -52,8 +52,9 @@ pub use sae_xbtree as xbtree;
 /// The most commonly used types, re-exported flat.
 pub mod prelude {
     pub use sae_core::{
-        QueryMetrics, SaeClient, SaeQueryOutcome, SaeSystem, StorageBreakdown, TamperStrategy,
-        TomQueryOutcome, TomSystem, TrustedEntity,
+        LatencySummary, QueryMetrics, SaeClient, SaeEngine, SaeQueryOutcome, SaeSystem,
+        SaeVerifyError, ServeOptions, StorageBreakdown, TamperStrategy, ThroughputReport,
+        TomEngine, TomQueryOutcome, TomSystem, TrustedEntity,
     };
     pub use sae_crypto::{
         hash_bytes, Digest, HashAlgorithm, MacSigner, RsaSigner, Signer, Verifier, XorDigest,
@@ -64,7 +65,7 @@ pub mod prelude {
         CostModel, FilePager, HeapFile, IoStats, MemPager, PageStore, SharedPageStore, PAGE_SIZE,
     };
     pub use sae_workload::{
-        Dataset, DatasetSpec, KeyDistribution, QueryWorkload, RangeQuery, Record, TeTuple,
+        Dataset, DatasetSpec, KeyDistribution, QueryMix, QueryWorkload, RangeQuery, Record, TeTuple,
     };
     pub use sae_xbtree::{TupleStore, VerificationToken, XbTree};
 }

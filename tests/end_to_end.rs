@@ -171,6 +171,41 @@ fn update_streams_keep_both_models_consistent_and_verifiable() {
 }
 
 #[test]
+fn concurrent_engine_agrees_with_the_sequential_system() {
+    let ds = dataset(5_000, KeyDistribution::unf(), 9);
+    let system = SaeSystem::build_in_memory(&ds, ALG).unwrap();
+    let engine = SaeEngine::build_cached(&ds, ALG, 256).unwrap();
+
+    let queries = QueryMix::uniform(10_000_000, 0.005)
+        .workload(40, 51)
+        .queries;
+    let report = engine.serve_batch(
+        &queries,
+        &ServeOptions {
+            threads: 4,
+            io_micros_per_query: 0,
+        },
+    );
+    assert_eq!(report.queries, 40);
+    assert_eq!(report.failed, 0);
+    assert!(
+        report.all_verified,
+        "a concurrent query failed verification"
+    );
+
+    // The concurrent batch returns exactly the cardinalities the sequential
+    // system (and therefore the oracle) produces.
+    let expected: u64 = queries
+        .iter()
+        .map(|q| system.query(q).unwrap().records.len() as u64)
+        .sum();
+    assert_eq!(report.totals.result_cardinality, expected);
+    // Repeated traversals of the hot upper index levels hit the buffer pool.
+    let sp_cache = engine.sp_cache_stats().unwrap();
+    assert!(sp_cache.cache_hits > 0);
+}
+
+#[test]
 fn metrics_reflect_the_papers_qualitative_claims() {
     let ds = dataset(10_000, KeyDistribution::unf(), 8);
     let sae = SaeSystem::build_in_memory(&ds, ALG).unwrap();
