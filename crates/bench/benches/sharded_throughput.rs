@@ -1,0 +1,51 @@
+//! Sharded-engine throughput: shard-spanning read-heavy and write-heavy op
+//! mixes served through 1-, 2- and 4-shard layouts by a fixed 4-thread
+//! client pool. Without simulated I/O latency this measures pure lock/CPU
+//! scaling of the per-shard lock pairs; the `experiments -- sharded-throughput`
+//! table (E9) adds the non-overlappable per-write I/O hold that makes the
+//! single-writer bottleneck visible on any core count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sae_core::{ServeOptions, ShardedSaeEngine};
+use sae_crypto::HashAlgorithm;
+use sae_workload::{DatasetSpec, KeyDistribution, QueryMix};
+
+const N: usize = 10_000;
+const THREADS: usize = 4;
+const OPS_PER_CLIENT: usize = 16;
+
+fn bench_sharded_throughput(c: &mut Criterion) {
+    let dataset = DatasetSpec::paper(N, KeyDistribution::unf(), 8).generate();
+    let mix = QueryMix::spanning(KeyDistribution::unf().domain(), 0.002, 4);
+    let opts = ServeOptions {
+        threads: THREADS,
+        io_micros_per_query: 0,
+    };
+
+    let mut group = c.benchmark_group("sharded_throughput");
+    group.sample_size(10);
+    for (label, write_fraction) in [("read_heavy", 0.1f64), ("write_heavy", 0.8)] {
+        for shards in [1usize, 2, 4] {
+            let engine =
+                ShardedSaeEngine::build_cached(&dataset, HashAlgorithm::Sha1, shards, 256).unwrap();
+            group.bench_with_input(BenchmarkId::new(label, shards), &shards, |b, _| {
+                b.iter(|| {
+                    let report = engine.serve_ops(
+                        &mix,
+                        write_fraction,
+                        dataset.spec.record_size,
+                        OPS_PER_CLIENT,
+                        42,
+                        &opts,
+                    );
+                    assert!(report.all_verified);
+                    report.queries
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sharded_throughput);
+criterion_main!(benches);

@@ -5,44 +5,110 @@
 //! cargo run --release -p sae-bench --bin experiments -- fig6 --full-scale
 //! cargo run --release -p sae-bench --bin experiments -- fig5 --json out.json
 //! cargo run --release -p sae-bench --bin experiments -- ablation-scan
+//! cargo run --release -p sae-bench --bin experiments -- throughput --smoke --json tp.json
+//! cargo run --release -p sae-bench --bin experiments -- sharded-throughput
 //! ```
 //!
 //! Figures 5–8 share one measurement sweep (each `(distribution, n)` pair is
 //! built and queried once); the requested subcommand controls which tables
 //! are printed. `--full-scale` switches from the CI-friendly 1/10 scale to
-//! the paper's 100 K – 1 M records.
+//! the paper's 100 K – 1 M records. Unrecognized arguments are rejected with
+//! a nonzero exit instead of being silently ignored.
 
 use sae_bench::{
     print_ablation_memory, print_ablation_scan, print_ablation_updates, print_fig5, print_fig6,
-    print_fig7, print_fig8, print_throughput, rows_to_json, run_ablation_memory, run_ablation_scan,
-    run_ablation_updates, run_comparison, run_throughput, ExperimentConfig, ThroughputConfig,
+    print_fig7, print_fig8, print_sharded_throughput, print_throughput, report_to_json,
+    rows_to_json, run_ablation_memory, run_ablation_scan, run_ablation_updates, run_comparison,
+    run_sharded_throughput, run_throughput, ExperimentConfig, ShardedThroughputConfig,
+    ThroughputConfig,
 };
 
-fn usage() -> ! {
-    eprintln!(
-        "usage: experiments <fig5|fig6|fig7|fig8|all|ablation-scan|ablation-updates|ablation-memory|throughput> \
-         [--full-scale] [--smoke] [--zipf] [--json <path>]"
-    );
+const USAGE: &str = "usage: experiments \
+     <fig5|fig6|fig7|fig8|all|ablation-scan|ablation-updates|ablation-memory|throughput|sharded-throughput> \
+     [--full-scale] [--smoke] [--zipf] [--json <path>]";
+
+fn usage(error: &str) -> ! {
+    if !error.is_empty() {
+        eprintln!("error: {error}");
+    }
+    eprintln!("{USAGE}");
     std::process::exit(2)
+}
+
+/// Everything the command line can express, parsed strictly: an unknown
+/// command or flag aborts with the usage string instead of being ignored.
+struct Cli {
+    command: String,
+    full_scale: bool,
+    smoke: bool,
+    zipf: bool,
+    json_path: Option<String>,
+}
+
+impl Cli {
+    fn parse(args: &[String]) -> Cli {
+        let Some((command, flags)) = args.split_first() else {
+            usage("missing command");
+        };
+        if command.starts_with('-') {
+            usage(&format!("expected a command before flags, got `{command}`"));
+        }
+        // Which flags each command actually consumes; anything else is a
+        // rejected typo, not a silent no-op. `main`'s dispatch match derives
+        // its arms from this same table (see the unreachable fallback there).
+        let allowed: &[&str] = match command.as_str() {
+            "fig5" | "fig6" | "fig7" | "fig8" | "all" => &["--full-scale", "--smoke", "--json"],
+            "ablation-scan" | "ablation-updates" | "ablation-memory" => {
+                &["--full-scale", "--smoke"]
+            }
+            "throughput" => &["--smoke", "--zipf", "--json"],
+            "sharded-throughput" => &["--smoke", "--json"],
+            other => usage(&format!("unknown command `{other}`")),
+        };
+        let mut cli = Cli {
+            command: command.clone(),
+            full_scale: false,
+            smoke: false,
+            zipf: false,
+            json_path: None,
+        };
+        let mut it = flags.iter();
+        while let Some(flag) = it.next() {
+            if !allowed.contains(&flag.as_str()) {
+                usage(&format!(
+                    "unrecognized argument `{flag}` for command `{command}`"
+                ));
+            }
+            match flag.as_str() {
+                "--full-scale" => cli.full_scale = true,
+                "--smoke" => cli.smoke = true,
+                "--zipf" => cli.zipf = true,
+                "--json" => match it.next() {
+                    Some(path) => cli.json_path = Some(path.clone()),
+                    None => usage("--json requires a path argument"),
+                },
+                _ => unreachable!("flag validated against the applicability table"),
+            }
+        }
+        if cli.full_scale && cli.smoke {
+            usage("--full-scale and --smoke are mutually exclusive");
+        }
+        cli
+    }
+}
+
+fn write_json(path: &str, json: String) {
+    std::fs::write(path, json).expect("write JSON report");
+    println!("\nwrote raw rows to {path}");
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() {
-        usage();
-    }
-    let command = args[0].as_str();
-    let full_scale = args.iter().any(|a| a == "--full-scale");
-    let smoke = args.iter().any(|a| a == "--smoke");
-    let json_path = args
-        .iter()
-        .position(|a| a == "--json")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
+    let cli = Cli::parse(&args);
 
-    let config = if full_scale {
+    let config = if cli.full_scale {
         ExperimentConfig::full_scale()
-    } else if smoke {
+    } else if cli.smoke {
         ExperimentConfig::smoke()
     } else {
         ExperimentConfig::scaled()
@@ -53,16 +119,16 @@ fn main() {
          record size {} B, 10 ms charged per node access",
         config.cardinalities, config.queries_per_config, config.record_size
     );
-    if !full_scale {
+    if !cli.full_scale {
         println!(
             "(running at 1/10 of the paper's cardinalities; pass --full-scale for 100K-1M records)"
         );
     }
 
-    match command {
+    match cli.command.as_str() {
         "fig5" | "fig6" | "fig7" | "fig8" | "all" => {
             let rows = run_comparison(&config);
-            match command {
+            match cli.command.as_str() {
                 "fig5" => print_fig5(&rows),
                 "fig6" => print_fig6(&rows),
                 "fig7" => print_fig7(&rows),
@@ -74,15 +140,14 @@ fn main() {
                     print_fig8(&rows);
                 }
             }
-            if let Some(path) = json_path {
-                std::fs::write(&path, rows_to_json(&rows)).expect("write JSON report");
-                println!("\nwrote raw rows to {path}");
+            if let Some(path) = &cli.json_path {
+                write_json(path, rows_to_json(&rows));
             }
         }
         "throughput" => {
             let tp_config = ThroughputConfig {
-                zipf_placement: args.iter().any(|a| a == "--zipf"),
-                ..if smoke {
+                zipf_placement: cli.zipf,
+                ..if cli.smoke {
                     ThroughputConfig::smoke()
                 } else {
                     ThroughputConfig::default()
@@ -96,7 +161,33 @@ fn main() {
                 tp_config.io_micros_per_query,
                 tp_config.cache_pages
             );
-            print_throughput(&run_throughput(&tp_config));
+            let rows = run_throughput(&tp_config);
+            print_throughput(&rows);
+            if let Some(path) = &cli.json_path {
+                write_json(path, report_to_json(&rows));
+            }
+        }
+        "sharded-throughput" => {
+            let sh_config = if cli.smoke {
+                ShardedThroughputConfig::smoke()
+            } else {
+                ShardedThroughputConfig::default()
+            };
+            println!(
+                "sharded-throughput experiment — n={}, shards {:?}, threads {:?}, \
+                 {} ops per client, {} µs simulated I/O per op, {}-page buffer pool per shard",
+                sh_config.cardinality,
+                sh_config.shard_counts,
+                sh_config.thread_counts,
+                sh_config.ops_per_client,
+                sh_config.io_micros_per_op,
+                sh_config.cache_pages
+            );
+            let rows = run_sharded_throughput(&sh_config);
+            print_sharded_throughput(&rows);
+            if let Some(path) = &cli.json_path {
+                write_json(path, report_to_json(&rows));
+            }
         }
         "ablation-scan" => print_ablation_scan(&run_ablation_scan(&config)),
         "ablation-updates" => print_ablation_updates(&run_ablation_updates(&config, 200)),
@@ -106,6 +197,6 @@ fn main() {
             print_ablation_memory(&run_ablation_memory(&config, &dir));
             let _ = std::fs::remove_dir_all(&dir);
         }
-        _ => usage(),
+        _ => unreachable!("command validated by Cli::parse's applicability table"),
     }
 }

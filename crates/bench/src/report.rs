@@ -1,6 +1,9 @@
 //! Pretty-printers that lay the measured rows out like the paper's figures.
 
-use crate::experiments::{AblationRow, ComparisonRow, MemoryAblationRow, ThroughputRow, UpdateRow};
+use crate::experiments::{
+    AblationRow, ComparisonRow, MemoryAblationRow, ShardedThroughputRow, ThroughputRow, UpdateRow,
+};
+use serde::Serialize;
 
 fn header(title: &str) {
     println!();
@@ -174,8 +177,38 @@ pub fn print_throughput(rows: &[ThroughputRow]) {
     }
 }
 
+/// Experiment E9: sharded-engine throughput as the shard count grows, on
+/// read-heavy and write-heavy mixes of spanning queries and routed updates.
+pub fn print_sharded_throughput(rows: &[ShardedThroughputRow]) {
+    header("Experiment E9 — sharded SAE engine throughput vs shards (spanning read/write mixes)");
+    println!(
+        "  {:>12} {:>8} {:>7} {:>7} {:>12} {:>10} {:>10} {:>9} {:>9}",
+        "mix", "threads", "shards", "ops", "ops/s", "p50 [ms]", "p99 [ms]", "speedup", "verified"
+    );
+    for r in rows {
+        println!(
+            "  {:>12} {:>8} {:>7} {:>7} {:>12.0} {:>10.2} {:>10.2} {:>8.2}x {:>9}",
+            r.mix,
+            r.threads,
+            r.shards,
+            r.ops,
+            r.queries_per_sec,
+            r.p50_ms,
+            r.p99_ms,
+            r.speedup,
+            if r.all_verified { "all" } else { "NO" }
+        );
+    }
+}
+
 /// Serializes comparison rows to pretty JSON (for plotting outside Rust).
 pub fn rows_to_json(rows: &[ComparisonRow]) -> String {
+    report_to_json(rows)
+}
+
+/// Serializes any experiment row slice to pretty JSON (for the CI bench
+/// artifacts and plotting outside Rust).
+pub fn report_to_json<T: Serialize>(rows: &[T]) -> String {
     serde_json::to_string_pretty(rows).expect("rows serialize")
 }
 

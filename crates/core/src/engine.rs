@@ -12,7 +12,7 @@
 //! * **Thread-pooled drivers.** [`serve_batch`] fans a fixed workload out over
 //!   N worker threads; [`serve_mix`] runs a closed loop in which every worker
 //!   plays one client replaying its own deterministic
-//!   [`QueryMix`](sae_workload::QueryMix) stream. Both aggregate per-thread
+//!   [`QueryMix`] stream. Both aggregate per-thread
 //!   [`QueryMetrics`] and wall-clock latencies into a [`ThroughputReport`]
 //!   (p50/p95/p99 latency, queries per second).
 //! * **Buffer pooling.** [`SaeEngine::build_cached`] wires a
@@ -43,6 +43,8 @@ use crate::sae::{
 };
 use crate::tom::TomSystem;
 use parking_lot::RwLock;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use sae_crypto::signer::{Signer, Verifier};
 use sae_crypto::{HashAlgorithm, DIGEST_LEN};
 use sae_storage::{
@@ -71,6 +73,20 @@ pub trait QueryService: Send + Sync {
     fn cost_model(&self) -> CostModel {
         CostModel::paper()
     }
+}
+
+/// A [`QueryService`] that also accepts data-owner updates, so the mixed
+/// read/write driver ([`serve_ops`]) can run against it. Implemented by both
+/// the single-pair [`SaeEngine`] and the sharded
+/// [`ShardedSaeEngine`](crate::sharded::ShardedSaeEngine), which is exactly
+/// what lets one driver path compare their write scaling.
+pub trait UpdateService: QueryService {
+    /// Applies one insert-then-delete round trip of `record`, atomically with
+    /// respect to concurrent queries. `hold` is slept *inside* the write
+    /// critical section, simulating the I/O a real write performs while the
+    /// affected key range is locked — this is the serialization that sharding
+    /// is supposed to break up.
+    fn apply_update(&self, record: &Record, hold: Duration) -> StorageResult<()>;
 }
 
 /// Options for the concurrent drivers.
@@ -181,13 +197,122 @@ fn run_worker<S: QueryService + ?Sized>(
     }
 }
 
-fn build_report<S: QueryService + ?Sized>(
+/// One operation of a mixed read/write client stream (see [`serve_ops`]).
+#[derive(Clone, Debug)]
+pub enum MixOp {
+    /// An authenticated range query, executed through [`QueryService`].
+    Query(RangeQuery),
+    /// A data-owner write: the record is inserted and then deleted again
+    /// through [`UpdateService::apply_update`], so the dataset's cardinality
+    /// is unchanged after the batch.
+    Update(Record),
+}
+
+/// The first `count` operations of `client`'s deterministic mixed stream:
+/// each op is a write with probability `write_fraction`, otherwise a query
+/// drawn from `mix`. Written records use `record_size`-byte encodings, keys
+/// sampled from the mix's placement distribution, and ids disjoint from any
+/// dataset generated by [`sae_workload::DatasetSpec`].
+pub fn client_ops(
+    mix: &QueryMix,
+    write_fraction: f64,
+    record_size: usize,
+    base_seed: u64,
+    client: u64,
+    count: usize,
+) -> Vec<MixOp> {
+    let mut coin = StdRng::seed_from_u64(QueryMix::client_seed(base_seed ^ 0x0905, client));
+    let mut queries = mix.stream(QueryMix::client_seed(base_seed, client));
+    (0..count)
+        .map(|i| {
+            if coin.gen::<f64>() < write_fraction {
+                let key = mix.placement.sample(&mut coin);
+                let id = (1u64 << 42) | (client << 24) | i as u64;
+                MixOp::Update(Record::with_size(id, key, record_size))
+            } else {
+                MixOp::Query(queries.next().expect("query streams are infinite"))
+            }
+        })
+        .collect()
+}
+
+fn run_ops_worker<S: UpdateService + ?Sized>(
     service: &S,
-    threads: usize,
-    wall_ms: f64,
-    before: &[(&'static str, IoSnapshot)],
-    outcomes: Vec<WorkerOutcome>,
-) -> ThroughputReport {
+    ops: &[MixOp],
+    io_sleep: Duration,
+) -> WorkerOutcome {
+    let mut latencies = Vec::with_capacity(ops.len());
+    let mut totals = QueryMetrics {
+        verified: true,
+        ..Default::default()
+    };
+    let mut failed = 0u64;
+    for op in ops {
+        let start = Instant::now();
+        match op {
+            MixOp::Query(q) => {
+                match service.execute(q) {
+                    Ok(metrics) => totals.accumulate(&metrics),
+                    Err(_) => {
+                        failed += 1;
+                        totals.verified = false;
+                    }
+                }
+                // Queries pay no simulated latency here: the hot index pages
+                // are buffer-pooled, and read I/O overlaps freely anyway. The
+                // discriminating resource of a read/write mix is the write
+                // hold below.
+            }
+            MixOp::Update(record) => {
+                // Write I/O is *not* overlappable within a key range: the
+                // sleep happens inside the write critical section (see
+                // UpdateService::apply_update), modelling the durable write
+                // a real deployment performs while the key range is locked.
+                if service.apply_update(record, io_sleep).is_err() {
+                    failed += 1;
+                    totals.verified = false;
+                }
+            }
+        }
+        latencies.push(start.elapsed().as_secs_f64() * 1000.0);
+    }
+    WorkerOutcome {
+        latencies,
+        totals,
+        failed,
+    }
+}
+
+/// The shared concurrent scaffold of every driver: snapshot the party
+/// counters at a quiescent point, fan `assignments` out over one scoped
+/// thread per entry, join, and aggregate into a [`ThroughputReport`].
+fn drive<S, T, F>(service: &S, assignments: Vec<Vec<T>>, worker: F) -> ThroughputReport
+where
+    S: QueryService + ?Sized,
+    T: Send + Sync,
+    F: Fn(&S, &[T]) -> WorkerOutcome + Send + Sync,
+{
+    let threads = assignments.len();
+    let before: Vec<(&'static str, IoSnapshot)> = service
+        .party_stats()
+        .iter()
+        .map(|(party, stats)| (*party, stats.snapshot()))
+        .collect();
+
+    let start = Instant::now();
+    let worker = &worker;
+    let outcomes: Vec<WorkerOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = assignments
+            .iter()
+            .map(|chunk| scope.spawn(move || worker(service, chunk)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("engine worker panicked"))
+            .collect()
+    });
+    let wall_ms = start.elapsed().as_secs_f64() * 1000.0;
+
     let mut totals = QueryMetrics {
         verified: true,
         ..Default::default()
@@ -206,21 +331,22 @@ fn build_report<S: QueryService + ?Sized>(
         all_latencies.extend(outcome.latencies);
     }
 
-    let party_io: Vec<PartyIo> = service
-        .party_stats()
-        .iter()
-        .zip(before)
-        .map(|((party, stats), (_, earlier))| PartyIo {
-            party,
-            delta: stats.snapshot().delta_since(earlier),
-        })
-        .collect();
+    // Group the per-store deltas by party label: a sharded service reports one
+    // "sp"/"te" pair per shard, and the batch totals are the per-party sums.
+    let mut party_io: Vec<PartyIo> = Vec::new();
+    for ((party, stats), (_, earlier)) in service.party_stats().iter().zip(&before) {
+        let delta = stats.snapshot().delta_since(earlier);
+        match party_io.iter_mut().find(|p| p.party == *party) {
+            Some(p) => p.delta.accumulate(&delta),
+            None => party_io.push(PartyIo { party, delta }),
+        }
+    }
     let cost = service.cost_model();
-    if let Some(sp) = party_io.first() {
+    if let Some(sp) = party_io.iter().find(|p| p.party == "sp") {
         totals.sp_node_accesses = sp.delta.node_accesses();
         totals.sp_charged_ms = cost.charge_ms(&sp.delta);
     }
-    if let Some(te) = party_io.get(1) {
+    if let Some(te) = party_io.iter().find(|p| p.party == "te") {
         totals.te_node_accesses = te.delta.node_accesses();
         totals.te_charged_ms = cost.charge_ms(&te.delta);
     }
@@ -256,25 +382,9 @@ pub fn serve_batch<S: QueryService + ?Sized>(
     let assignments: Vec<Vec<RangeQuery>> = (0..threads)
         .map(|t| queries.iter().skip(t).step_by(threads).copied().collect())
         .collect();
-    let before: Vec<(&'static str, IoSnapshot)> = service
-        .party_stats()
-        .iter()
-        .map(|(party, stats)| (*party, stats.snapshot()))
-        .collect();
-
-    let start = Instant::now();
-    let outcomes: Vec<WorkerOutcome> = std::thread::scope(|scope| {
-        let handles: Vec<_> = assignments
-            .iter()
-            .map(|chunk| scope.spawn(move || run_worker(service, chunk, io_sleep)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("engine worker panicked"))
-            .collect()
-    });
-    let wall_ms = start.elapsed().as_secs_f64() * 1000.0;
-    build_report(service, threads, wall_ms, &before, outcomes)
+    drive(service, assignments, |service, chunk| {
+        run_worker(service, chunk, io_sleep)
+    })
 }
 
 /// Closed-loop driver: every worker plays one client that draws
@@ -292,25 +402,45 @@ pub fn serve_mix<S: QueryService + ?Sized>(
     let assignments: Vec<Vec<RangeQuery>> = (0..threads as u64)
         .map(|client| mix.client_queries(seed, client, queries_per_client))
         .collect();
-    let before: Vec<(&'static str, IoSnapshot)> = service
-        .party_stats()
-        .iter()
-        .map(|(party, stats)| (*party, stats.snapshot()))
-        .collect();
+    drive(service, assignments, |service, chunk| {
+        run_worker(service, chunk, io_sleep)
+    })
+}
 
-    let start = Instant::now();
-    let outcomes: Vec<WorkerOutcome> = std::thread::scope(|scope| {
-        let handles: Vec<_> = assignments
-            .iter()
-            .map(|chunk| scope.spawn(move || run_worker(service, chunk, io_sleep)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("engine worker panicked"))
-            .collect()
-    });
-    let wall_ms = start.elapsed().as_secs_f64() * 1000.0;
-    build_report(service, threads, wall_ms, &before, outcomes)
+/// Closed-loop mixed read/write driver: every worker plays one client
+/// replaying its own deterministic [`client_ops`] stream — queries through
+/// [`QueryService::execute`], writes through [`UpdateService::apply_update`].
+/// `ThroughputReport::queries` counts *operations* here, and
+/// `opts.io_micros_per_query` is the per-*write* I/O hold, slept inside the
+/// write critical section; queries run at memory speed (their I/O is
+/// buffer-pooled and overlappable, so it is not what a read/write mix
+/// contends on).
+pub fn serve_ops<S: UpdateService + ?Sized>(
+    service: &S,
+    mix: &QueryMix,
+    write_fraction: f64,
+    record_size: usize,
+    ops_per_client: usize,
+    seed: u64,
+    opts: &ServeOptions,
+) -> ThroughputReport {
+    let threads = opts.threads.max(1);
+    let io_sleep = Duration::from_micros(opts.io_micros_per_query);
+    let assignments: Vec<Vec<MixOp>> = (0..threads as u64)
+        .map(|client| {
+            client_ops(
+                mix,
+                write_fraction,
+                record_size,
+                seed,
+                client,
+                ops_per_client,
+            )
+        })
+        .collect();
+    drive(service, assignments, |service, chunk| {
+        run_ops_worker(service, chunk, io_sleep)
+    })
 }
 
 /// The SAE deployment behind independently lockable parties.
@@ -422,6 +552,35 @@ impl SaeEngine {
         opts: &ServeOptions,
     ) -> ThroughputReport {
         serve_mix(self, mix, queries_per_client, seed, opts)
+    }
+
+    /// Runs the closed-loop mixed read/write driver (see [`serve_ops`]).
+    pub fn serve_ops(
+        &self,
+        mix: &QueryMix,
+        write_fraction: f64,
+        record_size: usize,
+        ops_per_client: usize,
+        seed: u64,
+        opts: &ServeOptions,
+    ) -> ThroughputReport {
+        serve_ops(
+            self,
+            mix,
+            write_fraction,
+            record_size,
+            ops_per_client,
+            seed,
+            opts,
+        )
+    }
+}
+
+impl UpdateService for SaeEngine {
+    fn apply_update(&self, record: &Record, hold: Duration) -> StorageResult<()> {
+        let mut sp = self.sp.write();
+        let mut te = self.te.write();
+        crate::sae::update_parties(&mut sp, &mut te, record, hold)
     }
 }
 

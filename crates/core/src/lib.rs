@@ -25,7 +25,12 @@
 //! * [`engine::SaeEngine`]/[`engine::TomEngine`] — the concurrent serving
 //!   layer: `RwLock`-partitioned parties, thread-pooled batch/closed-loop
 //!   drivers with p50/p99 latency and queries/sec aggregation, and optional
-//!   buffer pooling under both parties.
+//!   buffer pooling under both parties;
+//! * [`sharded::ShardedSaeEngine`] — the key-range sharded deployment: `N`
+//!   independent SP/TE pairs behind per-shard lock pairs, routed writes,
+//!   and scatter-gather range queries whose per-shard slices the client
+//!   stitches back together soundly (a dropped shard slice or a record
+//!   smuggled across a shard boundary is a detected tamper).
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
@@ -33,11 +38,18 @@
 pub mod engine;
 pub mod metrics;
 pub mod sae;
+pub mod sharded;
 pub mod tamper;
 pub mod tom;
 
-pub use engine::{SaeEngine, ServeOptions, ThroughputReport, TomEngine};
+pub use engine::{
+    client_ops, serve_batch, serve_mix, serve_ops, MixOp, QueryService, SaeEngine, ServeOptions,
+    ThroughputReport, TomEngine, UpdateService,
+};
 pub use metrics::{LatencySummary, QueryMetrics, StorageBreakdown};
 pub use sae::{SaeClient, SaeQueryOutcome, SaeSystem, SaeVerifyError, TrustedEntity};
+pub use sharded::{
+    ShardLayout, ShardSlice, ShardedQueryOutcome, ShardedSaeEngine, ShardedVerifyError,
+};
 pub use tamper::TamperStrategy;
 pub use tom::{TomQueryOutcome, TomSystem};

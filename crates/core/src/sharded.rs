@@ -1,0 +1,996 @@
+//! Key-range sharded SAE serving with verified scatter-gather queries.
+//!
+//! The single-pair [`SaeEngine`](crate::engine::SaeEngine) serializes every
+//! data-owner update behind two global locks, so write-heavy mixes collapse
+//! to single-writer throughput no matter how many client threads are added.
+//! The SAE model partitions cleanly by key range — each shard is an
+//! independent SP (heap + B⁺-Tree) plus TE (XB-Tree digest domain) — so
+//! [`ShardedSaeEngine`] holds `N` such pairs, each behind its own lock pair:
+//!
+//! * **Routing.** A point insert or delete touches exactly the shard owning
+//!   its key ([`ShardLayout::shard_of`]); writes to different shards run
+//!   fully in parallel.
+//! * **Scatter-gather.** A range query is clamped to every overlapping shard
+//!   ([`ShardLayout::clamp`]), each shard answers its sub-range and its own
+//!   TE emits a verification token for that sub-range, and the client
+//!   stitches the slices back together.
+//!
+//! ## Sound stitching
+//!
+//! Per-shard verification alone is not enough: a malicious SP could silently
+//! *omit an entire shard's slice* and every remaining slice would still
+//! verify. The client therefore derives, from the published [`ShardLayout`],
+//! exactly which shards a query must have answered, and
+//! [`ShardedSaeEngine::verify_scatter`] rejects a response whose slice list
+//! is not exactly that set in ascending shard order
+//! ([`ShardedVerifyError::MissingShardSlice`] et al.). Within each slice the
+//! ordinary [`SaeClient`] checks run against the *clamped* sub-query, so a
+//! record smuggled across a shard boundary ([`TamperStrategy::ShardBoundarySwap`])
+//! is caught twice over: its key is outside the receiving shard's clamped
+//! range, and both affected tokens stop matching their slices' XOR folds.
+//! Because shard ranges are disjoint and visited in ascending order, the
+//! per-slice checks also imply global key order and global record-id
+//! uniqueness across the stitched result.
+//!
+//! ## Consistency under concurrency
+//!
+//! Each slice is produced while holding that shard's SP read lock across its
+//! TE read, so every slice is internally consistent and verifies against its
+//! own token even while writers are active on other shards. A query spanning
+//! several shards may observe shard `j` before and shard `k` after some
+//! concurrent update — exactly the per-key-range consistency a range-sharded
+//! deployment provides.
+
+use crate::engine::{
+    serve_batch, serve_mix, serve_ops, QueryService, ServeOptions, ThroughputReport, UpdateService,
+};
+use crate::metrics::QueryMetrics;
+use crate::sae::{
+    delete_from_parties, insert_into_parties, SaeClient, SaeServiceProvider, SaeVerifyError,
+    TeMode, TrustedEntity,
+};
+use crate::tamper::TamperStrategy;
+use parking_lot::RwLock;
+use sae_crypto::{Digest, HashAlgorithm, DIGEST_LEN};
+use sae_storage::{
+    CachedPager, CostModel, IoSnapshot, IoStats, MemPager, PageStore, SharedPageStore,
+    StorageError, StorageResult,
+};
+use sae_workload::{Dataset, DatasetSpec, QueryMix, RangeQuery, Record, RecordKey};
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// An equal-width partition of the key domain `[0, domain]` into contiguous,
+/// disjoint shard ranges. Published by the data owner alongside the schema,
+/// so the client can derive which shards must answer a query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardLayout {
+    /// Inclusive upper key bound of each shard, ascending; the last entry is
+    /// the domain bound.
+    uppers: Vec<RecordKey>,
+}
+
+impl ShardLayout {
+    /// Splits `[0, domain]` into `shards` equal-width ranges (shard `k`
+    /// starts at `k * (domain + 1) / shards` — the boundary formula
+    /// [`QueryMix::spanning`] straddles). `shards` is clamped to
+    /// `[1, domain + 1]` so every shard owns at least one key.
+    pub fn uniform(domain: RecordKey, shards: usize) -> ShardLayout {
+        let span = domain as u64 + 1;
+        let shards = (shards.max(1) as u64).min(span);
+        let uppers = (1..=shards)
+            .map(|k| (k * span / shards - 1) as RecordKey)
+            .collect();
+        ShardLayout { uppers }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.uppers.len()
+    }
+
+    /// The inclusive key domain bound the layout covers.
+    pub fn domain(&self) -> RecordKey {
+        *self.uppers.last().expect("layouts have at least one shard")
+    }
+
+    /// The shard owning `key`. Keys above the domain bound map to the last
+    /// shard (they can only appear in fabricated records, which fail
+    /// verification anyway).
+    pub fn shard_of(&self, key: RecordKey) -> usize {
+        self.uppers
+            .partition_point(|&upper| upper < key)
+            .min(self.uppers.len() - 1)
+    }
+
+    /// The inclusive key range `[lower, upper]` of shard `i`.
+    pub fn range(&self, i: usize) -> RangeQuery {
+        let lower = if i == 0 { 0 } else { self.uppers[i - 1] + 1 };
+        RangeQuery::new(lower, self.uppers[i])
+    }
+
+    /// The overlap of `q` with shard `i`, or `None` when they are disjoint.
+    pub fn clamp(&self, i: usize, q: &RangeQuery) -> Option<RangeQuery> {
+        let range = self.range(i);
+        let lower = range.lower.max(q.lower);
+        let upper = range.upper.min(q.upper);
+        (lower <= upper).then(|| RangeQuery::new(lower, upper))
+    }
+
+    /// The ascending shard indices whose ranges overlap `q` — exactly the
+    /// shards that must contribute a slice to the query's answer.
+    pub fn overlapping(&self, q: &RangeQuery) -> Vec<usize> {
+        (0..self.shard_count())
+            .filter(|&i| self.clamp(i, q).is_some())
+            .collect()
+    }
+}
+
+/// One shard's contribution to a scatter-gather answer: the records of the
+/// clamped sub-query plus that shard's TE verification token.
+#[derive(Clone, Debug)]
+pub struct ShardSlice {
+    /// Which shard produced the slice.
+    pub shard: usize,
+    /// The encoded result records of the clamped sub-query, in key order.
+    pub records: Vec<Vec<u8>>,
+    /// The shard TE's verification token over the clamped sub-query.
+    pub vt: Digest,
+}
+
+/// Why the client rejected a stitched scatter-gather result.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ShardedVerifyError {
+    /// A shard that must answer the query contributed no slice — the
+    /// dropped-shard completeness attack.
+    MissingShardSlice {
+        /// The shard whose slice is missing.
+        shard: usize,
+    },
+    /// A slice arrived from a shard the query does not overlap.
+    UnexpectedShardSlice {
+        /// The offending shard index.
+        shard: usize,
+    },
+    /// The responding shards match the expected set but the slices are
+    /// duplicated or not in ascending shard order.
+    SlicesOutOfOrder,
+    /// A slice failed the ordinary per-shard SAE verification against its
+    /// clamped sub-query and shard token.
+    Slice {
+        /// The shard whose slice failed.
+        shard: usize,
+        /// The per-slice verification error.
+        error: SaeVerifyError,
+    },
+}
+
+impl std::fmt::Display for ShardedVerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardedVerifyError::MissingShardSlice { shard } => {
+                write!(f, "shard {shard} must answer the query but sent no slice")
+            }
+            ShardedVerifyError::UnexpectedShardSlice { shard } => {
+                write!(
+                    f,
+                    "shard {shard} sent a slice but does not overlap the query"
+                )
+            }
+            ShardedVerifyError::SlicesOutOfOrder => {
+                write!(f, "shard slices duplicated or not in ascending shard order")
+            }
+            ShardedVerifyError::Slice { shard, error } => {
+                write!(f, "slice of shard {shard} failed verification: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShardedVerifyError {}
+
+/// Everything a sharded query run produces.
+#[derive(Clone, Debug)]
+pub struct ShardedQueryOutcome {
+    /// The (possibly tampered) per-shard slices, in response order.
+    pub slices: Vec<ShardSlice>,
+    /// The client's stitched verification verdict.
+    pub verdict: Result<(), ShardedVerifyError>,
+    /// Cost accounting for the query.
+    pub metrics: QueryMetrics,
+}
+
+/// One key-range shard: an independent SP/TE pair behind its own lock pair.
+struct SaeShard {
+    sp: RwLock<SaeServiceProvider>,
+    te: RwLock<TrustedEntity>,
+    sp_stats: Arc<IoStats>,
+    te_stats: Arc<IoStats>,
+    sp_cache: Option<Arc<CachedPager>>,
+}
+
+/// The SAE deployment split into `N` key-range shards, each an independent
+/// SP/TE pair behind its own `RwLock` pair (lock order within a shard is SP
+/// before TE, and a query visits shards in ascending index order, so there
+/// are no lock cycles). See the module docs for the verification story.
+pub struct ShardedSaeEngine {
+    layout: ShardLayout,
+    shards: Vec<SaeShard>,
+    client: SaeClient,
+    cost_model: CostModel,
+    record_len: usize,
+    /// Every record id present anywhere in the deployment. Each shard's SP
+    /// only knows its own directory, so without this the data owner could
+    /// insert the same id under keys owned by different shards — something
+    /// the single-pair engine rejects. The lock is held only for the map
+    /// probe, never across shard work or the write I/O hold.
+    ids: RwLock<HashSet<u64>>,
+}
+
+impl ShardedSaeEngine {
+    /// Builds a sharded in-memory deployment over `dataset` with an
+    /// equal-width `shards`-way layout on the dataset's key domain.
+    pub fn build_in_memory(
+        dataset: &Dataset,
+        alg: HashAlgorithm,
+        shards: usize,
+    ) -> StorageResult<ShardedSaeEngine> {
+        Self::build(dataset, alg, shards, None)
+    }
+
+    /// Like [`ShardedSaeEngine::build_in_memory`], but wiring a
+    /// [`CachedPager`] of `cache_pages` pages under *each shard's* SP and TE
+    /// so hot index pages are served from the buffer pool.
+    pub fn build_cached(
+        dataset: &Dataset,
+        alg: HashAlgorithm,
+        shards: usize,
+        cache_pages: usize,
+    ) -> StorageResult<ShardedSaeEngine> {
+        Self::build(dataset, alg, shards, Some(cache_pages))
+    }
+
+    fn build(
+        dataset: &Dataset,
+        alg: HashAlgorithm,
+        shards: usize,
+        cache_pages: Option<usize>,
+    ) -> StorageResult<ShardedSaeEngine> {
+        let layout = ShardLayout::uniform(dataset.spec.distribution.domain(), shards);
+        let mut partitions: Vec<Vec<Record>> = vec![Vec::new(); layout.shard_count()];
+        for record in dataset.iter() {
+            partitions[layout.shard_of(record.key)].push(record.clone());
+        }
+
+        let mut built = Vec::with_capacity(partitions.len());
+        for records in partitions {
+            let sub = Dataset {
+                spec: DatasetSpec {
+                    cardinality: records.len(),
+                    ..dataset.spec
+                },
+                records,
+            };
+            let (sp_store, sp_cache): (SharedPageStore, _) = match cache_pages {
+                Some(pages) => {
+                    let cache = Arc::new(CachedPager::new(MemPager::new_shared(), pages));
+                    (Arc::clone(&cache) as SharedPageStore, Some(cache))
+                }
+                None => (MemPager::new_shared(), None),
+            };
+            let te_store: SharedPageStore = match cache_pages {
+                Some(pages) => Arc::new(CachedPager::new(MemPager::new_shared(), pages)),
+                None => MemPager::new_shared(),
+            };
+            let sp = SaeServiceProvider::build(sp_store, &sub)?;
+            let te = TrustedEntity::build(te_store, &sub, alg, TeMode::XbTree)?;
+            let sp_stats = sp.store().stats();
+            let te_stats = te.store().stats();
+            built.push(SaeShard {
+                sp: RwLock::new(sp),
+                te: RwLock::new(te),
+                sp_stats,
+                te_stats,
+                sp_cache,
+            });
+        }
+        Ok(ShardedSaeEngine {
+            layout,
+            shards: built,
+            client: SaeClient::with_record_len(alg, dataset.spec.record_size),
+            cost_model: CostModel::paper(),
+            record_len: dataset.spec.record_size,
+            ids: RwLock::new(dataset.iter().map(|r| r.id).collect()),
+        })
+    }
+
+    /// Claims `record`'s id in the deployment-wide directory (rejecting
+    /// duplicates) and checks its key against the layout domain; on success
+    /// the caller owns the claim and must release it if its shard write
+    /// fails.
+    fn claim(&self, record: &Record) -> StorageResult<()> {
+        if record.key > self.layout.domain() {
+            return Err(StorageError::KeyOutOfDomain {
+                key: record.key,
+                domain: self.layout.domain(),
+            });
+        }
+        if !self.ids.write().insert(record.id) {
+            return Err(StorageError::DuplicateRecordId(record.id));
+        }
+        Ok(())
+    }
+
+    /// The published shard layout.
+    pub fn layout(&self) -> &ShardLayout {
+        &self.layout
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Routes a data-owner insertion to the shard owning the record's key;
+    /// only that shard's locks are taken (plus a momentary probe of the
+    /// deployment-wide id directory), so writes to other shards proceed
+    /// concurrently. Ids duplicated *anywhere* in the deployment and keys
+    /// outside the layout domain (which no range query could ever reach) are
+    /// rejected, exactly like the single-pair engine. A TE failure rolls the
+    /// shard's SP insertion back.
+    pub fn insert(&self, record: &Record) -> StorageResult<()> {
+        self.claim(record)?;
+        let shard = &self.shards[self.layout.shard_of(record.key)];
+        let mut sp = shard.sp.write();
+        let mut te = shard.te.write();
+        let outcome = insert_into_parties(&mut sp, &mut te, record);
+        if outcome.is_err() {
+            self.ids.write().remove(&record.id);
+        }
+        outcome
+    }
+
+    /// Routes a data-owner deletion to the shard owning `key`; one-sided
+    /// deletions are rolled back and reported as
+    /// [`sae_storage::StorageError::Desync`].
+    pub fn delete(&self, id: u64, key: RecordKey) -> StorageResult<bool> {
+        let shard = &self.shards[self.layout.shard_of(key)];
+        let mut sp = shard.sp.write();
+        let mut te = shard.te.write();
+        let outcome = delete_from_parties(&mut sp, &mut te, id, key);
+        if let Ok(true) = outcome {
+            self.ids.write().remove(&id);
+        }
+        outcome
+    }
+
+    /// Scatters `q` over every overlapping shard: each shard answers its
+    /// clamped sub-query under its SP read lock held across its TE read, so
+    /// every slice is internally consistent.
+    pub fn scatter(&self, q: &RangeQuery) -> StorageResult<Vec<ShardSlice>> {
+        let mut slices = Vec::new();
+        for i in self.layout.overlapping(q) {
+            let sub = self.layout.clamp(i, q).expect("overlapping shards clamp");
+            let shard = &self.shards[i];
+            let sp = shard.sp.read();
+            let records = sp.query(&sub)?;
+            let vt = shard.te.read().generate_vt(&sub)?;
+            drop(sp);
+            slices.push(ShardSlice {
+                shard: i,
+                records,
+                vt,
+            });
+        }
+        Ok(slices)
+    }
+
+    /// Client-side stitched verification of a scatter-gather response.
+    /// Returns the verdict and the wall-clock milliseconds spent.
+    pub fn verify_scatter(
+        &self,
+        q: &RangeQuery,
+        slices: &[ShardSlice],
+    ) -> (Result<(), ShardedVerifyError>, f64) {
+        let start = Instant::now();
+        let verdict = self.check_scatter(q, slices);
+        (verdict, start.elapsed().as_secs_f64() * 1000.0)
+    }
+
+    fn check_scatter(
+        &self,
+        q: &RangeQuery,
+        slices: &[ShardSlice],
+    ) -> Result<(), ShardedVerifyError> {
+        // The client knows the layout, so it knows exactly which shards must
+        // have answered: anything less (a dropped slice), more, duplicated or
+        // reordered is rejected before any cryptography runs.
+        let expected = self.layout.overlapping(q);
+        let exact = slices.len() == expected.len()
+            && slices
+                .iter()
+                .zip(&expected)
+                .all(|(slice, &shard)| slice.shard == shard);
+        if !exact {
+            for &shard in &expected {
+                if !slices.iter().any(|s| s.shard == shard) {
+                    return Err(ShardedVerifyError::MissingShardSlice { shard });
+                }
+            }
+            if let Some(slice) = slices.iter().find(|s| !expected.contains(&s.shard)) {
+                return Err(ShardedVerifyError::UnexpectedShardSlice { shard: slice.shard });
+            }
+            return Err(ShardedVerifyError::SlicesOutOfOrder);
+        }
+
+        // Every slice verifies like an ordinary SAE result, against the
+        // *clamped* sub-query (which pins each record to its shard's key
+        // range) and the shard's own token. Disjoint ascending ranges then
+        // give global order and cross-shard id uniqueness for free.
+        for slice in slices {
+            let sub = self
+                .layout
+                .clamp(slice.shard, q)
+                .expect("expected shards overlap the query");
+            let (outcome, _) = self.client.verify_detailed(&sub, &slice.records, &slice.vt);
+            if let Err(error) = outcome {
+                return Err(ShardedVerifyError::Slice {
+                    shard: slice.shard,
+                    error,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs one query honestly end to end (scatter, gather, verify).
+    pub fn query(&self, q: &RangeQuery) -> StorageResult<ShardedQueryOutcome> {
+        self.query_with_tamper(q, TamperStrategy::Honest, 0)
+    }
+
+    /// Runs one query with a malicious SP corrupting the scatter-gather
+    /// response before the client verifies it. The shard-level strategies
+    /// ([`TamperStrategy::DropShardSlice`], [`TamperStrategy::ShardBoundarySwap`])
+    /// manipulate whole slices; every other attack is applied *shard-locally*
+    /// to the first non-empty slice, replaying the single-pair attacks inside
+    /// one shard's domain.
+    pub fn query_with_tamper(
+        &self,
+        q: &RangeQuery,
+        tamper: TamperStrategy,
+        seed: u64,
+    ) -> StorageResult<ShardedQueryOutcome> {
+        let mut slices = self.scatter(q)?;
+        match tamper {
+            TamperStrategy::Honest => {}
+            TamperStrategy::DropShardSlice { shard } => {
+                if !slices.is_empty() {
+                    let victim = shard % slices.len();
+                    slices.remove(victim);
+                }
+            }
+            TamperStrategy::ShardBoundarySwap => {
+                // Move the record adjacent to the first populated boundary
+                // into the neighbouring slice. Global key order and the query
+                // range are preserved; only the shard attribution is wrong.
+                if let Some(i) = (0..slices.len().saturating_sub(1))
+                    .find(|&i| !slices[i].records.is_empty() || !slices[i + 1].records.is_empty())
+                {
+                    if slices[i].records.is_empty() {
+                        let moved = slices[i + 1].records.remove(0);
+                        slices[i].records.push(moved);
+                    } else {
+                        let moved = slices[i].records.pop().expect("non-empty slice");
+                        slices[i + 1].records.insert(0, moved);
+                    }
+                } else if let Some(slice) = slices.iter_mut().find(|s| s.records.len() >= 2) {
+                    // A single responding slice has no boundary to cross;
+                    // degrade to the flat-path behaviour (first/last swap,
+                    // breaking key order) rather than silently not attacking.
+                    let last = slice.records.len() - 1;
+                    slice.records.swap(0, last);
+                }
+            }
+            other => {
+                if !slices.is_empty() {
+                    let pos = slices
+                        .iter()
+                        .position(|s| !s.records.is_empty())
+                        .unwrap_or(0);
+                    let sub = self
+                        .layout
+                        .clamp(slices[pos].shard, q)
+                        .expect("responding shards overlap the query");
+                    slices[pos].records =
+                        other.apply_sized(&slices[pos].records, &sub, seed, self.record_len);
+                }
+            }
+        }
+
+        let (verdict, client_ms) = self.verify_scatter(q, &slices);
+        let cardinality: u64 = slices.iter().map(|s| s.records.len() as u64).sum();
+        Ok(ShardedQueryOutcome {
+            metrics: QueryMetrics {
+                result_cardinality: cardinality,
+                auth_bytes: (DIGEST_LEN * slices.len()) as u64,
+                client_verify_ms: client_ms,
+                verified: verdict.is_ok(),
+                ..Default::default()
+            },
+            slices,
+            verdict,
+        })
+    }
+
+    /// Aggregated buffer-pool counters over all shards' SPs, when built with
+    /// caches.
+    pub fn sp_cache_stats(&self) -> Option<IoSnapshot> {
+        let mut acc: Option<IoSnapshot> = None;
+        for shard in &self.shards {
+            if let Some(cache) = &shard.sp_cache {
+                let snap = cache.stats().snapshot();
+                match &mut acc {
+                    Some(total) => total.accumulate(&snap),
+                    None => acc = Some(snap),
+                }
+            }
+        }
+        acc
+    }
+
+    /// Mutable access to one shard's SP, for experiments and fault injection.
+    pub fn with_sp_mut<R>(&self, shard: usize, f: impl FnOnce(&mut SaeServiceProvider) -> R) -> R {
+        f(&mut self.shards[shard].sp.write())
+    }
+
+    /// Mutable access to one shard's TE, for experiments and fault injection.
+    pub fn with_te_mut<R>(&self, shard: usize, f: impl FnOnce(&mut TrustedEntity) -> R) -> R {
+        f(&mut self.shards[shard].te.write())
+    }
+
+    /// Serves a fixed batch (see [`serve_batch`]).
+    pub fn serve_batch(&self, queries: &[RangeQuery], opts: &ServeOptions) -> ThroughputReport {
+        serve_batch(self, queries, opts)
+    }
+
+    /// Runs the closed-loop per-client driver (see [`serve_mix`]).
+    pub fn serve_mix(
+        &self,
+        mix: &QueryMix,
+        queries_per_client: usize,
+        seed: u64,
+        opts: &ServeOptions,
+    ) -> ThroughputReport {
+        serve_mix(self, mix, queries_per_client, seed, opts)
+    }
+
+    /// Runs the closed-loop mixed read/write driver (see [`serve_ops`]).
+    pub fn serve_ops(
+        &self,
+        mix: &QueryMix,
+        write_fraction: f64,
+        record_size: usize,
+        ops_per_client: usize,
+        seed: u64,
+        opts: &ServeOptions,
+    ) -> ThroughputReport {
+        serve_ops(
+            self,
+            mix,
+            write_fraction,
+            record_size,
+            ops_per_client,
+            seed,
+            opts,
+        )
+    }
+}
+
+impl QueryService for ShardedSaeEngine {
+    fn execute(&self, q: &RangeQuery) -> StorageResult<QueryMetrics> {
+        let slices = self.scatter(q)?;
+        let (verdict, client_ms) = self.verify_scatter(q, &slices);
+        Ok(QueryMetrics {
+            result_cardinality: slices.iter().map(|s| s.records.len() as u64).sum(),
+            auth_bytes: (DIGEST_LEN * slices.len()) as u64,
+            client_verify_ms: client_ms,
+            verified: verdict.is_ok(),
+            ..Default::default()
+        })
+    }
+
+    fn party_stats(&self) -> Vec<(&'static str, Arc<IoStats>)> {
+        // One "sp"/"te" pair per shard; the driver sums deltas by label, so
+        // reports still show the two logical parties.
+        self.shards
+            .iter()
+            .flat_map(|shard| {
+                [
+                    ("sp", Arc::clone(&shard.sp_stats)),
+                    ("te", Arc::clone(&shard.te_stats)),
+                ]
+            })
+            .collect()
+    }
+
+    fn cost_model(&self) -> CostModel {
+        self.cost_model
+    }
+}
+
+impl UpdateService for ShardedSaeEngine {
+    fn apply_update(&self, record: &Record, hold: Duration) -> StorageResult<()> {
+        self.claim(record)?;
+        let shard = &self.shards[self.layout.shard_of(record.key)];
+        let outcome = {
+            let mut sp = shard.sp.write();
+            let mut te = shard.te.write();
+            crate::sae::update_parties(&mut sp, &mut te, record, hold)
+        };
+        if outcome.is_ok() {
+            // The round trip deleted the record again; release its id. On an
+            // error the claim is conservatively kept — the record may still
+            // exist if the trailing delete was the step that failed.
+            self.ids.write().remove(&record.id);
+        }
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sae::SaeSystem;
+    use sae_storage::StorageError;
+    use sae_workload::KeyDistribution;
+
+    const DOMAIN: RecordKey = 100_000;
+
+    fn dataset(n: usize) -> Dataset {
+        DatasetSpec {
+            cardinality: n,
+            distribution: KeyDistribution::Uniform { domain: DOMAIN },
+            record_size: 120,
+            seed: 12,
+        }
+        .generate()
+    }
+
+    #[test]
+    fn layout_partitions_the_domain_exactly() {
+        for shards in [1usize, 2, 3, 4, 7, 8] {
+            let layout = ShardLayout::uniform(DOMAIN, shards);
+            assert_eq!(layout.shard_count(), shards);
+            assert_eq!(layout.domain(), DOMAIN);
+            // Ranges tile [0, domain] with no gaps or overlaps.
+            let mut next = 0u64;
+            for i in 0..shards {
+                let r = layout.range(i);
+                assert_eq!(r.lower as u64, next, "{shards} shards, shard {i}");
+                assert!(r.lower <= r.upper);
+                next = r.upper as u64 + 1;
+            }
+            assert_eq!(next, DOMAIN as u64 + 1);
+            // shard_of agrees with the ranges on every boundary key.
+            for i in 0..shards {
+                let r = layout.range(i);
+                assert_eq!(layout.shard_of(r.lower), i);
+                assert_eq!(layout.shard_of(r.upper), i);
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_domains_clamp_the_shard_count() {
+        // More shards than keys must not underflow the boundary arithmetic.
+        let layout = ShardLayout::uniform(3, 8);
+        assert_eq!(layout.shard_count(), 4);
+        let mut next = 0u64;
+        for i in 0..layout.shard_count() {
+            let r = layout.range(i);
+            assert_eq!(r.lower as u64, next);
+            assert!(r.lower <= r.upper);
+            next = r.upper as u64 + 1;
+        }
+        assert_eq!(next, 4);
+    }
+
+    #[test]
+    fn boundary_swap_still_attacks_a_single_slice() {
+        // A query overlapping one shard has no boundary to smuggle across;
+        // the strategy must degrade to an in-slice swap, not a silent no-op.
+        let ds = dataset(3_000);
+        let engine = ShardedSaeEngine::build_in_memory(&ds, HashAlgorithm::Sha1, 1).unwrap();
+        let q = RangeQuery::new(0, DOMAIN);
+        let outcome = engine
+            .query_with_tamper(&q, TamperStrategy::ShardBoundarySwap, 1)
+            .unwrap();
+        assert!(
+            matches!(
+                outcome.verdict,
+                Err(ShardedVerifyError::Slice {
+                    error: SaeVerifyError::NotSorted,
+                    ..
+                })
+            ),
+            "{:?}",
+            outcome.verdict
+        );
+    }
+
+    #[test]
+    fn clamp_and_overlap_agree_with_brute_force() {
+        let layout = ShardLayout::uniform(DOMAIN, 4);
+        let q = RangeQuery::new(20_000, 60_000);
+        let overlapping = layout.overlapping(&q);
+        assert_eq!(overlapping, vec![0, 1, 2]);
+        for i in 0..4 {
+            match layout.clamp(i, &q) {
+                Some(sub) => {
+                    assert!(overlapping.contains(&i));
+                    assert!(sub.lower >= q.lower && sub.upper <= q.upper);
+                    let r = layout.range(i);
+                    assert!(sub.lower >= r.lower && sub.upper <= r.upper);
+                }
+                None => assert!(!overlapping.contains(&i)),
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_results_match_the_single_pair_system() {
+        let ds = dataset(4_000);
+        let oracle = SaeSystem::build_in_memory(&ds, HashAlgorithm::Sha1).unwrap();
+        for shards in [1usize, 2, 3, 5, 8] {
+            let engine =
+                ShardedSaeEngine::build_in_memory(&ds, HashAlgorithm::Sha1, shards).unwrap();
+            for q in QueryMix::spanning(DOMAIN, 0.02, shards.max(2))
+                .workload(12, 31)
+                .iter()
+            {
+                let outcome = engine.query(q).unwrap();
+                assert!(outcome.verdict.is_ok(), "{shards} shards, {q}");
+                let expected = oracle.query(q).unwrap();
+                assert_eq!(
+                    outcome.metrics.result_cardinality,
+                    expected.records.len() as u64,
+                    "{shards} shards, {q}"
+                );
+                // The stitched records are exactly the flat result.
+                let stitched: Vec<Vec<u8>> = outcome
+                    .slices
+                    .iter()
+                    .flat_map(|s| s.records.iter().cloned())
+                    .collect();
+                assert_eq!(stitched, expected.records, "{shards} shards, {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn dropped_shard_slices_are_detected_on_every_layout() {
+        let ds = dataset(3_000);
+        for shards in [1usize, 2, 3, 4, 8] {
+            let engine =
+                ShardedSaeEngine::build_in_memory(&ds, HashAlgorithm::Sha1, shards).unwrap();
+            // A query covering the whole domain touches every shard.
+            let q = RangeQuery::new(0, DOMAIN);
+            for victim in 0..shards {
+                let outcome = engine
+                    .query_with_tamper(&q, TamperStrategy::DropShardSlice { shard: victim }, 1)
+                    .unwrap();
+                assert!(
+                    matches!(
+                        outcome.verdict,
+                        Err(ShardedVerifyError::MissingShardSlice { .. })
+                    ),
+                    "{shards} shards, dropped {victim}: {:?}",
+                    outcome.verdict
+                );
+                assert!(!outcome.metrics.verified);
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_swaps_are_detected() {
+        let ds = dataset(3_000);
+        for shards in [2usize, 4] {
+            let engine =
+                ShardedSaeEngine::build_in_memory(&ds, HashAlgorithm::Sha1, shards).unwrap();
+            let q = RangeQuery::new(0, DOMAIN);
+            let outcome = engine
+                .query_with_tamper(&q, TamperStrategy::ShardBoundarySwap, 1)
+                .unwrap();
+            // The moved record's key is outside the receiving shard's clamped
+            // range (and both tokens stop matching); either way the slice
+            // check rejects it.
+            assert!(
+                matches!(outcome.verdict, Err(ShardedVerifyError::Slice { .. })),
+                "{shards} shards: {:?}",
+                outcome.verdict
+            );
+        }
+    }
+
+    #[test]
+    fn shard_local_attacks_replay_the_single_pair_detections() {
+        let ds = dataset(3_000);
+        let engine = ShardedSaeEngine::build_in_memory(&ds, HashAlgorithm::Sha1, 4).unwrap();
+        let q = RangeQuery::new(10_000, 90_000);
+        for strategy in [
+            TamperStrategy::DropRecords { count: 1 },
+            TamperStrategy::InjectRecords { count: 1 },
+            TamperStrategy::ModifyRecords { count: 1 },
+            TamperStrategy::DuplicatePair { count: 1 },
+            TamperStrategy::DuplicateExisting { count: 1 },
+        ] {
+            let outcome = engine.query_with_tamper(&q, strategy, 5).unwrap();
+            assert!(
+                matches!(outcome.verdict, Err(ShardedVerifyError::Slice { .. })),
+                "{strategy:?} went undetected: {:?}",
+                outcome.verdict
+            );
+        }
+        // The duplicate-injection replay is rejected structurally, exactly as
+        // in the single-pair regression.
+        let outcome = engine
+            .query_with_tamper(&q, TamperStrategy::DuplicateExisting { count: 1 }, 5)
+            .unwrap();
+        assert!(matches!(
+            outcome.verdict,
+            Err(ShardedVerifyError::Slice {
+                error: SaeVerifyError::DuplicateRecordId(_),
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn routed_updates_land_on_the_owning_shard_and_round_trip() {
+        let ds = dataset(2_000);
+        let engine = ShardedSaeEngine::build_in_memory(&ds, HashAlgorithm::Sha1, 4).unwrap();
+        let record = Record::with_size(9_000_000, 70_000, 120);
+        engine.insert(&record).unwrap();
+        let q = RangeQuery::new(70_000, 70_000);
+        let outcome = engine.query(&q).unwrap();
+        assert!(outcome.verdict.is_ok());
+        assert!(outcome
+            .slices
+            .iter()
+            .flat_map(|s| s.records.iter())
+            .any(|r| Record::decode(r).unwrap().id == 9_000_000));
+        assert!(engine.delete(record.id, record.key).unwrap());
+        let outcome = engine.query(&q).unwrap();
+        assert!(outcome.verdict.is_ok());
+        assert!(!outcome
+            .slices
+            .iter()
+            .flat_map(|s| s.records.iter())
+            .any(|r| Record::decode(r).unwrap().id == 9_000_000));
+    }
+
+    #[test]
+    fn duplicate_ids_are_rejected_across_shards() {
+        // Each shard's SP only knows its own directory; the deployment-wide
+        // id directory must reject an id re-used under another shard's key.
+        let ds = dataset(1_000);
+        let engine = ShardedSaeEngine::build_in_memory(&ds, HashAlgorithm::Sha1, 4).unwrap();
+        let a = Record::with_size(7_000_000, 10_000, 120); // shard 0
+        let b = Record::with_size(7_000_000, 90_000, 120); // shard 3, same id
+        engine.insert(&a).unwrap();
+        assert!(matches!(
+            engine.insert(&b),
+            Err(StorageError::DuplicateRecordId(7_000_000))
+        ));
+        // Pre-loaded dataset ids are protected too.
+        let clash = Record::with_size(ds.records[0].id, 90_000, 120);
+        assert!(matches!(
+            engine.insert(&clash),
+            Err(StorageError::DuplicateRecordId(_))
+        ));
+        // Deleting releases the id for re-use.
+        assert!(engine.delete(a.id, a.key).unwrap());
+        engine.insert(&b).unwrap();
+    }
+
+    #[test]
+    fn out_of_domain_keys_are_rejected_instead_of_stranded() {
+        // A key above the layout domain would land in the last shard but be
+        // excluded from every clamped sub-query — silent data loss. Reject it.
+        let ds = dataset(500);
+        let engine = ShardedSaeEngine::build_in_memory(&ds, HashAlgorithm::Sha1, 4).unwrap();
+        let stray = Record::with_size(7_500_000, DOMAIN + 1, 120);
+        assert!(matches!(
+            engine.insert(&stray),
+            Err(StorageError::KeyOutOfDomain { .. })
+        ));
+        // The id was not claimed by the failed insert.
+        let ok = Record::with_size(7_500_000, DOMAIN, 120);
+        engine.insert(&ok).unwrap();
+    }
+
+    #[test]
+    fn one_sided_shard_deletes_roll_back_and_report_desync() {
+        let ds = dataset(1_500);
+        let engine = ShardedSaeEngine::build_in_memory(&ds, HashAlgorithm::Sha1, 4).unwrap();
+        let victim = ds.records[11].clone();
+        let shard = engine.layout().shard_of(victim.key);
+        // Diverge one shard: its TE loses the tuple, its SP keeps the record.
+        assert!(engine.with_te_mut(shard, |te| te.delete(victim.id, victim.key).unwrap()));
+        assert!(matches!(
+            engine.delete(victim.id, victim.key),
+            Err(StorageError::Desync(_))
+        ));
+        // Rolled back: the record is still served by its shard...
+        let q = RangeQuery::new(victim.key, victim.key);
+        let outcome = engine.query(&q).unwrap();
+        assert!(outcome
+            .slices
+            .iter()
+            .flat_map(|s| s.records.iter())
+            .any(|r| Record::decode(r).unwrap().id == victim.id));
+        // ...and the divergence is *detected* by verification, not hidden.
+        assert!(!outcome.metrics.verified);
+    }
+
+    #[test]
+    fn concurrent_spanning_batches_verify_under_sharded_writes() {
+        let ds = dataset(3_000);
+        let engine =
+            Arc::new(ShardedSaeEngine::build_cached(&ds, HashAlgorithm::Sha1, 4, 128).unwrap());
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        std::thread::scope(|scope| {
+            let writer = Arc::clone(&engine);
+            let writer_stop = Arc::clone(&stop);
+            scope.spawn(move || {
+                let mut i = 0u64;
+                while !writer_stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let r = Record::with_size(8_000_000 + i, (i % DOMAIN as u64) as RecordKey, 120);
+                    writer.insert(&r).unwrap();
+                    assert!(writer.delete(r.id, r.key).unwrap());
+                    i += 1;
+                }
+            });
+            let queries = QueryMix::spanning(DOMAIN, 0.02, 4).workload(80, 9).queries;
+            let report = engine.serve_batch(
+                &queries,
+                &ServeOptions {
+                    threads: 3,
+                    io_micros_per_query: 0,
+                },
+            );
+            stop.store(true, std::sync::atomic::Ordering::Relaxed);
+            assert_eq!(report.failed, 0);
+            assert!(report.all_verified, "a sharded update tore a query's view");
+            // The grouped accounting still reports the two logical parties.
+            assert_eq!(report.party_io.len(), 2);
+            assert!(report.totals.sp_node_accesses > 0);
+            assert!(report.totals.te_node_accesses > 0);
+        });
+    }
+
+    #[test]
+    fn write_heavy_ops_scale_with_shards() {
+        let ds = dataset(2_000);
+        let mix = QueryMix::spanning(DOMAIN, 0.005, 4);
+        let opts = ServeOptions {
+            threads: 4,
+            io_micros_per_query: 400,
+        };
+        let ops_per_client = 24;
+        let one = ShardedSaeEngine::build_in_memory(&ds, HashAlgorithm::Sha1, 1).unwrap();
+        let four = ShardedSaeEngine::build_in_memory(&ds, HashAlgorithm::Sha1, 4).unwrap();
+        let a = one.serve_ops(&mix, 0.8, 120, ops_per_client, 3, &opts);
+        let b = four.serve_ops(&mix, 0.8, 120, ops_per_client, 3, &opts);
+        assert!(a.all_verified && b.all_verified);
+        assert_eq!(a.queries, b.queries);
+        assert!(
+            b.queries_per_sec > 1.5 * a.queries_per_sec,
+            "4-shard write-heavy qps {:.0} did not scale over 1-shard {:.0}",
+            b.queries_per_sec,
+            a.queries_per_sec
+        );
+    }
+}

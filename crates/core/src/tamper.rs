@@ -53,6 +53,22 @@ pub enum TamperStrategy {
         /// How many genuine records to triple up.
         count: usize,
     },
+    /// Silently drop one shard's *entire* result slice from a scatter-gather
+    /// answer (completeness attack against a sharded deployment). The
+    /// sharded query path interprets `shard` modulo the number of responding
+    /// slices; on a flat (unsharded) result the whole result is the only
+    /// slice, so everything is dropped.
+    DropShardSlice {
+        /// Index of the responding slice to drop.
+        shard: usize,
+    },
+    /// Move the record adjacent to a shard boundary from its own shard's
+    /// slice into the neighbouring shard's slice (soundness attack against
+    /// scatter-gather stitching: the record still lies in the query range and
+    /// global key order is preserved, but it is folded into the wrong shard's
+    /// token). On a flat result there is no boundary; the first and last
+    /// records are swapped instead, which breaks the key ordering.
+    ShardBoundarySwap,
 }
 
 impl TamperStrategy {
@@ -145,6 +161,14 @@ impl TamperStrategy {
                     let key = Record::decode(&victim).map(|r| r.key).unwrap_or_default();
                     insert_sorted(&mut out, victim.clone(), key);
                     insert_sorted(&mut out, victim, key);
+                }
+                out
+            }
+            TamperStrategy::DropShardSlice { .. } => Vec::new(),
+            TamperStrategy::ShardBoundarySwap => {
+                if out.len() >= 2 {
+                    let last = out.len() - 1;
+                    out.swap(0, last);
                 }
                 out
             }
@@ -297,6 +321,24 @@ mod tests {
         // Sizes below the record header are clamped instead of panicking.
         let out = TamperStrategy::InjectRecords { count: 1 }.apply_sized(&[], &q, 1, 3);
         assert_eq!(out[0].len(), RECORD_HEADER_LEN);
+    }
+
+    #[test]
+    fn shard_attacks_degrade_sensibly_on_flat_results() {
+        let rs = honest(5);
+        let q = RangeQuery::new(0, 1000);
+        // A flat result is one slice: dropping "the" shard drops everything.
+        assert!(TamperStrategy::DropShardSlice { shard: 3 }
+            .apply(&rs, &q, 1)
+            .is_empty());
+        // A boundary swap has no boundary to cross: first/last are swapped,
+        // which at least breaks the key ordering.
+        let swapped = TamperStrategy::ShardBoundarySwap.apply(&rs, &q, 1);
+        assert_eq!(swapped.len(), rs.len());
+        assert_eq!(swapped[0], rs[rs.len() - 1]);
+        assert_eq!(swapped[rs.len() - 1], rs[0]);
+        assert!(TamperStrategy::DropShardSlice { shard: 0 }.is_attack());
+        assert!(TamperStrategy::ShardBoundarySwap.is_attack());
     }
 
     #[test]

@@ -37,6 +37,15 @@ pub enum StorageError {
     /// A record with this id already exists and overwriting it would leave a
     /// stale copy indexed elsewhere.
     DuplicateRecordId(u64),
+    /// A record key falls outside the key domain a partitioned deployment
+    /// was built over; accepting it would store the record where no range
+    /// query could ever reach it.
+    KeyOutOfDomain {
+        /// The offending key.
+        key: u32,
+        /// The inclusive domain bound of the deployment.
+        domain: u32,
+    },
     /// Two parties that must stay in lockstep (e.g. the SAE service provider
     /// and trusted entity) disagreed about an update. The message names the
     /// parties and the operation; any rollback already performed is described
@@ -73,6 +82,9 @@ impl fmt::Display for StorageError {
             StorageError::Corrupted(msg) => write!(f, "corrupted storage: {msg}"),
             StorageError::DuplicateRecordId(id) => {
                 write!(f, "record id {id} already exists")
+            }
+            StorageError::KeyOutOfDomain { key, domain } => {
+                write!(f, "key {key} outside the deployment's domain [0, {domain}]")
             }
             StorageError::Desync(msg) => write!(f, "parties desynchronized: {msg}"),
             StorageError::Io(e) => write!(f, "I/O error: {e}"),

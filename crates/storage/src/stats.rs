@@ -118,6 +118,18 @@ impl IoSnapshot {
     pub fn node_accesses(&self) -> u64 {
         self.node_reads + self.node_writes
     }
+
+    /// Component-wise sum `self + other` (used to aggregate the counters of
+    /// several stores belonging to the same logical party, e.g. one store per
+    /// shard).
+    pub fn accumulate(&mut self, other: &IoSnapshot) {
+        self.node_reads += other.node_reads;
+        self.node_writes += other.node_writes;
+        self.physical_reads += other.physical_reads;
+        self.physical_writes += other.physical_writes;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+    }
 }
 
 /// The charging scheme of the paper's evaluation (§IV).
@@ -195,6 +207,26 @@ mod tests {
         assert_eq!(delta.node_reads, 2);
         assert_eq!(delta.node_writes, 1);
         assert_eq!(delta.node_accesses(), 3);
+    }
+
+    #[test]
+    fn accumulate_sums_componentwise() {
+        let mut acc = IoSnapshot {
+            node_reads: 1,
+            cache_hits: 2,
+            ..Default::default()
+        };
+        acc.accumulate(&IoSnapshot {
+            node_reads: 3,
+            node_writes: 4,
+            cache_misses: 5,
+            ..Default::default()
+        });
+        assert_eq!(acc.node_reads, 4);
+        assert_eq!(acc.node_writes, 4);
+        assert_eq!(acc.cache_hits, 2);
+        assert_eq!(acc.cache_misses, 5);
+        assert_eq!(acc.node_accesses(), 8);
     }
 
     #[test]

@@ -24,6 +24,12 @@ pub struct QueryMix {
     pub placement: KeyDistribution,
     /// Query extent as a fraction of the domain (the paper uses 0.5 %).
     pub extent_fraction: f64,
+    /// When `Some(s)` with `s >= 2`, every query is re-centered onto one of
+    /// the boundaries of an `s`-shard equal-width partition of the domain
+    /// (boundary `k` starts at `k * (domain + 1) / s`), so each query
+    /// deliberately spans at least two shards of such a layout. The placement
+    /// distribution still decides *which* boundary a query straddles.
+    pub straddle_shards: Option<usize>,
 }
 
 impl QueryMix {
@@ -32,6 +38,7 @@ impl QueryMix {
         QueryMix {
             placement: KeyDistribution::Uniform { domain },
             extent_fraction,
+            straddle_shards: None,
         }
     }
 
@@ -40,6 +47,20 @@ impl QueryMix {
         QueryMix {
             placement: KeyDistribution::Zipf { domain, theta },
             extent_fraction,
+            straddle_shards: None,
+        }
+    }
+
+    /// Uniformly placed queries that deliberately straddle the boundaries of
+    /// an equal-width `shards`-way partition of `[0, domain]` (the layout
+    /// `ShardLayout::uniform` in `sae-core` builds). Requires a non-zero
+    /// extent to actually span; with `shards < 2` this degrades to
+    /// [`QueryMix::uniform`].
+    pub fn spanning(domain: RecordKey, extent_fraction: f64, shards: usize) -> QueryMix {
+        QueryMix {
+            placement: KeyDistribution::Uniform { domain },
+            extent_fraction,
+            straddle_shards: Some(shards),
         }
     }
 
@@ -116,7 +137,21 @@ impl Iterator for QueryStream {
     fn next(&mut self) -> Option<RangeQuery> {
         let domain = self.mix.domain() as u64;
         let extent = self.mix.extent();
-        let start = (self.mix.placement.sample(&mut self.rng) as u64).min(domain - extent);
+        let sampled = self.mix.placement.sample(&mut self.rng) as u64;
+        let start = match self.mix.straddle_shards {
+            Some(shards) if shards >= 2 => {
+                // Re-center the query onto a shard boundary: boundary k is the
+                // first key of shard k under the equal-width layout, so a
+                // query whose lower bound falls just below it covers both
+                // sides. The sampled placement picks the boundary.
+                let k = 1 + sampled % (shards as u64 - 1);
+                let boundary = k * (domain + 1) / shards as u64;
+                boundary
+                    .saturating_sub((extent / 2).max(1))
+                    .min(domain - extent)
+            }
+            _ => sampled.min(domain - extent),
+        };
         Some(RangeQuery::new(
             start as RecordKey,
             (start + extent) as RecordKey,
@@ -173,5 +208,41 @@ mod tests {
     #[should_panic(expected = "extent fraction")]
     fn invalid_extent_fraction_is_rejected() {
         let _ = QueryMix::uniform(100, 2.0).extent();
+    }
+
+    #[test]
+    fn spanning_queries_straddle_every_layout_boundary() {
+        let domain: RecordKey = 1_000_000;
+        for shards in [2usize, 3, 4, 8] {
+            let mix = QueryMix::spanning(domain, 0.005, shards);
+            let boundaries: Vec<u64> = (1..shards as u64)
+                .map(|k| k * (domain as u64 + 1) / shards as u64)
+                .collect();
+            let mut hit = vec![false; boundaries.len()];
+            for q in mix.stream(17).take(500) {
+                assert!(q.upper <= domain);
+                let straddled = boundaries
+                    .iter()
+                    .position(|&b| ((q.lower as u64) < b) && (b <= q.upper as u64));
+                let Some(i) = straddled else {
+                    panic!("{shards}-shard spanning query {q} crosses no boundary");
+                };
+                hit[i] = true;
+            }
+            assert!(
+                hit.iter().all(|&h| h),
+                "{shards}-shard mix missed a boundary"
+            );
+        }
+    }
+
+    #[test]
+    fn spanning_with_one_shard_degrades_to_uniform_placement() {
+        let mix = QueryMix::spanning(100_000, 0.01, 1);
+        let flat = QueryMix::uniform(100_000, 0.01);
+        assert_eq!(
+            mix.stream(3).take(50).collect::<Vec<_>>(),
+            flat.stream(3).take(50).collect::<Vec<_>>()
+        );
     }
 }

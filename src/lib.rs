@@ -53,8 +53,9 @@ pub use sae_xbtree as xbtree;
 pub mod prelude {
     pub use sae_core::{
         LatencySummary, QueryMetrics, SaeClient, SaeEngine, SaeQueryOutcome, SaeSystem,
-        SaeVerifyError, ServeOptions, StorageBreakdown, TamperStrategy, ThroughputReport,
-        TomEngine, TomQueryOutcome, TomSystem, TrustedEntity,
+        SaeVerifyError, ServeOptions, ShardLayout, ShardSlice, ShardedQueryOutcome,
+        ShardedSaeEngine, ShardedVerifyError, StorageBreakdown, TamperStrategy, ThroughputReport,
+        TomEngine, TomQueryOutcome, TomSystem, TrustedEntity, UpdateService,
     };
     pub use sae_crypto::{
         hash_bytes, Digest, HashAlgorithm, MacSigner, RsaSigner, Signer, Verifier, XorDigest,
