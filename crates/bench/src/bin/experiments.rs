@@ -16,15 +16,16 @@
 //! a nonzero exit instead of being silently ignored.
 
 use sae_bench::{
-    print_ablation_memory, print_ablation_scan, print_ablation_updates, print_fig5, print_fig6,
-    print_fig7, print_fig8, print_sharded_throughput, print_throughput, report_to_json,
-    rows_to_json, run_ablation_memory, run_ablation_scan, run_ablation_updates, run_comparison,
-    run_sharded_throughput, run_throughput, ExperimentConfig, ShardedThroughputConfig,
-    ThroughputConfig,
+    print_ablation_memory, print_ablation_scan, print_ablation_updates, print_durability,
+    print_fig5, print_fig6, print_fig7, print_fig8, print_sharded_throughput, print_throughput,
+    report_to_json, rows_to_json, run_ablation_memory, run_ablation_scan, run_ablation_updates,
+    run_comparison, run_durability, run_sharded_throughput, run_throughput, DurabilityConfig,
+    ExperimentConfig, ShardedThroughputConfig, ThroughputConfig,
 };
 
 const USAGE: &str = "usage: experiments \
-     <fig5|fig6|fig7|fig8|all|ablation-scan|ablation-updates|ablation-memory|throughput|sharded-throughput> \
+     <fig5|fig6|fig7|fig8|all|ablation-scan|ablation-updates|ablation-memory|throughput\
+|sharded-throughput|durability> \
      [--full-scale] [--smoke] [--zipf] [--json <path>]";
 
 fn usage(error: &str) -> ! {
@@ -62,7 +63,7 @@ impl Cli {
                 &["--full-scale", "--smoke"]
             }
             "throughput" => &["--smoke", "--zipf", "--json"],
-            "sharded-throughput" => &["--smoke", "--json"],
+            "sharded-throughput" | "durability" => &["--smoke", "--json"],
             other => usage(&format!("unknown command `{other}`")),
         };
         let mut cli = Cli {
@@ -185,6 +186,33 @@ fn main() {
             );
             let rows = run_sharded_throughput(&sh_config);
             print_sharded_throughput(&rows);
+            if let Some(path) = &cli.json_path {
+                write_json(path, report_to_json(&rows));
+            }
+        }
+        "durability" => {
+            let du_config = if cli.smoke {
+                DurabilityConfig::smoke()
+            } else {
+                DurabilityConfig::default()
+            };
+            println!(
+                "durability experiment — n={}, shards {:?}, {} post-reopen queries over {} \
+                 threads, {} committed updates, {}-page buffer pool per shard",
+                du_config.cardinality,
+                du_config.shard_counts,
+                du_config.queries,
+                du_config.threads,
+                du_config.updates,
+                du_config.cache_pages
+            );
+            // Unique per process so concurrent or previously interrupted
+            // runs cannot collide on a shared path.
+            let dir = std::env::temp_dir().join(format!("sae-durability-{}", std::process::id()));
+            std::fs::create_dir_all(&dir).expect("create temp dir");
+            let rows = run_durability(&du_config, &dir);
+            let _ = std::fs::remove_dir_all(&dir);
+            print_durability(&rows);
             if let Some(path) = &cli.json_path {
                 write_json(path, report_to_json(&rows));
             }

@@ -732,6 +732,182 @@ pub fn run_sharded_throughput(config: &ShardedThroughputConfig) -> Vec<ShardedTh
     rows
 }
 
+/// Configuration of the durability experiment (E10).
+#[derive(Clone, Debug)]
+pub struct DurabilityConfig {
+    /// Dataset cardinality.
+    pub cardinality: usize,
+    /// Encoded record size in bytes.
+    pub record_size: usize,
+    /// Shard counts to sweep; each point gets its own deployment directory.
+    pub shard_counts: Vec<usize>,
+    /// Queries in the post-reopen serving batch.
+    pub queries: usize,
+    /// Query extent as a fraction of the key domain.
+    pub query_extent: f64,
+    /// Buffer-pool capacity in pages per shard and party.
+    pub cache_pages: usize,
+    /// Worker threads serving the post-reopen batch.
+    pub threads: usize,
+    /// Committed data-owner inserts applied before closing, so the reopened
+    /// state differs from the initial bulk load (recovery must replay
+    /// nothing — the committed roots already contain them).
+    pub updates: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DurabilityConfig {
+    fn default() -> Self {
+        DurabilityConfig {
+            cardinality: 20_000,
+            record_size: paper::RECORD_SIZE,
+            shard_counts: vec![1, 2, 4, 8],
+            queries: 160,
+            query_extent: 0.002,
+            cache_pages: 256,
+            threads: 4,
+            updates: 16,
+            seed: 2009,
+        }
+    }
+}
+
+impl DurabilityConfig {
+    /// A fast configuration for smoke tests and the CI bench job.
+    pub fn smoke() -> Self {
+        DurabilityConfig {
+            cardinality: 4_000,
+            shard_counts: vec![1, 2, 4],
+            queries: 64,
+            updates: 8,
+            ..Default::default()
+        }
+    }
+}
+
+/// One shard-count measurement of the E10 sweep.
+#[derive(Clone, Debug, Serialize)]
+pub struct DurabilityRow {
+    /// Key-range shards (and pager-file pairs) in the deployment.
+    pub shards: usize,
+    /// Wall-clock milliseconds to build + commit the deployment from the
+    /// dataset (`create_dir`, including the initial bulk loads and fsyncs).
+    pub build_ms: f64,
+    /// Wall-clock milliseconds per committed update before the shutdown.
+    pub update_commit_ms: f64,
+    /// Wall-clock milliseconds for the final flush + close.
+    pub close_ms: f64,
+    /// Cold-start wall-clock milliseconds to reopen the deployment from its
+    /// manifest and committed roots (`open_dir` — no dataset rebuild).
+    pub open_ms: f64,
+    /// Queries per second served immediately after the reopen.
+    pub post_reopen_qps: f64,
+    /// Median post-reopen query latency (ms).
+    pub p50_ms: f64,
+    /// 99th-percentile post-reopen query latency (ms).
+    pub p99_ms: f64,
+    /// Whether every post-reopen query verified.
+    pub all_verified: bool,
+    /// Total bytes of the deployment directory on disk.
+    pub disk_bytes: u64,
+}
+
+fn dir_bytes(dir: &std::path::Path) -> u64 {
+    std::fs::read_dir(dir)
+        .map(|entries| {
+            entries
+                .filter_map(|e| e.ok().and_then(|e| e.metadata().ok()))
+                .map(|m| m.len())
+                .sum()
+        })
+        .unwrap_or(0)
+}
+
+/// Experiment E10: cost of durability across shard counts. For every shard
+/// count the sweep builds a durable deployment (`create_dir`), applies a
+/// stream of committed updates, closes it, measures the *cold-start open
+/// time* (`open_dir` recovers every shard from its manifest roots — nothing
+/// is rebuilt from the dataset) and then the post-reopen verified query
+/// throughput.
+pub fn run_durability(config: &DurabilityConfig, dir: &std::path::Path) -> Vec<DurabilityRow> {
+    let dataset = DatasetSpec {
+        cardinality: config.cardinality,
+        distribution: KeyDistribution::unf(),
+        record_size: config.record_size,
+        seed: config.seed,
+    }
+    .generate();
+    let domain = KeyDistribution::unf().domain();
+    let max_shards = config.shard_counts.iter().copied().max().unwrap_or(1);
+    let mix = QueryMix::spanning(domain, config.query_extent, max_shards.max(2));
+    let queries = mix.workload(config.queries, config.seed ^ 0xE10).queries;
+
+    let mut rows = Vec::with_capacity(config.shard_counts.len());
+    for &shards in &config.shard_counts {
+        let deploy_dir = dir.join(format!("shards-{shards}"));
+        // A previous interrupted sweep may have left a deployment here, and
+        // create_dir refuses to truncate one — clear it first.
+        let _ = std::fs::remove_dir_all(&deploy_dir);
+
+        let t0 = std::time::Instant::now();
+        let engine = ShardedSaeEngine::create_dir(
+            &deploy_dir,
+            &dataset,
+            HashAlgorithm::Sha1,
+            shards,
+            Some(config.cache_pages),
+        )
+        .expect("create durable deployment");
+        let build_ms = t0.elapsed().as_secs_f64() * 1000.0;
+
+        // A stream of committed inserts: every one is flushed and synced in
+        // commit order before `insert` returns, and every one must still be
+        // served by the reopened deployment — the recovered state genuinely
+        // differs from the initial bulk load.
+        let t1 = std::time::Instant::now();
+        for i in 0..config.updates as u64 {
+            let key = ((i * 7_919) % (domain as u64 + 1)) as u32;
+            let record = Record::with_size((1 << 43) | i, key, config.record_size);
+            engine.insert(&record).expect("committed insert");
+        }
+        let update_commit_ms = t1.elapsed().as_secs_f64() * 1000.0 / (config.updates.max(1) as f64);
+
+        let t2 = std::time::Instant::now();
+        engine.close().expect("close deployment");
+        let close_ms = t2.elapsed().as_secs_f64() * 1000.0;
+
+        let t3 = std::time::Instant::now();
+        let reopened =
+            ShardedSaeEngine::open_dir(&deploy_dir, HashAlgorithm::Sha1, Some(config.cache_pages))
+                .expect("reopen durable deployment");
+        let open_ms = t3.elapsed().as_secs_f64() * 1000.0;
+
+        let report = reopened.serve_batch(
+            &queries,
+            &ServeOptions {
+                threads: config.threads,
+                io_micros_per_query: 0,
+            },
+        );
+        rows.push(DurabilityRow {
+            shards,
+            build_ms,
+            update_commit_ms,
+            close_ms,
+            open_ms,
+            post_reopen_qps: report.queries_per_sec,
+            p50_ms: report.latency.p50_ms,
+            p99_ms: report.latency.p99_ms,
+            all_verified: report.all_verified && report.failed == 0,
+            disk_bytes: dir_bytes(&deploy_dir),
+        });
+        reopened.close().expect("close reopened deployment");
+        let _ = std::fs::remove_dir_all(&deploy_dir);
+    }
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -853,6 +1029,37 @@ mod tests {
         // Baseline rows are their own reference point.
         for r in rows.iter().filter(|r| r.shards == 1) {
             assert!((r.speedup - 1.0).abs() < 1e-9);
+        }
+    }
+
+    /// Acceptance: every post-reopen query must verify, and the cold-start
+    /// open (which only reads committed pages) must be faster than the
+    /// build (which hashes, bulk-loads and writes everything) — the signal
+    /// that recovery does not rebuild from the dataset.
+    #[test]
+    fn durability_sweep_reopens_fast_and_verified() {
+        let dir = tempfile::tempdir().unwrap();
+        let config = DurabilityConfig {
+            cardinality: 2_000,
+            shard_counts: vec![1, 2],
+            queries: 24,
+            threads: 2,
+            updates: 4,
+            cache_pages: 128,
+            ..DurabilityConfig::smoke()
+        };
+        let rows = run_durability(&config, dir.path());
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            assert!(row.all_verified, "{row:?}");
+            assert!(row.post_reopen_qps > 0.0);
+            assert!(row.disk_bytes > 0);
+            assert!(
+                row.open_ms < row.build_ms,
+                "cold-start open ({:.1} ms) not faster than build ({:.1} ms)",
+                row.open_ms,
+                row.build_ms
+            );
         }
     }
 

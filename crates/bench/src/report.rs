@@ -1,7 +1,8 @@
 //! Pretty-printers that lay the measured rows out like the paper's figures.
 
 use crate::experiments::{
-    AblationRow, ComparisonRow, MemoryAblationRow, ShardedThroughputRow, ThroughputRow, UpdateRow,
+    AblationRow, ComparisonRow, DurabilityRow, MemoryAblationRow, ShardedThroughputRow,
+    ThroughputRow, UpdateRow,
 };
 use serde::Serialize;
 
@@ -196,6 +197,38 @@ pub fn print_sharded_throughput(rows: &[ShardedThroughputRow]) {
             r.p50_ms,
             r.p99_ms,
             r.speedup,
+            if r.all_verified { "all" } else { "NO" }
+        );
+    }
+}
+
+/// Experiment E10: durability cost — cold-start open time and post-reopen
+/// verified throughput of the file-backed sharded deployment.
+pub fn print_durability(rows: &[DurabilityRow]) {
+    header("Experiment E10 — durable deployment: cold-start open + post-reopen throughput");
+    println!(
+        "  {:>7} {:>11} {:>12} {:>10} {:>10} {:>12} {:>10} {:>10} {:>9}",
+        "shards",
+        "build [ms]",
+        "commit [ms]",
+        "close [ms]",
+        "open [ms]",
+        "reopen qps",
+        "p50 [ms]",
+        "disk [MiB]",
+        "verified"
+    );
+    for r in rows {
+        println!(
+            "  {:>7} {:>11.1} {:>12.2} {:>10.2} {:>10.2} {:>12.0} {:>10.2} {:>10.2} {:>9}",
+            r.shards,
+            r.build_ms,
+            r.update_commit_ms,
+            r.close_ms,
+            r.open_ms,
+            r.post_reopen_qps,
+            r.p50_ms,
+            r.disk_bytes as f64 / (1024.0 * 1024.0),
             if r.all_verified { "all" } else { "NO" }
         );
     }

@@ -15,7 +15,7 @@
 //! results are unaffected.
 
 use crate::node::{BTreeNode, NodeKind, INTERNAL_CAPACITY, LEAF_CAPACITY};
-use sae_storage::{PageId, SharedPageStore, StorageResult, PAGE_SIZE};
+use sae_storage::{PageId, SharedPageStore, StorageError, StorageResult, TreeMeta, PAGE_SIZE};
 use sae_workload::{RangeQuery, RecordKey};
 
 /// Summary statistics about a tree's shape (used by the experiments).
@@ -116,9 +116,52 @@ impl BPlusTree {
         })
     }
 
+    /// Reopens a tree from its persisted root and shape (as recorded in a
+    /// deployment manifest) instead of rebuilding it from data. Only cheap
+    /// sanity checks run here — deeper integrity is the caller's job (the
+    /// SAE trusted entity cross-checks its published digest; the service
+    /// provider's results are checked by client verification).
+    pub fn open(store: SharedPageStore, meta: TreeMeta) -> StorageResult<Self> {
+        if meta.root.is_invalid() || meta.root.0 >= store.page_count() {
+            return Err(StorageError::Corrupted(format!(
+                "B+-Tree root {} outside the store's {} pages",
+                meta.root,
+                store.page_count()
+            )));
+        }
+        if meta.height == 0 || meta.node_count == 0 {
+            return Err(StorageError::Corrupted(
+                "B+-Tree meta claims zero height or zero nodes".into(),
+            ));
+        }
+        Ok(BPlusTree {
+            store,
+            root: meta.root,
+            height: meta.height,
+            len: meta.len,
+            node_count: meta.node_count,
+        })
+    }
+
     /// The page store this tree lives on.
     pub fn store(&self) -> &SharedPageStore {
         &self.store
+    }
+
+    /// The root page (persisted by durable deployments so the tree can be
+    /// reopened with [`BPlusTree::open`]).
+    pub fn root(&self) -> PageId {
+        self.root
+    }
+
+    /// The tree's persistable root + shape metadata.
+    pub fn meta(&self) -> TreeMeta {
+        TreeMeta {
+            root: self.root,
+            height: self.height,
+            len: self.len,
+            node_count: self.node_count,
+        }
     }
 
     /// Number of entries in the tree.
@@ -688,6 +731,40 @@ mod tests {
         assert_eq!(stats.storage_bytes, tree.node_count() * PAGE_SIZE as u64);
         // ~30 leaves + a root level.
         assert!(stats.node_count >= 30 && stats.node_count <= 40);
+    }
+
+    #[test]
+    fn open_from_meta_serves_the_same_tree_without_rebuilding() {
+        let store = MemPager::new_shared();
+        let entries: Vec<(RecordKey, u64)> = (0..5_000u64).map(|i| ((i % 997) as u32, i)).collect();
+        let mut sorted = entries.clone();
+        sorted.sort_unstable();
+        let mut tree = BPlusTree::bulk_load(store.clone(), &sorted).unwrap();
+        tree.insert(10_000, 1).unwrap();
+        let meta = tree.meta();
+        assert_eq!(meta.root, tree.root());
+        drop(tree);
+
+        let writes_before = store.stats().snapshot().node_writes;
+        let reopened = BPlusTree::open(store.clone(), meta).unwrap();
+        // Opening performs no writes: nothing was rebuilt.
+        assert_eq!(store.stats().snapshot().node_writes, writes_before);
+        assert_eq!(reopened.len(), 5_001);
+        assert_eq!(reopened.meta(), meta);
+        reopened.check_invariants().unwrap();
+        let hits = reopened.range(&RangeQuery::new(100, 100)).unwrap();
+        assert!(!hits.is_empty() && hits.iter().all(|&(k, _)| k == 100));
+
+        // Nonsense metadata is rejected with a typed error.
+        assert!(BPlusTree::open(
+            store.clone(),
+            TreeMeta {
+                root: PageId(999_999),
+                ..meta
+            }
+        )
+        .is_err());
+        assert!(BPlusTree::open(store, TreeMeta { height: 0, ..meta }).is_err());
     }
 
     #[test]

@@ -1,0 +1,461 @@
+//! The durable storage layer under [`crate::sae::SaeSystem`] and
+//! [`crate::sharded::ShardedSaeEngine`].
+//!
+//! A durable deployment lives in one directory:
+//!
+//! ```text
+//! deployment/
+//!   MANIFEST        one checksummed page: layout bounds, record size,
+//!                   per-shard tree roots + shapes, heap geometry,
+//!                   commit epochs, published TE digests
+//!   sp-0.pages      shard 0's service provider (heap file + B⁺-Tree)
+//!   te-0.pages      shard 0's trusted entity (XB-Tree)
+//!   sp-1.pages ...  one pager-file pair per shard
+//! ```
+//!
+//! Page 0 of every pager file is a [`ShardHeader`]: the file's identity
+//! (shard index + party, so a swapped or renamed file is rejected at open)
+//! and its commit epoch. Every committed update follows the same order —
+//! **pages before manifest**:
+//!
+//! 1. the heap page table is rewritten into its [`PageDirectory`] chain,
+//! 2. write-back caches are flushed so every data page is in the file,
+//! 3. both headers are rewritten with the bumped epoch and both files are
+//!    synced,
+//! 4. the manifest is atomically replaced (temp file + rename) with the new
+//!    roots, shapes and published digest.
+//!
+//! A crash between 3 and 4 leaves the pager files one epoch ahead of the
+//! manifest; [`ShardHeader::validate`] reports that as
+//! [`StorageError::StaleManifest`] instead of silently recovering to roots
+//! that no longer describe the page contents (tree pages are rewritten in
+//! place, so the stale roots may already be overwritten).
+//!
+//! There is no write-ahead log: the protocol assumes data pages reach the
+//! file only at commit time. With a write-back [`CachedPager`] wired
+//! (`cache_pages: Some(..)`) that holds — dirty pages stay in the pool until
+//! the commit flush (modulo capacity evictions). Without a cache,
+//! [`FilePager`] writes through immediately, so a crash *mid-update* can
+//! leave in-place page edits the stale manifest roots do not describe;
+//! recovery then reports corruption (the TE's published-digest check, the
+//! heap geometry checks) rather than silently serving a torn state. A WAL /
+//! group commit is the ROADMAP follow-up.
+//!
+//! The crate-private `Durability` type is deliberately engine-agnostic: it
+//! owns the pager handles, caches, commit state and manifest, while the
+//! deployment types own the trees. Its `Drop` performs the best-effort flush
+//! that `Drop` must swallow; the deployments' explicit `close()` methods run
+//! the same flush through the commit path and surface its errors.
+
+use crate::sae::{SaeServiceProvider, TrustedEntity};
+use parking_lot::Mutex;
+use sae_crypto::Digest;
+use sae_storage::{
+    CachedPager, FilePager, Manifest, PageDirectory, PageId, PageStore, Party, ShardHeader,
+    ShardMeta, SharedPageStore, StorageError, StorageResult, TreeMeta, SHARD_HEADER_PAGE,
+};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// File name of the deployment manifest inside a deployment directory.
+pub const MANIFEST_FILE: &str = "MANIFEST";
+
+/// One party's file-backed store: the raw pager (what gets synced and holds
+/// the header + page-directory pages) and the store the trees run on (the
+/// pager itself, or a write-back [`CachedPager`] over it).
+pub(crate) struct PartyFiles {
+    pager: Arc<FilePager>,
+    cache: Option<Arc<CachedPager>>,
+    store: SharedPageStore,
+}
+
+impl PartyFiles {
+    fn wrap(pager: Arc<FilePager>, cache_pages: Option<usize>) -> PartyFiles {
+        let (cache, store): (_, SharedPageStore) = match cache_pages {
+            Some(pages) => {
+                let cache = Arc::new(CachedPager::new(
+                    Arc::clone(&pager) as SharedPageStore,
+                    pages,
+                ));
+                (Some(Arc::clone(&cache)), cache)
+            }
+            None => (None, Arc::clone(&pager) as SharedPageStore),
+        };
+        PartyFiles {
+            pager,
+            cache,
+            store,
+        }
+    }
+
+    fn flush(&self) -> StorageResult<()> {
+        if let Some(cache) = &self.cache {
+            cache.flush()?;
+        }
+        Ok(())
+    }
+}
+
+/// Per-shard commit state, serialized under one mutex so two commits of the
+/// same shard can never interleave their header/epoch writes.
+struct ShardCommitState {
+    epoch: u64,
+    heap_dir: PageDirectory,
+}
+
+/// One shard's durable storage: both parties' files plus the commit state.
+pub(crate) struct ShardFiles {
+    upper: u32,
+    sp: PartyFiles,
+    te: PartyFiles,
+    state: Mutex<ShardCommitState>,
+}
+
+/// The stores a deployment builds (or reopens) its trees on; cloned out of
+/// [`Durability`] so the engine can wire them under its parties.
+pub(crate) struct ShardStores {
+    pub sp_store: SharedPageStore,
+    pub sp_cache: Option<Arc<CachedPager>>,
+    pub te_store: SharedPageStore,
+}
+
+/// Everything [`Durability::open`] recovers about one shard before the trees
+/// are reopened.
+pub(crate) struct RecoveredShard {
+    pub meta: ShardMeta,
+    pub heap_pages: Vec<PageId>,
+}
+
+/// The durable backing of a deployment directory. See the module docs for
+/// the file layout and commit protocol.
+pub(crate) struct Durability {
+    manifest_path: PathBuf,
+    manifest: Mutex<Manifest>,
+    shards: Vec<ShardFiles>,
+}
+
+fn sp_path(dir: &Path, shard: usize) -> PathBuf {
+    dir.join(format!("{}-{shard}.pages", Party::Sp.prefix()))
+}
+
+fn te_path(dir: &Path, shard: usize) -> PathBuf {
+    dir.join(format!("{}-{shard}.pages", Party::Te.prefix()))
+}
+
+fn placeholder_meta(upper: u32) -> ShardMeta {
+    let empty = TreeMeta {
+        root: PageId::INVALID,
+        height: 0,
+        len: 0,
+        node_count: 0,
+    };
+    ShardMeta {
+        upper,
+        epoch: 0,
+        sp_index: empty,
+        heap_record_count: 0,
+        heap_page_count: 0,
+        heap_dir_head: PageId::INVALID,
+        te_tree: empty,
+        te_digest: [0u8; sae_storage::TE_DIGEST_LEN],
+    }
+}
+
+/// Creates one party's pager file with its identity header at page 0.
+fn create_party_file(path: &Path, shard: usize, party: Party) -> StorageResult<Arc<FilePager>> {
+    let pager = Arc::new(FilePager::create(path)?);
+    let header_page = pager.allocate()?;
+    debug_assert_eq!(header_page, SHARD_HEADER_PAGE);
+    let header = ShardHeader {
+        shard: shard as u32,
+        party,
+        epoch: 0,
+    };
+    pager.write(SHARD_HEADER_PAGE, &header.encode())?;
+    Ok(pager)
+}
+
+/// Opens one party's pager file, validating its identity and epoch against
+/// the manifest. A missing file is reported as corruption (the deployment
+/// directory is incomplete), not a bare I/O error.
+fn open_party_file(
+    path: &Path,
+    shard: usize,
+    party: Party,
+    manifest_epoch: u64,
+) -> StorageResult<Arc<FilePager>> {
+    let pager = FilePager::open(path).map_err(|e| match e {
+        StorageError::Io(io) if io.kind() == std::io::ErrorKind::NotFound => {
+            StorageError::Corrupted(format!(
+                "deployment is missing shard file {}",
+                path.display()
+            ))
+        }
+        other => other,
+    })?;
+    let pager = Arc::new(pager);
+    ShardHeader::validate(pager.as_ref(), shard as u32, party, manifest_epoch)?;
+    Ok(pager)
+}
+
+impl Durability {
+    /// Creates the deployment directory layout for a fresh deployment:
+    /// per-shard pager files with identity headers and empty heap page
+    /// directories, plus an in-memory manifest that the first
+    /// [`Durability::commit_shard`] calls will fill and persist.
+    pub(crate) fn create(
+        dir: &Path,
+        uppers: &[u32],
+        record_size: usize,
+        cache_pages: Option<usize>,
+    ) -> StorageResult<Durability> {
+        // Fail fast on a layout the manifest page cannot describe, before
+        // any file is created or bulk load starts.
+        if uppers.len() > sae_storage::manifest::MAX_MANIFEST_SHARDS {
+            return Err(StorageError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!(
+                    "a durable deployment supports at most {} shards, got {}",
+                    sae_storage::manifest::MAX_MANIFEST_SHARDS,
+                    uppers.len()
+                ),
+            )));
+        }
+        // Refuse to zero an existing deployment: `FilePager::create`
+        // truncates, so re-running a creation script against a live
+        // directory would destroy committed data before anyone noticed.
+        if dir.join(MANIFEST_FILE).exists() {
+            return Err(StorageError::Io(std::io::Error::new(
+                std::io::ErrorKind::AlreadyExists,
+                format!(
+                    "a deployment already exists at {} — reopen it with open_dir, or remove \
+                     the directory to recreate it",
+                    dir.display()
+                ),
+            )));
+        }
+        std::fs::create_dir_all(dir)?;
+        let mut shards = Vec::with_capacity(uppers.len());
+        for (i, &upper) in uppers.iter().enumerate() {
+            let sp_pager = create_party_file(&sp_path(dir, i), i, Party::Sp)?;
+            let te_pager = create_party_file(&te_path(dir, i), i, Party::Te)?;
+            // The heap page directory lives right after the SP header, and is
+            // always accessed through the raw pager so the write-back cache
+            // never holds a competing copy.
+            let (heap_dir, _head) = PageDirectory::create(sp_pager.as_ref())?;
+            shards.push(ShardFiles {
+                upper,
+                sp: PartyFiles::wrap(sp_pager, cache_pages),
+                te: PartyFiles::wrap(te_pager, cache_pages),
+                state: Mutex::new(ShardCommitState { epoch: 0, heap_dir }),
+            });
+        }
+        let manifest = Manifest {
+            record_size: record_size as u32,
+            domain: *uppers.last().expect("at least one shard"),
+            shards: uppers.iter().map(|&u| placeholder_meta(u)).collect(),
+        };
+        Ok(Durability {
+            manifest_path: dir.join(MANIFEST_FILE),
+            manifest: Mutex::new(manifest),
+            shards,
+        })
+    }
+
+    /// Reopens a deployment directory: loads and validates the manifest,
+    /// opens every pager file (validating identity headers and commit
+    /// epochs) and recovers each shard's heap page table. The trees are then
+    /// reopened by the caller from the returned [`RecoveredShard`] metas.
+    pub(crate) fn open(
+        dir: &Path,
+        cache_pages: Option<usize>,
+    ) -> StorageResult<(Durability, Vec<RecoveredShard>)> {
+        let manifest_path = dir.join(MANIFEST_FILE);
+        let manifest = Manifest::load(&manifest_path)?;
+        let mut shards = Vec::with_capacity(manifest.shards.len());
+        let mut recovered = Vec::with_capacity(manifest.shards.len());
+        for (i, meta) in manifest.shards.iter().enumerate() {
+            let sp_pager = open_party_file(&sp_path(dir, i), i, Party::Sp, meta.epoch)?;
+            let te_pager = open_party_file(&te_path(dir, i), i, Party::Te, meta.epoch)?;
+            let (heap_dir, heap_pages) =
+                PageDirectory::open(sp_pager.as_ref(), meta.heap_dir_head, meta.heap_page_count)?;
+            shards.push(ShardFiles {
+                upper: meta.upper,
+                sp: PartyFiles::wrap(sp_pager, cache_pages),
+                te: PartyFiles::wrap(te_pager, cache_pages),
+                state: Mutex::new(ShardCommitState {
+                    epoch: meta.epoch,
+                    heap_dir,
+                }),
+            });
+            recovered.push(RecoveredShard {
+                meta: meta.clone(),
+                heap_pages,
+            });
+        }
+        Ok((
+            Durability {
+                manifest_path,
+                manifest: Mutex::new(manifest),
+                shards,
+            },
+            recovered,
+        ))
+    }
+
+    /// Number of shards the directory holds.
+    pub(crate) fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The fixed record length the manifest records.
+    pub(crate) fn record_size(&self) -> usize {
+        self.manifest.lock().record_size as usize
+    }
+
+    /// Clones shard `i`'s stores so the deployment can build or reopen its
+    /// trees on them.
+    pub(crate) fn stores(&self, i: usize) -> ShardStores {
+        let shard = &self.shards[i];
+        ShardStores {
+            sp_store: Arc::clone(&shard.sp.store),
+            sp_cache: shard.sp.cache.clone(),
+            te_store: Arc::clone(&shard.te.store),
+        }
+    }
+
+    /// Commits shard `i`'s current state in the documented order (pages,
+    /// headers + sync, then manifest). The caller must hold the shard's
+    /// locks (or exclusive access) so `sp`/`te` cannot change mid-commit.
+    pub(crate) fn commit_shard(
+        &self,
+        i: usize,
+        sp: &SaeServiceProvider,
+        te: &TrustedEntity,
+    ) -> StorageResult<()> {
+        let shard = &self.shards[i];
+        // The shard's state lock is held across the *entire* commit,
+        // including the manifest save: if the manifest were written outside
+        // it, two concurrent commits of the same shard (e.g. two `flush()`
+        // calls, which only take read locks) could invert at the manifest
+        // lock and persist an older epoch after a newer one — leaving the
+        // pager headers permanently ahead of the manifest, i.e. a deployment
+        // that can never open again. Lock order is state(i) → manifest,
+        // everywhere.
+        let mut state = shard.state.lock();
+
+        // 1. Heap page table, written through the raw pager.
+        state
+            .heap_dir
+            .write(shard.sp.pager.as_ref(), sp.heap().pages())?;
+
+        // 2. Every data page out of the write-back caches.
+        shard.sp.flush()?;
+        shard.te.flush()?;
+
+        // 3. Headers carry the new epoch; both files hit stable storage
+        //    before the manifest that describes them.
+        let epoch = state.epoch + 1;
+        for (files, party) in [(&shard.sp, Party::Sp), (&shard.te, Party::Te)] {
+            let header = ShardHeader {
+                shard: i as u32,
+                party,
+                epoch,
+            };
+            files.pager.write(SHARD_HEADER_PAGE, &header.encode())?;
+            files.pager.sync()?;
+        }
+        state.epoch = epoch;
+
+        let meta = ShardMeta {
+            upper: shard.upper,
+            epoch,
+            sp_index: sp.index().meta(),
+            heap_record_count: sp.heap().record_count(),
+            heap_page_count: sp.heap().pages().len() as u64,
+            heap_dir_head: state.heap_dir.head(),
+            te_tree: te.tree().meta(),
+            te_digest: *te.tree().total_xor()?.as_bytes(),
+        };
+
+        // 4. Atomic manifest replacement, under the manifest lock so a
+        //    concurrent commit of another shard cannot clobber this entry
+        //    with an older manifest image.
+        let mut manifest = self.manifest.lock();
+        manifest.shards[i] = meta;
+        manifest.save(&self.manifest_path)
+    }
+
+    /// The published digest conversion used when reopening a trusted entity.
+    pub(crate) fn digest_of(meta: &ShardMeta) -> Digest {
+        Digest::new(meta.te_digest)
+    }
+
+    /// Best-effort flush of every cache and pager file, swallowing errors —
+    /// this is what `Drop` runs. The manifest is *not* rewritten (that
+    /// requires the trees); state mutated outside the commit protocol is
+    /// simply not recovered.
+    fn sync_best_effort(&self) {
+        for shard in &self.shards {
+            let _ = shard.sp.flush();
+            let _ = shard.te.flush();
+            let _ = shard.sp.pager.sync();
+            let _ = shard.te.pager.sync();
+        }
+    }
+}
+
+impl Drop for Durability {
+    fn drop(&mut self) {
+        self.sync_best_effort();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn party_file_round_trip_and_identity_checks() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = sp_path(dir.path(), 0);
+        let pager = create_party_file(&path, 0, Party::Sp).unwrap();
+        pager.sync().unwrap();
+        drop(pager);
+
+        // Reopen with the matching identity and epoch.
+        let pager = open_party_file(&path, 0, Party::Sp, 0).unwrap();
+        drop(pager);
+        // Wrong shard index, wrong party, and a missing file are corruption.
+        assert!(matches!(
+            open_party_file(&path, 1, Party::Sp, 0),
+            Err(StorageError::Corrupted(_))
+        ));
+        assert!(matches!(
+            open_party_file(&path, 0, Party::Te, 0),
+            Err(StorageError::Corrupted(_))
+        ));
+        assert!(matches!(
+            open_party_file(&te_path(dir.path(), 0), 0, Party::Te, 0),
+            Err(StorageError::Corrupted(_))
+        ));
+        // A file ahead of the manifest is a stale manifest.
+        let pager = Arc::new(FilePager::open(&path).unwrap());
+        pager
+            .write(
+                SHARD_HEADER_PAGE,
+                &ShardHeader {
+                    shard: 0,
+                    party: Party::Sp,
+                    epoch: 5,
+                }
+                .encode(),
+            )
+            .unwrap();
+        drop(pager);
+        assert!(matches!(
+            open_party_file(&path, 0, Party::Sp, 4),
+            Err(StorageError::StaleManifest { .. })
+        ));
+    }
+}

@@ -30,11 +30,19 @@
 //!   independent SP/TE pairs behind per-shard lock pairs, routed writes,
 //!   and scatter-gather range queries whose per-shard slices the client
 //!   stitches back together soundly (a dropped shard slice or a record
-//!   smuggled across a shard boundary is a detected tamper).
+//!   smuggled across a shard boundary is a detected tamper);
+//! * [`durable`] — the durable serving path: `SaeSystem::create_dir` /
+//!   `ShardedSaeEngine::create_dir` give every shard its own
+//!   `sp-<i>.pages`/`te-<i>.pages` [`sae_storage::FilePager`] pair under a
+//!   checksummed `MANIFEST`, commit every accepted update in pages-before-
+//!   manifest order, and `open_dir` reopens the trees from their committed
+//!   roots (validating identity headers, commit epochs and the TE's
+//!   published digest) instead of rebuilding from the dataset.
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub mod durable;
 pub mod engine;
 pub mod metrics;
 pub mod sae;

@@ -9,16 +9,19 @@
 //! records it received from the SP, XORs the digests and compares against the
 //! VT (§II).
 
+use crate::durable::Durability;
 use crate::metrics::{QueryMetrics, StorageBreakdown};
 use crate::tamper::TamperStrategy;
 use sae_btree::BPlusTree;
 use sae_crypto::{Digest, HashAlgorithm, DIGEST_LEN};
 use sae_storage::{
-    CostModel, HeapFile, MemPager, RecordId, SharedPageStore, StorageError, StorageResult,
+    CostModel, HeapFile, MemPager, PageId, RecordId, SharedPageStore, StorageError, StorageResult,
+    TreeMeta,
 };
-use sae_workload::{Dataset, RangeQuery, Record, TeTuple, RECORD_HEADER_LEN};
+use sae_workload::{Dataset, RangeQuery, Record, RecordKey, TeTuple, RECORD_HEADER_LEN};
 use sae_xbtree::{TupleStore, XbTree};
 use std::collections::{HashMap, HashSet};
+use std::path::Path;
 use std::time::Instant;
 
 /// The service provider under SAE: a conventional DBMS with no authentication
@@ -51,6 +54,53 @@ impl SaeServiceProvider {
             })
             .collect();
         let index = BPlusTree::bulk_load(store.clone(), &entries)?;
+        Ok(SaeServiceProvider {
+            store,
+            heap,
+            index,
+            directory,
+        })
+    }
+
+    /// Reopens a service provider from its persisted state: the B⁺-Tree is
+    /// reopened from its manifest meta, the heap file from its recovered
+    /// page table, and the id directory is rebuilt by walking the *index*
+    /// (never the original dataset) — tombstoned heap slots are not indexed,
+    /// so they stay dead. A record id reachable from two index positions is
+    /// reported as corruption.
+    pub fn open(
+        store: SharedPageStore,
+        record_len: usize,
+        heap_record_count: u64,
+        heap_pages: Vec<PageId>,
+        index_meta: TreeMeta,
+    ) -> StorageResult<Self> {
+        let index = BPlusTree::open(store.clone(), index_meta)?;
+        let heap = HeapFile::open(store.clone(), record_len, heap_record_count, heap_pages)?;
+        let positions = index.range_record_ids(&RangeQuery::new(0, RecordKey::MAX))?;
+        if positions.len() as u64 != index.len() {
+            return Err(StorageError::Corrupted(format!(
+                "recovered index claims {} entries but a full scan found {}",
+                index.len(),
+                positions.len()
+            )));
+        }
+        let mut directory = HashMap::with_capacity(positions.len());
+        for pos in positions {
+            let bytes = heap.get(RecordId(pos))?;
+            if bytes.len() < RECORD_HEADER_LEN {
+                return Err(StorageError::Corrupted(format!(
+                    "heap slot {pos} too short to hold a record header"
+                )));
+            }
+            let id = u64::from_le_bytes(bytes[0..8].try_into().expect("8-byte id header"));
+            if directory.insert(id, RecordId(pos)).is_some() {
+                return Err(StorageError::Corrupted(format!(
+                    "record id {id} is reachable from two index positions in the recovered \
+                     deployment"
+                )));
+            }
+        }
         Ok(SaeServiceProvider {
             store,
             heap,
@@ -149,6 +199,17 @@ impl SaeServiceProvider {
         &self.index
     }
 
+    /// The heap file holding the outsourced records (exposed so durable
+    /// deployments can persist its geometry).
+    pub fn heap(&self) -> &HeapFile {
+        &self.heap
+    }
+
+    /// The ids of every live record this SP serves.
+    pub fn record_ids(&self) -> impl Iterator<Item = u64> + '_ {
+        self.directory.keys().copied()
+    }
+
     /// Storage consumed by the dataset file.
     pub fn dataset_bytes(&self) -> u64 {
         self.heap.storage_bytes()
@@ -198,6 +259,36 @@ impl TrustedEntity {
             tree,
             scan,
             mode,
+            alg,
+        })
+    }
+
+    /// Reopens a trusted entity from its persisted XB-Tree root and checks
+    /// the tree's recomputed total XOR against the digest published in the
+    /// manifest at the last commit. Any divergence — a tampered page, a
+    /// file substituted wholesale, a root pointing at stale pages — fails
+    /// here with a typed error before the TE ever issues a token.
+    pub fn open(
+        store: SharedPageStore,
+        meta: TreeMeta,
+        alg: HashAlgorithm,
+        published: Digest,
+    ) -> StorageResult<Self> {
+        let tree = XbTree::open(store.clone(), meta)?;
+        let actual = tree.total_xor()?;
+        if actual != published {
+            return Err(StorageError::Corrupted(format!(
+                "trusted entity digest mismatch: the reopened XB-Tree folds to {} but the \
+                 manifest published {}",
+                actual.to_hex(),
+                published.to_hex()
+            )));
+        }
+        Ok(TrustedEntity {
+            store,
+            tree,
+            scan: None,
+            mode: TeMode::XbTree,
             alg,
         })
     }
@@ -428,6 +519,10 @@ pub struct SaeSystem {
     client: SaeClient,
     alg: HashAlgorithm,
     cost_model: CostModel,
+    /// The durable backing when the deployment was created with
+    /// [`SaeSystem::create_dir`] / reopened with [`SaeSystem::open_dir`];
+    /// `None` for in-memory deployments.
+    durability: Option<Durability>,
 }
 
 impl SaeSystem {
@@ -460,7 +555,102 @@ impl SaeSystem {
             client: SaeClient::with_record_len(alg, dataset.spec.record_size),
             alg,
             cost_model,
+            durability: None,
         })
+    }
+
+    /// Creates a *durable* deployment in `dir`: the SP lives in
+    /// `sp-0.pages`, the TE in `te-0.pages` (each optionally behind a
+    /// write-back [`sae_storage::CachedPager`] of `cache_pages` pages), and
+    /// a `MANIFEST` records the committed roots. Every accepted data-owner
+    /// update is flushed and synced in commit order — pages before manifest
+    /// — so the deployment survives a restart via [`SaeSystem::open_dir`].
+    pub fn create_dir(
+        dir: &Path,
+        dataset: &Dataset,
+        alg: HashAlgorithm,
+        cache_pages: Option<usize>,
+    ) -> StorageResult<Self> {
+        let durability = Durability::create(
+            dir,
+            &[dataset.spec.distribution.domain()],
+            dataset.spec.record_size,
+            cache_pages,
+        )?;
+        let stores = durability.stores(0);
+        let sp = SaeServiceProvider::build(stores.sp_store, dataset)?;
+        let te = TrustedEntity::build(stores.te_store, dataset, alg, TeMode::XbTree)?;
+        durability.commit_shard(0, &sp, &te)?;
+        Ok(SaeSystem {
+            sp,
+            te,
+            client: SaeClient::with_record_len(alg, dataset.spec.record_size),
+            alg,
+            cost_model: CostModel::paper(),
+            durability: Some(durability),
+        })
+    }
+
+    /// Reopens a deployment created by [`SaeSystem::create_dir`] from its
+    /// committed roots — the trees are *not* rebuilt from the dataset. Torn
+    /// or garbage manifests, swapped shard files, epoch mismatches
+    /// ([`StorageError::StaleManifest`]) and a TE that no longer folds to
+    /// its published digest are all rejected with typed errors.
+    pub fn open_dir(
+        dir: &Path,
+        alg: HashAlgorithm,
+        cache_pages: Option<usize>,
+    ) -> StorageResult<Self> {
+        let (durability, mut recovered) = Durability::open(dir, cache_pages)?;
+        if durability.shard_count() != 1 {
+            return Err(StorageError::Corrupted(format!(
+                "deployment has {} shards; reopen it with ShardedSaeEngine::open_dir",
+                durability.shard_count()
+            )));
+        }
+        let record_size = durability.record_size();
+        let shard = recovered.remove(0);
+        let stores = durability.stores(0);
+        let sp = SaeServiceProvider::open(
+            stores.sp_store,
+            record_size,
+            shard.meta.heap_record_count,
+            shard.heap_pages,
+            shard.meta.sp_index,
+        )?;
+        let te = TrustedEntity::open(
+            stores.te_store,
+            shard.meta.te_tree,
+            alg,
+            Durability::digest_of(&shard.meta),
+        )?;
+        Ok(SaeSystem {
+            sp,
+            te,
+            client: SaeClient::with_record_len(alg, record_size),
+            alg,
+            cost_model: CostModel::paper(),
+            durability: Some(durability),
+        })
+    }
+
+    /// Whether this deployment is backed by durable files.
+    pub fn is_durable(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    /// Commits the current state to disk (no-op for in-memory deployments).
+    pub fn flush(&self) -> StorageResult<()> {
+        match &self.durability {
+            Some(d) => d.commit_shard(0, &self.sp, &self.te),
+            None => Ok(()),
+        }
+    }
+
+    /// Commits and tears the deployment down, surfacing the flush errors
+    /// that `Drop` would have to swallow.
+    pub fn close(self) -> StorageResult<()> {
+        self.flush()
     }
 
     /// The hash algorithm shared by all parties.
@@ -545,9 +735,23 @@ impl SaeSystem {
 
     /// Propagates an insertion from the data owner to both the SP and the TE.
     /// If the TE insertion fails after the SP accepted the record, the SP
-    /// insertion is rolled back so the parties never diverge.
+    /// insertion is rolled back so the parties never diverge. Durable
+    /// deployments commit the accepted update (pages before manifest) before
+    /// returning.
     pub fn insert_record(&mut self, record: &Record) -> StorageResult<()> {
-        insert_into_parties(&mut self.sp, &mut self.te, record)
+        insert_into_parties(&mut self.sp, &mut self.te, record)?;
+        if let Some(d) = &self.durability {
+            if let Err(e) = d.commit_shard(0, &self.sp, &self.te) {
+                // Keep memory and disk agreeing: undo the accepted insert
+                // before reporting the failed commit, so a retry does not
+                // trip over a DuplicateRecordId for a record the caller was
+                // told never landed. Best-effort — the commit failure is the
+                // primary error and must not be masked by the rollback.
+                let _ = delete_from_parties(&mut self.sp, &mut self.te, record.id, record.key);
+                return Err(e);
+            }
+        }
+        Ok(())
     }
 
     /// Propagates a deletion from the data owner to both the SP and the TE.
@@ -556,8 +760,23 @@ impl SaeSystem {
     /// successful removal is rolled back and [`StorageError::Desync`] is
     /// returned instead of leaving the deployment silently diverged (which
     /// would make every later query covering the key fail verification).
+    /// Durable deployments commit an effective deletion before returning; if
+    /// that commit fails, the in-memory removal is restored so memory and
+    /// disk keep agreeing.
     pub fn delete_record(&mut self, id: u64, key: u32) -> StorageResult<bool> {
-        delete_from_parties(&mut self.sp, &mut self.te, id, key)
+        let Some((pos, tuple)) = take_from_parties(&mut self.sp, &mut self.te, id, key)? else {
+            return Ok(false);
+        };
+        if let Some(d) = &self.durability {
+            if let Err(e) = d.commit_shard(0, &self.sp, &self.te) {
+                // Best-effort restore of both parties; the commit failure is
+                // the primary error and must not be masked by the rollback.
+                let _ = self.sp.restore(id, key, pos);
+                let _ = self.te.restore(tuple);
+                return Err(e);
+            }
+        }
+        Ok(true)
     }
 
     /// Per-party storage consumption (Fig. 8).
@@ -614,6 +833,19 @@ pub(crate) fn delete_from_parties(
     id: u64,
     key: u32,
 ) -> StorageResult<bool> {
+    Ok(take_from_parties(sp, te, id, key)?.is_some())
+}
+
+/// Like [`delete_from_parties`], but returns the removed state — the SP heap
+/// position and the TE tuple — so a caller whose *durable commit* fails
+/// after the in-memory removal can restore both parties and keep memory and
+/// disk agreeing.
+pub(crate) fn take_from_parties(
+    sp: &mut SaeServiceProvider,
+    te: &mut TrustedEntity,
+    id: u64,
+    key: u32,
+) -> StorageResult<Option<(RecordId, TeTuple)>> {
     let sp_pos = sp.take(id, key)?;
     let te_tuple = match te.take(id, key) {
         Ok(tuple) => tuple,
@@ -628,8 +860,8 @@ pub(crate) fn delete_from_parties(
         }
     };
     match (sp_pos, te_tuple) {
-        (Some(_), Some(_)) => Ok(true),
-        (None, None) => Ok(false),
+        (Some(pos), Some(tuple)) => Ok(Some((pos, tuple))),
+        (None, None) => Ok(None),
         (Some(pos), None) => {
             sp.restore(id, key, pos)?;
             Err(StorageError::Desync(format!(
@@ -922,6 +1154,60 @@ mod tests {
         assert_eq!(a.vt, b.vt);
         assert!(a.metrics.verified && b.metrics.verified);
         assert!(b.metrics.te_node_accesses > a.metrics.te_node_accesses);
+    }
+
+    #[test]
+    fn durable_system_round_trips_through_close_and_open() {
+        let dir = tempfile::tempdir().unwrap();
+        let ds = small_dataset(1_500);
+        let mut system =
+            SaeSystem::create_dir(dir.path(), &ds, HashAlgorithm::Sha1, Some(64)).unwrap();
+        assert!(system.is_durable());
+        let fresh = Record::with_size(2_000_000, 25_000, 200);
+        system.insert_record(&fresh).unwrap();
+        let victim = ds.records[3].clone();
+        assert!(system.delete_record(victim.id, victim.key).unwrap());
+        let q = RangeQuery::new(0, 50_000);
+        let before = system.query(&q).unwrap();
+        assert!(before.metrics.verified);
+        system.close().unwrap();
+
+        let reopened = SaeSystem::open_dir(dir.path(), HashAlgorithm::Sha1, Some(64)).unwrap();
+        let after = reopened.query(&q).unwrap();
+        assert!(after.metrics.verified);
+        assert_eq!(after.records, before.records);
+        assert_eq!(after.vt, before.vt);
+        // The insert survived, the delete stayed deleted.
+        let ids: Vec<u64> = after
+            .records
+            .iter()
+            .map(|r| Record::decode(r).unwrap().id)
+            .collect();
+        assert!(ids.contains(&2_000_000));
+        assert!(!ids.contains(&victim.id));
+        // Tampered results are still rejected after recovery.
+        let outcome = reopened
+            .query_with_tamper(&q, TamperStrategy::DropRecords { count: 1 }, 5)
+            .unwrap();
+        assert!(!outcome.metrics.verified);
+        reopened.close().unwrap();
+
+        // A multi-shard directory cannot be opened as a single-pair system.
+        let sharded_dir = tempfile::tempdir().unwrap();
+        crate::sharded::ShardedSaeEngine::create_dir(
+            sharded_dir.path(),
+            &ds,
+            HashAlgorithm::Sha1,
+            2,
+            None,
+        )
+        .unwrap()
+        .close()
+        .unwrap();
+        assert!(matches!(
+            SaeSystem::open_dir(sharded_dir.path(), HashAlgorithm::Sha1, None),
+            Err(StorageError::Corrupted(_))
+        ));
     }
 
     #[test]

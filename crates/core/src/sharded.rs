@@ -41,6 +41,7 @@
 //! concurrent update — exactly the per-key-range consistency a range-sharded
 //! deployment provides.
 
+use crate::durable::{Durability, ShardStores};
 use crate::engine::{
     serve_batch, serve_mix, serve_ops, QueryService, ServeOptions, ThroughputReport, UpdateService,
 };
@@ -58,6 +59,7 @@ use sae_storage::{
 };
 use sae_workload::{Dataset, DatasetSpec, QueryMix, RangeQuery, Record, RecordKey};
 use std::collections::HashSet;
+use std::path::Path;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -102,6 +104,22 @@ impl ShardLayout {
         self.uppers
             .partition_point(|&upper| upper < key)
             .min(self.uppers.len() - 1)
+    }
+
+    /// Reconstructs a layout from the per-shard upper bounds a manifest
+    /// recorded. The bounds must be non-empty and strictly ascending.
+    pub fn from_uppers(uppers: Vec<RecordKey>) -> StorageResult<ShardLayout> {
+        if uppers.is_empty() {
+            return Err(StorageError::Corrupted(
+                "shard layout must have at least one shard".into(),
+            ));
+        }
+        if !uppers.windows(2).all(|w| w[0] < w[1]) {
+            return Err(StorageError::Corrupted(
+                "shard layout bounds are not strictly ascending".into(),
+            ));
+        }
+        Ok(ShardLayout { uppers })
     }
 
     /// The inclusive key range `[lower, upper]` of shard `i`.
@@ -226,6 +244,10 @@ pub struct ShardedSaeEngine {
     /// the single-pair engine rejects. The lock is held only for the map
     /// probe, never across shard work or the write I/O hold.
     ids: RwLock<HashSet<u64>>,
+    /// The durable backing when the engine was created with
+    /// [`ShardedSaeEngine::create_dir`] / reopened with
+    /// [`ShardedSaeEngine::open_dir`]; `None` for in-memory engines.
+    durability: Option<Durability>,
 }
 
 impl ShardedSaeEngine {
@@ -258,13 +280,46 @@ impl ShardedSaeEngine {
         cache_pages: Option<usize>,
     ) -> StorageResult<ShardedSaeEngine> {
         let layout = ShardLayout::uniform(dataset.spec.distribution.domain(), shards);
+        let stores = (0..layout.shard_count())
+            .map(|_| {
+                let (sp_store, sp_cache): (SharedPageStore, _) = match cache_pages {
+                    Some(pages) => {
+                        let cache = Arc::new(CachedPager::new(MemPager::new_shared(), pages));
+                        (Arc::clone(&cache) as SharedPageStore, Some(cache))
+                    }
+                    None => (MemPager::new_shared(), None),
+                };
+                let te_store: SharedPageStore = match cache_pages {
+                    Some(pages) => Arc::new(CachedPager::new(MemPager::new_shared(), pages)),
+                    None => MemPager::new_shared(),
+                };
+                ShardStores {
+                    sp_store,
+                    sp_cache,
+                    te_store,
+                }
+            })
+            .collect();
+        Self::build_on_stores(dataset, alg, layout, stores, None)
+    }
+
+    /// Partitions `dataset` by the layout and bulk-loads one SP/TE pair per
+    /// shard onto the supplied stores — shared by the in-memory and durable
+    /// creation paths so the shard construction cannot drift between them.
+    fn build_on_stores(
+        dataset: &Dataset,
+        alg: HashAlgorithm,
+        layout: ShardLayout,
+        stores: Vec<ShardStores>,
+        durability: Option<Durability>,
+    ) -> StorageResult<ShardedSaeEngine> {
         let mut partitions: Vec<Vec<Record>> = vec![Vec::new(); layout.shard_count()];
         for record in dataset.iter() {
             partitions[layout.shard_of(record.key)].push(record.clone());
         }
 
         let mut built = Vec::with_capacity(partitions.len());
-        for records in partitions {
+        for (records, stores) in partitions.into_iter().zip(stores) {
             let sub = Dataset {
                 spec: DatasetSpec {
                     cardinality: records.len(),
@@ -272,19 +327,8 @@ impl ShardedSaeEngine {
                 },
                 records,
             };
-            let (sp_store, sp_cache): (SharedPageStore, _) = match cache_pages {
-                Some(pages) => {
-                    let cache = Arc::new(CachedPager::new(MemPager::new_shared(), pages));
-                    (Arc::clone(&cache) as SharedPageStore, Some(cache))
-                }
-                None => (MemPager::new_shared(), None),
-            };
-            let te_store: SharedPageStore = match cache_pages {
-                Some(pages) => Arc::new(CachedPager::new(MemPager::new_shared(), pages)),
-                None => MemPager::new_shared(),
-            };
-            let sp = SaeServiceProvider::build(sp_store, &sub)?;
-            let te = TrustedEntity::build(te_store, &sub, alg, TeMode::XbTree)?;
+            let sp = SaeServiceProvider::build(stores.sp_store, &sub)?;
+            let te = TrustedEntity::build(stores.te_store, &sub, alg, TeMode::XbTree)?;
             let sp_stats = sp.store().stats();
             let te_stats = te.store().stats();
             built.push(SaeShard {
@@ -292,7 +336,7 @@ impl ShardedSaeEngine {
                 te: RwLock::new(te),
                 sp_stats,
                 te_stats,
-                sp_cache,
+                sp_cache: stores.sp_cache,
             });
         }
         Ok(ShardedSaeEngine {
@@ -302,7 +346,119 @@ impl ShardedSaeEngine {
             cost_model: CostModel::paper(),
             record_len: dataset.spec.record_size,
             ids: RwLock::new(dataset.iter().map(|r| r.id).collect()),
+            durability,
         })
+    }
+
+    /// Creates a *durable* sharded deployment in `dir`: every shard gets its
+    /// own `sp-<i>.pages` / `te-<i>.pages` pager-file pair (each optionally
+    /// behind a write-back [`CachedPager`] of `cache_pages` pages) and a
+    /// single `MANIFEST` records the layout, committed tree roots and
+    /// published TE digests. Every accepted data-owner update is flushed and
+    /// synced in commit order — pages before manifest — so the deployment
+    /// survives a restart via [`ShardedSaeEngine::open_dir`].
+    pub fn create_dir(
+        dir: &Path,
+        dataset: &Dataset,
+        alg: HashAlgorithm,
+        shards: usize,
+        cache_pages: Option<usize>,
+    ) -> StorageResult<ShardedSaeEngine> {
+        let layout = ShardLayout::uniform(dataset.spec.distribution.domain(), shards);
+        let durability =
+            Durability::create(dir, &layout.uppers, dataset.spec.record_size, cache_pages)?;
+        let stores = (0..layout.shard_count())
+            .map(|i| durability.stores(i))
+            .collect();
+        let engine = Self::build_on_stores(dataset, alg, layout, stores, Some(durability))?;
+        engine.flush()?;
+        Ok(engine)
+    }
+
+    /// Reopens a deployment created by [`ShardedSaeEngine::create_dir`] from
+    /// its committed roots — no shard is rebuilt from the dataset. The
+    /// manifest, every pager file's identity header and commit epoch, each
+    /// heap's recovered page table and each TE's published digest are all
+    /// validated; torn or garbage manifests, swapped shard files and
+    /// pages-synced-but-manifest-not crashes
+    /// ([`StorageError::StaleManifest`]) surface as typed errors, never as a
+    /// panic or a silently-empty deployment.
+    pub fn open_dir(
+        dir: &Path,
+        alg: HashAlgorithm,
+        cache_pages: Option<usize>,
+    ) -> StorageResult<ShardedSaeEngine> {
+        let (durability, recovered) = Durability::open(dir, cache_pages)?;
+        let record_len = durability.record_size();
+        let layout = ShardLayout::from_uppers(recovered.iter().map(|s| s.meta.upper).collect())?;
+        let mut shards = Vec::with_capacity(recovered.len());
+        let mut ids: HashSet<u64> = HashSet::new();
+        for (i, shard) in recovered.into_iter().enumerate() {
+            let stores = durability.stores(i);
+            let sp = SaeServiceProvider::open(
+                stores.sp_store,
+                record_len,
+                shard.meta.heap_record_count,
+                shard.heap_pages,
+                shard.meta.sp_index,
+            )?;
+            let te = TrustedEntity::open(
+                stores.te_store,
+                shard.meta.te_tree,
+                alg,
+                Durability::digest_of(&shard.meta),
+            )?;
+            for id in sp.record_ids() {
+                if !ids.insert(id) {
+                    return Err(StorageError::Corrupted(format!(
+                        "record id {id} recovered from two different shards"
+                    )));
+                }
+            }
+            let sp_stats = sp.store().stats();
+            let te_stats = te.store().stats();
+            shards.push(SaeShard {
+                sp: RwLock::new(sp),
+                te: RwLock::new(te),
+                sp_stats,
+                te_stats,
+                sp_cache: stores.sp_cache,
+            });
+        }
+        Ok(ShardedSaeEngine {
+            layout,
+            shards,
+            client: SaeClient::with_record_len(alg, record_len),
+            cost_model: CostModel::paper(),
+            record_len,
+            ids: RwLock::new(ids),
+            durability: Some(durability),
+        })
+    }
+
+    /// Whether this engine is backed by durable files.
+    pub fn is_durable(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    /// Commits every shard's current state to disk (no-op for in-memory
+    /// engines). Each shard is committed under its read locks, so queries
+    /// proceed concurrently while writers are briefly excluded.
+    pub fn flush(&self) -> StorageResult<()> {
+        if let Some(d) = &self.durability {
+            for (i, shard) in self.shards.iter().enumerate() {
+                let sp = shard.sp.read();
+                let te = shard.te.read();
+                d.commit_shard(i, &sp, &te)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Commits every shard and tears the engine down, surfacing the flush
+    /// and sync errors that `Drop` would have to swallow.
+    pub fn close(self) -> StorageResult<()> {
+        self.flush()
     }
 
     /// Claims `record`'s id in the deployment-wide directory (rejecting
@@ -341,28 +497,65 @@ impl ShardedSaeEngine {
     /// shard's SP insertion back.
     pub fn insert(&self, record: &Record) -> StorageResult<()> {
         self.claim(record)?;
-        let shard = &self.shards[self.layout.shard_of(record.key)];
+        let shard_idx = self.layout.shard_of(record.key);
+        let shard = &self.shards[shard_idx];
         let mut sp = shard.sp.write();
         let mut te = shard.te.write();
-        let outcome = insert_into_parties(&mut sp, &mut te, record);
-        if outcome.is_err() {
-            self.ids.write().remove(&record.id);
+        match insert_into_parties(&mut sp, &mut te, record) {
+            Ok(()) => {
+                if let Err(e) = self.commit_if_durable(shard_idx, &sp, &te) {
+                    // Keep memory and disk agreeing: undo the accepted
+                    // insert before reporting the failed commit.
+                    let _ = delete_from_parties(&mut sp, &mut te, record.id, record.key);
+                    self.ids.write().remove(&record.id);
+                    return Err(e);
+                }
+                Ok(())
+            }
+            Err(e) => {
+                self.ids.write().remove(&record.id);
+                Err(e)
+            }
         }
-        outcome
+    }
+
+    /// Commits one shard's state when the engine is durable, while the
+    /// caller still holds that shard's locks.
+    fn commit_if_durable(
+        &self,
+        shard: usize,
+        sp: &SaeServiceProvider,
+        te: &TrustedEntity,
+    ) -> StorageResult<()> {
+        match &self.durability {
+            Some(d) => d.commit_shard(shard, sp, te),
+            None => Ok(()),
+        }
     }
 
     /// Routes a data-owner deletion to the shard owning `key`; one-sided
     /// deletions are rolled back and reported as
     /// [`sae_storage::StorageError::Desync`].
     pub fn delete(&self, id: u64, key: RecordKey) -> StorageResult<bool> {
-        let shard = &self.shards[self.layout.shard_of(key)];
+        let shard_idx = self.layout.shard_of(key);
+        let shard = &self.shards[shard_idx];
         let mut sp = shard.sp.write();
         let mut te = shard.te.write();
-        let outcome = delete_from_parties(&mut sp, &mut te, id, key);
-        if let Ok(true) = outcome {
-            self.ids.write().remove(&id);
+        let Some((pos, tuple)) = crate::sae::take_from_parties(&mut sp, &mut te, id, key)? else {
+            return Ok(false);
+        };
+        if let Err(e) = self.commit_if_durable(shard_idx, &sp, &te) {
+            // Keep memory and disk agreeing: restore the removed record
+            // before reporting the failed commit (the id claim stays, since
+            // the record still exists). The restores are best-effort — the
+            // commit failure is the primary error and must not be masked by
+            // a failing rollback on the same dying disk.
+            let _ = sp.restore(id, key, pos);
+            let _ = te.restore(tuple);
+            return Err(e);
         }
-        outcome
+        self.ids.write().remove(&id);
+        Ok(true)
     }
 
     /// Scatters `q` over every overlapping shard: each shard answers its
@@ -622,19 +815,27 @@ impl QueryService for ShardedSaeEngine {
 impl UpdateService for ShardedSaeEngine {
     fn apply_update(&self, record: &Record, hold: Duration) -> StorageResult<()> {
         self.claim(record)?;
-        let shard = &self.shards[self.layout.shard_of(record.key)];
-        let outcome = {
-            let mut sp = shard.sp.write();
-            let mut te = shard.te.write();
-            crate::sae::update_parties(&mut sp, &mut te, record, hold)
-        };
-        if outcome.is_ok() {
-            // The round trip deleted the record again; release its id. On an
-            // error the claim is conservatively kept — the record may still
-            // exist if the trailing delete was the step that failed.
-            self.ids.write().remove(&record.id);
+        let shard_idx = self.layout.shard_of(record.key);
+        let shard = &self.shards[shard_idx];
+        let mut sp = shard.sp.write();
+        let mut te = shard.te.write();
+        // The round trip is committed once, after its trailing delete: the
+        // committed states bracket the whole round trip, which is exactly
+        // the atomicity the update protocol promises.
+        match crate::sae::update_parties(&mut sp, &mut te, record, hold) {
+            Ok(()) => {
+                // The round trip deleted the record again, so its id can be
+                // released whether or not the commit below succeeds — the
+                // record exists in neither memory nor the committed state.
+                let committed = self.commit_if_durable(shard_idx, &sp, &te);
+                self.ids.write().remove(&record.id);
+                committed
+            }
+            // The claim is conservatively kept on a round-trip error — the
+            // record may still exist if the trailing delete was the step
+            // that failed.
+            Err(e) => Err(e),
         }
-        outcome
     }
 }
 
@@ -969,6 +1170,91 @@ mod tests {
             assert!(report.totals.sp_node_accesses > 0);
             assert!(report.totals.te_node_accesses > 0);
         });
+    }
+
+    #[test]
+    fn durable_engine_round_trips_through_close_and_open() {
+        let dir = tempfile::tempdir().unwrap();
+        let ds = dataset(2_000);
+        let q = RangeQuery::new(10_000, 90_000);
+
+        let engine =
+            ShardedSaeEngine::create_dir(dir.path(), &ds, HashAlgorithm::Sha1, 3, Some(128))
+                .unwrap();
+        assert!(engine.is_durable());
+        // A committed update must survive the restart.
+        let fresh = Record::with_size(9_100_000, 50_000, 120);
+        engine.insert(&fresh).unwrap();
+        let before = engine.query(&q).unwrap();
+        assert!(before.verdict.is_ok());
+        let layout = engine.layout().clone();
+        engine.close().unwrap();
+
+        let reopened =
+            ShardedSaeEngine::open_dir(dir.path(), HashAlgorithm::Sha1, Some(128)).unwrap();
+        assert!(reopened.is_durable());
+        assert_eq!(reopened.shard_count(), 3);
+        assert_eq!(reopened.layout(), &layout);
+        let after = reopened.query(&q).unwrap();
+        assert!(after.verdict.is_ok(), "{:?}", after.verdict);
+        // Identical records and identical per-slice digests: the reopened
+        // deployment serves the same authenticated state.
+        assert_eq!(after.slices.len(), before.slices.len());
+        for (a, b) in after.slices.iter().zip(&before.slices) {
+            assert_eq!(a.shard, b.shard);
+            assert_eq!(a.records, b.records);
+            assert_eq!(a.vt, b.vt);
+        }
+        let one = reopened.query(&RangeQuery::new(50_000, 50_000)).unwrap();
+        assert!(one.verdict.is_ok());
+        assert!(one
+            .slices
+            .iter()
+            .flat_map(|s| s.records.iter())
+            .any(|r| Record::decode(r).unwrap().id == 9_100_000));
+        // The recovered id directory still rejects cross-shard duplicates.
+        assert!(matches!(
+            reopened.insert(&Record::with_size(9_100_000, 1_000, 120)),
+            Err(StorageError::DuplicateRecordId(_))
+        ));
+        // Tampers are still detected after recovery.
+        for strategy in [
+            TamperStrategy::DropShardSlice { shard: 1 },
+            TamperStrategy::ShardBoundarySwap,
+            TamperStrategy::DuplicateExisting { count: 1 },
+            TamperStrategy::DropRecords { count: 1 },
+        ] {
+            let outcome = reopened.query_with_tamper(&q, strategy, 3).unwrap();
+            assert!(!outcome.metrics.verified, "{strategy:?} went undetected");
+        }
+    }
+
+    #[test]
+    fn reopened_updates_persist_without_rebuilding() {
+        let dir = tempfile::tempdir().unwrap();
+        let ds = dataset(800);
+        let engine =
+            ShardedSaeEngine::create_dir(dir.path(), &ds, HashAlgorithm::Sha1, 2, None).unwrap();
+        let victim = ds.records[5].clone();
+        assert!(engine.delete(victim.id, victim.key).unwrap());
+        engine.close().unwrap();
+
+        // Deletion survived; the tombstoned heap slot is not resurrected.
+        let reopened = ShardedSaeEngine::open_dir(dir.path(), HashAlgorithm::Sha1, None).unwrap();
+        let outcome = reopened
+            .query(&RangeQuery::new(victim.key, victim.key))
+            .unwrap();
+        assert!(outcome.verdict.is_ok());
+        assert!(!outcome
+            .slices
+            .iter()
+            .flat_map(|s| s.records.iter())
+            .any(|r| Record::decode(r).unwrap().id == victim.id));
+        // Its id is free for re-use after recovery.
+        reopened
+            .insert(&Record::with_size(victim.id, victim.key, 120))
+            .unwrap();
+        reopened.close().unwrap();
     }
 
     #[test]

@@ -51,6 +51,19 @@ pub enum StorageError {
     /// parties and the operation; any rollback already performed is described
     /// there too.
     Desync(String),
+    /// A pager file's committed epoch is ahead of the deployment manifest:
+    /// the pages of a later commit were synced but the manifest describing
+    /// them never made it to disk. Reopening from the stale manifest would
+    /// serve roots that no longer match the page contents, so the deployment
+    /// refuses to open instead of silently recovering to a torn state.
+    StaleManifest {
+        /// Shard whose pager file is ahead of the manifest.
+        shard: u32,
+        /// Commit epoch recorded in the manifest.
+        manifest_epoch: u64,
+        /// Commit epoch found in the pager file's header.
+        file_epoch: u64,
+    },
     /// Underlying I/O failure.
     Io(io::Error),
 }
@@ -87,6 +100,15 @@ impl fmt::Display for StorageError {
                 write!(f, "key {key} outside the deployment's domain [0, {domain}]")
             }
             StorageError::Desync(msg) => write!(f, "parties desynchronized: {msg}"),
+            StorageError::StaleManifest {
+                shard,
+                manifest_epoch,
+                file_epoch,
+            } => write!(
+                f,
+                "stale manifest: shard {shard}'s pager file is at commit epoch {file_epoch} \
+                 but the manifest records epoch {manifest_epoch}"
+            ),
             StorageError::Io(e) => write!(f, "I/O error: {e}"),
         }
     }
@@ -130,6 +152,14 @@ mod tests {
         let e = StorageError::Desync("SP removed id 7 but TE did not".into());
         assert!(e.to_string().contains("desynchronized"));
         assert!(e.to_string().contains("id 7"));
+        let e = StorageError::StaleManifest {
+            shard: 3,
+            manifest_epoch: 4,
+            file_epoch: 5,
+        };
+        assert!(e.to_string().contains("stale manifest"));
+        assert!(e.to_string().contains("shard 3"));
+        assert!(e.to_string().contains("epoch 5"));
     }
 
     #[test]

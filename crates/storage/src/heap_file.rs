@@ -39,9 +39,47 @@ impl HeapFile {
         })
     }
 
+    /// Reopens a heap file from its persisted geometry: the fixed record
+    /// length, the record count and the ordered page list (as recovered from
+    /// a [`crate::manifest::PageDirectory`]). The geometry must be
+    /// internally consistent — the page list must be exactly long enough for
+    /// the record count — or the file is reported as corrupted.
+    pub fn open(
+        store: SharedPageStore,
+        record_len: usize,
+        record_count: u64,
+        pages: Vec<PageId>,
+    ) -> StorageResult<Self> {
+        if record_len == 0 || record_len > PAGE_SIZE {
+            return Err(StorageError::InvalidRecordLength(record_len));
+        }
+        let records_per_page = PAGE_SIZE / record_len;
+        let needed = record_count.div_ceil(records_per_page as u64);
+        if pages.len() as u64 != needed {
+            return Err(StorageError::Corrupted(format!(
+                "heap geometry mismatch: {record_count} records of {record_len} bytes need \
+                 {needed} pages, page table has {}",
+                pages.len()
+            )));
+        }
+        Ok(HeapFile {
+            store,
+            pages,
+            record_len,
+            records_per_page,
+            record_count,
+        })
+    }
+
     /// The fixed record length in bytes.
     pub fn record_len(&self) -> usize {
         self.record_len
+    }
+
+    /// The ordered page list backing this heap file (what a durable
+    /// deployment persists so the file can be reopened).
+    pub fn pages(&self) -> &[PageId] {
+        &self.pages
     }
 
     /// Number of records currently stored.
@@ -365,6 +403,38 @@ mod tests {
         let single_accesses = store_single.stats().snapshot().node_accesses();
         let batch_accesses = store_batch.stats().snapshot().node_accesses();
         assert!(batch_accesses < single_accesses);
+    }
+
+    #[test]
+    fn open_round_trips_the_persisted_geometry() {
+        let store = MemPager::new_shared();
+        let mut heap = HeapFile::create(store.clone(), 500).unwrap();
+        for i in 0..20u8 {
+            heap.append(&record(500, i)).unwrap();
+        }
+        let pages = heap.pages().to_vec();
+        let count = heap.record_count();
+        drop(heap);
+
+        let reopened = HeapFile::open(store.clone(), 500, count, pages.clone()).unwrap();
+        assert_eq!(reopened.record_count(), 20);
+        for i in 0..20u64 {
+            assert_eq!(reopened.get(RecordId(i)).unwrap(), record(500, i as u8));
+        }
+
+        // Geometry mismatches are corruption, not silent truncation.
+        assert!(matches!(
+            HeapFile::open(store.clone(), 500, count + 100, pages.clone()),
+            Err(StorageError::Corrupted(_))
+        ));
+        assert!(matches!(
+            HeapFile::open(store.clone(), 500, count, pages[..1].to_vec()),
+            Err(StorageError::Corrupted(_))
+        ));
+        assert!(matches!(
+            HeapFile::open(store, 0, 0, Vec::new()),
+            Err(StorageError::InvalidRecordLength(0))
+        ));
     }
 
     #[test]

@@ -18,6 +18,10 @@
 //!   implementing the paper's "10 ms per node access" charging scheme.
 //! * [`heap_file`] — [`heap_file::HeapFile`], the fixed-size-record dataset
 //!   file the SP scans to return actual result records.
+//! * [`manifest`] — the durable-deployment layer: the versioned, checksummed
+//!   [`manifest::Manifest`] header page, per-pager-file
+//!   [`manifest::ShardHeader`] identity/epoch pages, and the
+//!   [`manifest::PageDirectory`] chains persisting heap page tables.
 //!
 //! The cost model is *simulated*: node accesses are counted, not slept on, so
 //! paper-scale experiments (a million 500-byte records) run in seconds while
@@ -29,6 +33,7 @@
 pub mod buffer_pool;
 pub mod error;
 pub mod heap_file;
+pub mod manifest;
 pub mod page;
 pub mod pager;
 pub mod stats;
@@ -36,6 +41,10 @@ pub mod stats;
 pub use buffer_pool::CachedPager;
 pub use error::{StorageError, StorageResult};
 pub use heap_file::{HeapFile, RecordId};
+pub use manifest::{
+    Manifest, PageDirectory, Party, ShardHeader, ShardMeta, TreeMeta, SHARD_HEADER_PAGE,
+    TE_DIGEST_LEN,
+};
 pub use page::{Page, PageId, PAGE_SIZE};
 pub use pager::{FilePager, MemPager, PageStore, SharedPageStore};
 pub use stats::{CostModel, IoSnapshot, IoStats};

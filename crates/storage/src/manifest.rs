@@ -1,0 +1,710 @@
+//! The durable-deployment manifest and the on-disk commit protocol.
+//!
+//! A durable SAE deployment is a directory of per-shard pager files
+//! (`sp-<i>.pages` / `te-<i>.pages`) plus one `MANIFEST` file. The manifest
+//! is a single versioned, checksummed header page recording, for every
+//! shard: the layout bound, the commit epoch, both parties' tree roots and
+//! shapes, the heap-file geometry, and the trusted entity's published total
+//! digest. Recovery reopens the trees *from these roots* instead of
+//! rebuilding them from the dataset.
+//!
+//! Three pieces live here:
+//!
+//! * [`Manifest`] / [`ShardMeta`] / [`TreeMeta`] — the manifest page itself,
+//!   with [`Manifest::save`] writing it atomically (write-to-temp, sync,
+//!   rename) so a crash never leaves a half-written manifest in place, and
+//!   [`Manifest::load`] rejecting torn or garbage files with a typed
+//!   [`StorageError::Corrupted`].
+//! * [`ShardHeader`] — page 0 of every pager file: a versioned identity
+//!   header (shard index, party, commit epoch). Commit order is *pages
+//!   before manifest*: the header's epoch is bumped and synced with the data
+//!   pages, then the manifest is rewritten. On open, an epoch mismatch is
+//!   typed — file ahead of manifest is [`StorageError::StaleManifest`]
+//!   (pages synced, manifest not), file behind is corruption — and an
+//!   identity mismatch (a shard file swapped for another shard's or the
+//!   other party's) is rejected before any tree page is touched.
+//! * [`PageDirectory`] — a rewritable chain of pages persisting an ordered
+//!   `PageId` list (the heap file's page table) inside a pager file.
+
+use crate::error::{StorageError, StorageResult};
+use crate::page::{Page, PageId, PAGE_SIZE};
+use crate::pager::PageStore;
+use std::path::Path;
+
+/// Current manifest / shard-header format version.
+pub const MANIFEST_VERSION: u32 = 1;
+
+/// Magic bytes opening the manifest page.
+const MANIFEST_MAGIC: &[u8; 8] = b"SAEMANIF";
+
+/// Magic bytes opening every pager file's shard header page.
+const HEADER_MAGIC: &[u8; 8] = b"SAESHARD";
+
+/// Magic `u32` opening every page-directory chain page.
+const PAGE_DIR_MAGIC: u32 = 0x5044_4952; // "PDIR"
+
+/// Byte length of the trusted entity's published digest.
+pub const TE_DIGEST_LEN: usize = 20;
+
+/// The page every pager file reserves for its [`ShardHeader`].
+pub const SHARD_HEADER_PAGE: PageId = PageId(0);
+
+const MANIFEST_FIXED_LEN: usize = 24;
+const SHARD_META_LEN: usize = 112;
+const CHECKSUM_OFFSET: usize = PAGE_SIZE - 8;
+
+/// Maximum shard count a single manifest page can describe.
+pub const MAX_MANIFEST_SHARDS: usize = (CHECKSUM_OFFSET - MANIFEST_FIXED_LEN) / SHARD_META_LEN;
+
+/// FNV-1a over `bytes`; cheap torn-write detection for header pages.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Root and shape of one persisted tree, enough to reopen it without
+/// traversal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TreeMeta {
+    /// The root page.
+    pub root: PageId,
+    /// Number of levels (1 = the root is a leaf).
+    pub height: u32,
+    /// Number of entries stored.
+    pub len: u64,
+    /// Number of nodes (pages).
+    pub node_count: u64,
+}
+
+/// Everything the manifest records about one shard.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardMeta {
+    /// Inclusive upper key bound of the shard's range.
+    pub upper: u32,
+    /// Commit epoch; must equal both pager files' header epochs.
+    pub epoch: u64,
+    /// The SP's B⁺-Tree.
+    pub sp_index: TreeMeta,
+    /// Records stored in the SP's heap file (tombstones included).
+    pub heap_record_count: u64,
+    /// Pages the heap file occupies.
+    pub heap_page_count: u64,
+    /// Head of the [`PageDirectory`] chain persisting the heap's page list.
+    pub heap_dir_head: PageId,
+    /// The TE's XB-Tree.
+    pub te_tree: TreeMeta,
+    /// The TE's published digest (XOR over every stored tuple digest) at
+    /// commit time; recomputed and checked on open.
+    pub te_digest: [u8; TE_DIGEST_LEN],
+}
+
+/// The deployment manifest: one checksummed page describing every shard.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Manifest {
+    /// Fixed record length of the outsourced relation, in bytes.
+    pub record_size: u32,
+    /// Inclusive key-domain bound of the published layout.
+    pub domain: u32,
+    /// Per-shard metadata, in ascending shard order.
+    pub shards: Vec<ShardMeta>,
+}
+
+fn write_tree_meta(page: &mut Page, at: usize, meta: &TreeMeta) -> usize {
+    page.write_page_id(at, meta.root);
+    page.write_u32(at + 8, meta.height);
+    page.write_u64(at + 12, meta.len);
+    page.write_u64(at + 20, meta.node_count);
+    at + 28
+}
+
+fn read_tree_meta(page: &Page, at: usize) -> (TreeMeta, usize) {
+    (
+        TreeMeta {
+            root: page.read_page_id(at),
+            height: page.read_u32(at + 8),
+            len: page.read_u64(at + 12),
+            node_count: page.read_u64(at + 20),
+        },
+        at + 28,
+    )
+}
+
+impl Manifest {
+    /// Serializes the manifest into a single checksummed page.
+    pub fn encode(&self) -> StorageResult<Page> {
+        if self.shards.is_empty() || self.shards.len() > MAX_MANIFEST_SHARDS {
+            return Err(StorageError::Corrupted(format!(
+                "manifest must describe 1..={MAX_MANIFEST_SHARDS} shards, got {}",
+                self.shards.len()
+            )));
+        }
+        let mut page = Page::new();
+        page.write_bytes(0, MANIFEST_MAGIC);
+        page.write_u32(8, MANIFEST_VERSION);
+        page.write_u32(12, self.record_size);
+        page.write_u32(16, self.domain);
+        page.write_u32(20, self.shards.len() as u32);
+        let mut at = MANIFEST_FIXED_LEN;
+        for shard in &self.shards {
+            page.write_u32(at, shard.upper);
+            page.write_u64(at + 4, shard.epoch);
+            let mut inner = write_tree_meta(&mut page, at + 12, &shard.sp_index);
+            page.write_u64(inner, shard.heap_record_count);
+            page.write_u64(inner + 8, shard.heap_page_count);
+            page.write_page_id(inner + 16, shard.heap_dir_head);
+            inner = write_tree_meta(&mut page, inner + 24, &shard.te_tree);
+            page.write_bytes(inner, &shard.te_digest);
+            at += SHARD_META_LEN;
+        }
+        let checksum = fnv1a(&page.as_slice()[..CHECKSUM_OFFSET]);
+        page.write_u64(CHECKSUM_OFFSET, checksum);
+        Ok(page)
+    }
+
+    /// Deserializes and validates a manifest page.
+    pub fn decode(page: &Page) -> StorageResult<Manifest> {
+        if page.read_bytes(0, 8) != MANIFEST_MAGIC {
+            return Err(StorageError::Corrupted(
+                "manifest magic mismatch: not a SAE deployment manifest".into(),
+            ));
+        }
+        let version = page.read_u32(8);
+        if version != MANIFEST_VERSION {
+            return Err(StorageError::Corrupted(format!(
+                "unsupported manifest version {version} (supported: {MANIFEST_VERSION})"
+            )));
+        }
+        let checksum = fnv1a(&page.as_slice()[..CHECKSUM_OFFSET]);
+        if checksum != page.read_u64(CHECKSUM_OFFSET) {
+            return Err(StorageError::Corrupted(
+                "manifest checksum mismatch: the manifest page is torn or tampered".into(),
+            ));
+        }
+        let shard_count = page.read_u32(20) as usize;
+        if shard_count == 0 || shard_count > MAX_MANIFEST_SHARDS {
+            return Err(StorageError::Corrupted(format!(
+                "manifest shard count {shard_count} outside 1..={MAX_MANIFEST_SHARDS}"
+            )));
+        }
+        let mut shards = Vec::with_capacity(shard_count);
+        let mut at = MANIFEST_FIXED_LEN;
+        for _ in 0..shard_count {
+            let upper = page.read_u32(at);
+            let epoch = page.read_u64(at + 4);
+            let (sp_index, mut inner) = read_tree_meta(page, at + 12);
+            let heap_record_count = page.read_u64(inner);
+            let heap_page_count = page.read_u64(inner + 8);
+            let heap_dir_head = page.read_page_id(inner + 16);
+            let (te_tree, digest_at) = read_tree_meta(page, inner + 24);
+            inner = digest_at;
+            let mut te_digest = [0u8; TE_DIGEST_LEN];
+            te_digest.copy_from_slice(page.read_bytes(inner, TE_DIGEST_LEN));
+            shards.push(ShardMeta {
+                upper,
+                epoch,
+                sp_index,
+                heap_record_count,
+                heap_page_count,
+                heap_dir_head,
+                te_tree,
+                te_digest,
+            });
+            at += SHARD_META_LEN;
+        }
+        if !shards.windows(2).all(|w| w[0].upper < w[1].upper) {
+            return Err(StorageError::Corrupted(
+                "manifest shard bounds are not strictly ascending".into(),
+            ));
+        }
+        Ok(Manifest {
+            record_size: page.read_u32(12),
+            domain: page.read_u32(16),
+            shards,
+        })
+    }
+
+    /// Atomically replaces the manifest at `path`: the page is written to a
+    /// sibling temp file, synced, and renamed into place, so a crash leaves
+    /// either the old or the new manifest — never a torn one.
+    pub fn save<P: AsRef<Path>>(&self, path: P) -> StorageResult<()> {
+        let path = path.as_ref();
+        let page = self.encode()?;
+        let tmp = path.with_extension("tmp");
+        {
+            let mut file = std::fs::File::create(&tmp)?;
+            std::io::Write::write_all(&mut file, page.as_slice())?;
+            file.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        // Persist the rename itself. Directory fsync is a unix-ism; treat a
+        // failure to open the directory as best-effort rather than fatal.
+        if let Some(parent) = path.parent() {
+            if let Ok(dir) = std::fs::File::open(parent) {
+                dir.sync_all()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Loads and validates the manifest at `path`. A missing, short or long
+    /// file is reported as corruption (a torn manifest), not a generic I/O
+    /// error.
+    pub fn load<P: AsRef<Path>>(path: P) -> StorageResult<Manifest> {
+        let bytes = std::fs::read(path.as_ref()).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::NotFound {
+                StorageError::Corrupted(format!(
+                    "no deployment manifest at {}",
+                    path.as_ref().display()
+                ))
+            } else {
+                StorageError::Io(e)
+            }
+        })?;
+        let page = Page::from_bytes(&bytes).ok_or_else(|| {
+            StorageError::Corrupted(format!(
+                "torn manifest: {} bytes on disk, expected exactly one {PAGE_SIZE}-byte page",
+                bytes.len()
+            ))
+        })?;
+        Manifest::decode(&page)
+    }
+}
+
+/// Which party a pager file belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Party {
+    /// The service provider (heap file + B⁺-Tree).
+    Sp,
+    /// The trusted entity (XB-Tree).
+    Te,
+}
+
+impl Party {
+    /// The file-name prefix of this party's pager files.
+    pub fn prefix(self) -> &'static str {
+        match self {
+            Party::Sp => "sp",
+            Party::Te => "te",
+        }
+    }
+
+    fn code(self) -> u8 {
+        match self {
+            Party::Sp => 0,
+            Party::Te => 1,
+        }
+    }
+
+    fn from_code(code: u8) -> Option<Party> {
+        match code {
+            0 => Some(Party::Sp),
+            1 => Some(Party::Te),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Party {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.prefix())
+    }
+}
+
+/// The identity + epoch header stored in page 0 of every pager file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardHeader {
+    /// Shard index the file belongs to.
+    pub shard: u32,
+    /// Which party's structures the file holds.
+    pub party: Party,
+    /// Commit epoch of the last synced commit.
+    pub epoch: u64,
+}
+
+impl ShardHeader {
+    /// Serializes the header into a page.
+    pub fn encode(&self) -> Page {
+        let mut page = Page::new();
+        page.write_bytes(0, HEADER_MAGIC);
+        page.write_u32(8, MANIFEST_VERSION);
+        page.write_u8(12, self.party.code());
+        page.write_u32(16, self.shard);
+        page.write_u64(24, self.epoch);
+        page.write_u64(32, fnv1a(&page.as_slice()[..32]));
+        page
+    }
+
+    /// Deserializes and validates a header page.
+    pub fn decode(page: &Page) -> StorageResult<ShardHeader> {
+        if page.read_bytes(0, 8) != HEADER_MAGIC {
+            return Err(StorageError::Corrupted(
+                "pager file header magic mismatch: not a SAE shard pager file".into(),
+            ));
+        }
+        let version = page.read_u32(8);
+        if version != MANIFEST_VERSION {
+            return Err(StorageError::Corrupted(format!(
+                "unsupported pager header version {version}"
+            )));
+        }
+        if fnv1a(&page.as_slice()[..32]) != page.read_u64(32) {
+            return Err(StorageError::Corrupted(
+                "pager file header checksum mismatch".into(),
+            ));
+        }
+        let party = Party::from_code(page.read_u8(12)).ok_or_else(|| {
+            StorageError::Corrupted(format!("unknown party code {}", page.read_u8(12)))
+        })?;
+        Ok(ShardHeader {
+            shard: page.read_u32(16),
+            party,
+            epoch: page.read_u64(24),
+        })
+    }
+
+    /// Reads and validates the header of `store`, checking the file's
+    /// identity against the expected `(shard, party)` and its epoch against
+    /// the manifest's. A file ahead of the manifest is a stale manifest
+    /// (pages synced, manifest not); a file behind it, or one identifying as
+    /// a different shard or party (a swapped file), is corruption.
+    pub fn validate(
+        store: &dyn PageStore,
+        shard: u32,
+        party: Party,
+        manifest_epoch: u64,
+    ) -> StorageResult<ShardHeader> {
+        if store.page_count() == 0 {
+            return Err(StorageError::Corrupted(format!(
+                "{party}-{shard} pager file has no header page"
+            )));
+        }
+        let header = ShardHeader::decode(&store.read(SHARD_HEADER_PAGE)?)?;
+        if header.shard != shard || header.party != party {
+            return Err(StorageError::Corrupted(format!(
+                "pager file identity mismatch: expected {party} shard {shard}, file says \
+                 {} shard {} — shard files were swapped or renamed",
+                header.party, header.shard
+            )));
+        }
+        if header.epoch > manifest_epoch {
+            return Err(StorageError::StaleManifest {
+                shard,
+                manifest_epoch,
+                file_epoch: header.epoch,
+            });
+        }
+        if header.epoch < manifest_epoch {
+            return Err(StorageError::Corrupted(format!(
+                "{party}-{shard} pager file is at epoch {} but the manifest requires epoch \
+                 {manifest_epoch}: committed pages are missing",
+                header.epoch
+            )));
+        }
+        Ok(header)
+    }
+}
+
+const PAGE_DIR_HEADER_LEN: usize = 16;
+const PAGE_DIR_CAPACITY: usize = (PAGE_SIZE - PAGE_DIR_HEADER_LEN) / 8;
+
+/// A rewritable on-store chain of pages persisting an ordered [`PageId`]
+/// list (the heap file's page table). The chain is rewritten in place on
+/// every commit, growing by one chain page whenever the list outgrows the
+/// current capacity, so commits do not leak pages.
+#[derive(Debug)]
+pub struct PageDirectory {
+    chain: Vec<PageId>,
+}
+
+impl PageDirectory {
+    /// Allocates a fresh, empty directory on `store` and returns it with its
+    /// head page id (what the manifest records).
+    pub fn create(store: &dyn PageStore) -> StorageResult<(PageDirectory, PageId)> {
+        let head = store.allocate()?;
+        let dir = PageDirectory { chain: vec![head] };
+        dir.write_chain(store, &[])?;
+        Ok((dir, head))
+    }
+
+    /// The head page of the chain.
+    pub fn head(&self) -> PageId {
+        self.chain[0]
+    }
+
+    /// Rewrites the chain to hold exactly `entries`, allocating further
+    /// chain pages as needed.
+    pub fn write(&mut self, store: &dyn PageStore, entries: &[PageId]) -> StorageResult<()> {
+        let needed = entries.len().div_ceil(PAGE_DIR_CAPACITY).max(1);
+        while self.chain.len() < needed {
+            self.chain.push(store.allocate()?);
+        }
+        self.write_chain(store, entries)
+    }
+
+    fn write_chain(&self, store: &dyn PageStore, entries: &[PageId]) -> StorageResult<()> {
+        let needed = entries.len().div_ceil(PAGE_DIR_CAPACITY).max(1);
+        for i in 0..needed {
+            let lo = (i * PAGE_DIR_CAPACITY).min(entries.len());
+            let hi = ((i + 1) * PAGE_DIR_CAPACITY).min(entries.len());
+            let chunk = &entries[lo..hi];
+            let mut page = Page::new();
+            page.write_u32(0, PAGE_DIR_MAGIC);
+            page.write_u32(4, chunk.len() as u32);
+            let next = if i + 1 < needed {
+                self.chain[i + 1]
+            } else {
+                PageId::INVALID
+            };
+            page.write_page_id(8, next);
+            for (j, id) in chunk.iter().enumerate() {
+                page.write_page_id(PAGE_DIR_HEADER_LEN + j * 8, *id);
+            }
+            store.write(self.chain[i], &page)?;
+        }
+        Ok(())
+    }
+
+    /// Reads the chain starting at `head`, returning the stored entries and
+    /// the directory handle for later rewrites. `expected_len` is the entry
+    /// count the manifest recorded; a disagreement is corruption.
+    pub fn open(
+        store: &dyn PageStore,
+        head: PageId,
+        expected_len: u64,
+    ) -> StorageResult<(PageDirectory, Vec<PageId>)> {
+        let mut chain = Vec::new();
+        let mut entries = Vec::new();
+        let mut current = head;
+        while !current.is_invalid() {
+            if chain.contains(&current) {
+                return Err(StorageError::Corrupted(
+                    "page-directory chain contains a cycle".into(),
+                ));
+            }
+            let page = store.read(current)?;
+            if page.read_u32(0) != PAGE_DIR_MAGIC {
+                return Err(StorageError::Corrupted(format!(
+                    "page {current} is not a page-directory chain page"
+                )));
+            }
+            let count = page.read_u32(4) as usize;
+            if count > PAGE_DIR_CAPACITY {
+                return Err(StorageError::Corrupted(format!(
+                    "page-directory chunk claims {count} entries (capacity {PAGE_DIR_CAPACITY})"
+                )));
+            }
+            for j in 0..count {
+                entries.push(page.read_page_id(PAGE_DIR_HEADER_LEN + j * 8));
+            }
+            chain.push(current);
+            current = page.read_page_id(8);
+        }
+        if entries.len() as u64 != expected_len {
+            return Err(StorageError::Corrupted(format!(
+                "page directory holds {} entries but the manifest recorded {expected_len}",
+                entries.len()
+            )));
+        }
+        Ok((PageDirectory { chain }, entries))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pager::MemPager;
+
+    fn tree(root: u64, len: u64) -> TreeMeta {
+        TreeMeta {
+            root: PageId(root),
+            height: 2,
+            len,
+            node_count: len / 10 + 1,
+        }
+    }
+
+    fn sample_manifest(shards: usize) -> Manifest {
+        Manifest {
+            record_size: 500,
+            domain: 100_000,
+            shards: (0..shards)
+                .map(|i| ShardMeta {
+                    upper: (i as u32 + 1) * 25_000,
+                    epoch: 3 + i as u64,
+                    sp_index: tree(7 + i as u64, 1000),
+                    heap_record_count: 900,
+                    heap_page_count: 113,
+                    heap_dir_head: PageId(1),
+                    te_tree: tree(40 + i as u64, 1000),
+                    te_digest: [i as u8; TE_DIGEST_LEN],
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn manifest_round_trips_through_a_page() {
+        for shards in [1usize, 4, MAX_MANIFEST_SHARDS] {
+            let manifest = sample_manifest(shards);
+            let page = manifest.encode().unwrap();
+            assert_eq!(Manifest::decode(&page).unwrap(), manifest);
+        }
+    }
+
+    #[test]
+    fn manifest_rejects_bad_magic_version_and_checksum() {
+        let manifest = sample_manifest(2);
+        let mut page = manifest.encode().unwrap();
+        page.write_u8(0, b'X');
+        assert!(matches!(
+            Manifest::decode(&page),
+            Err(StorageError::Corrupted(_))
+        ));
+
+        let mut page = manifest.encode().unwrap();
+        page.write_u32(8, 99);
+        assert!(matches!(
+            Manifest::decode(&page),
+            Err(StorageError::Corrupted(_))
+        ));
+
+        // A flipped byte anywhere under the checksum is caught.
+        let mut page = manifest.encode().unwrap();
+        page.write_u8(100, page.read_u8(100) ^ 0xFF);
+        assert!(matches!(
+            Manifest::decode(&page),
+            Err(StorageError::Corrupted(_))
+        ));
+    }
+
+    #[test]
+    fn manifest_rejects_unordered_bounds_and_bad_shard_counts() {
+        let mut manifest = sample_manifest(2);
+        manifest.shards[1].upper = manifest.shards[0].upper;
+        let page = manifest.encode().unwrap();
+        assert!(matches!(
+            Manifest::decode(&page),
+            Err(StorageError::Corrupted(_))
+        ));
+
+        let empty = Manifest {
+            record_size: 1,
+            domain: 1,
+            shards: Vec::new(),
+        };
+        assert!(empty.encode().is_err());
+        assert!(sample_manifest(MAX_MANIFEST_SHARDS + 1).encode().is_err());
+    }
+
+    #[test]
+    fn manifest_save_load_round_trips_and_rejects_torn_files() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("MANIFEST");
+        let manifest = sample_manifest(3);
+        manifest.save(&path).unwrap();
+        assert_eq!(Manifest::load(&path).unwrap(), manifest);
+
+        // Saving again replaces atomically.
+        let manifest2 = sample_manifest(1);
+        manifest2.save(&path).unwrap();
+        assert_eq!(Manifest::load(&path).unwrap(), manifest2);
+
+        // Torn file (short) and garbage file are typed corruption.
+        std::fs::write(&path, vec![1u8; 100]).unwrap();
+        assert!(matches!(
+            Manifest::load(&path),
+            Err(StorageError::Corrupted(_))
+        ));
+        std::fs::write(&path, vec![0xABu8; PAGE_SIZE]).unwrap();
+        assert!(matches!(
+            Manifest::load(&path),
+            Err(StorageError::Corrupted(_))
+        ));
+        assert!(matches!(
+            Manifest::load(dir.path().join("absent")),
+            Err(StorageError::Corrupted(_))
+        ));
+    }
+
+    #[test]
+    fn shard_header_round_trips_and_validates_identity_and_epoch() {
+        let store = MemPager::new();
+        let id = store.allocate().unwrap();
+        assert_eq!(id, SHARD_HEADER_PAGE);
+        let header = ShardHeader {
+            shard: 2,
+            party: Party::Te,
+            epoch: 9,
+        };
+        store.write(id, &header.encode()).unwrap();
+
+        assert_eq!(
+            ShardHeader::validate(&store, 2, Party::Te, 9).unwrap(),
+            header
+        );
+        // Identity mismatches (swapped files) are corruption.
+        assert!(matches!(
+            ShardHeader::validate(&store, 1, Party::Te, 9),
+            Err(StorageError::Corrupted(_))
+        ));
+        assert!(matches!(
+            ShardHeader::validate(&store, 2, Party::Sp, 9),
+            Err(StorageError::Corrupted(_))
+        ));
+        // File ahead of the manifest: stale manifest, typed.
+        assert!(matches!(
+            ShardHeader::validate(&store, 2, Party::Te, 8),
+            Err(StorageError::StaleManifest {
+                shard: 2,
+                manifest_epoch: 8,
+                file_epoch: 9,
+            })
+        ));
+        // File behind the manifest: missing committed pages.
+        assert!(matches!(
+            ShardHeader::validate(&store, 2, Party::Te, 10),
+            Err(StorageError::Corrupted(_))
+        ));
+        // A garbage header page is corruption, not a panic.
+        store.write(id, &Page::new()).unwrap();
+        assert!(matches!(
+            ShardHeader::validate(&store, 2, Party::Te, 9),
+            Err(StorageError::Corrupted(_))
+        ));
+    }
+
+    #[test]
+    fn page_directory_round_trips_grows_and_rewrites_in_place() {
+        let store = MemPager::new();
+        let (mut dir, head) = PageDirectory::create(&store).unwrap();
+        let (reopened, entries) = PageDirectory::open(&store, head, 0).unwrap();
+        assert!(entries.is_empty());
+        assert_eq!(reopened.head(), head);
+
+        // A list spanning multiple chain pages.
+        let many: Vec<PageId> = (100..100 + 2 * PAGE_DIR_CAPACITY as u64 + 7)
+            .map(PageId)
+            .collect();
+        dir.write(&store, &many).unwrap();
+        let pages_after_big = store.page_count();
+        let (_, loaded) = PageDirectory::open(&store, head, many.len() as u64).unwrap();
+        assert_eq!(loaded, many);
+
+        // Shrinking and rewriting reuses the chain: no page leak.
+        let few: Vec<PageId> = (5..25).map(PageId).collect();
+        dir.write(&store, &few).unwrap();
+        assert_eq!(store.page_count(), pages_after_big);
+        let (_, loaded) = PageDirectory::open(&store, head, few.len() as u64).unwrap();
+        assert_eq!(loaded, few);
+
+        // A count disagreement with the manifest is corruption.
+        assert!(matches!(
+            PageDirectory::open(&store, head, 99),
+            Err(StorageError::Corrupted(_))
+        ));
+    }
+}

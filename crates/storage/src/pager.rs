@@ -86,26 +86,30 @@ impl PageStore for MemPager {
     }
 
     fn read(&self, id: PageId) -> StorageResult<Page> {
-        self.stats.record_node_read();
-        self.stats.record_physical_read();
+        // Only successful accesses are charged, so the cost-model numbers
+        // stay identical across backends for identical access sequences
+        // (FilePager applies the same rule).
         let pages = self.pages.lock();
-        pages
+        let page = pages
             .get(id.0 as usize)
             .cloned()
             .ok_or(StorageError::PageOutOfBounds {
                 page_id: id.0,
                 page_count: pages.len() as u64,
-            })
+            })?;
+        self.stats.record_node_read();
+        self.stats.record_physical_read();
+        Ok(page)
     }
 
     fn write(&self, id: PageId, page: &Page) -> StorageResult<()> {
-        self.stats.record_node_write();
-        self.stats.record_physical_write();
         let mut pages = self.pages.lock();
         let len = pages.len() as u64;
         match pages.get_mut(id.0 as usize) {
             Some(slot) => {
                 *slot = page.clone();
+                self.stats.record_node_write();
+                self.stats.record_physical_write();
                 Ok(())
             }
             None => Err(StorageError::PageOutOfBounds {
@@ -172,10 +176,16 @@ impl FilePager {
 
 impl PageStore for FilePager {
     fn allocate(&self) -> StorageResult<PageId> {
-        let id = self.page_count.fetch_add(1, Ordering::SeqCst);
+        // The new count is published only after the zero-extension hit the
+        // file, and only while still holding the file lock. Publishing first
+        // (the old `fetch_add` outside the lock) let a concurrent `read` of
+        // the fresh id pass the bounds check and fail on the not-yet-extended
+        // file, and a failed `write_all` leaked the count forever.
         let mut file = self.file.lock();
+        let id = self.page_count.load(Ordering::SeqCst);
         file.seek(SeekFrom::Start(id * PAGE_SIZE as u64))?;
         file.write_all(&[0u8; PAGE_SIZE])?;
+        self.page_count.store(id + 1, Ordering::SeqCst);
         Ok(PageId(id))
     }
 
@@ -187,15 +197,28 @@ impl PageStore for FilePager {
                 page_count: count,
             });
         }
-        self.stats.record_node_read();
-        self.stats.record_physical_read();
         let mut buf = vec![0u8; PAGE_SIZE];
         {
             let mut file = self.file.lock();
             file.seek(SeekFrom::Start(id.0 * PAGE_SIZE as u64))?;
-            file.read_exact(&mut buf)?;
+            // An in-bounds page that the file cannot deliver means the file
+            // was truncated behind the pager's back: report corruption, not a
+            // generic I/O failure.
+            file.read_exact(&mut buf).map_err(|e| {
+                if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                    StorageError::Corrupted(format!(
+                        "pager file truncated: page {} is within the {} allocated pages but \
+                         could not be read in full",
+                        id.0, count
+                    ))
+                } else {
+                    StorageError::Io(e)
+                }
+            })?;
         }
-        Page::from_bytes(&buf).ok_or_else(|| StorageError::Corrupted("short page read".into()))
+        self.stats.record_node_read();
+        self.stats.record_physical_read();
+        Ok(Page::from_bytes(&buf).expect("buffer is exactly one page"))
     }
 
     fn write(&self, id: PageId, page: &Page) -> StorageResult<()> {
@@ -206,11 +229,11 @@ impl PageStore for FilePager {
                 page_count: count,
             });
         }
-        self.stats.record_node_write();
-        self.stats.record_physical_write();
         let mut file = self.file.lock();
         file.seek(SeekFrom::Start(id.0 * PAGE_SIZE as u64))?;
         file.write_all(page.as_slice())?;
+        self.stats.record_node_write();
+        self.stats.record_physical_write();
         Ok(())
     }
 
@@ -327,5 +350,102 @@ mod tests {
         let store: SharedPageStore = MemPager::new_shared();
         let id = store.allocate().unwrap();
         assert_eq!(id, PageId(0));
+    }
+
+    /// Regression for the allocate race: the page count used to be published
+    /// *before* the zeroed extension was written, so a concurrent read of a
+    /// fresh id passed the bounds check and failed with a raw
+    /// `Io(UnexpectedEof)`. Any id at or above the observed count may race
+    /// the allocator and report `PageOutOfBounds`; an id *below* an observed
+    /// count must always read successfully.
+    #[test]
+    fn file_pager_concurrent_allocate_and_read_hammer() {
+        let dir = tempfile::tempdir().unwrap();
+        let store = Arc::new(FilePager::create(dir.path().join("hammer.db")).unwrap());
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                let st = Arc::clone(&store);
+                s.spawn(move || {
+                    for _ in 0..200 {
+                        st.allocate().unwrap();
+                    }
+                });
+            }
+            for t in 0..2u64 {
+                let st = Arc::clone(&store);
+                s.spawn(move || {
+                    let mut probe = t;
+                    for _ in 0..2_000 {
+                        let count = st.page_count();
+                        if count == 0 {
+                            continue;
+                        }
+                        probe = probe
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407)
+                            % count;
+                        match st.read(PageId(probe)) {
+                            Ok(page) => assert!(page.as_slice().iter().all(|&b| b == 0)),
+                            Err(e) => panic!(
+                                "read of page {probe} below observed count {count} failed: {e}"
+                            ),
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(store.page_count(), 400);
+    }
+
+    /// Identical access sequences — including out-of-bounds ones — must
+    /// charge identical stats on both backends, or per-backend cost-model
+    /// numbers diverge.
+    #[test]
+    fn stats_accounting_is_identical_across_backends() {
+        let dir = tempfile::tempdir().unwrap();
+        let mem = MemPager::new();
+        let file = FilePager::create(dir.path().join("parity.db")).unwrap();
+        let drive = |store: &dyn PageStore| {
+            let a = store.allocate().unwrap();
+            let b = store.allocate().unwrap();
+            let mut page = Page::new();
+            page.write_u64(0, 7);
+            store.write(a, &page).unwrap();
+            store.read(a).unwrap();
+            store.read(b).unwrap();
+            // Failed accesses must not be charged on either backend.
+            assert!(store.read(PageId(77)).is_err());
+            assert!(store.write(PageId(77), &page).is_err());
+            store.stats().snapshot()
+        };
+        let mem_snap = drive(&mem);
+        let file_snap = drive(&file);
+        assert_eq!(mem_snap, file_snap);
+        assert_eq!(mem_snap.node_reads, 2);
+        assert_eq!(mem_snap.node_writes, 1);
+    }
+
+    /// A truncated pager file is *corruption*, not a generic I/O error: the
+    /// in-bounds page exists according to the pager's accounting but the file
+    /// cannot deliver it.
+    #[test]
+    fn truncated_file_reports_corruption_not_io() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("trunc.db");
+        let store = FilePager::create(&path).unwrap();
+        let a = store.allocate().unwrap();
+        let b = store.allocate().unwrap();
+        store.sync().unwrap();
+        // Truncate the file behind the pager's back: page `b` is gone.
+        let file = OpenOptions::new().write(true).open(&path).unwrap();
+        file.set_len(PAGE_SIZE as u64).unwrap();
+        drop(file);
+        assert!(store.read(a).is_ok());
+        match store.read(b) {
+            Err(StorageError::Corrupted(msg)) => assert!(msg.contains("truncated"), "{msg}"),
+            other => panic!("expected Corrupted, got {other:?}"),
+        }
+        // The failed read was not charged.
+        assert_eq!(store.stats().snapshot().node_reads, 1);
     }
 }

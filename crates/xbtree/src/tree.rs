@@ -2,7 +2,7 @@
 
 use crate::node::{XbEntry, XbNode, XbNodeKind, XB_INTERNAL_CAPACITY, XB_LEAF_CAPACITY};
 use sae_crypto::Digest;
-use sae_storage::{PageId, SharedPageStore, StorageResult, PAGE_SIZE};
+use sae_storage::{PageId, SharedPageStore, StorageError, StorageResult, TreeMeta, PAGE_SIZE};
 use sae_workload::{RangeQuery, RecordKey, TeTuple};
 
 /// The verification token: the XOR of the digests of every record that
@@ -116,9 +116,51 @@ impl XbTree {
         })
     }
 
+    /// Reopens a tree from its persisted root and shape (as recorded in a
+    /// deployment manifest) instead of rebuilding it from the tuple set.
+    /// Only cheap sanity checks run here; the trusted entity additionally
+    /// cross-checks [`XbTree::total_xor`] against its published digest.
+    pub fn open(store: SharedPageStore, meta: TreeMeta) -> StorageResult<Self> {
+        if meta.root.is_invalid() || meta.root.0 >= store.page_count() {
+            return Err(StorageError::Corrupted(format!(
+                "XB-Tree root {} outside the store's {} pages",
+                meta.root,
+                store.page_count()
+            )));
+        }
+        if meta.height == 0 || meta.node_count == 0 {
+            return Err(StorageError::Corrupted(
+                "XB-Tree meta claims zero height or zero nodes".into(),
+            ));
+        }
+        Ok(XbTree {
+            store,
+            root: meta.root,
+            height: meta.height,
+            len: meta.len,
+            node_count: meta.node_count,
+        })
+    }
+
     /// The page store this tree lives on.
     pub fn store(&self) -> &SharedPageStore {
         &self.store
+    }
+
+    /// The root page (persisted by durable deployments so the tree can be
+    /// reopened with [`XbTree::open`]).
+    pub fn root(&self) -> PageId {
+        self.root
+    }
+
+    /// The tree's persistable root + shape metadata.
+    pub fn meta(&self) -> TreeMeta {
+        TreeMeta {
+            root: self.root,
+            height: self.height,
+            len: self.len,
+            node_count: self.node_count,
+        }
     }
 
     /// Number of tuples stored.
@@ -590,6 +632,48 @@ mod tests {
                 bulk.generate_vt(&q).unwrap()
             );
         }
+    }
+
+    #[test]
+    fn open_from_meta_serves_identical_tokens_without_rebuilding() {
+        let store = MemPager::new_shared();
+        let ts = tuples(3_000, |i| (i * 11 % 9_000) as u32);
+        let mut tree = XbTree::bulk_load(store.clone(), &ts).unwrap();
+        tree.insert(Record::with_size(100_000, 4_444, 64).te_tuple(ALG))
+            .unwrap();
+        let meta = tree.meta();
+        assert_eq!(meta.root, tree.root());
+        let total = tree.total_xor().unwrap();
+        drop(tree);
+
+        let writes_before = store.stats().snapshot().node_writes;
+        let reopened = XbTree::open(store.clone(), meta).unwrap();
+        assert_eq!(store.stats().snapshot().node_writes, writes_before);
+        assert_eq!(reopened.meta(), meta);
+        assert_eq!(reopened.total_xor().unwrap(), total);
+        reopened.check_invariants().unwrap();
+        let q = RangeQuery::new(1_000, 5_000);
+        let mut oracle = oracle_vt(&ts, &q);
+        oracle ^= Record::with_size(100_000, 4_444, 64).te_tuple(ALG).digest;
+        assert_eq!(reopened.generate_vt(&q).unwrap(), oracle);
+
+        // Nonsense metadata is rejected with a typed error.
+        assert!(XbTree::open(
+            store.clone(),
+            sae_storage::TreeMeta {
+                root: PageId::INVALID,
+                ..meta
+            }
+        )
+        .is_err());
+        assert!(XbTree::open(
+            store,
+            sae_storage::TreeMeta {
+                node_count: 0,
+                ..meta
+            }
+        )
+        .is_err());
     }
 
     #[test]

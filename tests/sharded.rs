@@ -19,12 +19,42 @@ fn dataset(n: usize, seed: u64) -> Dataset {
     .generate()
 }
 
+/// Whether the `SAE_SHARDED_BACKEND=file` test-matrix leg is active: every
+/// engine in this file then runs on `FilePager`-backed shards in a temp
+/// deployment directory instead of `MemPager`s, exercising the exact same
+/// scatter-gather and tamper assertions against the durable serving path.
+fn file_backed() -> bool {
+    std::env::var("SAE_SHARDED_BACKEND").as_deref() == Ok("file")
+}
+
+/// Builds an engine on the configured backend. The returned `TempDir` guard
+/// (if any) must outlive the engine.
+fn build_engine(
+    ds: &Dataset,
+    shards: usize,
+    cache_pages: Option<usize>,
+) -> (ShardedSaeEngine, Option<tempfile::TempDir>) {
+    if file_backed() {
+        let dir = tempfile::tempdir().expect("create deployment dir");
+        let engine = ShardedSaeEngine::create_dir(dir.path(), ds, ALG, shards, cache_pages)
+            .expect("create durable engine");
+        (engine, Some(dir))
+    } else {
+        let engine = match cache_pages {
+            Some(pages) => ShardedSaeEngine::build_cached(ds, ALG, shards, pages),
+            None => ShardedSaeEngine::build_in_memory(ds, ALG, shards),
+        }
+        .expect("build in-memory engine");
+        (engine, None)
+    }
+}
+
 #[test]
 fn sharded_scatter_gather_matches_the_oracle_on_every_layout() {
     let ds = dataset(6_000, 1);
     let oracle = SaeSystem::build_in_memory(&ds, ALG).unwrap();
     for shards in [1usize, 2, 4, 8] {
-        let engine = ShardedSaeEngine::build_in_memory(&ds, ALG, shards).unwrap();
+        let (engine, _dir) = build_engine(&ds, shards, None);
         for q in QueryMix::spanning(DOMAIN, 0.01, shards.max(2))
             .workload(15, 7)
             .iter()
@@ -49,7 +79,7 @@ fn dropped_shard_slices_fail_verification_on_every_layout() {
     let ds = dataset(4_000, 2);
     let q = RangeQuery::new(0, DOMAIN);
     for shards in [1usize, 2, 3, 4, 8] {
-        let engine = ShardedSaeEngine::build_in_memory(&ds, ALG, shards).unwrap();
+        let (engine, _dir) = build_engine(&ds, shards, None);
         for victim in 0..shards {
             let outcome = engine
                 .query_with_tamper(&q, TamperStrategy::DropShardSlice { shard: victim }, 3)
@@ -70,7 +100,7 @@ fn dropped_shard_slices_fail_verification_on_every_layout() {
 fn boundary_swaps_fail_verification() {
     let ds = dataset(4_000, 3);
     for shards in [2usize, 3, 4, 8] {
-        let engine = ShardedSaeEngine::build_in_memory(&ds, ALG, shards).unwrap();
+        let (engine, _dir) = build_engine(&ds, shards, None);
         let outcome = engine
             .query_with_tamper(
                 &RangeQuery::new(0, DOMAIN),
@@ -92,7 +122,7 @@ fn shard_local_duplicate_injection_replays_are_rejected() {
     // even-multiplicity duplicate cancels out of the shard's bare XOR fold,
     // so only the structural per-slice checks can catch it.
     let ds = dataset(4_000, 4);
-    let engine = ShardedSaeEngine::build_in_memory(&ds, ALG, 4).unwrap();
+    let (engine, _dir) = build_engine(&ds, 4, None);
     let q = RangeQuery::new(1_000_000, 9_000_000);
     for strategy in [
         TamperStrategy::DuplicatePair { count: 2 },
@@ -116,7 +146,7 @@ fn shard_local_duplicate_injection_replays_are_rejected() {
 #[test]
 fn sharded_desync_rolls_back_and_stays_detectable() {
     let ds = dataset(2_000, 5);
-    let engine = ShardedSaeEngine::build_in_memory(&ds, ALG, 4).unwrap();
+    let (engine, _dir) = build_engine(&ds, 4, None);
     let victim = ds.records[42].clone();
     let shard = engine.layout().shard_of(victim.key);
 
@@ -152,7 +182,7 @@ fn sharded_desync_rolls_back_and_stays_detectable() {
 fn concurrent_spanning_batches_and_routed_updates_agree_with_the_oracle() {
     let ds = dataset(5_000, 6);
     let oracle = SaeSystem::build_in_memory(&ds, ALG).unwrap();
-    let engine = ShardedSaeEngine::build_cached(&ds, ALG, 4, 256).unwrap();
+    let (engine, _dir) = build_engine(&ds, 4, Some(256));
     let queries = QueryMix::spanning(DOMAIN, 0.005, 4)
         .workload(40, 13)
         .queries;
