@@ -17,15 +17,16 @@
 
 use sae_bench::{
     print_ablation_memory, print_ablation_scan, print_ablation_updates, print_durability,
-    print_fig5, print_fig6, print_fig7, print_fig8, print_sharded_throughput, print_throughput,
-    report_to_json, rows_to_json, run_ablation_memory, run_ablation_scan, run_ablation_updates,
-    run_comparison, run_durability, run_sharded_throughput, run_throughput, DurabilityConfig,
-    ExperimentConfig, ShardedThroughputConfig, ThroughputConfig,
+    print_fig5, print_fig6, print_fig7, print_fig8, print_group_commit, print_sharded_throughput,
+    print_throughput, report_to_json, rows_to_json, run_ablation_memory, run_ablation_scan,
+    run_ablation_updates, run_comparison, run_durability, run_group_commit, run_sharded_throughput,
+    run_throughput, DurabilityConfig, ExperimentConfig, GroupCommitConfig, ShardedThroughputConfig,
+    ThroughputConfig,
 };
 
 const USAGE: &str = "usage: experiments \
      <fig5|fig6|fig7|fig8|all|ablation-scan|ablation-updates|ablation-memory|throughput\
-|sharded-throughput|durability> \
+|sharded-throughput|durability|group-commit> \
      [--full-scale] [--smoke] [--zipf] [--json <path>]";
 
 fn usage(error: &str) -> ! {
@@ -63,7 +64,7 @@ impl Cli {
                 &["--full-scale", "--smoke"]
             }
             "throughput" => &["--smoke", "--zipf", "--json"],
-            "sharded-throughput" | "durability" => &["--smoke", "--json"],
+            "sharded-throughput" | "durability" | "group-commit" => &["--smoke", "--json"],
             other => usage(&format!("unknown command `{other}`")),
         };
         let mut cli = Cli {
@@ -213,6 +214,35 @@ fn main() {
             let rows = run_durability(&du_config, &dir);
             let _ = std::fs::remove_dir_all(&dir);
             print_durability(&rows);
+            if let Some(path) = &cli.json_path {
+                write_json(path, report_to_json(&rows));
+            }
+        }
+        "group-commit" => {
+            let gc_config = if cli.smoke {
+                GroupCommitConfig::smoke()
+            } else {
+                GroupCommitConfig::default()
+            };
+            println!(
+                "group-commit experiment — n={}, shards {:?}, writers {:?}, {} durable write \
+                 round trips per writer, {} µs simulated fsync latency, {}-page buffer pool per \
+                 shard; policies: immediate vs group vs flush-on-close, each reopened and \
+                 re-verified after the run",
+                gc_config.cardinality,
+                gc_config.shard_counts,
+                gc_config.writer_threads,
+                gc_config.ops_per_writer,
+                gc_config.sync_delay_micros,
+                gc_config.cache_pages
+            );
+            // Unique per process so concurrent or previously interrupted
+            // runs cannot collide on a shared path.
+            let dir = std::env::temp_dir().join(format!("sae-group-commit-{}", std::process::id()));
+            std::fs::create_dir_all(&dir).expect("create temp dir");
+            let rows = run_group_commit(&gc_config, &dir);
+            let _ = std::fs::remove_dir_all(&dir);
+            print_group_commit(&rows);
             if let Some(path) = &cli.json_path {
                 write_json(path, report_to_json(&rows));
             }

@@ -1,8 +1,8 @@
 //! Pretty-printers that lay the measured rows out like the paper's figures.
 
 use crate::experiments::{
-    AblationRow, ComparisonRow, DurabilityRow, MemoryAblationRow, ShardedThroughputRow,
-    ThroughputRow, UpdateRow,
+    AblationRow, ComparisonRow, DurabilityRow, GroupCommitRow, MemoryAblationRow,
+    ShardedThroughputRow, ThroughputRow, UpdateRow,
 };
 use serde::Serialize;
 
@@ -229,6 +229,42 @@ pub fn print_durability(rows: &[DurabilityRow]) {
             r.post_reopen_qps,
             r.p50_ms,
             r.disk_bytes as f64 / (1024.0 * 1024.0),
+            if r.all_verified { "all" } else { "NO" }
+        );
+    }
+}
+
+/// Experiment E11: durable write throughput and fsyncs-per-op under each
+/// durability policy, with the post-reopen crash-consistency verdict.
+pub fn print_group_commit(rows: &[GroupCommitRow]) {
+    header("Experiment E11 — group commit: durable write qps + fsyncs/op vs policy");
+    println!(
+        "  {:>15} {:>7} {:>8} {:>6} {:>11} {:>10} {:>10} {:>8} {:>10} {:>9} {:>9}",
+        "policy",
+        "shards",
+        "writers",
+        "ops",
+        "writes/s",
+        "p50 [ms]",
+        "p99 [ms]",
+        "fsyncs",
+        "fsyncs/op",
+        "speedup",
+        "verified"
+    );
+    for r in rows {
+        println!(
+            "  {:>15} {:>7} {:>8} {:>6} {:>11.0} {:>10.2} {:>10.2} {:>8} {:>10.2} {:>8.2}x {:>9}",
+            r.policy,
+            r.shards,
+            r.threads,
+            r.ops,
+            r.writes_per_sec,
+            r.p50_ms,
+            r.p99_ms,
+            r.fsyncs,
+            r.fsyncs_per_op,
+            r.speedup_vs_immediate,
             if r.all_verified { "all" } else { "NO" }
         );
     }

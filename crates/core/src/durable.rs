@@ -18,8 +18,10 @@
 //! and its commit epoch. Every committed update follows the same order —
 //! **pages before manifest**:
 //!
-//! 1. the heap page table is rewritten into its [`PageDirectory`] chain,
-//! 2. write-back caches are flushed so every data page is in the file,
+//! 1. the heap page table is rewritten into its [`PageDirectory`] chain
+//!    (incrementally — only the chain pages whose content changed),
+//! 2. write-back caches are flushed (dirty pages in ascending page-id
+//!    order) so every data page is in the file,
 //! 3. both headers are rewritten with the bumped epoch and both files are
 //!    synced,
 //! 4. the manifest is atomically replaced (temp file + rename) with the new
@@ -31,6 +33,44 @@
 //! that no longer describe the page contents (tree pages are rewritten in
 //! place, so the stale roots may already be overwritten).
 //!
+//! ## Durability policies and group commit
+//!
+//! *When* an accepted update runs the commit above is the
+//! [`DurabilityPolicy`] knob:
+//!
+//! * [`DurabilityPolicy::Immediate`] — every accepted update performs its
+//!   own full commit before it is acknowledged. Two `fsync`s plus a
+//!   manifest replacement *per update*, all while the writer still holds
+//!   its shard's write locks: maximally simple, fsync-bound throughput.
+//! * [`DurabilityPolicy::Group`] — classic WAL-style group commit. A writer
+//!   mutates its shard in memory, enqueues a commit ticket (while still
+//!   holding the shard's write locks), releases the locks and blocks until
+//!   a commit *covering its ticket* is durable. The first waiting writer
+//!   elects itself leader, optionally gathers a batch (`max_batch` /
+//!   `max_wait`), takes the shard's read locks and performs **one** commit
+//!   on behalf of the whole batch: one header write + one fsync per file,
+//!   the epoch advancing once per batch. Writers queued while a leader is
+//!   fsyncing are picked up by the next leader, so batches form naturally
+//!   under load. An acknowledged write is durable exactly as under
+//!   `Immediate`; a *failed* batch commit is reported to every covered
+//!   writer, whose in-memory mutations then stand ahead of disk until the
+//!   next successful commit (they cannot be unwound — later writers already
+//!   built on them).
+//! * [`DurabilityPolicy::FlushOnClose`] — updates are acknowledged from
+//!   memory; only explicit `flush()`/`close()` calls commit. For bulk loads
+//!   where the caller brackets durability itself.
+//!
+//! Under the deferred policies, cross-shard commits coalesce at the
+//! manifest too: instead of one temp+rename+fsync per `commit_shard` (what
+//! `Immediate` does, serializing every shard on the one manifest file),
+//! each commit publishes its [`ShardMeta`] into the in-memory manifest and
+//! one elected saver persists a snapshot covering every update published so
+//! far (the manifest page is cumulative, so a later save subsumes an
+//! earlier one). A shard's commit state lock is held across its publication
+//! *and* the covering save, so two commits of the same shard can never
+//! invert at the manifest — the files-permanently-ahead-of-manifest state
+//! is unreachable.
+//!
 //! There is no write-ahead log: the protocol assumes data pages reach the
 //! file only at commit time. With a write-back [`CachedPager`] wired
 //! (`cache_pages: Some(..)`) that holds — dirty pages stay in the pool until
@@ -38,27 +78,110 @@
 //! [`FilePager`] writes through immediately, so a crash *mid-update* can
 //! leave in-place page edits the stale manifest roots do not describe;
 //! recovery then reports corruption (the TE's published-digest check, the
-//! heap geometry checks) rather than silently serving a torn state. A WAL /
-//! group commit is the ROADMAP follow-up.
+//! heap geometry checks) rather than silently serving a torn state. The
+//! [`CommitCrashPoint`] hooks let tests kill the pipeline between stages
+//! and assert exactly these outcomes.
 //!
 //! The crate-private `Durability` type is deliberately engine-agnostic: it
 //! owns the pager handles, caches, commit state and manifest, while the
-//! deployment types own the trees. Its `Drop` performs the best-effort flush
-//! that `Drop` must swallow; the deployments' explicit `close()` methods run
-//! the same flush through the commit path and surface its errors.
+//! deployment types own the trees. Under `Immediate`, its `Drop` performs
+//! the best-effort flush that `Drop` must swallow; under the other policies
+//! `Drop` leaves the files exactly at their last commit (flushing
+//! unacknowledged cache contents would overwrite committed pages with state
+//! the manifest does not describe). The deployments' explicit `close()`
+//! methods run a real commit and surface its errors.
 
 use crate::sae::{SaeServiceProvider, TrustedEntity};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, MutexGuard};
 use sae_crypto::Digest;
 use sae_storage::{
     CachedPager, FilePager, Manifest, PageDirectory, PageId, PageStore, Party, ShardHeader,
     ShardMeta, SharedPageStore, StorageError, StorageResult, TreeMeta, SHARD_HEADER_PAGE,
 };
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+use std::time::{Duration, Instant};
 
 /// File name of the deployment manifest inside a deployment directory.
 pub const MANIFEST_FILE: &str = "MANIFEST";
+
+/// When a durable deployment's accepted writes reach stable storage. See
+/// the [module docs](self) for the full protocol behind each mode.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DurabilityPolicy {
+    /// Every accepted update performs its own full commit (heap directory,
+    /// cache flush, two header writes + fsyncs, manifest replacement)
+    /// before it is acknowledged.
+    #[default]
+    Immediate,
+    /// Group commit: concurrent writers enqueue commit tickets and block
+    /// while one elected leader performs a single commit covering the whole
+    /// batch. Same guarantee as `Immediate` for acknowledged writes, at a
+    /// fraction of the fsyncs per write under load.
+    ///
+    /// The *clean-crash* window (a kill between commits recovers the last
+    /// commit) additionally requires a write-back cache (`cache_pages:
+    /// Some(..)`) large enough for the un-committed working set: without
+    /// one, mutations write through to the files immediately, and a kill
+    /// mid-window is *detected* as corruption on reopen rather than
+    /// recovered (see the module docs).
+    Group {
+        /// Stop gathering and commit once this many writers are pending.
+        max_batch: usize,
+        /// Longest a leader waits for the batch to fill before committing
+        /// anyway. `Duration::ZERO` disables gathering: the leader commits
+        /// at once and batches still form out of writers that queue while
+        /// it fsyncs.
+        max_wait: Duration,
+    },
+    /// Updates are acknowledged from memory only; nothing commits until an
+    /// explicit `flush()` or `close()`. A kill before that recovers the
+    /// last committed state — provided a write-back cache (`cache_pages:
+    /// Some(..)`) holds the un-committed working set; without one, the
+    /// written-through pages make a kill between commits a *detected*
+    /// corruption rather than a clean recovery. For bulk loads.
+    FlushOnClose,
+}
+
+impl DurabilityPolicy {
+    /// A group-commit configuration with sensible defaults: batches cap at
+    /// 32 writers and a leader waits at most 500 µs for the batch to fill.
+    pub fn group() -> DurabilityPolicy {
+        DurabilityPolicy::Group {
+            max_batch: 32,
+            max_wait: Duration::from_micros(500),
+        }
+    }
+
+    /// Short lower-case label, as reported in experiment rows.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DurabilityPolicy::Immediate => "immediate",
+            DurabilityPolicy::Group { .. } => "group",
+            DurabilityPolicy::FlushOnClose => "flush-on-close",
+        }
+    }
+}
+
+/// Fault-injection points inside the commit pipeline, for the
+/// crash-consistency tests: an armed point makes the next `commit_shard`
+/// fail *after* completing the named stage, simulating a kill between
+/// stages. Combined with `std::mem::forget` of the engine (so no `Drop`
+/// cleanup runs), reopening the directory then exercises exactly the states
+/// a real crash leaves behind.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CommitCrashPoint {
+    /// Fail before any commit work: no page, header or manifest write
+    /// happens. With a write-back cache the files stay at the last commit.
+    BeforeCommit,
+    /// Fail after the heap-directory write and cache flush, before the
+    /// headers are synced: data pages are rewritten in place under the old
+    /// epoch and manifest.
+    AfterPageFlush,
+    /// Fail after both pager files are synced at the new epoch, before the
+    /// manifest is saved — the classic pages-ahead-of-manifest crash.
+    AfterHeaderSync,
+}
 
 /// One party's file-backed store: the raw pager (what gets synced and holds
 /// the header + page-directory pages) and the store the trees run on (the
@@ -70,13 +193,19 @@ pub(crate) struct PartyFiles {
 }
 
 impl PartyFiles {
-    fn wrap(pager: Arc<FilePager>, cache_pages: Option<usize>) -> PartyFiles {
+    fn wrap(pager: Arc<FilePager>, cache_pages: Option<usize>, policy: DurabilityPolicy) -> Self {
         let (cache, store): (_, SharedPageStore) = match cache_pages {
             Some(pages) => {
                 let cache = Arc::new(CachedPager::new(
                     Arc::clone(&pager) as SharedPageStore,
                     pages,
                 ));
+                // Under the deferred policies the cache may hold mutations
+                // that were never acknowledged; flushing them on drop would
+                // tear the committed on-disk state (see the module docs).
+                if policy != DurabilityPolicy::Immediate {
+                    cache.set_flush_on_drop(false);
+                }
                 (Some(Arc::clone(&cache)), cache)
             }
             None => (None, Arc::clone(&pager) as SharedPageStore),
@@ -94,6 +223,13 @@ impl PartyFiles {
         }
         Ok(())
     }
+
+    /// Durability barrier through the party's store, so the fsync is
+    /// counted where the engines' per-party accounting reads it (the cache
+    /// mirrors its backing pager's barrier).
+    fn sync(&self) -> StorageResult<()> {
+        self.store.sync()
+    }
 }
 
 /// Per-shard commit state, serialized under one mutex so two commits of the
@@ -103,12 +239,64 @@ struct ShardCommitState {
     heap_dir: PageDirectory,
 }
 
+/// Group-commit bookkeeping of one shard. Tickets are issued by writers
+/// while they still hold the shard's write locks, so any commit performed
+/// under the shard's (read or write) locks covers every ticket issued
+/// before it started.
+#[derive(Default)]
+struct GroupQueue {
+    /// Tickets issued so far.
+    queued: u64,
+    /// Highest ticket covered by a durable commit.
+    durable: u64,
+    /// Whether a leader is currently gathering or committing.
+    leader: bool,
+    /// Highest ticket covered by a *failed* commit (unless a later success
+    /// caught up past it — `durable` is always checked first).
+    failed_through: u64,
+    /// Why that batch failed.
+    fail_msg: String,
+}
+
+/// A commit caught between its two phases: the snapshot is flushed to the
+/// files and the manifest meta captured ([`Durability::prepare_commit`],
+/// under the shard's tree locks), but the headers, fsyncs and manifest save
+/// ([`Durability::finish_commit`]) are still to run — without tree locks,
+/// so writers queue the next batch meanwhile. Holding the commit-state
+/// guard keeps any other commit of the shard from starting in between.
+pub(crate) struct PreparedCommit<'a> {
+    shard_idx: usize,
+    state: MutexGuard<'a, ShardCommitState>,
+    cover: u64,
+    meta: ShardMeta,
+}
+
 /// One shard's durable storage: both parties' files plus the commit state.
 pub(crate) struct ShardFiles {
     upper: u32,
     sp: PartyFiles,
     te: PartyFiles,
     state: Mutex<ShardCommitState>,
+    group: StdMutex<GroupQueue>,
+    group_cv: Condvar,
+}
+
+/// The in-memory manifest plus the coalescing-save bookkeeping. Commits
+/// publish their `ShardMeta` here (bumping `seq`) and one elected saver
+/// persists a snapshot covering every published update; the manifest page
+/// is cumulative, so a save at `seq = t` subsumes every earlier update.
+struct ManifestState {
+    manifest: Manifest,
+    /// Updates published into `manifest` so far.
+    seq: u64,
+    /// Highest update covered by a successful save.
+    saved: u64,
+    /// Whether a saver is currently writing a snapshot.
+    saving: bool,
+    /// Highest update covered by a failed save (checked after `saved`).
+    failed_through: u64,
+    /// Why that save failed.
+    fail_msg: String,
 }
 
 /// The stores a deployment builds (or reopens) its trees on; cloned out of
@@ -130,8 +318,15 @@ pub(crate) struct RecoveredShard {
 /// the file layout and commit protocol.
 pub(crate) struct Durability {
     manifest_path: PathBuf,
-    manifest: Mutex<Manifest>,
+    mstate: StdMutex<ManifestState>,
+    mcv: Condvar,
     shards: Vec<ShardFiles>,
+    policy: DurabilityPolicy,
+    crash: Mutex<Option<CommitCrashPoint>>,
+    /// Simulated barrier latency (µs) mirrored onto the manifest save, so
+    /// the whole deployment models one device (see
+    /// [`FilePager::set_sync_delay_micros`]).
+    sync_delay_micros: std::sync::atomic::AtomicU64,
 }
 
 fn sp_path(dir: &Path, shard: usize) -> PathBuf {
@@ -159,6 +354,47 @@ fn placeholder_meta(upper: u32) -> ShardMeta {
         te_tree: empty,
         te_digest: [0u8; sae_storage::TE_DIGEST_LEN],
     }
+}
+
+/// `std::sync` lock acquisition with `parking_lot` semantics: a panic while
+/// holding the lock does not poison it for everyone else.
+fn lock_unpoisoned<T>(m: &StdMutex<T>) -> StdMutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Clears a single-occupancy protocol flag (`GroupQueue::leader`,
+/// `ManifestState::saving`) and wakes the condvar's waiters if the guarded
+/// section *unwinds*. The flags survive a panic that `lock_unpoisoned`
+/// shrugs off; without this, a panicking leader or saver would leave its
+/// flag set forever and every later writer would block on the condvar —
+/// a silent hang instead of a propagated panic. The normal path disarms
+/// the guard and publishes its outcome under the lock itself.
+struct UnwindFlagGuard<'a, T> {
+    m: &'a StdMutex<T>,
+    cv: &'a Condvar,
+    clear: fn(&mut T),
+    armed: bool,
+}
+
+impl<T> UnwindFlagGuard<'_, T> {
+    fn disarm(mut self) {
+        self.armed = false;
+    }
+}
+
+impl<T> Drop for UnwindFlagGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.armed {
+            let mut state = lock_unpoisoned(self.m);
+            (self.clear)(&mut state);
+            drop(state);
+            self.cv.notify_all();
+        }
+    }
+}
+
+fn batch_error(context: &str, msg: &str) -> StorageError {
+    StorageError::Io(std::io::Error::other(format!("{context}: {msg}")))
 }
 
 /// Creates one party's pager file with its identity header at page 0.
@@ -208,6 +444,7 @@ impl Durability {
         uppers: &[u32],
         record_size: usize,
         cache_pages: Option<usize>,
+        policy: DurabilityPolicy,
     ) -> StorageResult<Durability> {
         // Fail fast on a layout the manifest page cannot describe, before
         // any file is created or bulk load starts.
@@ -245,9 +482,11 @@ impl Durability {
             let (heap_dir, _head) = PageDirectory::create(sp_pager.as_ref())?;
             shards.push(ShardFiles {
                 upper,
-                sp: PartyFiles::wrap(sp_pager, cache_pages),
-                te: PartyFiles::wrap(te_pager, cache_pages),
+                sp: PartyFiles::wrap(sp_pager, cache_pages, policy),
+                te: PartyFiles::wrap(te_pager, cache_pages, policy),
                 state: Mutex::new(ShardCommitState { epoch: 0, heap_dir }),
+                group: StdMutex::new(GroupQueue::default()),
+                group_cv: Condvar::new(),
             });
         }
         let manifest = Manifest {
@@ -257,8 +496,19 @@ impl Durability {
         };
         Ok(Durability {
             manifest_path: dir.join(MANIFEST_FILE),
-            manifest: Mutex::new(manifest),
+            mstate: StdMutex::new(ManifestState {
+                manifest,
+                seq: 0,
+                saved: 0,
+                saving: false,
+                failed_through: 0,
+                fail_msg: String::new(),
+            }),
+            mcv: Condvar::new(),
             shards,
+            policy,
+            crash: Mutex::new(None),
+            sync_delay_micros: std::sync::atomic::AtomicU64::new(0),
         })
     }
 
@@ -269,6 +519,7 @@ impl Durability {
     pub(crate) fn open(
         dir: &Path,
         cache_pages: Option<usize>,
+        policy: DurabilityPolicy,
     ) -> StorageResult<(Durability, Vec<RecoveredShard>)> {
         let manifest_path = dir.join(MANIFEST_FILE);
         let manifest = Manifest::load(&manifest_path)?;
@@ -281,12 +532,14 @@ impl Durability {
                 PageDirectory::open(sp_pager.as_ref(), meta.heap_dir_head, meta.heap_page_count)?;
             shards.push(ShardFiles {
                 upper: meta.upper,
-                sp: PartyFiles::wrap(sp_pager, cache_pages),
-                te: PartyFiles::wrap(te_pager, cache_pages),
+                sp: PartyFiles::wrap(sp_pager, cache_pages, policy),
+                te: PartyFiles::wrap(te_pager, cache_pages, policy),
                 state: Mutex::new(ShardCommitState {
                     epoch: meta.epoch,
                     heap_dir,
                 }),
+                group: StdMutex::new(GroupQueue::default()),
+                group_cv: Condvar::new(),
             });
             recovered.push(RecoveredShard {
                 meta: meta.clone(),
@@ -296,8 +549,19 @@ impl Durability {
         Ok((
             Durability {
                 manifest_path,
-                manifest: Mutex::new(manifest),
+                mstate: StdMutex::new(ManifestState {
+                    manifest,
+                    seq: 0,
+                    saved: 0,
+                    saving: false,
+                    failed_through: 0,
+                    fail_msg: String::new(),
+                }),
+                mcv: Condvar::new(),
                 shards,
+                policy,
+                crash: Mutex::new(None),
+                sync_delay_micros: std::sync::atomic::AtomicU64::new(0),
             },
             recovered,
         ))
@@ -310,7 +574,47 @@ impl Durability {
 
     /// The fixed record length the manifest records.
     pub(crate) fn record_size(&self) -> usize {
-        self.manifest.lock().record_size as usize
+        lock_unpoisoned(&self.mstate).manifest.record_size as usize
+    }
+
+    /// The durability policy this deployment runs.
+    pub(crate) fn policy(&self) -> DurabilityPolicy {
+        self.policy
+    }
+
+    /// Arms (or clears) a commit-pipeline fault-injection point.
+    pub(crate) fn set_crash_point(&self, point: Option<CommitCrashPoint>) {
+        *self.crash.lock() = point;
+    }
+
+    /// Sets a simulated per-fsync latency on every shard's pager files and
+    /// on the manifest save (see [`FilePager::set_sync_delay_micros`]).
+    pub(crate) fn set_sync_delay_micros(&self, micros: u64) {
+        for shard in &self.shards {
+            shard.sp.pager.set_sync_delay_micros(micros);
+            shard.te.pager.set_sync_delay_micros(micros);
+        }
+        self.sync_delay_micros
+            .store(micros, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// The simulated barrier latency applied after a manifest save.
+    fn manifest_sync_delay(&self) {
+        let micros = self
+            .sync_delay_micros
+            .load(std::sync::atomic::Ordering::Relaxed);
+        if micros > 0 {
+            std::thread::sleep(Duration::from_micros(micros));
+        }
+    }
+
+    fn crash_check(&self, point: CommitCrashPoint) -> StorageResult<()> {
+        if *self.crash.lock() == Some(point) {
+            return Err(StorageError::Io(std::io::Error::other(format!(
+                "injected crash at {point:?}"
+            ))));
+        }
+        Ok(())
     }
 
     /// Clones shard `i`'s stores so the deployment can build or reopen its
@@ -324,66 +628,324 @@ impl Durability {
         }
     }
 
+    /// Issues a commit ticket for shard `i`. **Must be called while holding
+    /// the shard's write locks** (or with otherwise-exclusive access): the
+    /// group-commit protocol relies on "ticket issued under write locks,
+    /// commit performed under read locks" to guarantee that a commit covers
+    /// every ticket issued before it started.
+    pub(crate) fn announce(&self, i: usize) -> u64 {
+        let shard = &self.shards[i];
+        let mut q = lock_unpoisoned(&shard.group);
+        q.queued += 1;
+        let ticket = q.queued;
+        drop(q);
+        // Wake a leader that may be gathering its batch.
+        shard.group_cv.notify_all();
+        ticket
+    }
+
+    /// Blocks until a commit covering `ticket` is durable, electing this
+    /// caller as the batch leader when no commit is in flight. `commit` must
+    /// acquire the shard's read locks and run [`Durability::commit_shard`];
+    /// it is invoked at most once per leadership stint.
+    pub(crate) fn wait_durable(
+        &self,
+        i: usize,
+        ticket: u64,
+        commit: impl Fn() -> StorageResult<()>,
+    ) -> StorageResult<()> {
+        let shard = &self.shards[i];
+        let (max_batch, max_wait) = match self.policy {
+            DurabilityPolicy::Group {
+                max_batch,
+                max_wait,
+            } => (max_batch.max(1) as u64, max_wait),
+            _ => (1, Duration::ZERO),
+        };
+        let mut q = lock_unpoisoned(&shard.group);
+        loop {
+            if q.durable >= ticket {
+                return Ok(());
+            }
+            if q.failed_through >= ticket {
+                return Err(batch_error(
+                    "group commit failed for this write's batch",
+                    &q.fail_msg,
+                ));
+            }
+            if q.leader {
+                q = shard.group_cv.wait(q).unwrap_or_else(|e| e.into_inner());
+                continue;
+            }
+            // Become the leader: optionally gather a batch, then run ONE
+            // commit for everything queued. The group lock is never held
+            // while the shard's locks are acquired (the commit closure runs
+            // lock-free here), so the lock order stays acyclic.
+            q.leader = true;
+            if !max_wait.is_zero() {
+                let deadline = Instant::now() + max_wait;
+                while q.queued.saturating_sub(q.durable) < max_batch {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    let (guard, timeout) = shard
+                        .group_cv
+                        .wait_timeout(q, deadline - now)
+                        .unwrap_or_else(|e| e.into_inner());
+                    q = guard;
+                    if timeout.timed_out() {
+                        break;
+                    }
+                }
+            }
+            drop(q);
+            // If `commit` panics (tree code, fault injection), leadership
+            // must still be released or the shard's writers hang forever.
+            let leader_guard = UnwindFlagGuard {
+                m: &shard.group,
+                cv: &shard.group_cv,
+                clear: |q: &mut GroupQueue| q.leader = false,
+                armed: true,
+            };
+            // commit_shard snapshots how many tickets it covers and
+            // publishes the outcome to the queue itself.
+            let result = commit();
+            leader_guard.disarm();
+            q = lock_unpoisoned(&shard.group);
+            q.leader = false;
+            drop(q);
+            shard.group_cv.notify_all();
+            // The leader's own ticket predates its commit, so the commit
+            // covered it: report our own failure directly (commit_shard has
+            // already marked the batch failed for the followers).
+            result?;
+            q = lock_unpoisoned(&shard.group);
+        }
+    }
+
     /// Commits shard `i`'s current state in the documented order (pages,
     /// headers + sync, then manifest). The caller must hold the shard's
-    /// locks (or exclusive access) so `sp`/`te` cannot change mid-commit.
+    /// locks (read locks suffice — and are what `flush()` holds) so
+    /// `sp`/`te` cannot change mid-commit. Covers, and on completion
+    /// releases or fails, every group-commit ticket issued before it
+    /// started.
+    ///
+    /// The group-commit leader uses the split form —
+    /// [`Durability::prepare_commit`] under the read locks, then
+    /// [`Durability::finish_commit`] after releasing them — so same-shard
+    /// writers can mutate (and queue the next batch) while this batch's
+    /// fsyncs and manifest save run.
     pub(crate) fn commit_shard(
         &self,
         i: usize,
         sp: &SaeServiceProvider,
         te: &TrustedEntity,
     ) -> StorageResult<()> {
+        let prepared = self.prepare_commit(i, sp, te)?;
+        self.finish_commit(prepared)
+    }
+
+    /// Publishes a finished (or failed) commit's outcome to the shard's
+    /// group queue, releasing or failing every covered ticket.
+    fn publish_group_outcome<T>(&self, i: usize, cover: u64, result: &StorageResult<T>) {
         let shard = &self.shards[i];
-        // The shard's state lock is held across the *entire* commit,
-        // including the manifest save: if the manifest were written outside
+        let mut q = lock_unpoisoned(&shard.group);
+        match result {
+            Ok(_) => q.durable = q.durable.max(cover),
+            Err(e) => {
+                if cover > q.durable {
+                    q.failed_through = q.failed_through.max(cover);
+                    q.fail_msg = e.to_string();
+                }
+            }
+        }
+        drop(q);
+        shard.group_cv.notify_all();
+    }
+
+    /// Commit phase 1, under the shard's (at least read) locks: write the
+    /// heap page table, flush the write-back caches so every data page of
+    /// the snapshot is in the file, and capture the manifest meta. The
+    /// returned token holds the shard's commit-state lock, so no other
+    /// commit of this shard can start until [`Durability::finish_commit`]
+    /// completes — but the *tree* locks can be released as soon as this
+    /// returns: the snapshot is fully in the file and the meta fully
+    /// captured, so later in-memory mutations (which stay in the cache
+    /// until their own commit) cannot leak into it.
+    pub(crate) fn prepare_commit<'a>(
+        &'a self,
+        i: usize,
+        sp: &SaeServiceProvider,
+        te: &TrustedEntity,
+    ) -> StorageResult<PreparedCommit<'a>> {
+        let shard = &self.shards[i];
+        // The state lock is held from here through finish_commit, including
+        // the covering manifest save: if the manifest were written outside
         // it, two concurrent commits of the same shard (e.g. two `flush()`
         // calls, which only take read locks) could invert at the manifest
-        // lock and persist an older epoch after a newer one — leaving the
-        // pager headers permanently ahead of the manifest, i.e. a deployment
-        // that can never open again. Lock order is state(i) → manifest,
-        // everywhere.
+        // and persist an older epoch after a newer one — leaving the pager
+        // headers permanently ahead of the manifest, i.e. a deployment that
+        // can never open again. Lock order is state(i) → group(i) →
+        // manifest, everywhere.
         let mut state = shard.state.lock();
-
-        // 1. Heap page table, written through the raw pager.
-        state
-            .heap_dir
-            .write(shard.sp.pager.as_ref(), sp.heap().pages())?;
-
-        // 2. Every data page out of the write-back caches.
-        shard.sp.flush()?;
-        shard.te.flush()?;
-
-        // 3. Headers carry the new epoch; both files hit stable storage
-        //    before the manifest that describes them.
+        // Tickets issued before this point were issued under the shard's
+        // write locks; our caller holds at least the read locks, so all of
+        // those mutations are visible to this commit, which therefore
+        // covers them.
+        let cover = lock_unpoisoned(&shard.group).queued;
         let epoch = state.epoch + 1;
-        for (files, party) in [(&shard.sp, Party::Sp), (&shard.te, Party::Te)] {
-            let header = ShardHeader {
-                shard: i as u32,
-                party,
+        let staged = (|| -> StorageResult<ShardMeta> {
+            self.crash_check(CommitCrashPoint::BeforeCommit)?;
+
+            // 1. Heap page table, written through the raw pager (only the
+            //    chain pages whose content changed).
+            state
+                .heap_dir
+                .write(shard.sp.pager.as_ref(), sp.heap().pages())?;
+
+            // 2. Every data page out of the write-back caches, in ascending
+            //    page-id order.
+            shard.sp.flush()?;
+            shard.te.flush()?;
+            self.crash_check(CommitCrashPoint::AfterPageFlush)?;
+
+            Ok(ShardMeta {
+                upper: shard.upper,
                 epoch,
-            };
-            files.pager.write(SHARD_HEADER_PAGE, &header.encode())?;
-            files.pager.sync()?;
+                sp_index: sp.index().meta(),
+                heap_record_count: sp.heap().record_count(),
+                heap_page_count: sp.heap().pages().len() as u64,
+                heap_dir_head: state.heap_dir.head(),
+                te_tree: te.tree().meta(),
+                te_digest: *te.tree().total_xor()?.as_bytes(),
+            })
+        })();
+        if staged.is_err() {
+            self.publish_group_outcome(i, cover, &staged);
         }
-        state.epoch = epoch;
+        let meta = staged?;
+        Ok(PreparedCommit {
+            shard_idx: i,
+            state,
+            cover,
+            meta,
+        })
+    }
 
-        let meta = ShardMeta {
-            upper: shard.upper,
-            epoch,
-            sp_index: sp.index().meta(),
-            heap_record_count: sp.heap().record_count(),
-            heap_page_count: sp.heap().pages().len() as u64,
-            heap_dir_head: state.heap_dir.head(),
-            te_tree: te.tree().meta(),
-            te_digest: *te.tree().total_xor()?.as_bytes(),
-        };
+    /// Commit phase 2, requiring no tree locks: rewrite both identity
+    /// headers at the new epoch, fsync both files, then publish the meta
+    /// into the manifest and wait for a covering save. Consumes the token
+    /// from [`Durability::prepare_commit`] (and with it the commit-state
+    /// lock) and releases or fails every covered group ticket.
+    pub(crate) fn finish_commit(&self, prepared: PreparedCommit<'_>) -> StorageResult<()> {
+        let PreparedCommit {
+            shard_idx: i,
+            mut state,
+            cover,
+            meta,
+        } = prepared;
+        let shard = &self.shards[i];
+        let result = (|| -> StorageResult<()> {
+            // 3. Headers carry the new epoch; both files hit stable storage
+            //    before the manifest that describes them. One header write
+            //    and one fsync per file — per *batch*, under group commit.
+            for (files, party) in [(&shard.sp, Party::Sp), (&shard.te, Party::Te)] {
+                let header = ShardHeader {
+                    shard: i as u32,
+                    party,
+                    epoch: meta.epoch,
+                };
+                files.pager.write(SHARD_HEADER_PAGE, &header.encode())?;
+                files.sync()?;
+            }
+            state.epoch = meta.epoch;
+            self.crash_check(CommitCrashPoint::AfterHeaderSync)?;
 
-        // 4. Atomic manifest replacement, under the manifest lock so a
-        //    concurrent commit of another shard cannot clobber this entry
-        //    with an older manifest image.
-        let mut manifest = self.manifest.lock();
-        manifest.shards[i] = meta;
-        manifest.save(&self.manifest_path)
+            // 4. Publish into the in-memory manifest and wait for a
+            //    covering save — ours, or a concurrent committer's whose
+            //    snapshot already includes our update.
+            self.publish_manifest(i, meta.clone())
+        })();
+        self.publish_group_outcome(i, cover, &result);
+        drop(state);
+        result
+    }
+
+    /// Publishes shard `i`'s new meta into the in-memory manifest and
+    /// returns once a manifest image containing it is durably saved.
+    ///
+    /// Under [`DurabilityPolicy::Immediate`] every commit performs its own
+    /// save while holding the manifest lock — the PR 4 semantics the policy
+    /// name promises, with every shard serializing on the one manifest
+    /// file. Under the deferred policies one saver runs at a time and
+    /// everyone else piggybacks on the next covering snapshot: N concurrent
+    /// shard commits cost one temp+rename+fsync instead of N.
+    fn publish_manifest(&self, i: usize, meta: ShardMeta) -> StorageResult<()> {
+        let mut st = lock_unpoisoned(&self.mstate);
+        st.manifest.shards[i] = meta;
+        st.seq += 1;
+        let my = st.seq;
+        if self.policy == DurabilityPolicy::Immediate {
+            let snapshot = st.manifest.clone();
+            let result = snapshot.save(&self.manifest_path);
+            if result.is_ok() {
+                st.saved = st.saved.max(my);
+                self.manifest_sync_delay();
+            }
+            return result;
+        }
+        loop {
+            if st.saved >= my {
+                return Ok(());
+            }
+            if st.failed_through >= my {
+                return Err(batch_error(
+                    "manifest save failed for this commit's batch",
+                    &st.fail_msg,
+                ));
+            }
+            if st.saving {
+                st = self.mcv.wait(st).unwrap_or_else(|e| e.into_inner());
+                continue;
+            }
+            st.saving = true;
+            let target = st.seq;
+            let snapshot = st.manifest.clone();
+            drop(st);
+            // If the save panics, the saver flag must still be released or
+            // every later committer hangs on the condvar.
+            let saver_guard = UnwindFlagGuard {
+                m: &self.mstate,
+                cv: &self.mcv,
+                clear: |st: &mut ManifestState| st.saving = false,
+                armed: true,
+            };
+            let result = snapshot.save(&self.manifest_path);
+            if result.is_ok() {
+                self.manifest_sync_delay();
+            }
+            saver_guard.disarm();
+            st = lock_unpoisoned(&self.mstate);
+            st.saving = false;
+            match result {
+                Ok(()) => st.saved = st.saved.max(target),
+                Err(e) => {
+                    if target > st.saved {
+                        st.failed_through = st.failed_through.max(target);
+                        st.fail_msg = e.to_string();
+                    }
+                    drop(st);
+                    self.mcv.notify_all();
+                    // The saver's own update is inside the failed snapshot;
+                    // report the original error.
+                    return Err(e);
+                }
+            }
+            drop(st);
+            self.mcv.notify_all();
+            st = lock_unpoisoned(&self.mstate);
+        }
     }
 
     /// The published digest conversion used when reopening a trusted entity.
@@ -392,15 +954,21 @@ impl Durability {
     }
 
     /// Best-effort flush of every cache and pager file, swallowing errors —
-    /// this is what `Drop` runs. The manifest is *not* rewritten (that
-    /// requires the trees); state mutated outside the commit protocol is
-    /// simply not recovered.
+    /// this is what `Drop` runs under [`DurabilityPolicy::Immediate`], where
+    /// the cache contents match the last commit (modulo a failed-commit
+    /// window). Under the deferred policies the caches may hold
+    /// unacknowledged mutations, and flushing those would overwrite
+    /// committed pages with state the manifest does not describe — so drop
+    /// leaves the files exactly at their last commit instead.
     fn sync_best_effort(&self) {
+        if self.policy != DurabilityPolicy::Immediate {
+            return;
+        }
         for shard in &self.shards {
             let _ = shard.sp.flush();
             let _ = shard.te.flush();
-            let _ = shard.sp.pager.sync();
-            let _ = shard.te.pager.sync();
+            let _ = shard.sp.sync();
+            let _ = shard.te.sync();
         }
     }
 }
@@ -457,5 +1025,17 @@ mod tests {
             open_party_file(&path, 0, Party::Sp, 4),
             Err(StorageError::StaleManifest { .. })
         ));
+    }
+
+    #[test]
+    fn policy_labels_and_defaults() {
+        assert_eq!(DurabilityPolicy::default(), DurabilityPolicy::Immediate);
+        assert_eq!(DurabilityPolicy::Immediate.label(), "immediate");
+        assert_eq!(DurabilityPolicy::group().label(), "group");
+        assert_eq!(DurabilityPolicy::FlushOnClose.label(), "flush-on-close");
+        match DurabilityPolicy::group() {
+            DurabilityPolicy::Group { max_batch, .. } => assert!(max_batch > 1),
+            other => panic!("unexpected {other:?}"),
+        }
     }
 }

@@ -37,7 +37,10 @@
 //!   checksummed `MANIFEST`, commit every accepted update in pages-before-
 //!   manifest order, and `open_dir` reopens the trees from their committed
 //!   roots (validating identity headers, commit epochs and the TE's
-//!   published digest) instead of rebuilding from the dataset.
+//!   published digest) instead of rebuilding from the dataset. The
+//!   [`durable::DurabilityPolicy`] knob selects *when* accepted writes
+//!   commit: per update, batched behind an elected group-commit leader
+//!   (one fsync set per batch), or only at `flush()`/`close()`.
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
@@ -50,6 +53,7 @@ pub mod sharded;
 pub mod tamper;
 pub mod tom;
 
+pub use durable::{CommitCrashPoint, DurabilityPolicy};
 pub use engine::{
     client_ops, serve_batch, serve_mix, serve_ops, MixOp, QueryService, SaeEngine, ServeOptions,
     ThroughputReport, TomEngine, UpdateService,

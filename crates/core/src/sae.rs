@@ -9,7 +9,7 @@
 //! records it received from the SP, XORs the digests and compares against the
 //! VT (§II).
 
-use crate::durable::Durability;
+use crate::durable::{Durability, DurabilityPolicy};
 use crate::metrics::{QueryMetrics, StorageBreakdown};
 use crate::tamper::TamperStrategy;
 use sae_btree::BPlusTree;
@@ -571,11 +571,27 @@ impl SaeSystem {
         alg: HashAlgorithm,
         cache_pages: Option<usize>,
     ) -> StorageResult<Self> {
+        Self::create_dir_with(dir, dataset, alg, cache_pages, DurabilityPolicy::Immediate)
+    }
+
+    /// Like [`SaeSystem::create_dir`], with an explicit [`DurabilityPolicy`]
+    /// governing when accepted updates commit: per update (`Immediate`),
+    /// batched (`Group` — with `&mut self` access there is no concurrent
+    /// batch to join, so each update commits on its own ticket), or only at
+    /// `flush()`/`close()` (`FlushOnClose`, for bulk loads).
+    pub fn create_dir_with(
+        dir: &Path,
+        dataset: &Dataset,
+        alg: HashAlgorithm,
+        cache_pages: Option<usize>,
+        policy: DurabilityPolicy,
+    ) -> StorageResult<Self> {
         let durability = Durability::create(
             dir,
             &[dataset.spec.distribution.domain()],
             dataset.spec.record_size,
             cache_pages,
+            policy,
         )?;
         let stores = durability.stores(0);
         let sp = SaeServiceProvider::build(stores.sp_store, dataset)?;
@@ -601,7 +617,18 @@ impl SaeSystem {
         alg: HashAlgorithm,
         cache_pages: Option<usize>,
     ) -> StorageResult<Self> {
-        let (durability, mut recovered) = Durability::open(dir, cache_pages)?;
+        Self::open_dir_with(dir, alg, cache_pages, DurabilityPolicy::Immediate)
+    }
+
+    /// Like [`SaeSystem::open_dir`], with an explicit [`DurabilityPolicy`]
+    /// for the reopened deployment's future commits.
+    pub fn open_dir_with(
+        dir: &Path,
+        alg: HashAlgorithm,
+        cache_pages: Option<usize>,
+        policy: DurabilityPolicy,
+    ) -> StorageResult<Self> {
+        let (durability, mut recovered) = Durability::open(dir, cache_pages, policy)?;
         if durability.shard_count() != 1 {
             return Err(StorageError::Corrupted(format!(
                 "deployment has {} shards; reopen it with ShardedSaeEngine::open_dir",
@@ -637,6 +664,27 @@ impl SaeSystem {
     /// Whether this deployment is backed by durable files.
     pub fn is_durable(&self) -> bool {
         self.durability.is_some()
+    }
+
+    /// The durability policy of a durable deployment; `None` in memory.
+    pub fn durability_policy(&self) -> Option<DurabilityPolicy> {
+        self.durability.as_ref().map(|d| d.policy())
+    }
+
+    /// Commits the current state through the policy-appropriate path after
+    /// an accepted update: a direct commit under `Immediate`, a ticketed
+    /// commit under `Group` (exclusive `&mut self` access means this caller
+    /// is its own leader), nothing under `FlushOnClose`.
+    fn commit_update(&self) -> Option<StorageResult<()>> {
+        let d = self.durability.as_ref()?;
+        Some(match d.policy() {
+            DurabilityPolicy::FlushOnClose => Ok(()),
+            DurabilityPolicy::Immediate => d.commit_shard(0, &self.sp, &self.te),
+            DurabilityPolicy::Group { .. } => {
+                let ticket = d.announce(0);
+                d.wait_durable(0, ticket, || d.commit_shard(0, &self.sp, &self.te))
+            }
+        })
     }
 
     /// Commits the current state to disk (no-op for in-memory deployments).
@@ -740,16 +788,16 @@ impl SaeSystem {
     /// returning.
     pub fn insert_record(&mut self, record: &Record) -> StorageResult<()> {
         insert_into_parties(&mut self.sp, &mut self.te, record)?;
-        if let Some(d) = &self.durability {
-            if let Err(e) = d.commit_shard(0, &self.sp, &self.te) {
-                // Keep memory and disk agreeing: undo the accepted insert
-                // before reporting the failed commit, so a retry does not
-                // trip over a DuplicateRecordId for a record the caller was
-                // told never landed. Best-effort — the commit failure is the
-                // primary error and must not be masked by the rollback.
-                let _ = delete_from_parties(&mut self.sp, &mut self.te, record.id, record.key);
-                return Err(e);
-            }
+        if let Some(Err(e)) = self.commit_update() {
+            // Keep memory and disk agreeing: undo the accepted insert
+            // before reporting the failed commit, so a retry does not
+            // trip over a DuplicateRecordId for a record the caller was
+            // told never landed. (`&mut self` access makes this safe under
+            // `Group` too — no concurrent writer built on the state.)
+            // Best-effort — the commit failure is the primary error and
+            // must not be masked by the rollback.
+            let _ = delete_from_parties(&mut self.sp, &mut self.te, record.id, record.key);
+            return Err(e);
         }
         Ok(())
     }
@@ -767,14 +815,12 @@ impl SaeSystem {
         let Some((pos, tuple)) = take_from_parties(&mut self.sp, &mut self.te, id, key)? else {
             return Ok(false);
         };
-        if let Some(d) = &self.durability {
-            if let Err(e) = d.commit_shard(0, &self.sp, &self.te) {
-                // Best-effort restore of both parties; the commit failure is
-                // the primary error and must not be masked by the rollback.
-                let _ = self.sp.restore(id, key, pos);
-                let _ = self.te.restore(tuple);
-                return Err(e);
-            }
+        if let Some(Err(e)) = self.commit_update() {
+            // Best-effort restore of both parties; the commit failure is
+            // the primary error and must not be masked by the rollback.
+            let _ = self.sp.restore(id, key, pos);
+            let _ = self.te.restore(tuple);
+            return Err(e);
         }
         Ok(true)
     }

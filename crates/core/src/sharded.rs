@@ -41,7 +41,7 @@
 //! concurrent update — exactly the per-key-range consistency a range-sharded
 //! deployment provides.
 
-use crate::durable::{Durability, ShardStores};
+use crate::durable::{CommitCrashPoint, Durability, DurabilityPolicy, ShardStores};
 use crate::engine::{
     serve_batch, serve_mix, serve_ops, QueryService, ServeOptions, ThroughputReport, UpdateService,
 };
@@ -51,7 +51,7 @@ use crate::sae::{
     TeMode, TrustedEntity,
 };
 use crate::tamper::TamperStrategy;
-use parking_lot::RwLock;
+use parking_lot::{RwLock, RwLockWriteGuard};
 use sae_crypto::{Digest, HashAlgorithm, DIGEST_LEN};
 use sae_storage::{
     CachedPager, CostModel, IoSnapshot, IoStats, MemPager, PageStore, SharedPageStore,
@@ -356,7 +356,9 @@ impl ShardedSaeEngine {
     /// single `MANIFEST` records the layout, committed tree roots and
     /// published TE digests. Every accepted data-owner update is flushed and
     /// synced in commit order — pages before manifest — so the deployment
-    /// survives a restart via [`ShardedSaeEngine::open_dir`].
+    /// survives a restart via [`ShardedSaeEngine::open_dir`]. Commits run
+    /// under [`DurabilityPolicy::Immediate`]; use
+    /// [`ShardedSaeEngine::create_dir_with`] to pick a policy.
     pub fn create_dir(
         dir: &Path,
         dataset: &Dataset,
@@ -364,9 +366,39 @@ impl ShardedSaeEngine {
         shards: usize,
         cache_pages: Option<usize>,
     ) -> StorageResult<ShardedSaeEngine> {
+        Self::create_dir_with(
+            dir,
+            dataset,
+            alg,
+            shards,
+            cache_pages,
+            DurabilityPolicy::Immediate,
+        )
+    }
+
+    /// Like [`ShardedSaeEngine::create_dir`], with an explicit
+    /// [`DurabilityPolicy`] governing *when* accepted writes are committed:
+    /// per-update (`Immediate`), batched behind an elected leader (`Group` —
+    /// one fsync set per batch instead of per write), or only at
+    /// `flush()`/`close()` (`FlushOnClose`). The policy is a runtime knob,
+    /// not persisted: a deployment may be created under one policy and
+    /// reopened under another.
+    pub fn create_dir_with(
+        dir: &Path,
+        dataset: &Dataset,
+        alg: HashAlgorithm,
+        shards: usize,
+        cache_pages: Option<usize>,
+        policy: DurabilityPolicy,
+    ) -> StorageResult<ShardedSaeEngine> {
         let layout = ShardLayout::uniform(dataset.spec.distribution.domain(), shards);
-        let durability =
-            Durability::create(dir, &layout.uppers, dataset.spec.record_size, cache_pages)?;
+        let durability = Durability::create(
+            dir,
+            &layout.uppers,
+            dataset.spec.record_size,
+            cache_pages,
+            policy,
+        )?;
         let stores = (0..layout.shard_count())
             .map(|i| durability.stores(i))
             .collect();
@@ -388,7 +420,18 @@ impl ShardedSaeEngine {
         alg: HashAlgorithm,
         cache_pages: Option<usize>,
     ) -> StorageResult<ShardedSaeEngine> {
-        let (durability, recovered) = Durability::open(dir, cache_pages)?;
+        Self::open_dir_with(dir, alg, cache_pages, DurabilityPolicy::Immediate)
+    }
+
+    /// Like [`ShardedSaeEngine::open_dir`], with an explicit
+    /// [`DurabilityPolicy`] for the reopened deployment's future commits.
+    pub fn open_dir_with(
+        dir: &Path,
+        alg: HashAlgorithm,
+        cache_pages: Option<usize>,
+        policy: DurabilityPolicy,
+    ) -> StorageResult<ShardedSaeEngine> {
+        let (durability, recovered) = Durability::open(dir, cache_pages, policy)?;
         let record_len = durability.record_size();
         let layout = ShardLayout::from_uppers(recovered.iter().map(|s| s.meta.upper).collect())?;
         let mut shards = Vec::with_capacity(recovered.len());
@@ -439,6 +482,31 @@ impl ShardedSaeEngine {
     /// Whether this engine is backed by durable files.
     pub fn is_durable(&self) -> bool {
         self.durability.is_some()
+    }
+
+    /// The durability policy of a durable engine; `None` when in-memory.
+    pub fn durability_policy(&self) -> Option<DurabilityPolicy> {
+        self.durability.as_ref().map(|d| d.policy())
+    }
+
+    /// Arms (or clears) a commit-pipeline fault-injection point on the
+    /// durable backing — the next commit fails after completing the named
+    /// stage, simulating a kill between commit stages. For the
+    /// crash-consistency tests; a no-op on in-memory engines.
+    pub fn set_commit_crash_point(&self, point: Option<CommitCrashPoint>) {
+        if let Some(d) = &self.durability {
+            d.set_crash_point(point);
+        }
+    }
+
+    /// Sets a simulated per-fsync latency on every shard's pager files,
+    /// modelling slower production disks on fast CI storage (the E11
+    /// experiment's knob; see `FilePager::set_sync_delay_micros`). A no-op
+    /// on in-memory engines.
+    pub fn set_simulated_sync_delay_micros(&self, micros: u64) {
+        if let Some(d) = &self.durability {
+            d.set_sync_delay_micros(micros);
+        }
     }
 
     /// Commits every shard's current state to disk (no-op for in-memory
@@ -495,6 +563,14 @@ impl ShardedSaeEngine {
     /// outside the layout domain (which no range query could ever reach) are
     /// rejected, exactly like the single-pair engine. A TE failure rolls the
     /// shard's SP insertion back.
+    ///
+    /// On a durable engine the accepted insert is committed per the
+    /// deployment's [`DurabilityPolicy`] before returning: its own commit
+    /// under `Immediate` (rolled back in memory if the commit fails), a
+    /// batched leader commit covering it under `Group` (no rollback on
+    /// failure — the batch's writes cannot be unwound once other writers
+    /// built on them; memory stays ahead of disk until the next successful
+    /// commit), or not at all under `FlushOnClose`.
     pub fn insert(&self, record: &Record) -> StorageResult<()> {
         self.claim(record)?;
         let shard_idx = self.layout.shard_of(record.key);
@@ -503,14 +579,24 @@ impl ShardedSaeEngine {
         let mut te = shard.te.write();
         match insert_into_parties(&mut sp, &mut te, record) {
             Ok(()) => {
-                if let Err(e) = self.commit_if_durable(shard_idx, &sp, &te) {
-                    // Keep memory and disk agreeing: undo the accepted
-                    // insert before reporting the failed commit.
-                    let _ = delete_from_parties(&mut sp, &mut te, record.id, record.key);
-                    self.ids.write().remove(&record.id);
-                    return Err(e);
+                let Some(d) = &self.durability else {
+                    return Ok(());
+                };
+                match d.policy() {
+                    DurabilityPolicy::FlushOnClose => Ok(()),
+                    DurabilityPolicy::Immediate => {
+                        if let Err(e) = d.commit_shard(shard_idx, &sp, &te) {
+                            // Keep memory and disk agreeing: undo the
+                            // accepted insert before reporting the failed
+                            // commit.
+                            let _ = delete_from_parties(&mut sp, &mut te, record.id, record.key);
+                            self.ids.write().remove(&record.id);
+                            return Err(e);
+                        }
+                        Ok(())
+                    }
+                    DurabilityPolicy::Group { .. } => self.group_commit_write(shard_idx, sp, te),
                 }
-                Ok(())
             }
             Err(e) => {
                 self.ids.write().remove(&record.id);
@@ -533,9 +619,44 @@ impl ShardedSaeEngine {
         }
     }
 
+    /// The group-commit write path shared by `insert`/`delete`/
+    /// `apply_update`: a ticket is taken while the caller's write guards are
+    /// still held (so the next commit is guaranteed to cover the mutation),
+    /// the guards are released so the shard accepts further writes, and the
+    /// call blocks until an elected leader's batched commit covers the
+    /// ticket — snapshotting under the read locks, then fsyncing and saving
+    /// the manifest with no tree locks held so the next batch queues up
+    /// meanwhile.
+    fn group_commit_write(
+        &self,
+        shard_idx: usize,
+        sp: RwLockWriteGuard<'_, SaeServiceProvider>,
+        te: RwLockWriteGuard<'_, TrustedEntity>,
+    ) -> StorageResult<()> {
+        let d = self
+            .durability
+            .as_ref()
+            .expect("group commit requires a durable engine");
+        let ticket = d.announce(shard_idx);
+        drop(te);
+        drop(sp);
+        let shard = &self.shards[shard_idx];
+        d.wait_durable(shard_idx, ticket, || {
+            let sp = shard.sp.read();
+            let te = shard.te.read();
+            let prepared = d.prepare_commit(shard_idx, &sp, &te)?;
+            drop(te);
+            drop(sp);
+            d.finish_commit(prepared)
+        })
+    }
+
     /// Routes a data-owner deletion to the shard owning `key`; one-sided
     /// deletions are rolled back and reported as
-    /// [`sae_storage::StorageError::Desync`].
+    /// [`sae_storage::StorageError::Desync`]. Durable engines commit per the
+    /// [`DurabilityPolicy`], exactly as [`ShardedSaeEngine::insert`] does
+    /// (under `Group`, a failed batch leaves the in-memory deletion standing
+    /// while the error is reported).
     pub fn delete(&self, id: u64, key: RecordKey) -> StorageResult<bool> {
         let shard_idx = self.layout.shard_of(key);
         let shard = &self.shards[shard_idx];
@@ -544,18 +665,39 @@ impl ShardedSaeEngine {
         let Some((pos, tuple)) = crate::sae::take_from_parties(&mut sp, &mut te, id, key)? else {
             return Ok(false);
         };
-        if let Err(e) = self.commit_if_durable(shard_idx, &sp, &te) {
-            // Keep memory and disk agreeing: restore the removed record
-            // before reporting the failed commit (the id claim stays, since
-            // the record still exists). The restores are best-effort — the
-            // commit failure is the primary error and must not be masked by
-            // a failing rollback on the same dying disk.
-            let _ = sp.restore(id, key, pos);
-            let _ = te.restore(tuple);
-            return Err(e);
+        let Some(d) = &self.durability else {
+            self.ids.write().remove(&id);
+            return Ok(true);
+        };
+        match d.policy() {
+            DurabilityPolicy::FlushOnClose => {
+                self.ids.write().remove(&id);
+                Ok(true)
+            }
+            DurabilityPolicy::Immediate => {
+                if let Err(e) = d.commit_shard(shard_idx, &sp, &te) {
+                    // Keep memory and disk agreeing: restore the removed
+                    // record before reporting the failed commit (the id
+                    // claim stays, since the record still exists). The
+                    // restores are best-effort — the commit failure is the
+                    // primary error and must not be masked by a failing
+                    // rollback on the same dying disk.
+                    let _ = sp.restore(id, key, pos);
+                    let _ = te.restore(tuple);
+                    return Err(e);
+                }
+                self.ids.write().remove(&id);
+                Ok(true)
+            }
+            DurabilityPolicy::Group { .. } => {
+                // The record is gone from memory either way; release its id
+                // before the durability wait so concurrent writers see the
+                // same state queries do.
+                self.ids.write().remove(&id);
+                self.group_commit_write(shard_idx, sp, te)?;
+                Ok(true)
+            }
         }
-        self.ids.write().remove(&id);
-        Ok(true)
     }
 
     /// Scatters `q` over every overlapping shard: each shard answers its
@@ -827,7 +969,15 @@ impl UpdateService for ShardedSaeEngine {
                 // The round trip deleted the record again, so its id can be
                 // released whether or not the commit below succeeds — the
                 // record exists in neither memory nor the committed state.
-                let committed = self.commit_if_durable(shard_idx, &sp, &te);
+                let committed = match self.durability.as_ref().map(|d| d.policy()) {
+                    None | Some(DurabilityPolicy::FlushOnClose) => Ok(()),
+                    Some(DurabilityPolicy::Immediate) => {
+                        self.commit_if_durable(shard_idx, &sp, &te)
+                    }
+                    Some(DurabilityPolicy::Group { .. }) => {
+                        self.group_commit_write(shard_idx, sp, te)
+                    }
+                };
                 self.ids.write().remove(&record.id);
                 committed
             }
@@ -1255,6 +1405,203 @@ mod tests {
             .insert(&Record::with_size(victim.id, victim.key, 120))
             .unwrap();
         reopened.close().unwrap();
+    }
+
+    /// The sum of pager fsyncs across every shard and party.
+    fn total_syncs(engine: &ShardedSaeEngine) -> u64 {
+        engine
+            .party_stats()
+            .iter()
+            .map(|(_, stats)| stats.snapshot().syncs)
+            .sum()
+    }
+
+    #[test]
+    fn group_policy_batches_commits_into_fewer_fsyncs() {
+        let ds = dataset(600);
+        let writers = 4usize;
+        let records: Vec<Record> = (0..writers as u64)
+            .map(|i| Record::with_size(9_500_000 + i, 40_000 + i as RecordKey, 120))
+            .collect();
+
+        // Immediate: every insert pays its own two header fsyncs.
+        let dir = tempfile::tempdir().unwrap();
+        let engine =
+            ShardedSaeEngine::create_dir(dir.path(), &ds, HashAlgorithm::Sha1, 1, Some(256))
+                .unwrap();
+        let before = total_syncs(&engine);
+        for r in &records {
+            engine.insert(r).unwrap();
+        }
+        let immediate_syncs = total_syncs(&engine) - before;
+        assert_eq!(immediate_syncs, 2 * writers as u64);
+        engine.close().unwrap();
+
+        // Group with a generous gather window: four concurrent writers of
+        // the same shard must ride one (or at worst two) batched commits.
+        let dir = tempfile::tempdir().unwrap();
+        let engine = ShardedSaeEngine::create_dir_with(
+            dir.path(),
+            &ds,
+            HashAlgorithm::Sha1,
+            1,
+            Some(256),
+            DurabilityPolicy::Group {
+                max_batch: writers,
+                max_wait: Duration::from_millis(500),
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            engine.durability_policy(),
+            Some(DurabilityPolicy::Group {
+                max_batch: writers,
+                max_wait: Duration::from_millis(500),
+            })
+        );
+        let before = total_syncs(&engine);
+        std::thread::scope(|scope| {
+            for r in &records {
+                let engine = &engine;
+                scope.spawn(move || engine.insert(r).unwrap());
+            }
+        });
+        let group_syncs = total_syncs(&engine) - before;
+        assert!(
+            group_syncs < immediate_syncs,
+            "group commit did not reduce fsyncs: {group_syncs} vs {immediate_syncs} (immediate)"
+        );
+        engine.close().unwrap();
+
+        // Every acknowledged write is durable: the reopened deployment
+        // serves all four records, verified.
+        let reopened = ShardedSaeEngine::open_dir(dir.path(), HashAlgorithm::Sha1, None).unwrap();
+        for r in &records {
+            let outcome = reopened.query(&RangeQuery::new(r.key, r.key)).unwrap();
+            assert!(outcome.verdict.is_ok());
+            assert!(outcome
+                .slices
+                .iter()
+                .flat_map(|s| s.records.iter())
+                .any(|enc| Record::decode(enc).unwrap().id == r.id));
+        }
+    }
+
+    /// Concurrent group-policy writers plus a flusher hammering
+    /// `flush()` (which commits under read locks): no ticket may be lost
+    /// (every writer returns), the per-shard epochs must stay monotone and
+    /// the manifest must never lag the files — both checked by the reopen,
+    /// which rejects any epoch inversion as `StaleManifest`/`Corrupted`.
+    #[test]
+    fn group_writers_and_concurrent_flushes_commit_everything() {
+        let ds = dataset(1_000);
+        let dir = tempfile::tempdir().unwrap();
+        let engine = ShardedSaeEngine::create_dir_with(
+            dir.path(),
+            &ds,
+            HashAlgorithm::Sha1,
+            4,
+            Some(256),
+            DurabilityPolicy::group(),
+        )
+        .unwrap();
+        let writers = 4u64;
+        let ops_per_writer = 8u64;
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        std::thread::scope(|scope| {
+            for w in 0..writers {
+                let engine = &engine;
+                scope.spawn(move || {
+                    for i in 0..ops_per_writer {
+                        let id = 9_600_000 + w * 1_000 + i;
+                        let key = ((id * 7_919) % (DOMAIN as u64 + 1)) as RecordKey;
+                        let r = Record::with_size(id, key, 120);
+                        engine.insert(&r).unwrap();
+                        if i % 2 == 1 {
+                            assert!(engine.delete(r.id, r.key).unwrap());
+                        }
+                    }
+                });
+            }
+            let flusher_stop = Arc::clone(&stop);
+            let flusher = &engine;
+            scope.spawn(move || {
+                while !flusher_stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    flusher.flush().unwrap();
+                }
+            });
+            // Writers finish, then the flusher is told to stop. (Scoped
+            // threads: writer handles joined implicitly at scope end, but
+            // the stop flag must flip once writers are done — easiest is to
+            // wait for the write volume to land.)
+            scope.spawn({
+                let stop = Arc::clone(&stop);
+                let engine = &engine;
+                move || {
+                    let expect_kept = writers * ops_per_writer / 2;
+                    loop {
+                        let outcome = engine.query(&RangeQuery::new(0, DOMAIN)).unwrap();
+                        let kept = outcome
+                            .slices
+                            .iter()
+                            .flat_map(|s| s.records.iter())
+                            .filter(|enc| Record::decode(enc).unwrap().id >= 9_600_000)
+                            .count() as u64;
+                        if kept == expect_kept && outcome.verdict.is_ok() {
+                            stop.store(true, std::sync::atomic::Ordering::Relaxed);
+                            break;
+                        }
+                        std::thread::yield_now();
+                    }
+                }
+            });
+        });
+        engine.close().unwrap();
+
+        // The reopen is the epoch-consistency check: any manifest/file epoch
+        // skew would surface as StaleManifest or Corrupted here.
+        let reopened = ShardedSaeEngine::open_dir(dir.path(), HashAlgorithm::Sha1, None).unwrap();
+        let outcome = reopened.query(&RangeQuery::new(0, DOMAIN)).unwrap();
+        assert!(outcome.verdict.is_ok(), "{:?}", outcome.verdict);
+        let kept: Vec<u64> = outcome
+            .slices
+            .iter()
+            .flat_map(|s| s.records.iter())
+            .map(|enc| Record::decode(enc).unwrap().id)
+            .filter(|&id| id >= 9_600_000)
+            .collect();
+        assert_eq!(kept.len() as u64, writers * ops_per_writer / 2);
+    }
+
+    #[test]
+    fn flush_on_close_policy_defers_all_commits_to_close() {
+        let ds = dataset(500);
+        let dir = tempfile::tempdir().unwrap();
+        let engine = ShardedSaeEngine::create_dir_with(
+            dir.path(),
+            &ds,
+            HashAlgorithm::Sha1,
+            2,
+            Some(256),
+            DurabilityPolicy::FlushOnClose,
+        )
+        .unwrap();
+        let before = total_syncs(&engine);
+        let fresh = Record::with_size(9_700_000, 12_345, 120);
+        engine.insert(&fresh).unwrap();
+        assert_eq!(total_syncs(&engine) - before, 0, "insert must not sync");
+        engine.close().unwrap();
+
+        let reopened = ShardedSaeEngine::open_dir(dir.path(), HashAlgorithm::Sha1, None).unwrap();
+        let outcome = reopened
+            .query(&RangeQuery::new(fresh.key, fresh.key))
+            .unwrap();
+        assert!(outcome.verdict.is_ok());
+        assert!(outcome
+            .slices
+            .iter()
+            .flat_map(|s| s.records.iter())
+            .any(|enc| Record::decode(enc).unwrap().id == fresh.id));
     }
 
     #[test]

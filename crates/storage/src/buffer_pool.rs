@@ -13,6 +13,7 @@ use crate::pager::{PageStore, SharedPageStore};
 use crate::stats::IoStats;
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// Default number of cached pages (1 MiB worth of 4 KiB pages).
@@ -47,6 +48,7 @@ pub struct CachedPager {
     capacity: usize,
     state: Mutex<CacheState>,
     stats: Arc<IoStats>,
+    flush_on_drop: AtomicBool,
 }
 
 impl CachedPager {
@@ -65,7 +67,19 @@ impl CachedPager {
                 tick: 0,
             }),
             stats: IoStats::new_shared(),
+            flush_on_drop: AtomicBool::new(true),
         }
+    }
+
+    /// Controls whether `Drop` performs a best-effort flush of dirty pages
+    /// (the default). A durable deployment running a group-commit or
+    /// flush-on-close policy turns this **off**: its cache may hold
+    /// mutations that were never acknowledged as durable, and writing them
+    /// into the backing file on drop would overwrite committed pages in
+    /// place with state the manifest does not describe — turning a clean
+    /// crash (recover the last commit) into a detected corruption.
+    pub fn set_flush_on_drop(&self, flush: bool) {
+        self.flush_on_drop.store(flush, Ordering::Relaxed);
     }
 
     /// Wraps `inner` with the default capacity.
@@ -73,10 +87,19 @@ impl CachedPager {
         Self::new(inner, DEFAULT_CAPACITY)
     }
 
-    /// Flushes all dirty pages to the backing store.
+    /// Flushes all dirty pages to the backing store, in ascending page-id
+    /// order. `HashMap` iteration order would scatter the writes across the
+    /// backing file; the commit path flushes whole batches at once, and
+    /// sorted ids turn that into one sequential pass over the file.
     pub fn flush(&self) -> StorageResult<()> {
         let mut state = self.state.lock();
-        let ids: Vec<u64> = state.entries.keys().copied().collect();
+        let mut ids: Vec<u64> = state
+            .entries
+            .iter()
+            .filter(|(_, (_, dirty, _))| *dirty)
+            .map(|(&id, _)| id)
+            .collect();
+        ids.sort_unstable();
         for id in ids {
             if let Some((page, dirty, _)) = state.entries.get_mut(&id) {
                 if *dirty {
@@ -149,6 +172,18 @@ impl PageStore for CachedPager {
         Ok(())
     }
 
+    fn sync(&self) -> StorageResult<()> {
+        // A durability barrier is meaningless for pages still sitting dirty
+        // in the pool; callers flush first (the commit path does). The
+        // physical barrier belongs to the backing store; the cache mirrors
+        // it in its own stats — exactly like logical reads/writes — so a
+        // consumer watching the cache's counters (the engines' party
+        // accounting) sees the same fsyncs-per-op with or without a pool.
+        self.inner.sync()?;
+        self.stats.record_sync();
+        Ok(())
+    }
+
     fn page_count(&self) -> u64 {
         self.inner.page_count()
     }
@@ -161,7 +196,9 @@ impl PageStore for CachedPager {
 impl Drop for CachedPager {
     fn drop(&mut self) {
         // Best-effort flush; errors are ignored because Drop cannot fail.
-        let _ = self.flush();
+        if self.flush_on_drop.load(Ordering::Relaxed) {
+            let _ = self.flush();
+        }
     }
 }
 
@@ -266,6 +303,57 @@ mod tests {
         assert_eq!(cache.stats().snapshot().cache_misses, misses_before + 1);
     }
 
+    /// `flush` must emit dirty pages in ascending page-id order — sequential
+    /// I/O on the backing file — regardless of `HashMap` iteration order.
+    #[test]
+    fn flush_writes_dirty_pages_in_ascending_id_order() {
+        struct Recorder {
+            inner: SharedPageStore,
+            writes: Mutex<Vec<u64>>,
+        }
+        impl PageStore for Recorder {
+            fn allocate(&self) -> StorageResult<PageId> {
+                self.inner.allocate()
+            }
+            fn read(&self, id: PageId) -> StorageResult<Page> {
+                self.inner.read(id)
+            }
+            fn write(&self, id: PageId, page: &Page) -> StorageResult<()> {
+                self.writes.lock().push(id.0);
+                self.inner.write(id, page)
+            }
+            fn sync(&self) -> StorageResult<()> {
+                self.inner.sync()
+            }
+            fn page_count(&self) -> u64 {
+                self.inner.page_count()
+            }
+            fn stats(&self) -> Arc<IoStats> {
+                self.inner.stats()
+            }
+        }
+
+        let recorder = Arc::new(Recorder {
+            inner: MemPager::new_shared(),
+            writes: Mutex::new(Vec::new()),
+        });
+        let cache = CachedPager::new(Arc::clone(&recorder) as SharedPageStore, 64);
+        let ids: Vec<PageId> = (0..16).map(|_| cache.allocate().unwrap()).collect();
+        // Dirty them in a scrambled order; leave some clean.
+        for &i in &[7usize, 2, 11, 0, 13, 5, 9] {
+            cache.write(ids[i], &Page::new()).unwrap();
+        }
+        cache.read(ids[3]).unwrap(); // cached but clean
+        recorder.writes.lock().clear();
+        cache.flush().unwrap();
+        let order = recorder.writes.lock().clone();
+        assert_eq!(order, vec![0, 2, 5, 7, 9, 11, 13]);
+        // A second flush has nothing dirty left.
+        recorder.writes.lock().clear();
+        cache.flush().unwrap();
+        assert!(recorder.writes.lock().is_empty());
+    }
+
     #[test]
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_is_rejected() {
@@ -285,5 +373,21 @@ mod tests {
             cache.write(id, &page).unwrap();
         }
         assert_eq!(inner.read(id).unwrap().read_u32(16), 0xCAFE);
+    }
+
+    #[test]
+    fn drop_flush_can_be_disabled() {
+        let inner: SharedPageStore = MemPager::new_shared();
+        let id;
+        {
+            let cache = CachedPager::new(Arc::clone(&inner), 4);
+            cache.set_flush_on_drop(false);
+            id = cache.allocate().unwrap();
+            let mut page = Page::new();
+            page.write_u32(16, 0xCAFE);
+            cache.write(id, &page).unwrap();
+        }
+        // The dirty page was discarded, not written back.
+        assert_eq!(inner.read(id).unwrap().read_u32(16), 0);
     }
 }

@@ -411,13 +411,25 @@ impl ShardHeader {
 const PAGE_DIR_HEADER_LEN: usize = 16;
 const PAGE_DIR_CAPACITY: usize = (PAGE_SIZE - PAGE_DIR_HEADER_LEN) / 8;
 
+/// What one chain page held the last time it was successfully written:
+/// its entry chunk and its next pointer. `None` means the on-store content
+/// is unknown (a write to it failed midway) and it must be rewritten.
+type ChainPageContent = Option<(Vec<PageId>, PageId)>;
+
 /// A rewritable on-store chain of pages persisting an ordered [`PageId`]
-/// list (the heap file's page table). The chain is rewritten in place on
-/// every commit, growing by one chain page whenever the list outgrows the
-/// current capacity, so commits do not leak pages.
+/// list (the heap file's page table). The chain grows by one chain page
+/// whenever the list outgrows the current capacity, so commits do not leak
+/// pages.
+///
+/// Checkpointing is **incremental**: the directory remembers what every
+/// chain page last held and rewrites only the pages whose chunk or next
+/// pointer actually changed. A heap file grows by appending, so a typical
+/// commit touches exactly one chain page (the tail) instead of rewriting
+/// the whole chain.
 #[derive(Debug)]
 pub struct PageDirectory {
     chain: Vec<PageId>,
+    written: Vec<ChainPageContent>,
 }
 
 impl PageDirectory {
@@ -425,8 +437,11 @@ impl PageDirectory {
     /// head page id (what the manifest records).
     pub fn create(store: &dyn PageStore) -> StorageResult<(PageDirectory, PageId)> {
         let head = store.allocate()?;
-        let dir = PageDirectory { chain: vec![head] };
-        dir.write_chain(store, &[])?;
+        let mut dir = PageDirectory {
+            chain: vec![head],
+            written: vec![None],
+        };
+        dir.write(store, &[])?;
         Ok((dir, head))
     }
 
@@ -436,35 +451,43 @@ impl PageDirectory {
     }
 
     /// Rewrites the chain to hold exactly `entries`, allocating further
-    /// chain pages as needed.
+    /// chain pages as needed and skipping every chain page whose content is
+    /// unchanged since the last successful write.
     pub fn write(&mut self, store: &dyn PageStore, entries: &[PageId]) -> StorageResult<()> {
         let needed = entries.len().div_ceil(PAGE_DIR_CAPACITY).max(1);
         while self.chain.len() < needed {
             self.chain.push(store.allocate()?);
+            self.written.push(None);
         }
-        self.write_chain(store, entries)
-    }
-
-    fn write_chain(&self, store: &dyn PageStore, entries: &[PageId]) -> StorageResult<()> {
-        let needed = entries.len().div_ceil(PAGE_DIR_CAPACITY).max(1);
         for i in 0..needed {
             let lo = (i * PAGE_DIR_CAPACITY).min(entries.len());
             let hi = ((i + 1) * PAGE_DIR_CAPACITY).min(entries.len());
             let chunk = &entries[lo..hi];
-            let mut page = Page::new();
-            page.write_u32(0, PAGE_DIR_MAGIC);
-            page.write_u32(4, chunk.len() as u32);
             let next = if i + 1 < needed {
                 self.chain[i + 1]
             } else {
                 PageId::INVALID
             };
+            if matches!(&self.written[i], Some((c, n)) if c == chunk && *n == next) {
+                continue;
+            }
+            let mut page = Page::new();
+            page.write_u32(0, PAGE_DIR_MAGIC);
+            page.write_u32(4, chunk.len() as u32);
             page.write_page_id(8, next);
             for (j, id) in chunk.iter().enumerate() {
                 page.write_page_id(PAGE_DIR_HEADER_LEN + j * 8, *id);
             }
+            // Invalidate before writing: a failed write leaves the on-store
+            // page in an unknown state, so the next commit must retry it.
+            self.written[i] = None;
             store.write(self.chain[i], &page)?;
+            self.written[i] = Some((chunk.to_vec(), next));
         }
+        // Pages past the shrunk chain keep their last-written content on the
+        // store (they are unreachable via next pointers), and `written`
+        // still describes them — a later regrow compares against exactly
+        // what is there.
         Ok(())
     }
 
@@ -477,6 +500,7 @@ impl PageDirectory {
         expected_len: u64,
     ) -> StorageResult<(PageDirectory, Vec<PageId>)> {
         let mut chain = Vec::new();
+        let mut written = Vec::new();
         let mut entries = Vec::new();
         let mut current = head;
         while !current.is_invalid() {
@@ -497,11 +521,15 @@ impl PageDirectory {
                     "page-directory chunk claims {count} entries (capacity {PAGE_DIR_CAPACITY})"
                 )));
             }
+            let mut chunk = Vec::with_capacity(count);
             for j in 0..count {
-                entries.push(page.read_page_id(PAGE_DIR_HEADER_LEN + j * 8));
+                chunk.push(page.read_page_id(PAGE_DIR_HEADER_LEN + j * 8));
             }
+            let next = page.read_page_id(8);
+            entries.extend_from_slice(&chunk);
+            written.push(Some((chunk, next)));
             chain.push(current);
-            current = page.read_page_id(8);
+            current = next;
         }
         if entries.len() as u64 != expected_len {
             return Err(StorageError::Corrupted(format!(
@@ -509,7 +537,7 @@ impl PageDirectory {
                 entries.len()
             )));
         }
-        Ok((PageDirectory { chain }, entries))
+        Ok((PageDirectory { chain, written }, entries))
     }
 }
 
@@ -706,5 +734,56 @@ mod tests {
             PageDirectory::open(&store, head, 99),
             Err(StorageError::Corrupted(_))
         ));
+    }
+
+    #[test]
+    fn page_directory_rewrites_only_dirty_chain_pages() {
+        let store = MemPager::new();
+        let (mut dir, head) = PageDirectory::create(&store).unwrap();
+        // Fill two full chain pages plus a partial third.
+        let many: Vec<PageId> = (0..2 * PAGE_DIR_CAPACITY as u64 + 5).map(PageId).collect();
+        dir.write(&store, &many).unwrap();
+
+        // Unchanged entries: zero chain-page writes.
+        let before = store.stats().snapshot();
+        dir.write(&store, &many).unwrap();
+        assert_eq!(store.stats().snapshot().delta_since(&before).node_writes, 0);
+
+        // Appending within the tail chunk's capacity touches only the tail.
+        let mut grown = many.clone();
+        grown.push(PageId(9_000));
+        let before = store.stats().snapshot();
+        dir.write(&store, &grown).unwrap();
+        assert_eq!(store.stats().snapshot().delta_since(&before).node_writes, 1);
+
+        // The incremental writes still round-trip through open.
+        let (_, loaded) = PageDirectory::open(&store, head, grown.len() as u64).unwrap();
+        assert_eq!(loaded, grown);
+
+        // A reopened directory knows the on-store content: rewriting the
+        // same entries is still free.
+        let (mut reopened, _) = PageDirectory::open(&store, head, grown.len() as u64).unwrap();
+        let before = store.stats().snapshot();
+        reopened.write(&store, &grown).unwrap();
+        assert_eq!(store.stats().snapshot().delta_since(&before).node_writes, 0);
+    }
+
+    #[test]
+    fn page_directory_shrink_then_regrow_rewrites_what_changed() {
+        let store = MemPager::new();
+        let (mut dir, head) = PageDirectory::create(&store).unwrap();
+        let two_pages: Vec<PageId> = (0..PAGE_DIR_CAPACITY as u64 + 10).map(PageId).collect();
+        dir.write(&store, &two_pages).unwrap();
+
+        // Shrink to one chunk, then regrow with different tail entries: the
+        // stale second chain page must be rewritten, not skipped.
+        let few: Vec<PageId> = (500..520).map(PageId).collect();
+        dir.write(&store, &few).unwrap();
+        let regrown: Vec<PageId> = (1_000..1_000 + PAGE_DIR_CAPACITY as u64 + 10)
+            .map(PageId)
+            .collect();
+        dir.write(&store, &regrown).unwrap();
+        let (_, loaded) = PageDirectory::open(&store, head, regrown.len() as u64).unwrap();
+        assert_eq!(loaded, regrown);
     }
 }

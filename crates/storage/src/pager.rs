@@ -39,6 +39,13 @@ pub trait PageStore: Send + Sync {
     /// Writes the page with the given id.
     fn write(&self, id: PageId, page: &Page) -> StorageResult<()>;
 
+    /// Forces everything written so far to stable storage (a durability
+    /// barrier). Every implementation records the barrier in its
+    /// [`IoStats::record_sync`] counter — in-memory stores as a counted
+    /// no-op — so identical access sequences charge identical stats on
+    /// every backend and benches can report fsyncs-per-op.
+    fn sync(&self) -> StorageResult<()>;
+
     /// Number of pages allocated so far.
     fn page_count(&self) -> u64;
 
@@ -119,6 +126,13 @@ impl PageStore for MemPager {
         }
     }
 
+    fn sync(&self) -> StorageResult<()> {
+        // Memory is always "durable" for the in-memory backend; counting the
+        // barrier keeps the stats parity with FilePager.
+        self.stats.record_sync();
+        Ok(())
+    }
+
     fn page_count(&self) -> u64 {
         self.pages.lock().len() as u64
     }
@@ -133,6 +147,7 @@ pub struct FilePager {
     file: Mutex<File>,
     page_count: AtomicU64,
     stats: Arc<IoStats>,
+    sync_delay_micros: AtomicU64,
 }
 
 impl FilePager {
@@ -148,6 +163,7 @@ impl FilePager {
             file: Mutex::new(file),
             page_count: AtomicU64::new(0),
             stats: IoStats::new_shared(),
+            sync_delay_micros: AtomicU64::new(0),
         })
     }
 
@@ -164,13 +180,19 @@ impl FilePager {
             file: Mutex::new(file),
             page_count: AtomicU64::new(len / PAGE_SIZE as u64),
             stats: IoStats::new_shared(),
+            sync_delay_micros: AtomicU64::new(0),
         })
     }
 
-    /// Flushes the underlying file to stable storage.
-    pub fn sync(&self) -> StorageResult<()> {
-        self.file.lock().sync_data()?;
-        Ok(())
+    /// Adds a simulated latency to every durability barrier, slept while
+    /// the file lock is held (a real device stalls same-file writers during
+    /// a barrier too). Zero — the default — disables it. Like
+    /// `ServeOptions::io_micros_per_query` and the 10 ms/node-access cost
+    /// model, this lets experiments on fast CI disks measure protocol
+    /// effects (group commit amortizing fsyncs) at production-disk barrier
+    /// costs; the real `fdatasync` is still issued.
+    pub fn set_sync_delay_micros(&self, micros: u64) {
+        self.sync_delay_micros.store(micros, Ordering::Relaxed);
     }
 }
 
@@ -234,6 +256,19 @@ impl PageStore for FilePager {
         file.write_all(page.as_slice())?;
         self.stats.record_node_write();
         self.stats.record_physical_write();
+        Ok(())
+    }
+
+    fn sync(&self) -> StorageResult<()> {
+        let file = self.file.lock();
+        file.sync_data()?;
+        let delay = self.sync_delay_micros.load(Ordering::Relaxed);
+        if delay > 0 {
+            std::thread::sleep(std::time::Duration::from_micros(delay));
+        }
+        drop(file);
+        // Charged only on success, like every other access.
+        self.stats.record_sync();
         Ok(())
     }
 
@@ -413,6 +448,7 @@ mod tests {
             store.write(a, &page).unwrap();
             store.read(a).unwrap();
             store.read(b).unwrap();
+            store.sync().unwrap();
             // Failed accesses must not be charged on either backend.
             assert!(store.read(PageId(77)).is_err());
             assert!(store.write(PageId(77), &page).is_err());
@@ -423,6 +459,10 @@ mod tests {
         assert_eq!(mem_snap, file_snap);
         assert_eq!(mem_snap.node_reads, 2);
         assert_eq!(mem_snap.node_writes, 1);
+        // The durability barrier is counted identically on both backends
+        // (the in-memory one as a no-op) and is not a node access.
+        assert_eq!(mem_snap.syncs, 1);
+        assert_eq!(mem_snap.node_accesses(), 3);
     }
 
     /// A truncated pager file is *corruption*, not a generic I/O error: the

@@ -22,6 +22,7 @@ pub struct IoStats {
     physical_writes: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    syncs: AtomicU64,
 }
 
 impl IoStats {
@@ -60,6 +61,15 @@ impl IoStats {
         self.cache_misses.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one durability barrier (an `fsync`/`fdatasync` on the backing
+    /// store, or its no-op equivalent on an in-memory store). Not a node
+    /// access — the paper's cost model does not charge for it — but the
+    /// quantity group commit exists to amortize, so benches report it as
+    /// fsyncs-per-op.
+    pub fn record_sync(&self) {
+        self.syncs.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Takes a point-in-time snapshot of all counters.
     pub fn snapshot(&self) -> IoSnapshot {
         IoSnapshot {
@@ -69,6 +79,7 @@ impl IoStats {
             physical_writes: self.physical_writes.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            syncs: self.syncs.load(Ordering::Relaxed),
         }
     }
 
@@ -80,6 +91,7 @@ impl IoStats {
         self.physical_writes.store(0, Ordering::Relaxed);
         self.cache_hits.store(0, Ordering::Relaxed);
         self.cache_misses.store(0, Ordering::Relaxed);
+        self.syncs.store(0, Ordering::Relaxed);
     }
 }
 
@@ -98,6 +110,8 @@ pub struct IoSnapshot {
     pub cache_hits: u64,
     /// Buffer-pool misses.
     pub cache_misses: u64,
+    /// Durability barriers (`fsync`/`fdatasync`) issued against the store.
+    pub syncs: u64,
 }
 
 impl IoSnapshot {
@@ -110,6 +124,7 @@ impl IoSnapshot {
             physical_writes: self.physical_writes.saturating_sub(earlier.physical_writes),
             cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
             cache_misses: self.cache_misses.saturating_sub(earlier.cache_misses),
+            syncs: self.syncs.saturating_sub(earlier.syncs),
         }
     }
 
@@ -129,6 +144,7 @@ impl IoSnapshot {
         self.physical_writes += other.physical_writes;
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
+        self.syncs += other.syncs;
     }
 }
 
@@ -233,8 +249,26 @@ mod tests {
     fn reset_zeroes_counters() {
         let stats = IoStats::new_shared();
         stats.record_node_read();
+        stats.record_sync();
         stats.reset();
         assert_eq!(stats.snapshot(), IoSnapshot::default());
+    }
+
+    #[test]
+    fn syncs_are_counted_but_not_charged_as_node_accesses() {
+        let stats = IoStats::new_shared();
+        stats.record_node_read();
+        stats.record_sync();
+        stats.record_sync();
+        let snap = stats.snapshot();
+        assert_eq!(snap.syncs, 2);
+        assert_eq!(snap.node_accesses(), 1);
+        assert_eq!(CostModel::paper().charge_ms(&snap), 10.0);
+        // Delta and accumulate carry the counter like any other.
+        let mut acc = snap;
+        acc.accumulate(&snap);
+        assert_eq!(acc.syncs, 4);
+        assert_eq!(snap.delta_since(&IoSnapshot::default()).syncs, 2);
     }
 
     #[test]

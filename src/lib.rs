@@ -52,10 +52,11 @@ pub use sae_xbtree as xbtree;
 /// The most commonly used types, re-exported flat.
 pub mod prelude {
     pub use sae_core::{
-        LatencySummary, QueryMetrics, SaeClient, SaeEngine, SaeQueryOutcome, SaeSystem,
-        SaeVerifyError, ServeOptions, ShardLayout, ShardSlice, ShardedQueryOutcome,
-        ShardedSaeEngine, ShardedVerifyError, StorageBreakdown, TamperStrategy, ThroughputReport,
-        TomEngine, TomQueryOutcome, TomSystem, TrustedEntity, UpdateService,
+        CommitCrashPoint, DurabilityPolicy, LatencySummary, QueryMetrics, SaeClient, SaeEngine,
+        SaeQueryOutcome, SaeSystem, SaeVerifyError, ServeOptions, ShardLayout, ShardSlice,
+        ShardedQueryOutcome, ShardedSaeEngine, ShardedVerifyError, StorageBreakdown,
+        TamperStrategy, ThroughputReport, TomEngine, TomQueryOutcome, TomSystem, TrustedEntity,
+        UpdateService,
     };
     pub use sae_crypto::{
         hash_bytes, Digest, HashAlgorithm, MacSigner, RsaSigner, Signer, Verifier, XorDigest,

@@ -3,7 +3,13 @@
 //! (never rebuilding from the dataset) and serve byte-identical verified
 //! results on every layout, while torn/garbage/stale manifests, swapped
 //! shard files and on-disk tampers are rejected — with typed errors, never a
-//! panic or a silently-empty deployment.
+//! panic or a silently-empty deployment. The crash-point tests kill the
+//! commit pipeline between its stages (`CommitCrashPoint`) and assert that
+//! reopening lands on a verified committed prefix or a typed error.
+//!
+//! `SAE_DURABILITY_POLICY=immediate|group|flush-on-close` selects the
+//! commit policy every engine in this file runs under (default immediate),
+//! so CI exercises the whole recovery suite per policy.
 
 use sae::prelude::*;
 use sae::storage::{
@@ -24,12 +30,36 @@ fn dataset(n: usize, seed: u64) -> Dataset {
     .generate()
 }
 
+/// The durability policy the test-matrix leg selects (default immediate).
+fn policy() -> DurabilityPolicy {
+    match std::env::var("SAE_DURABILITY_POLICY").as_deref() {
+        Ok("group") => DurabilityPolicy::group(),
+        Ok("flush-on-close") => DurabilityPolicy::FlushOnClose,
+        _ => DurabilityPolicy::Immediate,
+    }
+}
+
+/// Creates a durable engine under the configured policy.
+fn create_engine(
+    dir: &Path,
+    ds: &Dataset,
+    shards: usize,
+    cache_pages: Option<usize>,
+) -> ShardedSaeEngine {
+    ShardedSaeEngine::create_dir_with(dir, ds, ALG, shards, cache_pages, policy()).unwrap()
+}
+
+/// Whether the configured policy commits accepted writes before returning.
+fn writes_commit_eagerly() -> bool {
+    policy() != DurabilityPolicy::FlushOnClose
+}
+
 #[test]
 fn reopen_after_close_round_trips_queries_and_digests_on_every_layout() {
     let ds = dataset(4_000, 11);
     for shards in 1usize..=8 {
         let dir = tempfile::tempdir().unwrap();
-        let engine = ShardedSaeEngine::create_dir(dir.path(), &ds, ALG, shards, None).unwrap();
+        let engine = create_engine(dir.path(), &ds, shards, None);
         let queries = QueryMix::spanning(DOMAIN, 0.01, shards.max(2))
             .workload(8, 23)
             .queries;
@@ -78,7 +108,7 @@ fn committed_updates_survive_repeated_restarts() {
     let dir = tempfile::tempdir().unwrap();
     let fresh = Record::with_size(8_400_000, 4_321_000, 500);
 
-    let engine = ShardedSaeEngine::create_dir(dir.path(), &ds, ALG, 4, Some(128)).unwrap();
+    let engine = create_engine(dir.path(), &ds, 4, Some(128));
     engine.insert(&fresh).unwrap();
     engine.close().unwrap();
 
@@ -113,10 +143,7 @@ fn committed_updates_survive_repeated_restarts() {
 
 fn close_deployment(dir: &Path, shards: usize) {
     let ds = dataset(600, 13);
-    ShardedSaeEngine::create_dir(dir, &ds, ALG, shards, None)
-        .unwrap()
-        .close()
-        .unwrap();
+    create_engine(dir, &ds, shards, None).close().unwrap();
 }
 
 #[test]
@@ -253,10 +280,7 @@ fn on_disk_tampering_is_detected_after_reopen() {
     // query covering it fails verification.
     let dir = tempfile::tempdir().unwrap();
     let ds = dataset(800, 14);
-    ShardedSaeEngine::create_dir(dir.path(), &ds, ALG, 2, None)
-        .unwrap()
-        .close()
-        .unwrap();
+    create_engine(dir.path(), &ds, 2, None).close().unwrap();
 
     // sp-0.pages layout: page 0 = identity header, page 1 = heap page
     // directory, page 2 = first heap page. Byte 50 of the first record is
@@ -286,4 +310,186 @@ fn on_disk_tampering_is_detected_after_reopen() {
         ShardedSaeEngine::open_dir(dir.path(), ALG, None),
         Err(StorageError::Corrupted(_))
     ));
+}
+
+/// Commits a prefix (bulk load + one insert + explicit flush), then returns
+/// the engine and the record the committed prefix must contain.
+fn committed_prefix(dir: &Path, ds: &Dataset) -> (ShardedSaeEngine, Record) {
+    // A write-back cache is what makes the crash window clean: data pages
+    // stay in the pool until the commit flush, so a kill before the flush
+    // leaves the files exactly at the last commit.
+    let engine = create_engine(dir, ds, 2, Some(512));
+    let committed = Record::with_size(8_500_000, 2_000_000, 500);
+    engine.insert(&committed).unwrap();
+    engine.flush().unwrap();
+    (engine, committed)
+}
+
+fn served_ids(engine: &ShardedSaeEngine, q: &RangeQuery) -> Vec<u64> {
+    engine
+        .query(q)
+        .unwrap()
+        .slices
+        .iter()
+        .flat_map(|s| s.records.iter())
+        .map(|r| Record::decode(r).unwrap().id)
+        .collect()
+}
+
+/// A kill before any commit work starts: the files still hold exactly the
+/// committed prefix, and the reopened deployment serves it verified — the
+/// in-flight write is cleanly absent, never half-applied.
+#[test]
+fn crash_before_commit_recovers_the_verified_committed_prefix() {
+    let dir = tempfile::tempdir().unwrap();
+    let ds = dataset(800, 21);
+    let (engine, committed) = committed_prefix(dir.path(), &ds);
+
+    engine.set_commit_crash_point(Some(CommitCrashPoint::BeforeCommit));
+    let doomed = Record::with_size(8_600_000, 6_000_000, 500);
+    // Eager policies report the injected commit failure; FlushOnClose
+    // accepts from memory and never reaches the crash point.
+    assert_eq!(engine.insert(&doomed).is_err(), writes_commit_eagerly());
+    // Kill -9: no Drop, no cache write-back, no final sync.
+    std::mem::forget(engine);
+
+    let reopened = ShardedSaeEngine::open_dir(dir.path(), ALG, None).unwrap();
+    let full = reopened.query(&RangeQuery::new(0, DOMAIN)).unwrap();
+    assert!(full.verdict.is_ok(), "{:?}", full.verdict);
+    let ids = served_ids(&reopened, &RangeQuery::new(0, DOMAIN));
+    assert!(ids.contains(&committed.id), "committed prefix lost");
+    assert!(!ids.contains(&doomed.id), "un-committed write resurrected");
+}
+
+/// A kill after data pages were flushed but before the headers were synced:
+/// the files now hold page contents the old manifest roots do not describe.
+/// With no WAL that state is not recoverable — what the protocol owes is a
+/// *typed refusal* (the reopened TE no longer folds to its published
+/// digest, the heap geometry disagrees), never a silently-torn serving
+/// state. FlushOnClose never reaches the crash point, so its files stay at
+/// the committed prefix instead.
+#[test]
+fn crash_after_page_flush_is_rejected_with_a_typed_error() {
+    let dir = tempfile::tempdir().unwrap();
+    let ds = dataset(800, 22);
+    let (engine, committed) = committed_prefix(dir.path(), &ds);
+
+    engine.set_commit_crash_point(Some(CommitCrashPoint::AfterPageFlush));
+    let doomed = Record::with_size(8_600_001, 6_000_001, 500);
+    assert_eq!(engine.insert(&doomed).is_err(), writes_commit_eagerly());
+    std::mem::forget(engine);
+
+    match ShardedSaeEngine::open_dir(dir.path(), ALG, None) {
+        Err(StorageError::Corrupted(_)) | Err(StorageError::StaleManifest { .. })
+            if writes_commit_eagerly() => {}
+        Ok(reopened) if !writes_commit_eagerly() => {
+            let ids = served_ids(&reopened, &RangeQuery::new(0, DOMAIN));
+            assert!(ids.contains(&committed.id));
+            assert!(!ids.contains(&doomed.id));
+        }
+        other => panic!(
+            "unexpected reopen outcome after page-flush crash (eager={}): {:?}",
+            writes_commit_eagerly(),
+            other.err()
+        ),
+    }
+}
+
+/// A kill after both pager files were synced at the new epoch but before
+/// the manifest rename — the classic pages-ahead-of-manifest crash — must
+/// surface as `StaleManifest`, exactly as PR 4 promised, under every
+/// policy whose writes commit eagerly.
+#[test]
+fn crash_after_header_sync_reports_stale_manifest() {
+    let dir = tempfile::tempdir().unwrap();
+    let ds = dataset(800, 23);
+    let (engine, committed) = committed_prefix(dir.path(), &ds);
+
+    engine.set_commit_crash_point(Some(CommitCrashPoint::AfterHeaderSync));
+    let doomed = Record::with_size(8_600_002, 6_000_002, 500);
+    assert_eq!(engine.insert(&doomed).is_err(), writes_commit_eagerly());
+    std::mem::forget(engine);
+
+    match ShardedSaeEngine::open_dir(dir.path(), ALG, None) {
+        Err(StorageError::StaleManifest {
+            manifest_epoch,
+            file_epoch,
+            ..
+        }) if writes_commit_eagerly() => {
+            assert_eq!(file_epoch, manifest_epoch + 1);
+        }
+        Ok(reopened) if !writes_commit_eagerly() => {
+            let ids = served_ids(&reopened, &RangeQuery::new(0, DOMAIN));
+            assert!(ids.contains(&committed.id));
+            assert!(!ids.contains(&doomed.id));
+        }
+        other => panic!(
+            "expected StaleManifest after header-sync crash (eager={}): {:?}",
+            writes_commit_eagerly(),
+            other.err()
+        ),
+    }
+}
+
+/// A completed commit followed by a kill (no close, no Drop): the write is
+/// part of the committed prefix and must be served verified after reopen.
+#[test]
+fn crash_after_full_commit_serves_the_new_state() {
+    let dir = tempfile::tempdir().unwrap();
+    let ds = dataset(800, 24);
+    let (engine, committed) = committed_prefix(dir.path(), &ds);
+
+    let landed = Record::with_size(8_600_003, 6_000_003, 500);
+    engine.insert(&landed).unwrap();
+    if !writes_commit_eagerly() {
+        // FlushOnClose acknowledges from memory; pin the commit explicitly.
+        engine.flush().unwrap();
+    }
+    std::mem::forget(engine);
+
+    let reopened = ShardedSaeEngine::open_dir(dir.path(), ALG, None).unwrap();
+    let full = reopened.query(&RangeQuery::new(0, DOMAIN)).unwrap();
+    assert!(full.verdict.is_ok(), "{:?}", full.verdict);
+    let ids = served_ids(&reopened, &RangeQuery::new(0, DOMAIN));
+    assert!(ids.contains(&committed.id));
+    assert!(ids.contains(&landed.id));
+}
+
+/// The group-commit durability contract under a kill: every *acknowledged*
+/// concurrent write is part of the committed prefix a reopen recovers, with
+/// verified digests — batching amortizes fsyncs without weakening what an
+/// acknowledgement means.
+#[test]
+fn group_acknowledged_writes_survive_a_kill() {
+    let dir = tempfile::tempdir().unwrap();
+    let ds = dataset(800, 25);
+    let engine = ShardedSaeEngine::create_dir_with(
+        dir.path(),
+        &ds,
+        ALG,
+        4,
+        Some(512),
+        DurabilityPolicy::group(),
+    )
+    .unwrap();
+
+    let records: Vec<Record> = (0..8u64)
+        .map(|i| Record::with_size(8_700_000 + i, (1_000_000 * (i + 1)) as u32, 500))
+        .collect();
+    std::thread::scope(|scope| {
+        for r in &records {
+            let engine = &engine;
+            scope.spawn(move || engine.insert(r).unwrap());
+        }
+    });
+    // Kill -9 after every insert was acknowledged: no close, no Drop.
+    std::mem::forget(engine);
+
+    let reopened = ShardedSaeEngine::open_dir(dir.path(), ALG, None).unwrap();
+    let full = reopened.query(&RangeQuery::new(0, DOMAIN)).unwrap();
+    assert!(full.verdict.is_ok(), "{:?}", full.verdict);
+    let ids = served_ids(&reopened, &RangeQuery::new(0, DOMAIN));
+    for r in &records {
+        assert!(ids.contains(&r.id), "acknowledged write {} lost", r.id);
+    }
 }

@@ -23,8 +23,18 @@ fn dataset(n: usize, seed: u64) -> Dataset {
 /// engine in this file then runs on `FilePager`-backed shards in a temp
 /// deployment directory instead of `MemPager`s, exercising the exact same
 /// scatter-gather and tamper assertions against the durable serving path.
+/// `SAE_DURABILITY_POLICY=immediate|group|flush-on-close` additionally
+/// selects the commit policy of that durable path (default immediate).
 fn file_backed() -> bool {
     std::env::var("SAE_SHARDED_BACKEND").as_deref() == Ok("file")
+}
+
+fn durability_policy() -> DurabilityPolicy {
+    match std::env::var("SAE_DURABILITY_POLICY").as_deref() {
+        Ok("group") => DurabilityPolicy::group(),
+        Ok("flush-on-close") => DurabilityPolicy::FlushOnClose,
+        _ => DurabilityPolicy::Immediate,
+    }
 }
 
 /// Builds an engine on the configured backend. The returned `TempDir` guard
@@ -36,8 +46,15 @@ fn build_engine(
 ) -> (ShardedSaeEngine, Option<tempfile::TempDir>) {
     if file_backed() {
         let dir = tempfile::tempdir().expect("create deployment dir");
-        let engine = ShardedSaeEngine::create_dir(dir.path(), ds, ALG, shards, cache_pages)
-            .expect("create durable engine");
+        let engine = ShardedSaeEngine::create_dir_with(
+            dir.path(),
+            ds,
+            ALG,
+            shards,
+            cache_pages,
+            durability_policy(),
+        )
+        .expect("create durable engine");
         (engine, Some(dir))
     } else {
         let engine = match cache_pages {
