@@ -1,0 +1,407 @@
+//! `sae-analyzer`: an offline static-analysis pass that mechanically enforces
+//! the workspace's concurrency and durability invariants.
+//!
+//! The engine's correctness rests on invariants that ordinary tests cannot
+//! see: the `state(i) → group(i) → manifest` lock order of the group-commit
+//! pipeline, the rule that no fsync or manifest save happens while tree locks
+//! are held, and the requirement that commit leaders never panic. This crate
+//! turns those prose invariants (see `docs/invariants.md`) into a CI gate.
+//!
+//! The pass is deliberately dependency-free — crates.io is unreachable in the
+//! build environment — so it is built on a hand-rolled lexer and a
+//! per-function guard-region model rather than `syn`. See [`scan`] for the
+//! source model, [`rules`] for the six rules, and [`config`] for
+//! `analyzer.toml`.
+//!
+//! Findings can be waived narrowly with an `analyzer:allow` comment — rule
+//! id and reason in parentheses — on the offending line or the line directly
+//! above it; waivers are counted and reported, and stale waivers (matching
+//! nothing) are called out. See the README for the exact syntax.
+
+pub mod config;
+pub mod rules;
+pub mod scan;
+
+use config::Config;
+use rules::Finding;
+use scan::SourceFile;
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Operational failure (I/O or config), as opposed to rule findings.
+#[derive(Debug)]
+pub enum AnalyzerError {
+    Io(PathBuf, std::io::Error),
+    Config(String),
+}
+
+impl fmt::Display for AnalyzerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalyzerError::Io(p, e) => write!(f, "{}: {e}", p.display()),
+            AnalyzerError::Config(msg) => write!(f, "config error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AnalyzerError {}
+
+/// A finding after waiver matching.
+#[derive(Debug, Clone)]
+pub struct ReportedFinding {
+    pub rule: &'static str,
+    pub file: String,
+    pub line: u32,
+    pub message: String,
+    /// `Some(reason)` when an `analyzer:allow` waiver covers this finding.
+    pub waived: Option<String>,
+}
+
+/// A waiver that matched no finding — usually a fixed violation whose
+/// comment should be deleted.
+#[derive(Debug, Clone)]
+pub struct StaleWaiver {
+    pub file: String,
+    pub line: u32,
+    pub rule: String,
+}
+
+/// The result of a full analysis run.
+#[derive(Debug, Default)]
+pub struct Report {
+    pub findings: Vec<ReportedFinding>,
+    pub files_scanned: usize,
+    pub waivers_declared: usize,
+    pub stale_waivers: Vec<StaleWaiver>,
+}
+
+impl Report {
+    /// Unwaived violations — nonzero means the gate fails.
+    pub fn violations(&self) -> usize {
+        self.findings.iter().filter(|f| f.waived.is_none()).count()
+    }
+
+    pub fn waived(&self) -> usize {
+        self.findings.iter().filter(|f| f.waived.is_some()).count()
+    }
+
+    /// Human-readable rendering.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            match &f.waived {
+                None => {
+                    out.push_str(&format!(
+                        "error[{}]: {}:{}: {}\n",
+                        f.rule, f.file, f.line, f.message
+                    ));
+                }
+                Some(reason) => {
+                    out.push_str(&format!(
+                        "waived[{}]: {}:{}: {} (reason: {reason})\n",
+                        f.rule, f.file, f.line, f.message
+                    ));
+                }
+            }
+        }
+        for s in &self.stale_waivers {
+            out.push_str(&format!(
+                "warning[stale-waiver]: {}:{}: analyzer:allow({}) matches no finding\n",
+                s.file, s.line, s.rule
+            ));
+        }
+        out.push_str(&format!(
+            "{} file(s) scanned: {} violation(s), {} waived, {} waiver(s) declared ({} stale)\n",
+            self.files_scanned,
+            self.violations(),
+            self.waived(),
+            self.waivers_declared,
+            self.stale_waivers.len()
+        ));
+        out
+    }
+
+    /// JSON rendering (hand-rolled; the analyzer is dependency-free).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}, \"waived\": {}}}",
+                json_str(f.rule),
+                json_str(&f.file),
+                f.line,
+                json_str(&f.message),
+                match &f.waived {
+                    Some(r) => json_str(r),
+                    None => "null".to_string(),
+                }
+            ));
+        }
+        out.push_str("\n  ],\n  \"stale_waivers\": [");
+        for (i, s) in self.stale_waivers.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"file\": {}, \"line\": {}, \"rule\": {}}}",
+                json_str(&s.file),
+                s.line,
+                json_str(&s.rule)
+            ));
+        }
+        out.push_str(&format!(
+            "\n  ],\n  \"summary\": {{\"files_scanned\": {}, \"violations\": {}, \"waived\": {}, \"waivers_declared\": {}}}\n}}\n",
+            self.files_scanned,
+            self.violations(),
+            self.waived(),
+            self.waivers_declared
+        ));
+        out
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Loads the config file and runs the full analysis rooted at `root`.
+pub fn run_with_config_file(config_path: &Path, root: &Path) -> Result<Report, AnalyzerError> {
+    let text = fs::read_to_string(config_path)
+        .map_err(|e| AnalyzerError::Io(config_path.to_path_buf(), e))?;
+    let cfg = Config::parse(&text).map_err(AnalyzerError::Config)?;
+    run(&cfg, root)
+}
+
+/// Runs the full analysis: walk, scan, rules, waivers.
+pub fn run(cfg: &Config, root: &Path) -> Result<Report, AnalyzerError> {
+    let mut files = Vec::new();
+    for r in &cfg.scan_roots {
+        let dir = root.join(r);
+        if dir.is_dir() {
+            collect_rs_files(&dir, &cfg.exclude_dirs, &mut files)?;
+        }
+    }
+    files.sort();
+    let mut sources = Vec::with_capacity(files.len());
+    for path in &files {
+        let raw = fs::read_to_string(path).map_err(|e| AnalyzerError::Io(path.clone(), e))?;
+        let rel = rel_path(path, root);
+        sources.push(SourceFile::parse(&rel, raw));
+    }
+    let raw_findings = rules::check_all(&sources, cfg);
+    Ok(apply_waivers(raw_findings, &sources))
+}
+
+fn rel_path(path: &Path, root: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    let parts: Vec<String> = rel
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect();
+    parts.join("/")
+}
+
+fn collect_rs_files(
+    dir: &Path,
+    exclude: &[String],
+    out: &mut Vec<PathBuf>,
+) -> Result<(), AnalyzerError> {
+    let entries = fs::read_dir(dir).map_err(|e| AnalyzerError::Io(dir.to_path_buf(), e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| AnalyzerError::Io(dir.to_path_buf(), e))?;
+        let path = entry.path();
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if path.is_dir() {
+            if exclude.iter().any(|x| x == &name) {
+                continue;
+            }
+            collect_rs_files(&path, exclude, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Waivers.
+// ---------------------------------------------------------------------------
+
+struct Waiver {
+    line: u32,
+    rule: String,
+    reason: String,
+    used: bool,
+}
+
+/// Parses `analyzer:allow` waiver markers from raw source lines. Only
+/// markers inside actual comments count — the same text in a string literal
+/// is ignored.
+fn parse_waivers(sf: &SourceFile) -> Vec<Waiver> {
+    let raw = &sf.raw;
+    let mut out = Vec::new();
+    let mut offset = 0usize;
+    for (idx, line) in raw.lines().enumerate() {
+        let line_offset = offset;
+        offset += line.len() + 1;
+        let Some(start) = line.find("analyzer:allow(") else {
+            continue;
+        };
+        if !sf.in_comment(line_offset + start) {
+            continue;
+        }
+        let args_start = start + "analyzer:allow(".len();
+        let Some(end) = line[args_start..].find(')') else {
+            continue;
+        };
+        let args = &line[args_start..args_start + end];
+        let (rule, reason) = match args.split_once(',') {
+            Some((r, why)) => (r.trim().to_string(), why.trim().to_string()),
+            None => (args.trim().to_string(), String::new()),
+        };
+        out.push(Waiver {
+            line: (idx + 1) as u32,
+            rule,
+            reason,
+            used: false,
+        });
+    }
+    out
+}
+
+fn apply_waivers(findings: Vec<Finding>, sources: &[SourceFile]) -> Report {
+    let mut waivers: Vec<(usize, Vec<Waiver>)> = sources
+        .iter()
+        .enumerate()
+        .map(|(i, sf)| (i, parse_waivers(sf)))
+        .collect();
+    let mut report = Report {
+        files_scanned: sources.len(),
+        ..Report::default()
+    };
+    for f in findings {
+        let mut waived = None;
+        if let Some(src_idx) = sources.iter().position(|s| s.rel_path == f.file) {
+            let (_, ws) = &mut waivers[src_idx];
+            // A waiver covers the finding on its own line or the line below.
+            for w in ws.iter_mut() {
+                if w.rule == f.rule && (w.line == f.line || w.line + 1 == f.line) {
+                    w.used = true;
+                    waived = Some(if w.reason.is_empty() {
+                        "(no reason given)".to_string()
+                    } else {
+                        w.reason.clone()
+                    });
+                    break;
+                }
+            }
+        }
+        report.findings.push(ReportedFinding {
+            rule: f.rule,
+            file: f.file,
+            line: f.line,
+            message: f.message,
+            waived,
+        });
+    }
+    for (src_idx, ws) in waivers {
+        report.waivers_declared += ws.len();
+        for w in ws {
+            if !w.used {
+                report.stale_waivers.push(StaleWaiver {
+                    file: sources[src_idx].rel_path.clone(),
+                    line: w.line,
+                    rule: w.rule,
+                });
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn waiver_suppresses_exactly_one_finding_and_is_reported() {
+        let src = "fn f() { a().unwrap(); }\n\
+                   // analyzer:allow(no-unwrap-in-lib, provably infallible here)\n\
+                   fn g() { b().unwrap(); }\n";
+        let sf = SourceFile::parse("src/lib.rs", src.to_string());
+        let cfg = Config::parse("[locks]\norder = [\"x\"]\n").unwrap();
+        let findings = rules::check_all(std::slice::from_ref(&sf), &cfg);
+        let report = apply_waivers(findings, std::slice::from_ref(&sf));
+        assert_eq!(report.findings.len(), 2);
+        assert_eq!(report.violations(), 1, "one unwaived finding remains");
+        assert_eq!(report.waived(), 1, "exactly one finding is waived");
+        assert_eq!(report.waivers_declared, 1);
+        assert!(report.stale_waivers.is_empty());
+        let waived = report.findings.iter().find(|f| f.waived.is_some());
+        assert!(waived
+            .and_then(|f| f.waived.as_deref())
+            .is_some_and(|r| r.contains("provably infallible")));
+        let human = report.render_human();
+        assert!(human.contains("1 violation(s), 1 waived, 1 waiver(s) declared"));
+    }
+
+    #[test]
+    fn stale_waivers_are_reported_not_fatal() {
+        let src = "// analyzer:allow(no-unwrap-in-lib, nothing here any more)\nfn f() {}\n";
+        let sf = SourceFile::parse("src/lib.rs", src.to_string());
+        let cfg = Config::parse("[locks]\norder = [\"x\"]\n").unwrap();
+        let findings = rules::check_all(std::slice::from_ref(&sf), &cfg);
+        let report = apply_waivers(findings, std::slice::from_ref(&sf));
+        assert_eq!(report.violations(), 0);
+        assert_eq!(report.stale_waivers.len(), 1);
+        assert!(report.render_human().contains("stale-waiver"));
+    }
+
+    #[test]
+    fn same_line_waiver_matches() {
+        let src = "fn f() { a().unwrap(); } // analyzer:allow(no-unwrap-in-lib, demo)\n";
+        let sf = SourceFile::parse("src/lib.rs", src.to_string());
+        let cfg = Config::parse("[locks]\norder = [\"x\"]\n").unwrap();
+        let findings = rules::check_all(std::slice::from_ref(&sf), &cfg);
+        let report = apply_waivers(findings, std::slice::from_ref(&sf));
+        assert_eq!(report.violations(), 0);
+        assert_eq!(report.waived(), 1);
+    }
+
+    #[test]
+    fn json_escapes_and_summarizes() {
+        let report = Report {
+            findings: vec![ReportedFinding {
+                rule: "no-unwrap-in-lib",
+                file: "src/a\"b.rs".to_string(),
+                line: 3,
+                message: "bad\nthing".to_string(),
+                waived: None,
+            }],
+            files_scanned: 1,
+            waivers_declared: 0,
+            stale_waivers: Vec::new(),
+        };
+        let json = report.to_json();
+        assert!(json.contains("\\\"b.rs"));
+        assert!(json.contains("bad\\nthing"));
+        assert!(json.contains("\"violations\": 1"));
+    }
+}

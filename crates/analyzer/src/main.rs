@@ -1,0 +1,155 @@
+//! `sae-analyzer` CLI.
+//!
+//! ```text
+//! sae-analyzer check [--config <path>] [--root <path>] [--json <path>] [--quiet]
+//! ```
+//!
+//! Exit codes (shared convention with the `experiments` CLI):
+//! 0 = clean, 1 = findings, 2 = usage/config/I-O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+sae-analyzer: static analysis for the SAE workspace's concurrency/durability invariants
+
+USAGE:
+    sae-analyzer check [OPTIONS]
+
+OPTIONS:
+    --config <path>   analyzer config (default: ./analyzer.toml)
+    --root <path>     workspace root to scan (default: .)
+    --json <path>     also write findings as JSON ('-' for stdout)
+    --quiet           suppress the human-readable report
+
+EXIT CODES:
+    0  no unwaived findings
+    1  at least one unwaived finding
+    2  usage, config, or I/O error
+";
+
+struct Cli {
+    config: PathBuf,
+    root: PathBuf,
+    json: Option<String>,
+    quiet: bool,
+}
+
+/// Strict flag parsing: unknown flags and commands are usage errors (exit 2).
+fn parse_args(args: &[String]) -> Result<Cli, String> {
+    let mut it = args.iter();
+    match it.next().map(String::as_str) {
+        Some("check") => {}
+        Some("--help") | Some("-h") | Some("help") => return Err(String::new()),
+        Some(other) => return Err(format!("unknown command `{other}`")),
+        None => return Err("missing command (expected `check`)".to_string()),
+    }
+    let mut cli = Cli {
+        config: PathBuf::from("analyzer.toml"),
+        root: PathBuf::from("."),
+        json: None,
+        quiet: false,
+    };
+    let mut explicit_config = false;
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--config" => {
+                let v = it.next().ok_or("--config requires a path")?;
+                cli.config = PathBuf::from(v);
+                explicit_config = true;
+            }
+            "--root" => {
+                let v = it.next().ok_or("--root requires a path")?;
+                cli.root = PathBuf::from(v);
+            }
+            "--json" => {
+                let v = it.next().ok_or("--json requires a path or '-'")?;
+                cli.json = Some(v.clone());
+            }
+            "--quiet" => cli.quiet = true,
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    // With an explicit --root but no explicit --config, look for the config
+    // at the root being scanned.
+    if !explicit_config {
+        cli.config = cli.root.join("analyzer.toml");
+    }
+    Ok(cli)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_args(&args) {
+        Ok(cli) => cli,
+        Err(msg) => {
+            if msg.is_empty() {
+                // --help: print usage, but it is still not a successful run
+                // of the gate, so keep the usage exit code.
+                eprint!("{USAGE}");
+            } else {
+                eprintln!("error: {msg}\n");
+                eprint!("{USAGE}");
+            }
+            return ExitCode::from(2);
+        }
+    };
+    let report = match sae_analyzer::run_with_config_file(&cli.config, &cli.root) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if !cli.quiet {
+        print!("{}", report.render_human());
+    }
+    if let Some(target) = &cli.json {
+        let json = report.to_json();
+        if target == "-" {
+            print!("{json}");
+        } else if let Err(e) = std::fs::write(target, json) {
+            eprintln!("error: writing {target}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    if report.violations() > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn rejects_unknown_commands_and_flags() {
+        assert!(parse_args(&strings(&["frobnicate"])).is_err());
+        assert!(parse_args(&strings(&["check", "--bogus"])).is_err());
+        assert!(parse_args(&strings(&[])).is_err());
+        assert!(parse_args(&strings(&["check", "--config"])).is_err());
+    }
+
+    #[test]
+    fn parses_valid_invocations() {
+        let cli = parse_args(&strings(&["check"])).unwrap();
+        assert_eq!(cli.config, PathBuf::from("./analyzer.toml"));
+        assert!(!cli.quiet);
+        let cli = parse_args(&strings(&[
+            "check", "--root", "/tmp/x", "--json", "-", "--quiet",
+        ]))
+        .unwrap();
+        assert_eq!(cli.root, PathBuf::from("/tmp/x"));
+        assert_eq!(cli.config, PathBuf::from("/tmp/x/analyzer.toml"));
+        assert_eq!(cli.json.as_deref(), Some("-"));
+        assert!(cli.quiet);
+        let cli = parse_args(&strings(&["check", "--config", "custom.toml"])).unwrap();
+        assert_eq!(cli.config, PathBuf::from("custom.toml"));
+    }
+}

@@ -1,0 +1,559 @@
+//! Source scanning: comment/string stripping, a flat token stream, and a
+//! per-file model of functions and `#[cfg(test)]` regions.
+//!
+//! This is deliberately *not* a Rust parser. The lexer blanks out comments and
+//! string/char literals (preserving byte offsets and line structure), the
+//! tokenizer produces identifiers/numbers/punctuation, and the function finder
+//! matches `fn name ... {` and balances braces. That is enough structure for
+//! the region-based rules in [`crate::rules`], and it keeps the analyzer
+//! dependency-free (crates.io is unreachable; there is no `syn`).
+
+/// One lexical token of cleaned source.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokKind {
+    Ident(String),
+    Num,
+    Punct(u8),
+    Lifetime,
+}
+
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    /// Byte offset in the cleaned (and original) text.
+    pub pos: usize,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl Tok {
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokKind::Ident(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    pub fn is_punct(&self, b: u8) -> bool {
+        self.kind == TokKind::Punct(b)
+    }
+
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.ident() == Some(s)
+    }
+}
+
+/// A function found in a file: token spans for its signature and body.
+#[derive(Debug, Clone)]
+pub struct Function {
+    pub name: String,
+    pub is_pub: bool,
+    pub is_test: bool,
+    pub line: u32,
+    /// Token index of the `fn` keyword.
+    pub fn_tok: usize,
+    /// Token index range of the body, inclusive of both braces.
+    /// `None` for bodyless declarations (trait methods).
+    pub body: Option<(usize, usize)>,
+}
+
+/// A scanned source file ready for rule checking.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path relative to the scan root, with `/` separators.
+    pub rel_path: String,
+    /// Crate key: leading `crates/<name>` component, or "." for the root
+    /// crate / corpus runs.
+    pub crate_key: String,
+    pub raw: String,
+    pub tokens: Vec<Tok>,
+    pub functions: Vec<Function>,
+    /// Token-index ranges exempt from lib rules (`#[cfg(test)]` items,
+    /// `#[test]` functions).
+    pub exempt: Vec<(usize, usize)>,
+    /// Byte ranges of comments in `raw` (waivers must live in one).
+    pub comments: Vec<(usize, usize)>,
+}
+
+impl SourceFile {
+    pub fn parse(rel_path: &str, raw: String) -> SourceFile {
+        let (cleaned, comments) = clean_with_comments(&raw);
+        let tokens = tokenize(&cleaned);
+        let (functions, exempt) = find_items(&tokens, rel_path);
+        SourceFile {
+            rel_path: rel_path.to_string(),
+            crate_key: crate_key(rel_path),
+            raw,
+            tokens,
+            functions,
+            exempt,
+            comments,
+        }
+    }
+
+    /// Whether byte offset `pos` in `raw` falls inside a comment.
+    pub fn in_comment(&self, pos: usize) -> bool {
+        self.comments.iter().any(|&(s, e)| pos >= s && pos < e)
+    }
+
+    /// Whether token index `i` falls inside an exempt (test) region.
+    pub fn is_exempt(&self, i: usize) -> bool {
+        self.exempt.iter().any(|&(s, e)| i >= s && i <= e)
+    }
+}
+
+fn crate_key(rel_path: &str) -> String {
+    let mut parts = rel_path.split('/');
+    if parts.next() == Some("crates") {
+        if let Some(name) = parts.next() {
+            return format!("crates/{name}");
+        }
+    }
+    ".".to_string()
+}
+
+/// Replaces comments and string/char-literal contents with spaces, keeping
+/// byte offsets and newlines intact.
+pub fn clean(src: &str) -> String {
+    clean_with_comments(src).0
+}
+
+/// Like [`clean`], but also returns the byte ranges of comments — needed to
+/// tell a real `analyzer:allow` waiver comment apart from the same text
+/// appearing inside a string literal.
+pub fn clean_with_comments(src: &str) -> (String, Vec<(usize, usize)>) {
+    let bytes = src.as_bytes();
+    let mut out = bytes.to_vec();
+    let mut comments = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    out[i] = b' ';
+                    i += 1;
+                }
+                comments.push((start, i));
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                let start = i;
+                let mut depth = 0usize;
+                while i < bytes.len() {
+                    if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+                        depth += 1;
+                        out[i] = b' ';
+                        out[i + 1] = b' ';
+                        i += 2;
+                    } else if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+                        depth -= 1;
+                        out[i] = b' ';
+                        out[i + 1] = b' ';
+                        i += 2;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else {
+                        if bytes[i] != b'\n' {
+                            out[i] = b' ';
+                        }
+                        i += 1;
+                    }
+                }
+                comments.push((start, i));
+            }
+            b'r' | b'b' if is_raw_string_start(bytes, i) => {
+                // r"..."  r#"..."#  br#"..."#  etc.
+                let mut j = i;
+                while j < bytes.len() && (bytes[j] == b'r' || bytes[j] == b'b') {
+                    out[j] = b' ';
+                    j += 1;
+                }
+                let mut hashes = 0usize;
+                while j < bytes.len() && bytes[j] == b'#' {
+                    hashes += 1;
+                    out[j] = b' ';
+                    j += 1;
+                }
+                // j is at the opening quote.
+                out[j] = b' ';
+                j += 1;
+                while j < bytes.len() {
+                    if bytes[j] == b'"' && closing_hashes(bytes, j + 1) >= hashes {
+                        out[j] = b' ';
+                        for k in 0..hashes {
+                            out[j + 1 + k] = b' ';
+                        }
+                        j += 1 + hashes;
+                        break;
+                    }
+                    if bytes[j] != b'\n' {
+                        out[j] = b' ';
+                    }
+                    j += 1;
+                }
+                i = j;
+            }
+            b'"' => {
+                out[i] = b' ';
+                i += 1;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'\\' => {
+                            out[i] = b' ';
+                            if i + 1 < bytes.len() && bytes[i + 1] != b'\n' {
+                                out[i + 1] = b' ';
+                            }
+                            i += 2;
+                        }
+                        b'"' => {
+                            out[i] = b' ';
+                            i += 1;
+                            break;
+                        }
+                        b'\n' => i += 1,
+                        _ => {
+                            out[i] = b' ';
+                            i += 1;
+                        }
+                    }
+                }
+            }
+            b'\'' => {
+                // Char literal vs lifetime. `'\x'`, `'x'` are literals; `'a`
+                // followed by anything but a closing quote is a lifetime.
+                if i + 1 < bytes.len() && bytes[i + 1] == b'\\' {
+                    out[i] = b' ';
+                    let mut j = i + 1;
+                    while j < bytes.len() && bytes[j] != b'\'' {
+                        out[j] = b' ';
+                        j += 1;
+                    }
+                    if j < bytes.len() {
+                        out[j] = b' ';
+                        j += 1;
+                    }
+                    i = j;
+                } else if i + 2 < bytes.len() && bytes[i + 2] == b'\'' {
+                    out[i] = b' ';
+                    out[i + 1] = b' ';
+                    out[i + 2] = b' ';
+                    i += 3;
+                } else {
+                    i += 1; // lifetime quote; tokenizer handles it
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    // The cleaning above only ever writes ASCII spaces over existing bytes,
+    // but multi-byte UTF-8 inside strings/comments is also fully blanked, so
+    // the result is valid ASCII/UTF-8.
+    (String::from_utf8_lossy(&out).into_owned(), comments)
+}
+
+fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
+    // Accept r", r#", br", b" ... but `b` alone only when followed by a quote
+    // (byte-string) — a plain identifier starting with r/b must not match.
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+        if j < bytes.len() && bytes[j] == b'r' {
+            j += 1;
+        }
+    } else if bytes[j] == b'r' {
+        j += 1;
+    } else {
+        return false;
+    }
+    // Identifier continuation means this was just an ident like `break`.
+    if i > 0 && is_ident_char(bytes[i - 1]) {
+        return false;
+    }
+    while j < bytes.len() && bytes[j] == b'#' {
+        j += 1;
+    }
+    j < bytes.len() && bytes[j] == b'"' && (bytes[i] != b'b' || j > i + 1 || bytes[i + 1] == b'"')
+}
+
+fn closing_hashes(bytes: &[u8], mut j: usize) -> usize {
+    let mut n = 0;
+    while j < bytes.len() && bytes[j] == b'#' {
+        n += 1;
+        j += 1;
+    }
+    n
+}
+
+fn is_ident_char(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Tokenizes cleaned source into identifiers, numbers and punctuation.
+pub fn tokenize(cleaned: &str) -> Vec<Tok> {
+    let bytes = cleaned.as_bytes();
+    let mut toks = Vec::new();
+    let mut line: u32 = 1;
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == b'\n' {
+            line += 1;
+            i += 1;
+        } else if b.is_ascii_whitespace() {
+            i += 1;
+        } else if b.is_ascii_digit() {
+            let start = i;
+            while i < bytes.len() && (is_ident_char(bytes[i]) || bytes[i] == b'.') {
+                // `0..8` range: stop the number before `..`
+                if bytes[i] == b'.' && i + 1 < bytes.len() && bytes[i + 1] == b'.' {
+                    break;
+                }
+                i += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Num,
+                pos: start,
+                line,
+            });
+        } else if is_ident_char(b) {
+            let start = i;
+            while i < bytes.len() && is_ident_char(bytes[i]) {
+                i += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Ident(cleaned[start..i].to_string()),
+                pos: start,
+                line,
+            });
+        } else if b == b'\'' {
+            // Lifetime: consume the quote and the identifier after it.
+            let start = i;
+            i += 1;
+            while i < bytes.len() && is_ident_char(bytes[i]) {
+                i += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Lifetime,
+                pos: start,
+                line,
+            });
+        } else {
+            toks.push(Tok {
+                kind: TokKind::Punct(b),
+                pos: i,
+                line,
+            });
+            i += 1;
+        }
+    }
+    toks
+}
+
+/// Finds functions and test-exempt regions in a token stream.
+fn find_items(toks: &[Tok], rel_path: &str) -> (Vec<Function>, Vec<(usize, usize)>) {
+    let mut functions = Vec::new();
+    let mut exempt = Vec::new();
+    let path_is_test = rel_path.split('/').any(|c| c == "tests");
+
+    // Attribute scan: record spans of `#[...]` so item detection can look at
+    // the attributes immediately preceding an item.
+    let mut i = 0;
+    let mut pending_attrs: Vec<String> = Vec::new();
+    let mut item_start = 0usize; // first token after the previous item/stmt
+    while i < toks.len() {
+        if toks[i].is_punct(b'#') && i + 1 < toks.len() && toks[i + 1].is_punct(b'[') {
+            let end = match matching(toks, i + 1, b'[', b']') {
+                Some(e) => e,
+                None => break,
+            };
+            let text: Vec<&str> = toks[i..=end].iter().filter_map(|t| t.ident()).collect();
+            pending_attrs.push(text.join(" "));
+            i = end + 1;
+            continue;
+        }
+        let is_cfg_test = pending_attrs.iter().any(|a| {
+            (a.contains("cfg") && a.contains("test")) || a.split(' ').any(|w| w == "test")
+        });
+        if toks[i].is_ident("mod") {
+            // `mod name {` — if cfg(test), the whole body is exempt.
+            if i + 2 < toks.len() && toks[i + 2].is_punct(b'{') {
+                if let Some(end) = matching(toks, i + 2, b'{', b'}') {
+                    if is_cfg_test {
+                        exempt.push((i, end));
+                    }
+                }
+            }
+            pending_attrs.clear();
+            i += 1;
+            item_start = i;
+            continue;
+        }
+        if toks[i].is_ident("fn") {
+            let name = match toks.get(i + 1).and_then(|t| t.ident()) {
+                Some(n) => n.to_string(),
+                None => {
+                    i += 1;
+                    continue;
+                }
+            };
+            // `pub` among tokens between the previous item boundary and `fn`,
+            // not followed by `(` (pub(crate) is not a public API).
+            let mut is_pub = false;
+            for k in item_start..i {
+                if toks[k].is_ident("pub") {
+                    is_pub = !toks.get(k + 1).map(|t| t.is_punct(b'(')).unwrap_or(false);
+                }
+            }
+            // Find the body `{`: first `{` at zero paren/bracket depth;
+            // a `;` first means a bodyless declaration.
+            let mut j = i + 1;
+            let mut depth = 0i32;
+            let mut body = None;
+            while j < toks.len() {
+                match toks[j].kind {
+                    TokKind::Punct(b'(') | TokKind::Punct(b'[') => depth += 1,
+                    TokKind::Punct(b')') | TokKind::Punct(b']') => depth -= 1,
+                    TokKind::Punct(b'{') if depth == 0 => {
+                        body = matching(toks, j, b'{', b'}').map(|e| (j, e));
+                        break;
+                    }
+                    TokKind::Punct(b';') if depth == 0 => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            let f = Function {
+                name,
+                is_pub,
+                is_test: is_cfg_test || path_is_test,
+                line: toks[i].line,
+                fn_tok: i,
+                body,
+            };
+            if is_cfg_test {
+                let end = f.body.map(|(_, e)| e).unwrap_or(i + 1);
+                exempt.push((i, end));
+            }
+            functions.push(f);
+            pending_attrs.clear();
+            // Continue scanning *inside* the body too (nested fns, and the
+            // exempt-region bookkeeping is span-based anyway).
+            i += 2;
+            item_start = i;
+            continue;
+        }
+        if matches!(
+            toks[i].kind,
+            TokKind::Punct(b';') | TokKind::Punct(b'{') | TokKind::Punct(b'}')
+        ) {
+            pending_attrs.clear();
+            item_start = i + 1;
+        }
+        i += 1;
+    }
+
+    // Functions lexically inside an exempt region are test functions.
+    for f in &mut functions {
+        if exempt.iter().any(|&(s, e)| f.fn_tok >= s && f.fn_tok <= e) {
+            f.is_test = true;
+        }
+    }
+    (functions, exempt)
+}
+
+/// Index of the token matching the opener at `open_idx`.
+pub fn matching(toks: &[Tok], open_idx: usize, open: u8, close: u8) -> Option<usize> {
+    let mut depth = 0i32;
+    for (k, t) in toks.iter().enumerate().skip(open_idx) {
+        if t.is_punct(open) {
+            depth += 1;
+        } else if t.is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_strips_comments_and_strings() {
+        let src = "let x = \"a.lock()\"; // b.lock()\nlet y = 'c'; /* d.lock() */ z";
+        let c = clean(src);
+        assert!(!c.contains("lock"));
+        assert!(c.contains("let x ="));
+        assert!(c.contains("let y ="));
+        assert!(c.ends_with('z'));
+        assert_eq!(c.len(), src.len());
+    }
+
+    #[test]
+    fn clean_handles_raw_strings_and_lifetimes() {
+        let src = "let s = r#\"un.wrap()\"#; fn f<'a>(x: &'a str) {}";
+        let c = clean(src);
+        assert!(!c.contains("wrap"));
+        assert!(c.contains("fn f<'a>"));
+    }
+
+    #[test]
+    fn clean_handles_escaped_quotes_and_nested_block_comments() {
+        let c = clean("let s = \"a\\\"b.lock()\"; /* outer /* inner */ still */ tail");
+        assert!(!c.contains("lock"));
+        assert!(c.contains("tail"));
+    }
+
+    #[test]
+    fn tokenizer_basics() {
+        let toks = tokenize("self.sp.read()");
+        let idents: Vec<_> = toks.iter().filter_map(|t| t.ident()).collect();
+        assert_eq!(idents, ["self", "sp", "read"]);
+        assert!(toks.iter().any(|t| t.is_punct(b'(')));
+    }
+
+    #[test]
+    fn finds_functions_and_visibility() {
+        let sf = SourceFile::parse(
+            "crates/demo/src/lib.rs",
+            "pub fn api() -> u8 { 1 }\nfn private() {}\npub(crate) fn semi() {}\n".to_string(),
+        );
+        assert_eq!(sf.crate_key, "crates/demo");
+        let names: Vec<_> = sf.functions.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["api", "private", "semi"]);
+        assert!(sf.functions[0].is_pub);
+        assert!(!sf.functions[1].is_pub);
+        assert!(!sf.functions[2].is_pub, "pub(crate) is not public API");
+    }
+
+    #[test]
+    fn cfg_test_regions_are_exempt() {
+        let src = "fn lib_code() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { x.unwrap(); }\n}\n";
+        let sf = SourceFile::parse("src/lib.rs", src.to_string());
+        let lib = sf.functions.iter().find(|f| f.name == "lib_code");
+        let t = sf.functions.iter().find(|f| f.name == "t");
+        assert!(lib.is_some_and(|f| !f.is_test));
+        assert!(t.is_some_and(|f| f.is_test));
+        assert!(!sf.exempt.is_empty());
+    }
+
+    #[test]
+    fn test_attr_on_fn_is_exempt() {
+        let src = "#[test]\nfn t() {}\nfn real() {}\n";
+        let sf = SourceFile::parse("src/lib.rs", src.to_string());
+        assert!(sf
+            .functions
+            .iter()
+            .find(|f| f.name == "t")
+            .is_some_and(|f| f.is_test));
+        assert!(sf
+            .functions
+            .iter()
+            .find(|f| f.name == "real")
+            .is_some_and(|f| !f.is_test));
+    }
+}

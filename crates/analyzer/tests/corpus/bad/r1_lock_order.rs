@@ -1,0 +1,19 @@
+// Corpus fixture: acquires `alpha` (rank 0) while already holding `beta`
+// (rank 1), inverting the declared order. Expected: one `lock-order` finding.
+use std::sync::RwLock;
+
+pub struct Pair {
+    alpha: RwLock<u32>,
+    beta: RwLock<u32>,
+}
+
+impl Pair {
+    pub fn inverted(&self) -> u32 {
+        let b = self.beta.read();
+        let a = self.alpha.read();
+        let out = *a + *b;
+        drop(a);
+        drop(b);
+        out
+    }
+}

@@ -1,0 +1,16 @@
+// Corpus fixture: reaches a durability barrier (`sync`) while the tree
+// guard `alpha` is still open. Expected: one `hold-across-sync` finding.
+use std::sync::RwLock;
+
+pub struct Store {
+    alpha: RwLock<Vec<u8>>,
+    out: std::fs::File,
+}
+
+impl Store {
+    pub fn flush_under_lock(&self) {
+        let g = self.alpha.write();
+        self.out.sync();
+        drop(g);
+    }
+}

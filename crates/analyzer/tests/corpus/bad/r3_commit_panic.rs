@@ -1,0 +1,10 @@
+// Corpus fixture: the commit root reaches a panicking `[...]` indexing
+// through a transitive callee. Expected: one `panic-free-commit` finding in
+// `first_entry`.
+pub fn commit_main(batch: &[u32]) -> u32 {
+    first_entry(batch)
+}
+
+fn first_entry(batch: &[u32]) -> u32 {
+    batch[0]
+}

@@ -1,0 +1,5 @@
+// Corpus fixture: `.unwrap()` in non-test library code. Expected: one
+// `no-unwrap-in-lib` finding.
+pub fn latest(values: &[u32]) -> u32 {
+    values.last().copied().unwrap()
+}

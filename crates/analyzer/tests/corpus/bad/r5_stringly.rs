@@ -1,0 +1,6 @@
+// Corpus fixture: a public API returning a boxed trait-object error instead
+// of a typed one. Expected: one `typed-errors` finding.
+pub fn load(path: &str) -> Result<Vec<u8>, Box<dyn std::error::Error>> {
+    let _ = path;
+    Ok(Vec::new())
+}

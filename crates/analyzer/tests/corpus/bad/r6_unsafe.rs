@@ -1,0 +1,5 @@
+// Corpus fixture: an `unsafe` block with no safety-contract comment
+// justifying it. Expected: one `unsafe-audit` finding.
+pub fn read_raw(p: *const u8) -> u8 {
+    unsafe { *p }
+}

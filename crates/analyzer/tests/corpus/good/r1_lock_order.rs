@@ -1,0 +1,19 @@
+// Corpus fixture: acquires `alpha` before `beta`, matching the declared
+// order, and releases in reverse. Expected: quiet.
+use std::sync::RwLock;
+
+pub struct Pair {
+    alpha: RwLock<u32>,
+    beta: RwLock<u32>,
+}
+
+impl Pair {
+    pub fn ordered(&self) -> u32 {
+        let a = self.alpha.read();
+        let b = self.beta.read();
+        let out = *a + *b;
+        drop(b);
+        drop(a);
+        out
+    }
+}

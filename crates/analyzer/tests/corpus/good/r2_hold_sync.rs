@@ -1,0 +1,16 @@
+// Corpus fixture: the tree guard is dropped before the durability barrier
+// runs. Expected: quiet.
+use std::sync::RwLock;
+
+pub struct Store {
+    alpha: RwLock<Vec<u8>>,
+    out: std::fs::File,
+}
+
+impl Store {
+    pub fn flush_outside_lock(&self) {
+        let g = self.alpha.write();
+        drop(g);
+        self.out.sync();
+    }
+}

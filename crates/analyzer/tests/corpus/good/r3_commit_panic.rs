@@ -1,0 +1,9 @@
+// Corpus fixture: the commit root and its callees use non-panicking
+// accessors. Expected: quiet.
+pub fn commit_main(batch: &[u32]) -> u32 {
+    first_entry(batch)
+}
+
+fn first_entry(batch: &[u32]) -> u32 {
+    batch.first().copied().unwrap_or(0)
+}

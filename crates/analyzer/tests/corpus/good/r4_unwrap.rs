@@ -1,0 +1,5 @@
+// Corpus fixture: library code using a non-panicking fallback. Expected:
+// quiet (`unwrap_or_default` is not `unwrap`).
+pub fn latest(values: &[u32]) -> u32 {
+    values.last().copied().unwrap_or_default()
+}

@@ -1,0 +1,12 @@
+// Corpus fixture: a public API returning a typed error enum. Expected:
+// quiet (a concrete `*Error` type is exactly what the rule asks for).
+pub enum LoadError {
+    Empty,
+}
+
+pub fn load(bytes: &[u8]) -> Result<u32, LoadError> {
+    match bytes.first() {
+        Some(&b) => Ok(b as u32),
+        None => Err(LoadError::Empty),
+    }
+}

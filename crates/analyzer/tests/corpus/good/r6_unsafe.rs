@@ -1,0 +1,7 @@
+// Corpus fixture: an `unsafe` block carrying its `// SAFETY:` justification.
+// Expected: quiet.
+pub fn read_raw(p: *const u8) -> u8 {
+    // SAFETY: the caller guarantees `p` is valid for reads, per this
+    // function's documented contract.
+    unsafe { *p }
+}

@@ -1,0 +1,11 @@
+// Corpus fixture: two identical violations, one carrying a waiver. Expected:
+// two findings, exactly one of them waived — proving a waiver suppresses only
+// the finding it annotates.
+pub fn latest(values: &[u32]) -> u32 {
+    // analyzer:allow(no-unwrap-in-lib, fixture proving a waiver suppresses exactly one finding)
+    values.last().copied().unwrap()
+}
+
+pub fn second(values: &[u32]) -> u32 {
+    values.get(1).copied().unwrap()
+}

@@ -27,18 +27,15 @@ use sae_bench::{
 const USAGE: &str = "usage: experiments \
      <fig5|fig6|fig7|fig8|all|ablation-scan|ablation-updates|ablation-memory|throughput\
 |sharded-throughput|durability|group-commit> \
-     [--full-scale] [--smoke] [--zipf] [--json <path>]";
+     [--full-scale] [--smoke] [--zipf] [--json <path>]
 
-fn usage(error: &str) -> ! {
-    if !error.is_empty() {
-        eprintln!("error: {error}");
-    }
-    eprintln!("{USAGE}");
-    std::process::exit(2)
-}
+exit codes (shared convention with sae-analyzer):
+    0  all experiments ran and every row verified
+    1  at least one row failed verification
+    2  usage or I/O error";
 
 /// Everything the command line can express, parsed strictly: an unknown
-/// command or flag aborts with the usage string instead of being ignored.
+/// command or flag is a usage error (exit 2) instead of being ignored.
 struct Cli {
     command: String,
     full_scale: bool,
@@ -48,12 +45,12 @@ struct Cli {
 }
 
 impl Cli {
-    fn parse(args: &[String]) -> Cli {
+    fn parse(args: &[String]) -> Result<Cli, String> {
         let Some((command, flags)) = args.split_first() else {
-            usage("missing command");
+            return Err("missing command".to_string());
         };
         if command.starts_with('-') {
-            usage(&format!("expected a command before flags, got `{command}`"));
+            return Err(format!("expected a command before flags, got `{command}`"));
         }
         // Which flags each command actually consumes; anything else is a
         // rejected typo, not a silent no-op. `main`'s dispatch match derives
@@ -65,7 +62,7 @@ impl Cli {
             }
             "throughput" => &["--smoke", "--zipf", "--json"],
             "sharded-throughput" | "durability" | "group-commit" => &["--smoke", "--json"],
-            other => usage(&format!("unknown command `{other}`")),
+            other => return Err(format!("unknown command `{other}`")),
         };
         let mut cli = Cli {
             command: command.clone(),
@@ -77,7 +74,7 @@ impl Cli {
         let mut it = flags.iter();
         while let Some(flag) = it.next() {
             if !allowed.contains(&flag.as_str()) {
-                usage(&format!(
+                return Err(format!(
                     "unrecognized argument `{flag}` for command `{command}`"
                 ));
             }
@@ -87,27 +84,51 @@ impl Cli {
                 "--zipf" => cli.zipf = true,
                 "--json" => match it.next() {
                     Some(path) => cli.json_path = Some(path.clone()),
-                    None => usage("--json requires a path argument"),
+                    None => return Err("--json requires a path argument".to_string()),
                 },
                 _ => unreachable!("flag validated against the applicability table"),
             }
         }
         if cli.full_scale && cli.smoke {
-            usage("--full-scale and --smoke are mutually exclusive");
+            return Err("--full-scale and --smoke are mutually exclusive".to_string());
         }
-        cli
+        Ok(cli)
     }
 }
 
-fn write_json(path: &str, json: String) {
-    std::fs::write(path, json).expect("write JSON report");
+fn write_json(path: &str, json: String) -> Result<(), String> {
+    std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
     println!("\nwrote raw rows to {path}");
+    Ok(())
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let cli = Cli::parse(&args);
+    let cli = match Cli::parse(&args) {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("{USAGE}");
+            return std::process::ExitCode::from(2);
+        }
+    };
+    match run(&cli) {
+        Ok(true) => std::process::ExitCode::SUCCESS,
+        Ok(false) => {
+            eprintln!("error: at least one experiment row failed verification");
+            std::process::ExitCode::from(1)
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::ExitCode::from(2)
+        }
+    }
+}
 
+/// Runs the requested experiment. Returns whether every row that carries a
+/// verification verdict verified (the ablations measure cost only and always
+/// count as verified); I/O failures surface as `Err` (exit 2).
+fn run(cli: &Cli) -> Result<bool, String> {
     let config = if cli.full_scale {
         ExperimentConfig::full_scale()
     } else if cli.smoke {
@@ -127,7 +148,7 @@ fn main() {
         );
     }
 
-    match cli.command.as_str() {
+    let all_verified = match cli.command.as_str() {
         "fig5" | "fig6" | "fig7" | "fig8" | "all" => {
             let rows = run_comparison(&config);
             match cli.command.as_str() {
@@ -143,8 +164,9 @@ fn main() {
                 }
             }
             if let Some(path) = &cli.json_path {
-                write_json(path, rows_to_json(&rows));
+                write_json(path, rows_to_json(&rows))?;
             }
+            rows.iter().all(|r| r.sae.verified && r.tom.verified)
         }
         "throughput" => {
             let tp_config = ThroughputConfig {
@@ -166,8 +188,9 @@ fn main() {
             let rows = run_throughput(&tp_config);
             print_throughput(&rows);
             if let Some(path) = &cli.json_path {
-                write_json(path, report_to_json(&rows));
+                write_json(path, report_to_json(&rows))?;
             }
+            rows.iter().all(|r| r.all_verified)
         }
         "sharded-throughput" => {
             let sh_config = if cli.smoke {
@@ -188,8 +211,9 @@ fn main() {
             let rows = run_sharded_throughput(&sh_config);
             print_sharded_throughput(&rows);
             if let Some(path) = &cli.json_path {
-                write_json(path, report_to_json(&rows));
+                write_json(path, report_to_json(&rows))?;
             }
+            rows.iter().all(|r| r.all_verified)
         }
         "durability" => {
             let du_config = if cli.smoke {
@@ -215,8 +239,9 @@ fn main() {
             let _ = std::fs::remove_dir_all(&dir);
             print_durability(&rows);
             if let Some(path) = &cli.json_path {
-                write_json(path, report_to_json(&rows));
+                write_json(path, report_to_json(&rows))?;
             }
+            rows.iter().all(|r| r.all_verified)
         }
         "group-commit" => {
             let gc_config = if cli.smoke {
@@ -244,17 +269,59 @@ fn main() {
             let _ = std::fs::remove_dir_all(&dir);
             print_group_commit(&rows);
             if let Some(path) = &cli.json_path {
-                write_json(path, report_to_json(&rows));
+                write_json(path, report_to_json(&rows))?;
             }
+            rows.iter().all(|r| r.all_verified)
         }
-        "ablation-scan" => print_ablation_scan(&run_ablation_scan(&config)),
-        "ablation-updates" => print_ablation_updates(&run_ablation_updates(&config, 200)),
+        "ablation-scan" => {
+            print_ablation_scan(&run_ablation_scan(&config));
+            true
+        }
+        "ablation-updates" => {
+            print_ablation_updates(&run_ablation_updates(&config, 200));
+            true
+        }
         "ablation-memory" => {
             let dir = std::env::temp_dir().join("sae-ablation-memory");
-            std::fs::create_dir_all(&dir).expect("create temp dir");
+            std::fs::create_dir_all(&dir)
+                .map_err(|e| format!("creating {}: {e}", dir.display()))?;
             print_ablation_memory(&run_ablation_memory(&config, &dir));
             let _ = std::fs::remove_dir_all(&dir);
+            true
         }
         _ => unreachable!("command validated by Cli::parse's applicability table"),
+    };
+    Ok(all_verified)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn rejects_unknown_commands_and_flags() {
+        assert!(Cli::parse(&strings(&[])).is_err());
+        assert!(Cli::parse(&strings(&["frobnicate"])).is_err());
+        assert!(Cli::parse(&strings(&["--smoke"])).is_err());
+        assert!(Cli::parse(&strings(&["fig5", "--bogus"])).is_err());
+        // --zipf exists, but only `throughput` consumes it.
+        assert!(Cli::parse(&strings(&["fig5", "--zipf"])).is_err());
+        assert!(Cli::parse(&strings(&["fig5", "--json"])).is_err());
+        assert!(Cli::parse(&strings(&["fig5", "--full-scale", "--smoke"])).is_err());
+    }
+
+    #[test]
+    fn parses_valid_invocations() {
+        let cli = Cli::parse(&strings(&["fig6", "--smoke", "--json", "out.json"])).unwrap();
+        assert_eq!(cli.command, "fig6");
+        assert!(cli.smoke);
+        assert!(!cli.full_scale);
+        assert_eq!(cli.json_path.as_deref(), Some("out.json"));
+        let cli = Cli::parse(&strings(&["throughput", "--zipf"])).unwrap();
+        assert!(cli.zipf);
     }
 }

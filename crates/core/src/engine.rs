@@ -135,6 +135,7 @@ pub struct ThreadReport {
 
 /// What a concurrent batch run produced.
 #[derive(Clone, Debug)]
+#[must_use = "a throughput report carries the run's verification verdict, which must be checked"]
 pub struct ThroughputReport {
     /// Worker threads used.
     pub threads: usize,
@@ -230,6 +231,7 @@ pub fn client_ops(
                 let id = (1u64 << 42) | (client << 24) | i as u64;
                 MixOp::Update(Record::with_size(id, key, record_size))
             } else {
+                // analyzer:allow(no-unwrap-in-lib, QueryMix::stream is an infinite generator; next() never returns None)
                 MixOp::Query(queries.next().expect("query streams are infinite"))
             }
         })
@@ -308,6 +310,7 @@ where
             .collect();
         handles
             .into_iter()
+            // analyzer:allow(no-unwrap-in-lib, join only fails if a worker panicked; re-raising that panic is the correct propagation)
             .map(|h| h.join().expect("engine worker panicked"))
             .collect()
     });

@@ -90,7 +90,7 @@ impl LatencySummary {
         if samples.is_empty() {
             return LatencySummary::default();
         }
-        samples.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        samples.sort_by(f64::total_cmp);
         let n = samples.len();
         let pct = |p: f64| {
             // Nearest-rank percentile: the smallest sample ≥ p% of the data.

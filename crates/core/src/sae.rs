@@ -18,11 +18,20 @@ use sae_storage::{
     CostModel, HeapFile, MemPager, PageId, RecordId, SharedPageStore, StorageError, StorageResult,
     TreeMeta,
 };
-use sae_workload::{Dataset, RangeQuery, Record, RecordKey, TeTuple, RECORD_HEADER_LEN};
+use sae_workload::{Dataset, RangeQuery, Record, RecordKey, TeTuple};
 use sae_xbtree::{TupleStore, XbTree};
 use std::collections::{HashMap, HashSet};
 use std::path::Path;
 use std::time::Instant;
+
+/// Reads the `(id, key)` header of an encoded record in place, without
+/// copying the payload. Returns `None` when `bytes` is too short to hold a
+/// header — callers map that to their own corruption/verification error.
+pub(crate) fn record_header(bytes: &[u8]) -> Option<(u64, u32)> {
+    let id = bytes.get(0..8)?.try_into().ok()?;
+    let key = bytes.get(8..12)?.try_into().ok()?;
+    Some((u64::from_le_bytes(id), u32::from_le_bytes(key)))
+}
 
 /// The service provider under SAE: a conventional DBMS with no authentication
 /// structures whatsoever.
@@ -88,12 +97,11 @@ impl SaeServiceProvider {
         let mut directory = HashMap::with_capacity(positions.len());
         for pos in positions {
             let bytes = heap.get(RecordId(pos))?;
-            if bytes.len() < RECORD_HEADER_LEN {
+            let Some((id, _)) = record_header(&bytes) else {
                 return Err(StorageError::Corrupted(format!(
                     "heap slot {pos} too short to hold a record header"
                 )));
-            }
-            let id = u64::from_le_bytes(bytes[0..8].try_into().expect("8-byte id header"));
+            };
             if directory.insert(id, RecordId(pos)).is_some() {
                 return Err(StorageError::Corrupted(format!(
                     "record id {id} is reachable from two index positions in the recovered \
@@ -471,11 +479,9 @@ impl SaeClient {
             // Read the id/key header in place: verification is on the
             // client's hot path (Fig. 7) and a full `Record::decode` would
             // copy the payload just to look at the first 12 bytes.
-            if bytes.len() < RECORD_HEADER_LEN {
+            let Some((id, key)) = record_header(bytes) else {
                 return Err(SaeVerifyError::BadRecordEncoding);
-            }
-            let id = u64::from_le_bytes(bytes[0..8].try_into().expect("8-byte id header"));
-            let key = u32::from_le_bytes(bytes[8..12].try_into().expect("4-byte key header"));
+            };
             if !seen_ids.insert(id) {
                 return Err(SaeVerifyError::DuplicateRecordId(id));
             }

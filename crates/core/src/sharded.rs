@@ -94,6 +94,7 @@ impl ShardLayout {
 
     /// The inclusive key domain bound the layout covers.
     pub fn domain(&self) -> RecordKey {
+        // analyzer:allow(no-unwrap-in-lib, both layout constructors reject an empty shard list)
         *self.uppers.last().expect("layouts have at least one shard")
     }
 
@@ -141,6 +142,15 @@ impl ShardLayout {
     pub fn overlapping(&self, q: &RangeQuery) -> Vec<usize> {
         (0..self.shard_count())
             .filter(|&i| self.clamp(i, q).is_some())
+            .collect()
+    }
+
+    /// The ascending `(shard, clamped sub-query)` pairs for every shard whose
+    /// range overlaps `q`: the filter and the clamp in one pass, so callers
+    /// never re-clamp an index the filter already proved overlaps.
+    pub fn overlapping_clamped(&self, q: &RangeQuery) -> Vec<(usize, RangeQuery)> {
+        (0..self.shard_count())
+            .filter_map(|i| self.clamp(i, q).map(|sub| (i, sub)))
             .collect()
     }
 }
@@ -517,6 +527,7 @@ impl ShardedSaeEngine {
             for (i, shard) in self.shards.iter().enumerate() {
                 let sp = shard.sp.read();
                 let te = shard.te.read();
+                // analyzer:allow(hold-across-sync, flush snapshots each shard under its read locks by design; see docs/invariants.md)
                 d.commit_shard(i, &sp, &te)?;
             }
         }
@@ -585,6 +596,7 @@ impl ShardedSaeEngine {
                 match d.policy() {
                     DurabilityPolicy::FlushOnClose => Ok(()),
                     DurabilityPolicy::Immediate => {
+                        // analyzer:allow(hold-across-sync, Immediate commits under the write locks so a failed commit can roll back in place)
                         if let Err(e) = d.commit_shard(shard_idx, &sp, &te) {
                             // Keep memory and disk agreeing: undo the
                             // accepted insert before reporting the failed
@@ -595,7 +607,9 @@ impl ShardedSaeEngine {
                         }
                         Ok(())
                     }
-                    DurabilityPolicy::Group { .. } => self.group_commit_write(shard_idx, sp, te),
+                    DurabilityPolicy::Group { .. } => {
+                        self.group_commit_write(d, shard, shard_idx, sp, te)
+                    }
                 }
             }
             Err(e) => {
@@ -629,18 +643,15 @@ impl ShardedSaeEngine {
     /// meanwhile.
     fn group_commit_write(
         &self,
+        d: &Durability,
+        shard: &SaeShard,
         shard_idx: usize,
         sp: RwLockWriteGuard<'_, SaeServiceProvider>,
         te: RwLockWriteGuard<'_, TrustedEntity>,
     ) -> StorageResult<()> {
-        let d = self
-            .durability
-            .as_ref()
-            .expect("group commit requires a durable engine");
         let ticket = d.announce(shard_idx);
         drop(te);
         drop(sp);
-        let shard = &self.shards[shard_idx];
         d.wait_durable(shard_idx, ticket, || {
             let sp = shard.sp.read();
             let te = shard.te.read();
@@ -675,6 +686,7 @@ impl ShardedSaeEngine {
                 Ok(true)
             }
             DurabilityPolicy::Immediate => {
+                // analyzer:allow(hold-across-sync, Immediate commits under the write locks so a failed commit can roll back in place)
                 if let Err(e) = d.commit_shard(shard_idx, &sp, &te) {
                     // Keep memory and disk agreeing: restore the removed
                     // record before reporting the failed commit (the id
@@ -694,7 +706,7 @@ impl ShardedSaeEngine {
                 // before the durability wait so concurrent writers see the
                 // same state queries do.
                 self.ids.write().remove(&id);
-                self.group_commit_write(shard_idx, sp, te)?;
+                self.group_commit_write(d, shard, shard_idx, sp, te)?;
                 Ok(true)
             }
         }
@@ -705,8 +717,7 @@ impl ShardedSaeEngine {
     /// every slice is internally consistent.
     pub fn scatter(&self, q: &RangeQuery) -> StorageResult<Vec<ShardSlice>> {
         let mut slices = Vec::new();
-        for i in self.layout.overlapping(q) {
-            let sub = self.layout.clamp(i, q).expect("overlapping shards clamp");
+        for (i, sub) in self.layout.overlapping_clamped(q) {
             let shard = &self.shards[i];
             let sp = shard.sp.read();
             let records = sp.query(&sub)?;
@@ -741,19 +752,22 @@ impl ShardedSaeEngine {
         // The client knows the layout, so it knows exactly which shards must
         // have answered: anything less (a dropped slice), more, duplicated or
         // reordered is rejected before any cryptography runs.
-        let expected = self.layout.overlapping(q);
+        let expected = self.layout.overlapping_clamped(q);
         let exact = slices.len() == expected.len()
             && slices
                 .iter()
                 .zip(&expected)
-                .all(|(slice, &shard)| slice.shard == shard);
+                .all(|(slice, (shard, _))| slice.shard == *shard);
         if !exact {
-            for &shard in &expected {
-                if !slices.iter().any(|s| s.shard == shard) {
-                    return Err(ShardedVerifyError::MissingShardSlice { shard });
+            for (shard, _) in &expected {
+                if !slices.iter().any(|s| s.shard == *shard) {
+                    return Err(ShardedVerifyError::MissingShardSlice { shard: *shard });
                 }
             }
-            if let Some(slice) = slices.iter().find(|s| !expected.contains(&s.shard)) {
+            if let Some(slice) = slices
+                .iter()
+                .find(|s| !expected.iter().any(|(shard, _)| *shard == s.shard))
+            {
                 return Err(ShardedVerifyError::UnexpectedShardSlice { shard: slice.shard });
             }
             return Err(ShardedVerifyError::SlicesOutOfOrder);
@@ -762,13 +776,11 @@ impl ShardedSaeEngine {
         // Every slice verifies like an ordinary SAE result, against the
         // *clamped* sub-query (which pins each record to its shard's key
         // range) and the shard's own token. Disjoint ascending ranges then
-        // give global order and cross-shard id uniqueness for free.
-        for slice in slices {
-            let sub = self
-                .layout
-                .clamp(slice.shard, q)
-                .expect("expected shards overlap the query");
-            let (outcome, _) = self.client.verify_detailed(&sub, &slice.records, &slice.vt);
+        // give global order and cross-shard id uniqueness for free. The
+        // exactness check above proved `slices` and `expected` align
+        // pairwise, so each slice verifies against its own clamped range.
+        for (slice, (_, sub)) in slices.iter().zip(&expected) {
+            let (outcome, _) = self.client.verify_detailed(sub, &slice.records, &slice.vt);
             if let Err(error) = outcome {
                 return Err(ShardedVerifyError::Slice {
                     shard: slice.shard,
@@ -815,8 +827,7 @@ impl ShardedSaeEngine {
                     if slices[i].records.is_empty() {
                         let moved = slices[i + 1].records.remove(0);
                         slices[i].records.push(moved);
-                    } else {
-                        let moved = slices[i].records.pop().expect("non-empty slice");
+                    } else if let Some(moved) = slices[i].records.pop() {
                         slices[i + 1].records.insert(0, moved);
                     }
                 } else if let Some(slice) = slices.iter_mut().find(|s| s.records.len() >= 2) {
@@ -833,10 +844,11 @@ impl ShardedSaeEngine {
                         .iter()
                         .position(|s| !s.records.is_empty())
                         .unwrap_or(0);
-                    let sub = self
-                        .layout
-                        .clamp(slices[pos].shard, q)
-                        .expect("responding shards overlap the query");
+                    let sub = self.layout.clamp(slices[pos].shard, q).ok_or_else(|| {
+                        StorageError::Corrupted(
+                            "scatter produced a slice from a non-overlapping shard".into(),
+                        )
+                    })?;
                     slices[pos].records =
                         other.apply_sized(&slices[pos].records, &sub, seed, self.record_len);
                 }
@@ -969,14 +981,18 @@ impl UpdateService for ShardedSaeEngine {
                 // The round trip deleted the record again, so its id can be
                 // released whether or not the commit below succeeds — the
                 // record exists in neither memory nor the committed state.
-                let committed = match self.durability.as_ref().map(|d| d.policy()) {
-                    None | Some(DurabilityPolicy::FlushOnClose) => Ok(()),
-                    Some(DurabilityPolicy::Immediate) => {
-                        self.commit_if_durable(shard_idx, &sp, &te)
-                    }
-                    Some(DurabilityPolicy::Group { .. }) => {
-                        self.group_commit_write(shard_idx, sp, te)
-                    }
+                let committed = match &self.durability {
+                    None => Ok(()),
+                    Some(d) => match d.policy() {
+                        DurabilityPolicy::FlushOnClose => Ok(()),
+                        DurabilityPolicy::Immediate => {
+                            // analyzer:allow(hold-across-sync, Immediate commits under the write locks so the round trip commits atomically)
+                            self.commit_if_durable(shard_idx, &sp, &te)
+                        }
+                        DurabilityPolicy::Group { .. } => {
+                            self.group_commit_write(d, shard, shard_idx, sp, te)
+                        }
+                    },
                 };
                 self.ids.write().remove(&record.id);
                 committed

@@ -150,6 +150,7 @@ impl<S: Signer, V: Verifier> TomSystem<S, V> {
             |pos| {
                 self.heap
                     .get(RecordId(pos))
+                    // analyzer:allow(no-unwrap-in-lib, generate_vo's boundary callback is infallible by signature and the positions come from the live tree)
                     .expect("boundary record present in the heap")
             },
             self.signature.clone(),

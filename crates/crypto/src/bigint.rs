@@ -364,6 +364,7 @@ impl BigUint {
     fn div_rem_knuth(&self, divisor: &BigUint) -> (BigUint, BigUint) {
         const BASE: u64 = 1 << 32;
         // Normalize so the top limb of the divisor has its high bit set.
+        // analyzer:allow(no-unwrap-in-lib, div_rem asserts the divisor is non-zero before dispatching here, so a top limb exists)
         let shift = divisor.limbs.last().unwrap().leading_zeros() as usize;
         let v = divisor.shl(shift);
         let mut u = self.shl(shift).limbs;
@@ -541,9 +542,10 @@ impl BigUint {
         }
         // Mask off excess bits in the top limb.
         let excess = limbs_needed * 32 - bits;
-        if excess > 0 && !limbs.is_empty() {
-            let top = limbs.last_mut().unwrap();
-            *top &= u32::MAX >> excess;
+        if excess > 0 {
+            if let Some(top) = limbs.last_mut() {
+                *top &= u32::MAX >> excess;
+            }
         }
         let mut out = BigUint { limbs };
         out.normalize();

@@ -69,10 +69,11 @@ impl Digest {
 
     /// Returns the lowercase hexadecimal representation of the digest.
     pub fn to_hex(&self) -> String {
+        const HEX: &[u8; 16] = b"0123456789abcdef";
         let mut s = String::with_capacity(DIGEST_LEN * 2);
         for b in &self.0 {
-            s.push(char::from_digit((b >> 4) as u32, 16).expect("nibble < 16"));
-            s.push(char::from_digit((b & 0xf) as u32, 16).expect("nibble < 16"));
+            s.push(HEX[(b >> 4) as usize] as char);
+            s.push(HEX[(b & 0xf) as usize] as char);
         }
         s
     }

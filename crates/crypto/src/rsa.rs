@@ -109,19 +109,9 @@ impl RsaKeyPair {
     ///
     /// **Never** use this outside tests/benches: the key is public knowledge.
     pub fn insecure_test_key() -> Self {
-        // 512-bit modulus generated once with this crate and frozen here so
-        // tests avoid the cost of prime generation.
-        let p =
-            BigUint::from_hex("f7f84ae15bcbd3faa2ba7c5f4b14a2d62f23d54203ab0a8b687f2b3c7d0e2a4f")
-                .unwrap();
-        let q =
-            BigUint::from_hex("e3c1a9b54e0d7c2f9b3e8d165a40b1cd2e97f60381b24a6d5c8e90f1a7b3c64b")
-                .unwrap();
-        // p and q above are odd 256-bit integers but not guaranteed prime; for
-        // the *test* key we only need the RSA identity to hold, which requires
-        // real primes. Instead of trusting the constants, derive a key pair
-        // deterministically from a seeded RNG.
-        let _ = (p, q);
+        // Derive the key pair deterministically from a seeded RNG: the RSA
+        // identity needs real primes, and the seed keeps repeated test runs
+        // on one fixed 512-bit key without shipping frozen constants.
         use rand::SeedableRng;
         let mut rng = rand::rngs::StdRng::seed_from_u64(0x5AE_2009);
         RsaKeyPair::generate(512, &mut rng)
@@ -159,6 +149,7 @@ impl RsaPrivateKey {
         let s = m.mod_pow(&self.d, &self.n);
         let bytes = s
             .to_bytes_be_padded(modulus_len)
+            // analyzer:allow(no-unwrap-in-lib, mod_pow reduces by n so the signature always fits the modulus length)
             .expect("signature fits modulus length");
         RsaSignature { bytes }
     }

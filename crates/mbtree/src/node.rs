@@ -155,6 +155,7 @@ impl MbNode {
             let key = page.read_u32(off);
             let ptr = page.read_u64(off + 4);
             let digest = Digest::from_slice(page.read_bytes(off + 12, DIGEST_LEN))
+                // analyzer:allow(no-unwrap-in-lib, read_bytes returns exactly DIGEST_LEN bytes so from_slice cannot fail)
                 .expect("digest length is fixed");
             entries.push(MbEntry { key, ptr, digest });
             off += ENTRY_LEN;

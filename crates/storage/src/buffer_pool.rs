@@ -46,7 +46,7 @@ impl CacheState {
 pub struct CachedPager {
     inner: SharedPageStore,
     capacity: usize,
-    state: Mutex<CacheState>,
+    cache_state: Mutex<CacheState>,
     stats: Arc<IoStats>,
     flush_on_drop: AtomicBool,
 }
@@ -62,7 +62,7 @@ impl CachedPager {
         CachedPager {
             inner,
             capacity,
-            state: Mutex::new(CacheState {
+            cache_state: Mutex::new(CacheState {
                 entries: HashMap::new(),
                 tick: 0,
             }),
@@ -92,7 +92,7 @@ impl CachedPager {
     /// backing file; the commit path flushes whole batches at once, and
     /// sorted ids turn that into one sequential pass over the file.
     pub fn flush(&self) -> StorageResult<()> {
-        let mut state = self.state.lock();
+        let mut state = self.cache_state.lock();
         let mut ids: Vec<u64> = state
             .entries
             .iter()
@@ -138,7 +138,7 @@ impl PageStore for CachedPager {
 
     fn read(&self, id: PageId) -> StorageResult<Page> {
         self.stats.record_node_read();
-        let mut state = self.state.lock();
+        let mut state = self.cache_state.lock();
         if let Some((page, _, _)) = state.entries.get(&id.0) {
             let page = page.clone();
             self.stats.record_cache_hit();
@@ -156,7 +156,7 @@ impl PageStore for CachedPager {
 
     fn write(&self, id: PageId, page: &Page) -> StorageResult<()> {
         self.stats.record_node_write();
-        let mut state = self.state.lock();
+        let mut state = self.cache_state.lock();
         if state.entries.contains_key(&id.0) {
             self.stats.record_cache_hit();
             state.tick += 1;

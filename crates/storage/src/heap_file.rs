@@ -160,6 +160,7 @@ impl HeapFile {
                 current_page = Some(self.store.read(self.pages[page_idx])?);
                 current_page_idx = Some(page_idx);
             }
+            // analyzer:allow(no-unwrap-in-lib, the branch above loads the page whenever the index changes, and it always changes on the first iteration)
             let page = current_page.as_mut().expect("page loaded above");
             page.write_bytes(slot * self.record_len, record);
 
@@ -236,6 +237,7 @@ impl HeapFile {
                 current_page = Some(self.store.read(self.pages[page_idx])?);
                 current_page_idx = page_idx;
             }
+            // analyzer:allow(no-unwrap-in-lib, the branch above loads the page whenever the index changes, and it always changes on the first iteration)
             let page = current_page.as_ref().expect("page loaded above");
             out.push(
                 page.read_bytes(slot * self.record_len, self.record_len)

@@ -100,6 +100,7 @@ impl Page {
 
     /// Reads a little-endian `u16`.
     pub fn read_u16(&self, offset: usize) -> u16 {
+        // analyzer:allow(no-unwrap-in-lib, a 2-byte slice always converts; out-of-range offsets already panic at the slice, the accessors' documented contract)
         u16::from_le_bytes(self.data[offset..offset + 2].try_into().expect("2 bytes"))
     }
 
@@ -110,6 +111,7 @@ impl Page {
 
     /// Reads a little-endian `u32`.
     pub fn read_u32(&self, offset: usize) -> u32 {
+        // analyzer:allow(no-unwrap-in-lib, a 4-byte slice always converts; out-of-range offsets already panic at the slice, the accessors' documented contract)
         u32::from_le_bytes(self.data[offset..offset + 4].try_into().expect("4 bytes"))
     }
 
@@ -120,6 +122,7 @@ impl Page {
 
     /// Reads a little-endian `u64`.
     pub fn read_u64(&self, offset: usize) -> u64 {
+        // analyzer:allow(no-unwrap-in-lib, an 8-byte slice always converts; out-of-range offsets already panic at the slice, the accessors' documented contract)
         u64::from_le_bytes(self.data[offset..offset + 8].try_into().expect("8 bytes"))
     }
 

@@ -240,6 +240,7 @@ impl PageStore for FilePager {
         }
         self.stats.record_node_read();
         self.stats.record_physical_read();
+        // analyzer:allow(no-unwrap-in-lib, buf is allocated at PAGE_SIZE above so from_bytes cannot fail)
         Ok(Page::from_bytes(&buf).expect("buffer is exactly one page"))
     }
 

@@ -97,6 +97,7 @@ impl IoStats {
 
 /// A point-in-time copy of [`IoStats`] counters; supports delta arithmetic.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[must_use = "a snapshot is only meaningful when compared or reported; dropping it is a lost measurement"]
 pub struct IoSnapshot {
     /// Logical node reads ("node accesses" in the paper).
     pub node_reads: u64,

@@ -151,6 +151,7 @@ impl XbNode {
                 key: page.read_u32(off),
                 ptr: page.read_u64(off + 4),
                 x: Digest::from_slice(page.read_bytes(off + 12, DIGEST_LEN))
+                    // analyzer:allow(no-unwrap-in-lib, read_bytes returns exactly DIGEST_LEN bytes so from_slice cannot fail)
                     .expect("digest length is fixed"),
             });
             off += ENTRY_LEN;

@@ -81,6 +81,7 @@ impl TupleStore {
                 let key = page.read_u32(off);
                 if q.contains(key) {
                     let digest = Digest::from_slice(page.read_bytes(off + 12, DIGEST_LEN))
+                        // analyzer:allow(no-unwrap-in-lib, read_bytes returns exactly DIGEST_LEN bytes so from_slice cannot fail)
                         .expect("digest length is fixed");
                     vt ^= digest;
                 }
