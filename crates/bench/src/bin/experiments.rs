@@ -18,15 +18,15 @@
 use sae_bench::{
     print_ablation_memory, print_ablation_scan, print_ablation_updates, print_durability,
     print_fig5, print_fig6, print_fig7, print_fig8, print_group_commit, print_sharded_throughput,
-    print_throughput, report_to_json, rows_to_json, run_ablation_memory, run_ablation_scan,
-    run_ablation_updates, run_comparison, run_durability, run_group_commit, run_sharded_throughput,
-    run_throughput, DurabilityConfig, ExperimentConfig, GroupCommitConfig, ShardedThroughputConfig,
-    ThroughputConfig,
+    print_throughput, print_wal, report_to_json, rows_to_json, run_ablation_memory,
+    run_ablation_scan, run_ablation_updates, run_comparison, run_durability, run_group_commit,
+    run_sharded_throughput, run_throughput, run_wal, DurabilityConfig, ExperimentConfig,
+    GroupCommitConfig, ShardedThroughputConfig, ThroughputConfig, WalConfig,
 };
 
 const USAGE: &str = "usage: experiments \
      <fig5|fig6|fig7|fig8|all|ablation-scan|ablation-updates|ablation-memory|throughput\
-|sharded-throughput|durability|group-commit> \
+|sharded-throughput|durability|group-commit|wal> \
      [--full-scale] [--smoke] [--zipf] [--json <path>]
 
 exit codes (shared convention with sae-analyzer):
@@ -61,7 +61,7 @@ impl Cli {
                 &["--full-scale", "--smoke"]
             }
             "throughput" => &["--smoke", "--zipf", "--json"],
-            "sharded-throughput" | "durability" | "group-commit" => &["--smoke", "--json"],
+            "sharded-throughput" | "durability" | "group-commit" | "wal" => &["--smoke", "--json"],
             other => return Err(format!("unknown command `{other}`")),
         };
         let mut cli = Cli {
@@ -272,6 +272,34 @@ fn run(cli: &Cli) -> Result<bool, String> {
                 write_json(path, report_to_json(&rows))?;
             }
             rows.iter().all(|r| r.all_verified)
+        }
+        "wal" => {
+            let wal_config = if cli.smoke {
+                WalConfig::smoke()
+            } else {
+                WalConfig::default()
+            };
+            println!(
+                "wal experiment — n={}, {} shards, {} writers, {} durable write round trips per \
+                 writer, {} µs simulated fsync latency; immediate vs group, each killed with no \
+                 close and reopened via log replay",
+                wal_config.cardinality,
+                wal_config.shards,
+                wal_config.writers,
+                wal_config.ops_per_writer,
+                wal_config.sync_delay_micros
+            );
+            // Unique per process so concurrent or previously interrupted
+            // runs cannot collide on a shared path.
+            let dir = std::env::temp_dir().join(format!("sae-wal-{}", std::process::id()));
+            std::fs::create_dir_all(&dir).expect("create temp dir");
+            let rows = run_wal(&wal_config, &dir);
+            let _ = std::fs::remove_dir_all(&dir);
+            print_wal(&rows);
+            if let Some(path) = &cli.json_path {
+                write_json(path, report_to_json(&rows))?;
+            }
+            rows.iter().all(|r| r.all_verified && r.replay_recovered)
         }
         "ablation-scan" => {
             print_ablation_scan(&run_ablation_scan(&config));

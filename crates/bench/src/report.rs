@@ -2,7 +2,7 @@
 
 use crate::experiments::{
     AblationRow, ComparisonRow, DurabilityRow, GroupCommitRow, MemoryAblationRow,
-    ShardedThroughputRow, ThroughputRow, UpdateRow,
+    ShardedThroughputRow, ThroughputRow, UpdateRow, WalRow,
 };
 use serde::Serialize;
 
@@ -265,6 +265,40 @@ pub fn print_group_commit(rows: &[GroupCommitRow]) {
             r.fsyncs,
             r.fsyncs_per_op,
             r.speedup_vs_immediate,
+            if r.all_verified { "all" } else { "NO" }
+        );
+    }
+}
+
+/// Experiment E12: the write-ahead-log pipeline — one log fsync per
+/// acknowledged durable write, and kill-replay recovery with zero refusals.
+pub fn print_wal(rows: &[WalRow]) {
+    header("Experiment E12 — write-ahead log: fsyncs/ack'd write + kill-replay recovery");
+    println!(
+        "  {:>10} {:>6} {:>11} {:>8} {:>10} {:>9} {:>11} {:>9} {:>8} {:>9}",
+        "policy",
+        "ops",
+        "writes/s",
+        "fsyncs",
+        "fsyncs/op",
+        "appends",
+        "log bytes",
+        "log sync",
+        "replay",
+        "verified"
+    );
+    for r in rows {
+        println!(
+            "  {:>10} {:>6} {:>11.0} {:>8} {:>10.2} {:>9} {:>11} {:>9} {:>8} {:>9}",
+            r.policy,
+            r.ops,
+            r.writes_per_sec,
+            r.fsyncs,
+            r.fsyncs_per_op,
+            r.wal_appends,
+            r.wal_bytes,
+            r.wal_syncs,
+            if r.replay_recovered { "ok" } else { "LOST" },
             if r.all_verified { "all" } else { "NO" }
         );
     }

@@ -10,93 +10,99 @@
 //!                   commit epochs, published TE digests
 //!   sp-0.pages      shard 0's service provider (heap file + B⁺-Tree)
 //!   te-0.pages      shard 0's trusted entity (XB-Tree)
-//!   sp-1.pages ...  one pager-file pair per shard
+//!   wal-0.log       shard 0's write-ahead log
+//!   sp-1.pages ...  one pager-file trio per shard
 //! ```
 //!
 //! Page 0 of every pager file is a [`ShardHeader`]: the file's identity
 //! (shard index + party, so a swapped or renamed file is rejected at open)
-//! and its commit epoch. Every committed update follows the same order —
-//! **pages before manifest**:
+//! and its last *checkpointed* epoch. Every committed update follows the
+//! same order — **log before pages**:
 //!
 //! 1. the heap page table is rewritten into its [`PageDirectory`] chain
-//!    (incrementally — only the chain pages whose content changed),
-//! 2. write-back caches are flushed (dirty pages in ascending page-id
-//!    order) so every data page is in the file,
-//! 3. both headers are rewritten with the bumped epoch and both files are
-//!    synced,
-//! 4. the manifest is atomically replaced (temp file + rename) with the new
-//!    roots, shapes and published digest.
+//!    *through the write-back cache*, so the changed chain pages join the
+//!    commit's write set like any tree page,
+//! 2. the transaction — `Begin`, the after-image of every page written
+//!    since the last commit, the heap page table's new entries, and a
+//!    `Commit` record carrying the full [`ShardMeta`] (roots, shapes,
+//!    published TE digest) — is appended to `wal-<i>.log`,
+//! 3. the log is fsynced: **that single barrier is the acknowledgement**.
+//!    No tree lock is held across it, and no page file was touched.
 //!
-//! A crash between 3 and 4 leaves the pager files one epoch ahead of the
-//! manifest; [`ShardHeader::validate`] reports that as
-//! [`StorageError::StaleManifest`] instead of silently recovering to roots
-//! that no longer describe the page contents (tree pages are rewritten in
-//! place, so the stale roots may already be overwritten).
+//! Data pages reach `sp-<i>.pages` / `te-<i>.pages` only at a *checkpoint*:
+//! when the log grows past a threshold (or on explicit `flush()`/`close()`),
+//! the committing writer additionally flushes the caches, rewrites both
+//! identity headers at the new epoch with a durability barrier each, saves
+//! a covering manifest, and truncates the log to a fresh segment. The
+//! caches run in no-steal mode, so an *uncommitted* mutation can never
+//! overwrite a committed page in the files — between checkpoints the files
+//! plus the log always reconstruct every acknowledged commit.
+//!
+//! ## Recovery
+//!
+//! `Durability::open` loads the manifest, then replays each shard's log:
+//! the torn-tail-tolerant [`sae_storage::wal::scan_log`] yields the longest
+//! valid committed prefix, whose transactions are re-applied to the page
+//! files in log order (page images are absolute content, so re-applying an
+//! epoch the last checkpoint already covers is idempotent). The final
+//! `Commit` record's meta becomes the shard's recovered state; the reopened
+//! TE is verified against its recorded digest, and the heap page table is
+//! cross-checked against the logged directory entries. A crash at *any*
+//! point of the commit pipeline therefore recovers every acknowledged
+//! write — the pre-WAL protocol's refusals ([`StorageError::StaleManifest`]
+//! and torn-state corruption on a kill between commits) remain only for
+//! genuinely tampered directories, e.g. a header epoch ahead of everything
+//! the log ever committed, or a log claiming epochs the manifest never
+//! reached. After replay, recovery checkpoints the reconstructed state and
+//! truncates the log, so reopening is idempotent.
 //!
 //! ## Durability policies and group commit
 //!
 //! *When* an accepted update runs the commit above is the
 //! [`DurabilityPolicy`] knob:
 //!
-//! * [`DurabilityPolicy::Immediate`] — every accepted update performs its
-//!   own full commit before it is acknowledged. Two `fsync`s plus a
-//!   manifest replacement *per update*, all while the writer still holds
-//!   its shard's write locks: maximally simple, fsync-bound throughput.
-//! * [`DurabilityPolicy::Group`] — classic WAL-style group commit. A writer
-//!   mutates its shard in memory, enqueues a commit ticket (while still
-//!   holding the shard's write locks), releases the locks and blocks until
-//!   a commit *covering its ticket* is durable. The first waiting writer
-//!   elects itself leader, optionally gathers a batch (`max_batch` /
-//!   `max_wait`), takes the shard's read locks and performs **one** commit
-//!   on behalf of the whole batch: one header write + one fsync per file,
-//!   the epoch advancing once per batch. Writers queued while a leader is
-//!   fsyncing are picked up by the next leader, so batches form naturally
-//!   under load. An acknowledged write is durable exactly as under
-//!   `Immediate`; a *failed* batch commit is reported to every covered
-//!   writer, whose in-memory mutations then stand ahead of disk until the
-//!   next successful commit (they cannot be unwound — later writers already
-//!   built on them).
+//! * [`DurabilityPolicy::Immediate`] — every accepted update commits (one
+//!   log append + one log fsync) before it is acknowledged, and every
+//!   writer pays its own barrier. The write-ahead log collapsed the old
+//!   two-fsyncs-plus-manifest sequence into that single fsync, and the
+//!   commit runs under the shard's *read* locks, so writers of other
+//!   shards — and this shard's readers — proceed meanwhile.
+//! * [`DurabilityPolicy::Group`] — classic group commit. A writer mutates
+//!   its shard in memory, enqueues a commit ticket (while still holding the
+//!   shard's write locks), releases the locks and blocks until a commit
+//!   *covering its ticket* is durable. The first waiting writer elects
+//!   itself leader, optionally gathers a batch (`max_batch` / `max_wait`)
+//!   and performs **one** log append + fsync on behalf of the whole batch.
+//!   An acknowledged write is durable exactly as under `Immediate`; a
+//!   *failed* batch commit is reported to every covered writer, whose
+//!   in-memory mutations then stand ahead of disk until the next successful
+//!   commit (they cannot be unwound — later writers already built on them).
 //! * [`DurabilityPolicy::FlushOnClose`] — updates are acknowledged from
-//!   memory; only explicit `flush()`/`close()` calls commit. For bulk loads
-//!   where the caller brackets durability itself.
+//!   memory; only explicit `flush()`/`close()` calls commit (forcing a
+//!   checkpoint). For bulk loads where the caller brackets durability.
 //!
-//! Under the deferred policies, cross-shard commits coalesce at the
-//! manifest too: instead of one temp+rename+fsync per `commit_shard` (what
-//! `Immediate` does, serializing every shard on the one manifest file),
-//! each commit publishes its [`ShardMeta`] into the in-memory manifest and
-//! one elected saver persists a snapshot covering every update published so
-//! far (the manifest page is cumulative, so a later save subsumes an
-//! earlier one). A shard's commit state lock is held across its publication
-//! *and* the covering save, so two commits of the same shard can never
-//! invert at the manifest — the files-permanently-ahead-of-manifest state
-//! is unreachable.
-//!
-//! There is no write-ahead log: the protocol assumes data pages reach the
-//! file only at commit time. With a write-back [`CachedPager`] wired
-//! (`cache_pages: Some(..)`) that holds — dirty pages stay in the pool until
-//! the commit flush (modulo capacity evictions). Without a cache,
-//! [`FilePager`] writes through immediately, so a crash *mid-update* can
-//! leave in-place page edits the stale manifest roots do not describe;
-//! recovery then reports corruption (the TE's published-digest check, the
-//! heap geometry checks) rather than silently serving a torn state. The
-//! [`CommitCrashPoint`] hooks let tests kill the pipeline between stages
-//! and assert exactly these outcomes.
+//! Checkpoints coalesce at the manifest: each publishes its [`ShardMeta`]
+//! into the in-memory manifest and (under the deferred policies) one
+//! elected saver persists a snapshot covering every publication so far. A
+//! shard's commit-state lock is held across its checkpoint *and* the
+//! covering save, so two commits of the same shard can never invert at the
+//! manifest.
 //!
 //! The crate-private `Durability` type is deliberately engine-agnostic: it
-//! owns the pager handles, caches, commit state and manifest, while the
-//! deployment types own the trees. Under `Immediate`, its `Drop` performs
-//! the best-effort flush that `Drop` must swallow; under the other policies
-//! `Drop` leaves the files exactly at their last commit (flushing
-//! unacknowledged cache contents would overwrite committed pages with state
-//! the manifest does not describe). The deployments' explicit `close()`
-//! methods run a real commit and surface its errors.
+//! owns the pager handles, caches, logs, commit state and manifest, while
+//! the deployment types own the trees. `Drop` only runs a best-effort log
+//! barrier (recording, not raising, any swallowed error — see
+//! [`sae_storage::IoStats::swallowed_sync_errors`]); the deployments'
+//! explicit `close()` methods run a real checkpoint and surface its errors.
 
 use crate::sae::{SaeServiceProvider, TrustedEntity};
 use parking_lot::{Mutex, MutexGuard};
 use sae_crypto::Digest;
+use sae_storage::wal::wal_file_name;
 use sae_storage::{
-    CachedPager, FilePager, Manifest, PageDirectory, PageId, PageStore, Party, ShardHeader,
-    ShardMeta, SharedPageStore, StorageError, StorageResult, TreeMeta, SHARD_HEADER_PAGE,
+    scan_log, CachedPager, FilePager, Manifest, PageDirectory, PageId, PageStore, Party,
+    ShardHeader, ShardMeta, SharedPageStore, StorageError, StorageResult, TreeMeta, WalRecord,
+    WalWriter, SHARD_HEADER_PAGE,
 };
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Condvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
@@ -105,26 +111,32 @@ use std::time::{Duration, Instant};
 /// File name of the deployment manifest inside a deployment directory.
 pub const MANIFEST_FILE: &str = "MANIFEST";
 
+/// Page budget of a party's write-back cache when the caller does not size
+/// one explicitly. Durable deployments always run behind a no-steal cache —
+/// log-before-pages depends on uncommitted mutations staying out of the
+/// page files — so `cache_pages: None` means "default capacity", not "no
+/// cache".
+const DEFAULT_CACHE_PAGES: usize = 256;
+
+/// Log size past which a commit folds a checkpoint in (page flush, header
+/// and manifest republication, log truncation). 4 MiB ≈ a thousand page
+/// images.
+const DEFAULT_CHECKPOINT_THRESHOLD_BYTES: u64 = 4 * 1024 * 1024;
+
 /// When a durable deployment's accepted writes reach stable storage. See
 /// the [module docs](self) for the full protocol behind each mode.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum DurabilityPolicy {
-    /// Every accepted update performs its own full commit (heap directory,
-    /// cache flush, two header writes + fsyncs, manifest replacement)
-    /// before it is acknowledged.
+    /// Every accepted update appends its transaction to the shard's
+    /// write-ahead log and fsyncs the log — one durability barrier — before
+    /// it is acknowledged.
     #[default]
     Immediate,
     /// Group commit: concurrent writers enqueue commit tickets and block
-    /// while one elected leader performs a single commit covering the whole
-    /// batch. Same guarantee as `Immediate` for acknowledged writes, at a
-    /// fraction of the fsyncs per write under load.
-    ///
-    /// The *clean-crash* window (a kill between commits recovers the last
-    /// commit) additionally requires a write-back cache (`cache_pages:
-    /// Some(..)`) large enough for the un-committed working set: without
-    /// one, mutations write through to the files immediately, and a kill
-    /// mid-window is *detected* as corruption on reopen rather than
-    /// recovered (see the module docs).
+    /// while one elected leader appends and fsyncs a single log transaction
+    /// covering the whole batch. Same guarantee as `Immediate` for
+    /// acknowledged writes, at a fraction of the fsyncs per write under
+    /// load.
     Group {
         /// Stop gathering and commit once this many writers are pending.
         max_batch: usize,
@@ -135,11 +147,8 @@ pub enum DurabilityPolicy {
         max_wait: Duration,
     },
     /// Updates are acknowledged from memory only; nothing commits until an
-    /// explicit `flush()` or `close()`. A kill before that recovers the
-    /// last committed state — provided a write-back cache (`cache_pages:
-    /// Some(..)`) holds the un-committed working set; without one, the
-    /// written-through pages make a kill between commits a *detected*
-    /// corruption rather than a clean recovery. For bulk loads.
+    /// explicit `flush()` or `close()` (which checkpoints). A kill before
+    /// that recovers the last committed state. For bulk loads.
     FlushOnClose,
 }
 
@@ -164,52 +173,55 @@ impl DurabilityPolicy {
 }
 
 /// Fault-injection points inside the commit pipeline, for the
-/// crash-consistency tests: an armed point makes the next `commit_shard`
-/// fail *after* completing the named stage, simulating a kill between
-/// stages. Combined with `std::mem::forget` of the engine (so no `Drop`
-/// cleanup runs), reopening the directory then exercises exactly the states
-/// a real crash leaves behind.
+/// crash-consistency tests: an armed point makes the next commit fail
+/// *after* completing the named stage, simulating a kill between stages.
+/// Combined with `std::mem::forget` of the engine (so no `Drop` cleanup
+/// runs), reopening the directory then exercises exactly the states a real
+/// crash leaves behind — and since the pipeline is write-ahead-logged,
+/// reopening recovers every *acknowledged* write at every point; only the
+/// doomed in-flight transaction's visibility varies.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum CommitCrashPoint {
-    /// Fail before any commit work: no page, header or manifest write
-    /// happens. With a write-back cache the files stay at the last commit.
+    /// Fail before the transaction is appended to the log: no log, page,
+    /// header or manifest write happens. The doomed write is absent after
+    /// recovery; everything previously acknowledged is intact.
     BeforeCommit,
-    /// Fail after the heap-directory write and cache flush, before the
-    /// headers are synced: data pages are rewritten in place under the old
-    /// epoch and manifest.
+    /// Fail after the transaction is fully appended to the log, before the
+    /// log fsync. Under the tests' `mem::forget` crash model file writes
+    /// survive, so the doomed transaction is replayed on reopen; on real
+    /// hardware it may equally be torn off the tail by the scan — both
+    /// outcomes recover cleanly.
     AfterPageFlush,
-    /// Fail after both pager files are synced at the new epoch, before the
-    /// manifest is saved — the classic pages-ahead-of-manifest crash.
+    /// Fail after the log fsync that makes the transaction durable, before
+    /// it is acknowledged: the doomed write is present after recovery even
+    /// though its writer saw an error.
     AfterHeaderSync,
 }
 
-/// One party's file-backed store: the raw pager (what gets synced and holds
-/// the header + page-directory pages) and the store the trees run on (the
-/// pager itself, or a write-back [`CachedPager`] over it).
+/// One party's file-backed store: the raw pager (what a checkpoint syncs
+/// and what holds the header page) and the no-steal write-back cache the
+/// trees run on.
 pub(crate) struct PartyFiles {
     pager: Arc<FilePager>,
-    cache: Option<Arc<CachedPager>>,
+    cache: Arc<CachedPager>,
     store: SharedPageStore,
 }
 
 impl PartyFiles {
-    fn wrap(pager: Arc<FilePager>, cache_pages: Option<usize>, policy: DurabilityPolicy) -> Self {
-        let (cache, store): (_, SharedPageStore) = match cache_pages {
-            Some(pages) => {
-                let cache = Arc::new(CachedPager::new(
-                    Arc::clone(&pager) as SharedPageStore,
-                    pages,
-                ));
-                // Under the deferred policies the cache may hold mutations
-                // that were never acknowledged; flushing them on drop would
-                // tear the committed on-disk state (see the module docs).
-                if policy != DurabilityPolicy::Immediate {
-                    cache.set_flush_on_drop(false);
-                }
-                (Some(Arc::clone(&cache)), cache)
-            }
-            None => (None, Arc::clone(&pager) as SharedPageStore),
-        };
+    fn wrap(pager: Arc<FilePager>, cache_pages: Option<usize>) -> Self {
+        let cache = Arc::new(CachedPager::new(
+            Arc::clone(&pager) as SharedPageStore,
+            cache_pages.unwrap_or(DEFAULT_CACHE_PAGES).max(1),
+        ));
+        // No-steal: a dirty page never reaches the file before its commit
+        // is in the log (the cache soft-overflows its capacity instead).
+        cache.set_no_steal(true);
+        // Never flush on drop, under any policy: unacknowledged mutations
+        // would overwrite checkpointed pages with state the log does not
+        // describe, and everything acknowledged is already covered by the
+        // synced log.
+        cache.set_flush_on_drop(false);
+        let store: SharedPageStore = Arc::clone(&cache) as SharedPageStore;
         PartyFiles {
             pager,
             cache,
@@ -218,10 +230,7 @@ impl PartyFiles {
     }
 
     fn flush(&self) -> StorageResult<()> {
-        if let Some(cache) = &self.cache {
-            cache.flush()?;
-        }
-        Ok(())
+        self.cache.flush()
     }
 
     /// Durability barrier through the party's store, so the fsync is
@@ -233,10 +242,14 @@ impl PartyFiles {
 }
 
 /// Per-shard commit state, serialized under one mutex so two commits of the
-/// same shard can never interleave their header/epoch writes.
+/// same shard can never interleave their log/epoch writes.
 struct ShardCommitState {
     epoch: u64,
     heap_dir: PageDirectory,
+    /// Heap pages already covered by logged `HeapDirEntry` records (or by
+    /// the recovered checkpoint); the next commit logs only the entries
+    /// past this index.
+    logged_heap_len: usize,
 }
 
 /// Group-commit bookkeeping of one shard. Tickets are issued by writers
@@ -258,30 +271,35 @@ struct GroupQueue {
     fail_msg: String,
 }
 
-/// A commit caught between its two phases: the snapshot is flushed to the
-/// files and the manifest meta captured ([`Durability::prepare_commit`],
-/// under the shard's tree locks), but the headers, fsyncs and manifest save
-/// ([`Durability::finish_commit`]) are still to run — without tree locks,
-/// so writers queue the next batch meanwhile. Holding the commit-state
-/// guard keeps any other commit of the shard from starting in between.
+/// A commit caught between its two phases: the transaction is appended to
+/// the log ([`Durability::prepare_commit`], under the shard's tree locks),
+/// but the acknowledgement fsync ([`Durability::finish_commit`]) is still
+/// to run — without tree locks, so writers queue the next batch meanwhile.
+/// Holding the commit-state guard keeps any other commit of the shard from
+/// starting in between.
 pub(crate) struct PreparedCommit<'a> {
     shard_idx: usize,
     state: MutexGuard<'a, ShardCommitState>,
     cover: u64,
     meta: ShardMeta,
+    /// The prepare phase folded a checkpoint in, which already carried its
+    /// own barriers — the finish phase skips the log fsync.
+    already_durable: bool,
 }
 
-/// One shard's durable storage: both parties' files plus the commit state.
+/// One shard's durable storage: both parties' files, the write-ahead log
+/// and the commit state.
 pub(crate) struct ShardFiles {
     upper: u32,
     sp: PartyFiles,
     te: PartyFiles,
+    wal: WalWriter,
     state: Mutex<ShardCommitState>,
     group: StdMutex<GroupQueue>,
     group_cv: Condvar,
 }
 
-/// The in-memory manifest plus the coalescing-save bookkeeping. Commits
+/// The in-memory manifest plus the coalescing-save bookkeeping. Checkpoints
 /// publish their `ShardMeta` here (bumping `seq`) and one elected saver
 /// persists a snapshot covering every published update; the manifest page
 /// is cumulative, so a save at `seq = t` subsumes every earlier update.
@@ -314,6 +332,18 @@ pub(crate) struct RecoveredShard {
     pub heap_pages: Vec<PageId>,
 }
 
+/// One shard's state mid-recovery: pagers opened, log replayed, trees not
+/// yet reopened and the fresh log segment not yet cut (that waits for the
+/// covering manifest save).
+struct ShardRecovery {
+    sp_pager: Arc<FilePager>,
+    te_pager: Arc<FilePager>,
+    meta: ShardMeta,
+    heap_dir: PageDirectory,
+    heap_pages: Vec<PageId>,
+    replayed: bool,
+}
+
 /// The durable backing of a deployment directory. See the module docs for
 /// the file layout and commit protocol.
 pub(crate) struct Durability {
@@ -327,6 +357,8 @@ pub(crate) struct Durability {
     /// the whole deployment models one device (see
     /// [`FilePager::set_sync_delay_micros`]).
     sync_delay_micros: std::sync::atomic::AtomicU64,
+    /// Log size past which a commit folds a checkpoint in.
+    checkpoint_threshold_bytes: std::sync::atomic::AtomicU64,
 }
 
 fn sp_path(dir: &Path, shard: usize) -> PathBuf {
@@ -335,6 +367,10 @@ fn sp_path(dir: &Path, shard: usize) -> PathBuf {
 
 fn te_path(dir: &Path, shard: usize) -> PathBuf {
     dir.join(format!("{}-{shard}.pages", Party::Te.prefix()))
+}
+
+fn wal_path(dir: &Path, shard: usize) -> PathBuf {
+    dir.join(wal_file_name(shard))
 }
 
 fn placeholder_meta(upper: u32) -> ShardMeta {
@@ -412,7 +448,8 @@ fn create_party_file(path: &Path, shard: usize, party: Party) -> StorageResult<A
 }
 
 /// Opens one party's pager file, validating its identity and epoch against
-/// the manifest. A missing file is reported as corruption (the deployment
+/// the manifest — the strict form, used when the shard has no log to judge
+/// the epoch by. A missing file is reported as corruption (the deployment
 /// directory is incomplete), not a bare I/O error.
 fn open_party_file(
     path: &Path,
@@ -420,6 +457,24 @@ fn open_party_file(
     party: Party,
     manifest_epoch: u64,
 ) -> StorageResult<Arc<FilePager>> {
+    let pager = open_party_pager(path)?;
+    ShardHeader::validate(pager.as_ref(), shard as u32, party, manifest_epoch)?;
+    Ok(pager)
+}
+
+/// Opens one party's pager file checking only its *identity*, returning the
+/// header so log replay can judge the epoch itself.
+fn open_party_file_identity(
+    path: &Path,
+    shard: usize,
+    party: Party,
+) -> StorageResult<(Arc<FilePager>, ShardHeader)> {
+    let pager = open_party_pager(path)?;
+    let header = ShardHeader::validate_identity(pager.as_ref(), shard as u32, party)?;
+    Ok((pager, header))
+}
+
+fn open_party_pager(path: &Path) -> StorageResult<Arc<FilePager>> {
     let pager = FilePager::open(path).map_err(|e| match e {
         StorageError::Io(io) if io.kind() == std::io::ErrorKind::NotFound => {
             StorageError::Corrupted(format!(
@@ -429,16 +484,178 @@ fn open_party_file(
         }
         other => other,
     })?;
-    let pager = Arc::new(pager);
-    ShardHeader::validate(pager.as_ref(), shard as u32, party, manifest_epoch)?;
-    Ok(pager)
+    Ok(Arc::new(pager))
+}
+
+/// Extends `pager` until `id` is a valid page — replay may apply images to
+/// pages that were allocated after the last checkpoint and so never reached
+/// the file.
+fn ensure_allocated(pager: &FilePager, id: PageId) -> StorageResult<()> {
+    while pager.page_count() <= id.0 {
+        pager.allocate()?;
+    }
+    Ok(())
+}
+
+/// Replays shard `i`'s write-ahead log over its page files (if there is
+/// one), recovering the last committed state. See the module docs'
+/// "Recovery" section for the case analysis.
+fn recover_shard(dir: &Path, i: usize, manifest_meta: &ShardMeta) -> StorageResult<ShardRecovery> {
+    let wal_bytes = match std::fs::read(wal_path(dir, i)) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(e.into()),
+    };
+    let (seg, txs) = scan_log(&wal_bytes);
+
+    let Some(seg) = seg else {
+        // No log evidence (a pre-WAL directory, or a log torn before its
+        // segment header): fall back to the strict pages-vs-manifest
+        // validation — headers must match the manifest epoch exactly.
+        let sp_pager = open_party_file(&sp_path(dir, i), i, Party::Sp, manifest_meta.epoch)?;
+        let te_pager = open_party_file(&te_path(dir, i), i, Party::Te, manifest_meta.epoch)?;
+        let (heap_dir, heap_pages) = PageDirectory::open(
+            sp_pager.as_ref(),
+            manifest_meta.heap_dir_head,
+            manifest_meta.heap_page_count,
+        )?;
+        return Ok(ShardRecovery {
+            sp_pager,
+            te_pager,
+            meta: manifest_meta.clone(),
+            heap_dir,
+            heap_pages,
+            replayed: false,
+        });
+    };
+
+    // The segment is cut by a checkpoint immediately after its covering
+    // manifest save, so its base can never run ahead of the manifest.
+    if seg.base_epoch > manifest_meta.epoch {
+        return Err(StorageError::Corrupted(format!(
+            "shard {i}: wal segment starts at epoch {} but the manifest is at epoch {} — \
+             the manifest regressed behind its own checkpoint",
+            seg.base_epoch, manifest_meta.epoch
+        )));
+    }
+    // Committed epochs step by at most one (duplicates are a failed commit
+    // retried at the same epoch); a gap means a committed transaction went
+    // missing from a log the scan otherwise trusts.
+    let mut last = seg.base_epoch;
+    for tx in &txs {
+        if tx.epoch > last + 1 {
+            return Err(StorageError::Corrupted(format!(
+                "shard {i}: wal skips from epoch {last} to epoch {} — a committed \
+                 transaction is missing",
+                tx.epoch
+            )));
+        }
+        last = tx.epoch;
+    }
+
+    let (sp_pager, sp_header) = open_party_file_identity(&sp_path(dir, i), i, Party::Sp)?;
+    let (te_pager, te_header) = open_party_file_identity(&te_path(dir, i), i, Party::Te)?;
+
+    // The recovered state: the last committed transaction's meta, or the
+    // manifest's when the segment is fresh.
+    let meta = match txs.last() {
+        Some(tx) => tx.meta.clone(),
+        None => manifest_meta.clone(),
+    };
+    if meta.epoch < manifest_meta.epoch {
+        return Err(StorageError::Corrupted(format!(
+            "shard {i}: manifest is at epoch {} but the log only commits through epoch {} — \
+             the manifest describes state the log never carried",
+            manifest_meta.epoch, meta.epoch
+        )));
+    }
+    if meta.upper != manifest_meta.upper {
+        return Err(StorageError::Corrupted(format!(
+            "shard {i}: log commits shard bound {} but the manifest says {}",
+            meta.upper, manifest_meta.upper
+        )));
+    }
+
+    // Replay in log order. Images are absolute page content, so re-applying
+    // an epoch the last checkpoint already covers is idempotent, and a
+    // later duplicate epoch simply wins.
+    let replayed = !txs.is_empty();
+    for tx in &txs {
+        for (party, page_id, image) in &tx.pages {
+            let pager = match party {
+                Party::Sp => sp_pager.as_ref(),
+                Party::Te => te_pager.as_ref(),
+            };
+            ensure_allocated(pager, *page_id)?;
+            pager.write(*page_id, image)?;
+        }
+    }
+
+    // A header may sit anywhere up to the recovered epoch (a checkpoint
+    // that died between its barriers); *ahead* of everything the log ever
+    // committed means the directory was tampered with — the classic
+    // stale-manifest refusal.
+    for header in [&sp_header, &te_header] {
+        if header.epoch > meta.epoch {
+            return Err(StorageError::StaleManifest {
+                shard: i as u32,
+                manifest_epoch: meta.epoch,
+                file_epoch: header.epoch,
+            });
+        }
+    }
+
+    let (heap_dir, heap_pages) =
+        PageDirectory::open(sp_pager.as_ref(), meta.heap_dir_head, meta.heap_page_count)?;
+    // Cross-check the recovered heap page table against the logged
+    // directory entries: heap pages are append-only, so every logged
+    // (index, page) must still be in place.
+    for tx in &txs {
+        for (index, page_id) in &tx.heap_entries {
+            match heap_pages.get(*index as usize) {
+                Some(got) if got == page_id => {}
+                got => {
+                    return Err(StorageError::Corrupted(format!(
+                        "shard {i}: log places heap page {} at index {index} but the \
+                         recovered page table has {:?}",
+                        page_id.0, got
+                    )));
+                }
+            }
+        }
+    }
+
+    // Recovery checkpoint, phase 1: make the replayed images durable and
+    // republish the headers at the recovered epoch. The covering manifest
+    // save and the log truncation happen in `Durability::open` *after*
+    // every shard replayed, preserving save-before-truncate.
+    if replayed {
+        for (pager, party) in [(&sp_pager, Party::Sp), (&te_pager, Party::Te)] {
+            let header = ShardHeader {
+                shard: i as u32,
+                party,
+                epoch: meta.epoch,
+            };
+            pager.write(SHARD_HEADER_PAGE, &header.encode())?;
+            pager.sync()?;
+        }
+    }
+
+    Ok(ShardRecovery {
+        sp_pager,
+        te_pager,
+        meta,
+        heap_dir,
+        heap_pages,
+        replayed,
+    })
 }
 
 impl Durability {
     /// Creates the deployment directory layout for a fresh deployment:
-    /// per-shard pager files with identity headers and empty heap page
-    /// directories, plus an in-memory manifest that the first
-    /// [`Durability::commit_shard`] calls will fill and persist.
+    /// per-shard pager files with identity headers, empty heap page
+    /// directories and fresh log segments, plus an in-memory manifest that
+    /// the first [`Durability::commit_shard`] calls will fill and persist.
     pub(crate) fn create(
         dir: &Path,
         uppers: &[u32],
@@ -484,15 +701,26 @@ impl Durability {
         for (i, &upper) in uppers.iter().enumerate() {
             let sp_pager = create_party_file(&sp_path(dir, i), i, Party::Sp)?;
             let te_pager = create_party_file(&te_path(dir, i), i, Party::Te)?;
-            // The heap page directory lives right after the SP header, and is
-            // always accessed through the raw pager so the write-back cache
-            // never holds a competing copy.
-            let (heap_dir, _head) = PageDirectory::create(sp_pager.as_ref())?;
+            let sp = PartyFiles::wrap(sp_pager, cache_pages);
+            let te = PartyFiles::wrap(te_pager, cache_pages);
+            // The heap page directory lives right after the SP header, and
+            // is accessed through the cache so its chain-page mutations join
+            // the write set and are logged like any other page.
+            let (heap_dir, _head) = PageDirectory::create(sp.store.as_ref())?;
+            // The log shares the SP store's stats, so its appends and
+            // fsyncs land in the same per-party accounting the engines and
+            // experiments read.
+            let wal = WalWriter::create(wal_path(dir, i), 0, sp.store.stats())?;
             shards.push(ShardFiles {
                 upper,
-                sp: PartyFiles::wrap(sp_pager, cache_pages, policy),
-                te: PartyFiles::wrap(te_pager, cache_pages, policy),
-                state: Mutex::new(ShardCommitState { epoch: 0, heap_dir }),
+                sp,
+                te,
+                wal,
+                state: Mutex::new(ShardCommitState {
+                    epoch: 0,
+                    heap_dir,
+                    logged_heap_len: 0,
+                }),
                 group: StdMutex::new(GroupQueue::default()),
                 group_cv: Condvar::new(),
             });
@@ -500,6 +728,7 @@ impl Durability {
         let manifest = Manifest {
             record_size: record_size as u32,
             domain,
+            checkpoint_seq: 0,
             shards: uppers.iter().map(|&u| placeholder_meta(u)).collect(),
         };
         Ok(Durability {
@@ -517,41 +746,68 @@ impl Durability {
             policy,
             crash: Mutex::new(None),
             sync_delay_micros: std::sync::atomic::AtomicU64::new(0),
+            checkpoint_threshold_bytes: std::sync::atomic::AtomicU64::new(
+                DEFAULT_CHECKPOINT_THRESHOLD_BYTES,
+            ),
         })
     }
 
     /// Reopens a deployment directory: loads and validates the manifest,
-    /// opens every pager file (validating identity headers and commit
-    /// epochs) and recovers each shard's heap page table. The trees are then
-    /// reopened by the caller from the returned [`RecoveredShard`] metas.
+    /// opens every pager file (validating identity headers), replays each
+    /// shard's write-ahead log past the last checkpoint and recovers each
+    /// shard's heap page table. If anything replayed, the recovered state
+    /// is checkpointed (headers, manifest) and the logs are truncated, so
+    /// reopening is idempotent. The trees are then reopened by the caller
+    /// from the returned [`RecoveredShard`] metas — which is where the
+    /// replayed TE is verified against the last `Commit` record's digest.
     pub(crate) fn open(
         dir: &Path,
         cache_pages: Option<usize>,
         policy: DurabilityPolicy,
     ) -> StorageResult<(Durability, Vec<RecoveredShard>)> {
         let manifest_path = dir.join(MANIFEST_FILE);
-        let manifest = Manifest::load(&manifest_path)?;
-        let mut shards = Vec::with_capacity(manifest.shards.len());
-        let mut recovered = Vec::with_capacity(manifest.shards.len());
-        for (i, meta) in manifest.shards.iter().enumerate() {
-            let sp_pager = open_party_file(&sp_path(dir, i), i, Party::Sp, meta.epoch)?;
-            let te_pager = open_party_file(&te_path(dir, i), i, Party::Te, meta.epoch)?;
-            let (heap_dir, heap_pages) =
-                PageDirectory::open(sp_pager.as_ref(), meta.heap_dir_head, meta.heap_page_count)?;
+        let mut manifest = Manifest::load(&manifest_path)?;
+        let mut recoveries = Vec::with_capacity(manifest.shards.len());
+        let mut any_replayed = false;
+        for (i, slot) in manifest.shards.iter_mut().enumerate() {
+            let rec = recover_shard(dir, i, slot)?;
+            any_replayed |= rec.replayed;
+            // The in-memory (and, below, the saved) manifest adopts the
+            // recovered metas, so later checkpoints build on them.
+            *slot = rec.meta.clone();
+            recoveries.push(rec);
+        }
+        // Recovery checkpoint, phase 2: one covering manifest save — after
+        // every shard's headers are durable, before any log is truncated.
+        if any_replayed {
+            manifest.checkpoint_seq += 1;
+            manifest.save(&manifest_path)?;
+        }
+        let mut shards = Vec::with_capacity(recoveries.len());
+        let mut recovered = Vec::with_capacity(recoveries.len());
+        for (i, rec) in recoveries.into_iter().enumerate() {
+            let sp = PartyFiles::wrap(rec.sp_pager, cache_pages);
+            let te = PartyFiles::wrap(rec.te_pager, cache_pages);
+            // Everything the old log carried is checkpointed now; cut a
+            // fresh segment (atomically — a crash here leaves the old log,
+            // and replaying it again is idempotent).
+            let wal = WalWriter::create(wal_path(dir, i), rec.meta.epoch, sp.store.stats())?;
             shards.push(ShardFiles {
-                upper: meta.upper,
-                sp: PartyFiles::wrap(sp_pager, cache_pages, policy),
-                te: PartyFiles::wrap(te_pager, cache_pages, policy),
+                upper: rec.meta.upper,
+                sp,
+                te,
+                wal,
                 state: Mutex::new(ShardCommitState {
-                    epoch: meta.epoch,
-                    heap_dir,
+                    epoch: rec.meta.epoch,
+                    heap_dir: rec.heap_dir,
+                    logged_heap_len: rec.heap_pages.len(),
                 }),
                 group: StdMutex::new(GroupQueue::default()),
                 group_cv: Condvar::new(),
             });
             recovered.push(RecoveredShard {
-                meta: meta.clone(),
-                heap_pages,
+                meta: rec.meta,
+                heap_pages: rec.heap_pages,
             });
         }
         Ok((
@@ -570,6 +826,9 @@ impl Durability {
                 policy,
                 crash: Mutex::new(None),
                 sync_delay_micros: std::sync::atomic::AtomicU64::new(0),
+                checkpoint_threshold_bytes: std::sync::atomic::AtomicU64::new(
+                    DEFAULT_CHECKPOINT_THRESHOLD_BYTES,
+                ),
             },
             recovered,
         ))
@@ -595,15 +854,30 @@ impl Durability {
         *self.crash.lock() = point;
     }
 
-    /// Sets a simulated per-fsync latency on every shard's pager files and
-    /// on the manifest save (see [`FilePager::set_sync_delay_micros`]).
+    /// Sets a simulated per-fsync latency on every shard's pager files,
+    /// write-ahead logs and the manifest save (see
+    /// [`FilePager::set_sync_delay_micros`]).
     pub(crate) fn set_sync_delay_micros(&self, micros: u64) {
         for shard in &self.shards {
             shard.sp.pager.set_sync_delay_micros(micros);
             shard.te.pager.set_sync_delay_micros(micros);
+            shard.wal.set_sync_delay_micros(micros);
         }
         self.sync_delay_micros
             .store(micros, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Overrides the log-size threshold past which a commit folds a
+    /// checkpoint in — tests and benches force frequent (or suppress all)
+    /// threshold checkpoints with it.
+    pub(crate) fn set_checkpoint_threshold_bytes(&self, bytes: u64) {
+        self.checkpoint_threshold_bytes
+            .store(bytes, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    fn checkpoint_threshold(&self) -> u64 {
+        self.checkpoint_threshold_bytes
+            .load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// The simulated barrier latency applied after a manifest save.
@@ -640,7 +914,7 @@ impl Durability {
         let shard = self.shard(i);
         ShardStores {
             sp_store: Arc::clone(&shard.sp.store),
-            sp_cache: shard.sp.cache.clone(),
+            sp_cache: Some(Arc::clone(&shard.sp.cache)),
             te_store: Arc::clone(&shard.te.store),
         }
     }
@@ -666,8 +940,17 @@ impl Durability {
 
     /// Blocks until a commit covering `ticket` is durable, electing this
     /// caller as the batch leader when no commit is in flight. `commit` must
-    /// acquire the shard's read locks and run [`Durability::commit_shard`];
-    /// it is invoked at most once per leadership stint.
+    /// acquire the shard's read locks and run the prepare/finish pair (or
+    /// [`Durability::commit_write`]); it is invoked at most once per
+    /// leadership stint.
+    ///
+    /// Non-`Group` policies skip the queue entirely: every writer runs its
+    /// *own* commit — its own log append and its own acknowledgement fsync,
+    /// serialized on the shard's commit state. A leader's commit does cover
+    /// concurrent writers' already-locked-in mutations (they are in the
+    /// appended transaction), but under `Immediate` each writer still pays
+    /// its own barrier: that per-write cadence is the policy's contract and
+    /// exactly the cost `Group` exists to amortize.
     pub(crate) fn wait_durable(
         &self,
         i: usize,
@@ -680,7 +963,7 @@ impl Durability {
                 max_batch,
                 max_wait,
             } => (max_batch.max(1) as u64, max_wait),
-            _ => (1, Duration::ZERO),
+            _ => return commit(),
         };
         let mut q = lock_unpoisoned(&shard.group);
         loop {
@@ -728,8 +1011,8 @@ impl Durability {
                 clear: |q: &mut GroupQueue| q.leader = false,
                 armed: true,
             };
-            // commit_shard snapshots how many tickets it covers and
-            // publishes the outcome to the queue itself.
+            // The commit snapshots how many tickets it covers and publishes
+            // the outcome to the queue itself.
             let result = commit();
             leader_guard.disarm();
             q = lock_unpoisoned(&shard.group);
@@ -737,32 +1020,41 @@ impl Durability {
             drop(q);
             shard.group_cv.notify_all();
             // The leader's own ticket predates its commit, so the commit
-            // covered it: report our own failure directly (commit_shard has
+            // covered it: report our own failure directly (the commit has
             // already marked the batch failed for the followers).
             result?;
             q = lock_unpoisoned(&shard.group);
         }
     }
 
-    /// Commits shard `i`'s current state in the documented order (pages,
-    /// headers + sync, then manifest). The caller must hold the shard's
-    /// locks (read locks suffice — and are what `flush()` holds) so
-    /// `sp`/`te` cannot change mid-commit. Covers, and on completion
-    /// releases or fails, every group-commit ticket issued before it
-    /// started.
-    ///
-    /// The group-commit leader uses the split form —
-    /// [`Durability::prepare_commit`] under the read locks, then
-    /// [`Durability::finish_commit`] after releasing them — so same-shard
-    /// writers can mutate (and queue the next batch) while this batch's
-    /// fsyncs and manifest save run.
+    /// Commits shard `i`'s current state *and forces a checkpoint*: log
+    /// append, page flush, header + manifest republication, log truncation.
+    /// The explicit-durability entry point (`flush()`, `close()`, initial
+    /// creation). The caller must hold the shard's locks (read locks
+    /// suffice — and are what `flush()` holds) so `sp`/`te` cannot change
+    /// mid-commit. Covers, and on completion releases or fails, every
+    /// group-commit ticket issued before it started.
     pub(crate) fn commit_shard(
         &self,
         i: usize,
         sp: &SaeServiceProvider,
         te: &TrustedEntity,
     ) -> StorageResult<()> {
-        let prepared = self.prepare_commit(i, sp, te)?;
+        let prepared = self.prepare_commit(i, sp, te, true)?;
+        self.finish_commit(prepared)
+    }
+
+    /// Commits shard `i`'s current state on the write path: log append plus
+    /// one log fsync, checkpointing only when the log has grown past the
+    /// threshold. What the per-update funnel
+    /// (`announce`/`wait_durable`) runs under every policy.
+    pub(crate) fn commit_write(
+        &self,
+        i: usize,
+        sp: &SaeServiceProvider,
+        te: &TrustedEntity,
+    ) -> StorageResult<()> {
+        let prepared = self.prepare_commit(i, sp, te, false)?;
         self.finish_commit(prepared)
     }
 
@@ -784,30 +1076,32 @@ impl Durability {
         shard.group_cv.notify_all();
     }
 
-    /// Commit phase 1, under the shard's (at least read) locks: write the
-    /// heap page table, flush the write-back caches so every data page of
-    /// the snapshot is in the file, and capture the manifest meta. The
-    /// returned token holds the shard's commit-state lock, so no other
-    /// commit of this shard can start until [`Durability::finish_commit`]
-    /// completes — but the *tree* locks can be released as soon as this
-    /// returns: the snapshot is fully in the file and the meta fully
-    /// captured, so later in-memory mutations (which stay in the cache
-    /// until their own commit) cannot leak into it.
+    /// Commit phase 1, under the shard's (at least read) locks: append the
+    /// transaction — `Begin`, every after-image written since the last
+    /// commit, the heap page table's new entries, `Commit` with the full
+    /// meta — to the shard's log, folding a checkpoint in when the log is
+    /// past the threshold (or `force_checkpoint` demands one, as
+    /// `flush()`/`close()` do). The returned token holds the shard's
+    /// commit-state lock, so no other commit of this shard can start until
+    /// [`Durability::finish_commit`] completes — but the *tree* locks can
+    /// be released as soon as this returns: the transaction is fully in the
+    /// log, so later in-memory mutations (which stay in the cache until
+    /// their own commit) cannot leak into it.
     pub(crate) fn prepare_commit<'a>(
         &'a self,
         i: usize,
         sp: &SaeServiceProvider,
         te: &TrustedEntity,
+        force_checkpoint: bool,
     ) -> StorageResult<PreparedCommit<'a>> {
         let shard = self.shard(i);
         // The state lock is held from here through finish_commit, including
-        // the covering manifest save: if the manifest were written outside
-        // it, two concurrent commits of the same shard (e.g. two `flush()`
-        // calls, which only take read locks) could invert at the manifest
-        // and persist an older epoch after a newer one — leaving the pager
-        // headers permanently ahead of the manifest, i.e. a deployment that
-        // can never open again. Lock order is state(i) → group(i) →
-        // manifest, everywhere.
+        // any covering checkpoint and manifest save: if the manifest were
+        // written outside it, two concurrent commits of the same shard
+        // (e.g. two `flush()` calls, which only take read locks) could
+        // invert at the manifest and persist an older epoch after a newer
+        // one. Lock order is state(i) → group(i) → wal(i) → manifest,
+        // everywhere.
         let mut state = shard.state.lock();
         // Tickets issued before this point were issued under the shard's
         // write locks; our caller holds at least the read locks, so all of
@@ -815,31 +1109,82 @@ impl Durability {
         // covers them.
         let cover = lock_unpoisoned(&shard.group).queued;
         let epoch = state.epoch + 1;
+        let mut already_durable = false;
         let staged = (|| -> StorageResult<ShardMeta> {
             self.crash_check(CommitCrashPoint::BeforeCommit)?;
 
-            // 1. Heap page table, written through the raw pager (only the
-            //    chain pages whose content changed).
+            // 1. Heap page table through the SP cache, so changed chain
+            //    pages join the write set and are logged like any other.
             state
                 .heap_dir
-                .write(shard.sp.pager.as_ref(), sp.heap().pages())?;
+                .write(shard.sp.store.as_ref(), sp.heap().pages())?;
 
-            // 2. Every data page out of the write-back caches, in ascending
-            //    page-id order.
-            shard.sp.flush()?;
-            shard.te.flush()?;
-            self.crash_check(CommitCrashPoint::AfterPageFlush)?;
+            // 2. Collect the transaction: the after-images of everything
+            //    written since the last commit, plus the heap page table's
+            //    new tail.
+            let sp_images = shard.sp.cache.write_set_pages()?;
+            let te_images = shard.te.cache.write_set_pages()?;
+            let heap_pages = sp.heap().pages();
+            let logged = state.logged_heap_len.min(heap_pages.len());
+            let new_heap = heap_pages.get(logged..).unwrap_or(&[]);
 
-            Ok(ShardMeta {
+            let meta = ShardMeta {
                 upper: shard.upper,
                 epoch,
                 sp_index: sp.index().meta(),
                 heap_record_count: sp.heap().record_count(),
-                heap_page_count: sp.heap().pages().len() as u64,
+                heap_page_count: heap_pages.len() as u64,
                 heap_dir_head: state.heap_dir.head(),
                 te_tree: te.tree().meta(),
                 te_digest: *te.tree().total_xor()?.as_bytes(),
-            })
+            };
+
+            // 3. Log before pages: the whole transaction is appended (not
+            //    yet synced) before any page file is touched.
+            let mut records =
+                Vec::with_capacity(sp_images.len() + te_images.len() + new_heap.len() + 2);
+            records.push(WalRecord::Begin { epoch });
+            for (page_id, image) in sp_images {
+                records.push(WalRecord::PageImage {
+                    party: Party::Sp,
+                    page_id,
+                    image: Box::new(image),
+                });
+            }
+            for (page_id, image) in te_images {
+                records.push(WalRecord::PageImage {
+                    party: Party::Te,
+                    page_id,
+                    image: Box::new(image),
+                });
+            }
+            for (offset, page_id) in new_heap.iter().enumerate() {
+                records.push(WalRecord::HeapDirEntry {
+                    index: (logged + offset) as u64,
+                    page_id: *page_id,
+                });
+            }
+            records.push(WalRecord::Commit { meta: meta.clone() });
+            shard.wal.append(&records)?;
+            // The images are in the log (synced before the ack); the write
+            // sets can be forgotten. On an append failure they are *kept*,
+            // so a retried commit logs them again.
+            shard.sp.cache.clear_write_set();
+            shard.te.cache.clear_write_set();
+            state.logged_heap_len = heap_pages.len();
+            self.crash_check(CommitCrashPoint::AfterPageFlush)?;
+
+            // 4. Checkpoint when the log is due or the caller insists. The
+            //    checkpoint runs here — still under the tree locks — so the
+            //    cache flush cannot race a concurrent writer's unlogged
+            //    mutations into the page files; it carries its own barriers,
+            //    so the finish phase skips the log fsync.
+            if force_checkpoint || shard.wal.log_bytes() >= self.checkpoint_threshold() {
+                self.checkpoint_shard(i, &meta)?;
+                state.epoch = meta.epoch;
+                already_durable = true;
+            }
+            Ok(meta)
         })();
         if staged.is_err() {
             self.publish_group_outcome(i, cover, &staged);
@@ -850,57 +1195,70 @@ impl Durability {
             state,
             cover,
             meta,
+            already_durable,
         })
     }
 
-    /// Commit phase 2, requiring no tree locks: rewrite both identity
-    /// headers at the new epoch, fsync both files, then publish the meta
-    /// into the manifest and wait for a covering save. Consumes the token
-    /// from [`Durability::prepare_commit`] (and with it the commit-state
-    /// lock) and releases or fails every covered group ticket.
+    /// Commit phase 2, requiring no tree locks: fsync the log — the single
+    /// durability barrier acknowledging the commit (skipped when the
+    /// prepare phase's checkpoint already carried its own). Consumes the
+    /// token from [`Durability::prepare_commit`] (and with it the
+    /// commit-state lock) and releases or fails every covered group ticket.
     pub(crate) fn finish_commit(&self, prepared: PreparedCommit<'_>) -> StorageResult<()> {
         let PreparedCommit {
             shard_idx: i,
             mut state,
             cover,
             meta,
+            already_durable,
         } = prepared;
         let shard = self.shard(i);
         let result = (|| -> StorageResult<()> {
-            // 3. Headers carry the new epoch; both files hit stable storage
-            //    before the manifest that describes them. One header write
-            //    and one fsync per file — per *batch*, under group commit.
-            for (files, party) in [(&shard.sp, Party::Sp), (&shard.te, Party::Te)] {
-                let header = ShardHeader {
-                    shard: i as u32,
-                    party,
-                    epoch: meta.epoch,
-                };
-                files.pager.write(SHARD_HEADER_PAGE, &header.encode())?;
-                files.sync()?;
+            if !already_durable {
+                shard.wal.sync()?;
             }
-            state.epoch = meta.epoch;
             self.crash_check(CommitCrashPoint::AfterHeaderSync)?;
-
-            // 4. Publish into the in-memory manifest and wait for a
-            //    covering save — ours, or a concurrent committer's whose
-            //    snapshot already includes our update.
-            self.publish_manifest(i, meta.clone())
+            state.epoch = meta.epoch;
+            Ok(())
         })();
         self.publish_group_outcome(i, cover, &result);
         drop(state);
         result
     }
 
+    /// Folds a checkpoint into a commit (caller holds the shard's
+    /// commit-state lock and at least its read tree locks): flush both
+    /// caches, republish the headers at the new epoch with a barrier each,
+    /// save a covering manifest, then truncate the log to a fresh segment —
+    /// strictly in that order, so everything the truncation drops is
+    /// already durable elsewhere.
+    fn checkpoint_shard(&self, i: usize, meta: &ShardMeta) -> StorageResult<()> {
+        let shard = self.shard(i);
+        shard.sp.flush()?;
+        shard.te.flush()?;
+        for (files, party) in [(&shard.sp, Party::Sp), (&shard.te, Party::Te)] {
+            let header = ShardHeader {
+                shard: i as u32,
+                party,
+                epoch: meta.epoch,
+            };
+            files.pager.write(SHARD_HEADER_PAGE, &header.encode())?;
+            files.sync()?;
+        }
+        self.publish_manifest(i, meta.clone())?;
+        shard.wal.rotate(meta.epoch)?;
+        Ok(())
+    }
+
     /// Publishes shard `i`'s new meta into the in-memory manifest and
-    /// returns once a manifest image containing it is durably saved.
+    /// returns once a manifest image containing it is durably saved — the
+    /// checkpoint's manifest leg.
     ///
-    /// Under [`DurabilityPolicy::Immediate`] every commit performs its own
-    /// save while holding the manifest lock — the PR 4 semantics the policy
-    /// name promises, with every shard serializing on the one manifest
-    /// file. Under the deferred policies one saver runs at a time and
-    /// everyone else piggybacks on the next covering snapshot: N concurrent
-    /// shard commits cost one temp+rename+fsync instead of N.
+    /// Under [`DurabilityPolicy::Immediate`] every checkpoint performs its
+    /// own save while holding the manifest lock. Under the deferred
+    /// policies one saver runs at a time and everyone else piggybacks on
+    /// the next covering snapshot: N concurrent shard checkpoints cost one
+    /// temp+rename+fsync instead of N.
     fn publish_manifest(&self, i: usize, meta: ShardMeta) -> StorageResult<()> {
         let mut st = lock_unpoisoned(&self.mstate);
         match st.manifest.shards.get_mut(i) {
@@ -914,6 +1272,7 @@ impl Durability {
         st.seq += 1;
         let my = st.seq;
         if self.policy == DurabilityPolicy::Immediate {
+            st.manifest.checkpoint_seq += 1;
             let snapshot = st.manifest.clone();
             let result = snapshot.save(&self.manifest_path);
             if result.is_ok() {
@@ -938,6 +1297,7 @@ impl Durability {
             }
             st.saving = true;
             let target = st.seq;
+            st.manifest.checkpoint_seq += 1;
             let snapshot = st.manifest.clone();
             drop(st);
             // If the save panics, the saver flag must still be released or
@@ -980,22 +1340,18 @@ impl Durability {
         Digest::new(meta.te_digest)
     }
 
-    /// Best-effort flush of every cache and pager file, swallowing errors —
-    /// this is what `Drop` runs under [`DurabilityPolicy::Immediate`], where
-    /// the cache contents match the last commit (modulo a failed-commit
-    /// window). Under the deferred policies the caches may hold
-    /// unacknowledged mutations, and flushing those would overwrite
-    /// committed pages with state the manifest does not describe — so drop
-    /// leaves the files exactly at their last commit instead.
+    /// Best-effort log barrier, swallowing errors — what `Drop` runs. Each
+    /// swallowed failure is *recorded* on the shard's SP stats
+    /// ([`sae_storage::IoStats::swallowed_sync_errors`]) so tests and
+    /// operators can still detect the silent path. Pages and manifest are
+    /// deliberately not flushed: everything acknowledged is already covered
+    /// by the synced log, and flushing unacknowledged cache contents would
+    /// overwrite checkpointed pages with state the log does not describe.
     fn sync_best_effort(&self) {
-        if self.policy != DurabilityPolicy::Immediate {
-            return;
-        }
         for shard in &self.shards {
-            let _ = shard.sp.flush();
-            let _ = shard.te.flush();
-            let _ = shard.sp.sync();
-            let _ = shard.te.sync();
+            if shard.wal.sync().is_err() {
+                shard.sp.store.stats().record_swallowed_sync_error();
+            }
         }
     }
 }
@@ -1034,7 +1390,8 @@ mod tests {
             open_party_file(&te_path(dir.path(), 0), 0, Party::Te, 0),
             Err(StorageError::Corrupted(_))
         ));
-        // A file ahead of the manifest is a stale manifest.
+        // A file ahead of the manifest is a stale manifest under the strict
+        // (no-log-evidence) validation...
         let pager = Arc::new(FilePager::open(&path).unwrap());
         pager
             .write(
@@ -1052,6 +1409,9 @@ mod tests {
             open_party_file(&path, 0, Party::Sp, 4),
             Err(StorageError::StaleManifest { .. })
         ));
+        // ...while the identity-only form leaves the epoch to log replay.
+        let (_pager, header) = open_party_file_identity(&path, 0, Party::Sp).unwrap();
+        assert_eq!(header.epoch, 5);
     }
 
     #[test]

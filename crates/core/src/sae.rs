@@ -678,26 +678,39 @@ impl SaeSystem {
     }
 
     /// Commits the current state through the policy-appropriate path after
-    /// an accepted update: a direct commit under `Immediate`, a ticketed
-    /// commit under `Group` (exclusive `&mut self` access means this caller
-    /// is its own leader), nothing under `FlushOnClose`.
+    /// an accepted update: nothing under `FlushOnClose`, otherwise a
+    /// ticketed write-ahead-log commit — append plus one log fsync,
+    /// checkpointing only when the log is past its threshold. `Immediate`
+    /// and `Group` share the funnel; with exclusive `&mut self` access this
+    /// caller is always its own leader, so batches are singletons either
+    /// way.
     fn commit_update(&self) -> Option<StorageResult<()>> {
         let d = self.durability.as_ref()?;
         Some(match d.policy() {
             DurabilityPolicy::FlushOnClose => Ok(()),
-            DurabilityPolicy::Immediate => d.commit_shard(0, &self.sp, &self.te),
-            DurabilityPolicy::Group { .. } => {
+            _ => {
                 let ticket = d.announce(0);
-                d.wait_durable(0, ticket, || d.commit_shard(0, &self.sp, &self.te))
+                d.wait_durable(0, ticket, || d.commit_write(0, &self.sp, &self.te))
             }
         })
     }
 
-    /// Commits the current state to disk (no-op for in-memory deployments).
+    /// Commits the current state to disk with a forced checkpoint (no-op
+    /// for in-memory deployments).
     pub fn flush(&self) -> StorageResult<()> {
         match &self.durability {
             Some(d) => d.commit_shard(0, &self.sp, &self.te),
             None => Ok(()),
+        }
+    }
+
+    /// Overrides the write-ahead-log size past which a commit folds a
+    /// checkpoint in; see
+    /// [`crate::sharded::ShardedSaeEngine::set_checkpoint_threshold_bytes`].
+    /// A no-op on in-memory deployments.
+    pub fn set_checkpoint_threshold_bytes(&self, bytes: u64) {
+        if let Some(d) = &self.durability {
+            d.set_checkpoint_threshold_bytes(bytes);
         }
     }
 

@@ -47,8 +47,7 @@ use crate::engine::{
 };
 use crate::metrics::QueryMetrics;
 use crate::sae::{
-    delete_from_parties, insert_into_parties, SaeClient, SaeServiceProvider, SaeVerifyError,
-    TeMode, TrustedEntity,
+    insert_into_parties, SaeClient, SaeServiceProvider, SaeVerifyError, TeMode, TrustedEntity,
 };
 use crate::tamper::TamperStrategy;
 use parking_lot::{RwLock, RwLockWriteGuard};
@@ -519,6 +518,16 @@ impl ShardedSaeEngine {
         }
     }
 
+    /// Overrides the write-ahead-log size past which a commit folds a
+    /// checkpoint in (page flush + header/manifest republication + log
+    /// truncation). Tests and benches force frequent — or suppress all —
+    /// threshold checkpoints with it. A no-op on in-memory engines.
+    pub fn set_checkpoint_threshold_bytes(&self, bytes: u64) {
+        if let Some(d) = &self.durability {
+            d.set_checkpoint_threshold_bytes(bytes);
+        }
+    }
+
     /// Commits every shard's current state to disk (no-op for in-memory
     /// engines). Each shard is committed under its read locks, so queries
     /// proceed concurrently while writers are briefly excluded.
@@ -576,12 +585,13 @@ impl ShardedSaeEngine {
     /// shard's SP insertion back.
     ///
     /// On a durable engine the accepted insert is committed per the
-    /// deployment's [`DurabilityPolicy`] before returning: its own commit
-    /// under `Immediate` (rolled back in memory if the commit fails), a
-    /// batched leader commit covering it under `Group` (no rollback on
-    /// failure — the batch's writes cannot be unwound once other writers
-    /// built on them; memory stays ahead of disk until the next successful
-    /// commit), or not at all under `FlushOnClose`.
+    /// deployment's [`DurabilityPolicy`] before returning: a ticketed
+    /// write-ahead-log commit of its own under `Immediate`, a batched
+    /// leader commit covering it under `Group`, or not at all under
+    /// `FlushOnClose`. A *failed* commit leaves the in-memory insert
+    /// standing while the error is reported — memory runs ahead of disk
+    /// until the next successful commit (the mutation is not unwound;
+    /// under `Group` other writers may already have built on it).
     pub fn insert(&self, record: &Record) -> StorageResult<()> {
         self.claim(record)?;
         let shard_idx = self.layout.shard_of(record.key);
@@ -595,21 +605,7 @@ impl ShardedSaeEngine {
                 };
                 match d.policy() {
                     DurabilityPolicy::FlushOnClose => Ok(()),
-                    DurabilityPolicy::Immediate => {
-                        // analyzer:allow(hold-across-sync, Immediate commits under the write locks so a failed commit can roll back in place)
-                        if let Err(e) = d.commit_shard(shard_idx, &sp, &te) {
-                            // Keep memory and disk agreeing: undo the
-                            // accepted insert before reporting the failed
-                            // commit.
-                            let _ = delete_from_parties(&mut sp, &mut te, record.id, record.key);
-                            self.ids.write().remove(&record.id);
-                            return Err(e);
-                        }
-                        Ok(())
-                    }
-                    DurabilityPolicy::Group { .. } => {
-                        self.group_commit_write(d, shard, shard_idx, sp, te)
-                    }
+                    _ => self.group_commit_write(d, shard, shard_idx, sp, te),
                 }
             }
             Err(e) => {
@@ -619,28 +615,16 @@ impl ShardedSaeEngine {
         }
     }
 
-    /// Commits one shard's state when the engine is durable, while the
-    /// caller still holds that shard's locks.
-    fn commit_if_durable(
-        &self,
-        shard: usize,
-        sp: &SaeServiceProvider,
-        te: &TrustedEntity,
-    ) -> StorageResult<()> {
-        match &self.durability {
-            Some(d) => d.commit_shard(shard, sp, te),
-            None => Ok(()),
-        }
-    }
-
-    /// The group-commit write path shared by `insert`/`delete`/
-    /// `apply_update`: a ticket is taken while the caller's write guards are
-    /// still held (so the next commit is guaranteed to cover the mutation),
-    /// the guards are released so the shard accepts further writes, and the
-    /// call blocks until an elected leader's batched commit covers the
-    /// ticket — snapshotting under the read locks, then fsyncing and saving
-    /// the manifest with no tree locks held so the next batch queues up
-    /// meanwhile.
+    /// The ticketed write path shared by `insert`/`delete`/`apply_update`
+    /// under `Immediate` *and* `Group`: a ticket is taken while the
+    /// caller's write guards are still held (so the next commit is
+    /// guaranteed to cover the mutation), the guards are released so the
+    /// shard accepts further writes, and the call blocks until an elected
+    /// leader's commit covers the ticket — appending the transaction to the
+    /// write-ahead log under the read locks, then fsyncing the log with no
+    /// tree locks held so the next batch queues up meanwhile. `Immediate`
+    /// takes the same path but runs its own commit per writer — one log
+    /// fsync per acknowledged write, with no batching.
     fn group_commit_write(
         &self,
         d: &Durability,
@@ -655,7 +639,8 @@ impl ShardedSaeEngine {
         d.wait_durable(shard_idx, ticket, || {
             let sp = shard.sp.read();
             let te = shard.te.read();
-            let prepared = d.prepare_commit(shard_idx, &sp, &te)?;
+            // analyzer:allow(hold-across-sync, a threshold checkpoint flushes and syncs under the read locks by design — the cache flush must match the logged snapshot; the ack log fsync runs in finish_commit after the guards drop; see docs/invariants.md)
+            let prepared = d.prepare_commit(shard_idx, &sp, &te, false)?;
             drop(te);
             drop(sp);
             d.finish_commit(prepared)
@@ -666,14 +651,14 @@ impl ShardedSaeEngine {
     /// deletions are rolled back and reported as
     /// [`sae_storage::StorageError::Desync`]. Durable engines commit per the
     /// [`DurabilityPolicy`], exactly as [`ShardedSaeEngine::insert`] does
-    /// (under `Group`, a failed batch leaves the in-memory deletion standing
-    /// while the error is reported).
+    /// (a failed commit leaves the in-memory deletion standing while the
+    /// error is reported).
     pub fn delete(&self, id: u64, key: RecordKey) -> StorageResult<bool> {
         let shard_idx = self.layout.shard_of(key);
         let shard = &self.shards[shard_idx];
         let mut sp = shard.sp.write();
         let mut te = shard.te.write();
-        let Some((pos, tuple)) = crate::sae::take_from_parties(&mut sp, &mut te, id, key)? else {
+        let Some(_removed) = crate::sae::take_from_parties(&mut sp, &mut te, id, key)? else {
             return Ok(false);
         };
         let Some(d) = &self.durability else {
@@ -685,23 +670,7 @@ impl ShardedSaeEngine {
                 self.ids.write().remove(&id);
                 Ok(true)
             }
-            DurabilityPolicy::Immediate => {
-                // analyzer:allow(hold-across-sync, Immediate commits under the write locks so a failed commit can roll back in place)
-                if let Err(e) = d.commit_shard(shard_idx, &sp, &te) {
-                    // Keep memory and disk agreeing: restore the removed
-                    // record before reporting the failed commit (the id
-                    // claim stays, since the record still exists). The
-                    // restores are best-effort — the commit failure is the
-                    // primary error and must not be masked by a failing
-                    // rollback on the same dying disk.
-                    let _ = sp.restore(id, key, pos);
-                    let _ = te.restore(tuple);
-                    return Err(e);
-                }
-                self.ids.write().remove(&id);
-                Ok(true)
-            }
-            DurabilityPolicy::Group { .. } => {
+            _ => {
                 // The record is gone from memory either way; release its id
                 // before the durability wait so concurrent writers see the
                 // same state queries do.
@@ -985,13 +954,7 @@ impl UpdateService for ShardedSaeEngine {
                     None => Ok(()),
                     Some(d) => match d.policy() {
                         DurabilityPolicy::FlushOnClose => Ok(()),
-                        DurabilityPolicy::Immediate => {
-                            // analyzer:allow(hold-across-sync, Immediate commits under the write locks so the round trip commits atomically)
-                            self.commit_if_durable(shard_idx, &sp, &te)
-                        }
-                        DurabilityPolicy::Group { .. } => {
-                            self.group_commit_write(d, shard, shard_idx, sp, te)
-                        }
+                        _ => self.group_commit_write(d, shard, shard_idx, sp, te),
                     },
                 };
                 self.ids.write().remove(&record.id);
@@ -1440,7 +1403,7 @@ mod tests {
             .map(|i| Record::with_size(9_500_000 + i, 40_000 + i as RecordKey, 120))
             .collect();
 
-        // Immediate: every insert pays its own two header fsyncs.
+        // Immediate: every insert pays exactly one log fsync.
         let dir = tempfile::tempdir().unwrap();
         let engine =
             ShardedSaeEngine::create_dir(dir.path(), &ds, HashAlgorithm::Sha1, 1, Some(256))
@@ -1450,7 +1413,7 @@ mod tests {
             engine.insert(r).unwrap();
         }
         let immediate_syncs = total_syncs(&engine) - before;
-        assert_eq!(immediate_syncs, 2 * writers as u64);
+        assert_eq!(immediate_syncs, writers as u64);
         engine.close().unwrap();
 
         // Group with a generous gather window: four concurrent writers of

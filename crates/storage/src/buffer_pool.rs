@@ -12,7 +12,7 @@ use crate::page::{Page, PageId};
 use crate::pager::{PageStore, SharedPageStore};
 use crate::stats::IoStats;
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
@@ -22,6 +22,10 @@ pub const DEFAULT_CAPACITY: usize = 256;
 struct CacheState {
     /// page id -> (page contents, dirty flag, last-use tick)
     entries: HashMap<u64, (Page, bool, u64)>,
+    /// Pages written since the last [`CachedPager::take_write_set`] — the
+    /// WAL commit path's after-image source. Independent of the dirty
+    /// flags: a flush clears dirtiness but not the pending write set.
+    write_set: HashSet<u64>,
     tick: u64,
 }
 
@@ -40,6 +44,14 @@ impl CacheState {
             .min_by_key(|(_, (_, _, tick))| *tick)
             .map(|(&id, _)| id)
     }
+
+    fn lru_clean_victim(&self) -> Option<u64> {
+        self.entries
+            .iter()
+            .filter(|(_, (_, dirty, _))| !*dirty)
+            .min_by_key(|(_, (_, _, tick))| *tick)
+            .map(|(&id, _)| id)
+    }
 }
 
 /// Write-back LRU cache in front of a [`PageStore`].
@@ -49,6 +61,7 @@ pub struct CachedPager {
     cache_state: Mutex<CacheState>,
     stats: Arc<IoStats>,
     flush_on_drop: AtomicBool,
+    no_steal: AtomicBool,
 }
 
 impl CachedPager {
@@ -64,10 +77,12 @@ impl CachedPager {
             capacity,
             cache_state: Mutex::new(CacheState {
                 entries: HashMap::new(),
+                write_set: HashSet::new(),
                 tick: 0,
             }),
             stats: IoStats::new_shared(),
             flush_on_drop: AtomicBool::new(true),
+            no_steal: AtomicBool::new(false),
         }
     }
 
@@ -85,6 +100,18 @@ impl CachedPager {
     /// Wraps `inner` with the default capacity.
     pub fn with_default_capacity(inner: SharedPageStore) -> Self {
         Self::new(inner, DEFAULT_CAPACITY)
+    }
+
+    /// Switches the pool to **no-steal** eviction: a dirty page is never
+    /// written back to the backing store by an eviction — only clean pages
+    /// are evicted, and when everything is dirty the pool overflows its
+    /// soft capacity instead. WAL-backed deployments require this: a dirty
+    /// page holds mutations the log has not yet committed, and stealing it
+    /// into the page file would clobber checkpointed pages with state
+    /// recovery cannot reconstruct. The default (steal) keeps the classic
+    /// write-back behavior for non-durable uses.
+    pub fn set_no_steal(&self, no_steal: bool) {
+        self.no_steal.store(no_steal, Ordering::Relaxed);
     }
 
     /// Flushes all dirty pages to the backing store, in ascending page-id
@@ -116,9 +143,54 @@ impl CachedPager {
         &self.inner
     }
 
+    /// The set of pages written since the last [`CachedPager::clear_write_set`],
+    /// each with its current content, in ascending page-id order — the
+    /// after-images a commit appends to the WAL. A page that was written
+    /// and then evicted (steal mode only) is read back from the backing
+    /// store, which already received its write-back. Non-draining, so a
+    /// commit that fails after collecting the set retries with nothing
+    /// lost; the commit clears the set only once the images are safely in
+    /// the log.
+    pub fn write_set_pages(&self) -> StorageResult<Vec<(PageId, Page)>> {
+        let state = self.cache_state.lock();
+        let mut ids: Vec<u64> = state.write_set.iter().copied().collect();
+        ids.sort_unstable();
+        let mut out = Vec::with_capacity(ids.len());
+        for id in ids {
+            let page = match state.entries.get(&id) {
+                Some((page, _, _)) => page.clone(),
+                None => self.inner.read(PageId(id))?,
+            };
+            out.push((PageId(id), page));
+        }
+        Ok(out)
+    }
+
+    /// Forgets the accumulated write set — called once a commit has the
+    /// set's after-images durably appended to the WAL.
+    pub fn clear_write_set(&self) {
+        self.cache_state.lock().write_set.clear();
+    }
+
+    /// [`CachedPager::write_set_pages`] followed by
+    /// [`CachedPager::clear_write_set`], as one call.
+    pub fn take_write_set(&self) -> StorageResult<Vec<(PageId, Page)>> {
+        let pages = self.write_set_pages()?;
+        self.clear_write_set();
+        Ok(pages)
+    }
+
     fn evict_if_full(&self, state: &mut CacheState) -> StorageResult<()> {
+        let no_steal = self.no_steal.load(Ordering::Relaxed);
         while state.entries.len() >= self.capacity {
-            let Some(victim) = state.lru_victim() else {
+            let victim = if no_steal {
+                // Never steal a dirty page; overflow the soft capacity when
+                // everything resident is dirty.
+                state.lru_clean_victim()
+            } else {
+                state.lru_victim()
+            };
+            let Some(victim) = victim else {
                 break;
             };
             if let Some((page, dirty, _)) = state.entries.remove(&victim) {
@@ -162,6 +234,7 @@ impl PageStore for CachedPager {
             state.tick += 1;
             let tick = state.tick;
             state.entries.insert(id.0, (page.clone(), true, tick));
+            state.write_set.insert(id.0);
             return Ok(());
         }
         self.stats.record_cache_miss();
@@ -169,6 +242,7 @@ impl PageStore for CachedPager {
         state.tick += 1;
         let tick = state.tick;
         state.entries.insert(id.0, (page.clone(), true, tick));
+        state.write_set.insert(id.0);
         Ok(())
     }
 
@@ -195,9 +269,11 @@ impl PageStore for CachedPager {
 
 impl Drop for CachedPager {
     fn drop(&mut self) {
-        // Best-effort flush; errors are ignored because Drop cannot fail.
-        if self.flush_on_drop.load(Ordering::Relaxed) {
-            let _ = self.flush();
+        // Best-effort flush; Drop cannot fail, but a swallowed error is
+        // still recorded so callers holding the stats Arc (`close()` paths)
+        // can surface it after the fact.
+        if self.flush_on_drop.load(Ordering::Relaxed) && self.flush().is_err() {
+            self.stats.record_swallowed_sync_error();
         }
     }
 }
@@ -352,6 +428,139 @@ mod tests {
         recorder.writes.lock().clear();
         cache.flush().unwrap();
         assert!(recorder.writes.lock().is_empty());
+    }
+
+    #[test]
+    fn take_write_set_returns_written_pages_and_clears() {
+        let (_inner, cache) = make(8);
+        let a = cache.allocate().unwrap();
+        let b = cache.allocate().unwrap();
+        let c = cache.allocate().unwrap();
+        let mut page = Page::new();
+        page.write_u64(0, 1);
+        cache.write(b, &page).unwrap();
+        page.write_u64(0, 2);
+        cache.write(a, &page).unwrap();
+        cache.read(c).unwrap(); // reads don't enter the write set
+
+        let set = cache.take_write_set().unwrap();
+        let ids: Vec<PageId> = set.iter().map(|(id, _)| *id).collect();
+        assert_eq!(ids, vec![a, b]); // ascending order
+        assert_eq!(set[0].1.read_u64(0), 2);
+        assert_eq!(set[1].1.read_u64(0), 1);
+        // Drained: nothing pending until the next write.
+        assert!(cache.take_write_set().unwrap().is_empty());
+        cache.write(c, &Page::new()).unwrap();
+        assert_eq!(cache.take_write_set().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn take_write_set_survives_a_flush_clearing_dirtiness() {
+        let (_inner, cache) = make(8);
+        let id = cache.allocate().unwrap();
+        let mut page = Page::new();
+        page.write_u64(8, 77);
+        cache.write(id, &page).unwrap();
+        // A flush (e.g. a checkpoint racing in) clears the dirty flag but
+        // must not lose the pending after-image.
+        cache.flush().unwrap();
+        let set = cache.take_write_set().unwrap();
+        assert_eq!(set.len(), 1);
+        assert_eq!(set[0].1.read_u64(8), 77);
+    }
+
+    #[test]
+    fn take_write_set_reads_back_stolen_pages() {
+        // Steal mode, capacity 2: dirty pages get evicted + written back;
+        // the write set must recover their content from the backing store.
+        let (_inner, cache) = make(2);
+        let mut ids = Vec::new();
+        for i in 0..4u64 {
+            let id = cache.allocate().unwrap();
+            let mut page = Page::new();
+            page.write_u64(0, i + 1);
+            cache.write(id, &page).unwrap();
+            ids.push(id);
+        }
+        let set = cache.take_write_set().unwrap();
+        assert_eq!(set.len(), 4);
+        for (i, (id, page)) in set.iter().enumerate() {
+            assert_eq!(*id, ids[i]);
+            assert_eq!(page.read_u64(0), i as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn no_steal_eviction_never_writes_dirty_pages_back() {
+        let (inner, cache) = make(2);
+        cache.set_no_steal(true);
+        let mut ids = Vec::new();
+        for i in 0..4u64 {
+            let id = cache.allocate().unwrap();
+            let mut page = Page::new();
+            page.write_u64(0, i + 1);
+            cache.write(id, &page).unwrap();
+            ids.push(id);
+        }
+        // All four dirty pages are resident (soft overflow) and none ever
+        // reached the backing store.
+        for (i, &id) in ids.iter().enumerate() {
+            assert_eq!(inner.read(id).unwrap().read_u64(0), 0);
+            assert_eq!(cache.read(id).unwrap().read_u64(0), i as u64 + 1);
+        }
+        assert_eq!(inner.stats().snapshot().physical_writes, 0);
+
+        // Once flushed clean, pages become evictable again: reading two
+        // fresh pages evicts clean victims without growing past capacity.
+        cache.flush().unwrap();
+        let e = cache.allocate().unwrap();
+        let f = cache.allocate().unwrap();
+        cache.read(e).unwrap();
+        cache.read(f).unwrap();
+        assert_eq!(cache.cache_state.lock().entries.len(), 2);
+    }
+
+    #[test]
+    fn drop_records_swallowed_flush_errors() {
+        struct FailingStore {
+            inner: SharedPageStore,
+        }
+        impl PageStore for FailingStore {
+            fn allocate(&self) -> StorageResult<PageId> {
+                self.inner.allocate()
+            }
+            fn read(&self, id: PageId) -> StorageResult<Page> {
+                self.inner.read(id)
+            }
+            fn write(&self, _id: PageId, _page: &Page) -> StorageResult<()> {
+                Err(crate::error::StorageError::Io(std::io::Error::other(
+                    "disk on fire",
+                )))
+            }
+            fn sync(&self) -> StorageResult<()> {
+                self.inner.sync()
+            }
+            fn page_count(&self) -> u64 {
+                self.inner.page_count()
+            }
+            fn stats(&self) -> Arc<IoStats> {
+                self.inner.stats()
+            }
+        }
+
+        let failing = Arc::new(FailingStore {
+            inner: MemPager::new_shared(),
+        });
+        let stats;
+        {
+            let cache = CachedPager::new(Arc::clone(&failing) as SharedPageStore, 4);
+            stats = cache.stats();
+            let id = cache.allocate().unwrap();
+            cache.write(id, &Page::new()).unwrap();
+            assert_eq!(stats.swallowed_sync_errors(), 0);
+        }
+        // Drop flushed, the flush failed, and the failure left a trace.
+        assert_eq!(stats.swallowed_sync_errors(), 1);
     }
 
     #[test]

@@ -22,6 +22,11 @@
 //!   [`manifest::Manifest`] header page, per-pager-file
 //!   [`manifest::ShardHeader`] identity/epoch pages, and the
 //!   [`manifest::PageDirectory`] chains persisting heap page tables.
+//! * [`wal`] — the per-shard write-ahead log: CRC-framed sequential records
+//!   appended and fsynced *before* any page write, with torn-tail-tolerant
+//!   scans ([`wal::scan_log`]) and checkpoint-time segment rotation.
+//! * [`mod@atomic_replace`] — the shared temp+write+fsync+rename idiom
+//!   behind both the manifest save and WAL rotation.
 //!
 //! The cost model is *simulated*: node accesses are counted, not slept on, so
 //! paper-scale experiments (a million 500-byte records) run in seconds while
@@ -30,6 +35,7 @@
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub mod atomic_replace;
 pub mod buffer_pool;
 pub mod error;
 pub mod heap_file;
@@ -37,14 +43,17 @@ pub mod manifest;
 pub mod page;
 pub mod pager;
 pub mod stats;
+pub mod wal;
 
+pub use atomic_replace::atomic_replace;
 pub use buffer_pool::CachedPager;
 pub use error::{StorageError, StorageResult};
 pub use heap_file::{HeapFile, RecordId};
 pub use manifest::{
     Manifest, PageDirectory, Party, ShardHeader, ShardMeta, TreeMeta, SHARD_HEADER_PAGE,
-    TE_DIGEST_LEN,
+    SHARD_META_LEN, TE_DIGEST_LEN,
 };
 pub use page::{Page, PageId, PAGE_SIZE};
 pub use pager::{FilePager, MemPager, PageStore, SharedPageStore};
 pub use stats::{CostModel, IoSnapshot, IoStats};
+pub use wal::{scan_log, WalRecord, WalSegment, WalTx, WalWriter};

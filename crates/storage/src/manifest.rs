@@ -11,16 +11,22 @@
 //! Three pieces live here:
 //!
 //! * [`Manifest`] / [`ShardMeta`] / [`TreeMeta`] — the manifest page itself,
-//!   with [`Manifest::save`] writing it atomically (write-to-temp, sync,
-//!   rename) so a crash never leaves a half-written manifest in place, and
-//!   [`Manifest::load`] rejecting torn or garbage files with a typed
-//!   [`StorageError::Corrupted`].
+//!   with [`Manifest::save`] writing it atomically through
+//!   [`crate::atomic_replace::atomic_replace`] so a crash never leaves a
+//!   half-written manifest in place, and [`Manifest::load`] rejecting torn
+//!   or garbage files with a typed [`StorageError::Corrupted`].
+//!   [`ShardMeta::to_bytes`] / [`ShardMeta::from_bytes`] expose the
+//!   per-shard encoding on its own: the WAL's `Commit` record carries it,
+//!   so replay adopts exactly what a checkpoint would have published.
 //! * [`ShardHeader`] — page 0 of every pager file: a versioned identity
-//!   header (shard index, party, commit epoch). Commit order is *pages
-//!   before manifest*: the header's epoch is bumped and synced with the data
-//!   pages, then the manifest is rewritten. On open, an epoch mismatch is
-//!   typed — file ahead of manifest is [`StorageError::StaleManifest`]
-//!   (pages synced, manifest not), file behind is corruption — and an
+//!   header (shard index, party, commit epoch). Commit order is *log before
+//!   pages*: every commit is appended to the shard's WAL and fsynced first;
+//!   a checkpoint later flushes pages, bumps + syncs the header epoch, and
+//!   rewrites the manifest. On open, [`ShardHeader::validate`] enforces
+//!   exact epoch agreement (used when no WAL evidence exists) — file ahead
+//!   of manifest is [`StorageError::StaleManifest`], file behind is
+//!   corruption — while [`ShardHeader::validate_identity`] checks only the
+//!   identity so WAL replay can resolve the epoch itself. Either way an
 //!   identity mismatch (a shard file swapped for another shard's or the
 //!   other party's) is rejected before any tree page is touched.
 //! * [`PageDirectory`] — a rewritable chain of pages persisting an ordered
@@ -32,7 +38,11 @@ use crate::pager::PageStore;
 use std::path::Path;
 
 /// Current manifest / shard-header format version.
-pub const MANIFEST_VERSION: u32 = 1;
+///
+/// Version 2 added the global `checkpoint_seq` counter (the number of
+/// checkpoints the deployment has taken), recorded so operators can relate
+/// a manifest to the WAL segments that were truncated beneath it.
+pub const MANIFEST_VERSION: u32 = 2;
 
 /// Magic bytes opening the manifest page.
 const MANIFEST_MAGIC: &[u8; 8] = b"SAEMANIF";
@@ -49,8 +59,13 @@ pub const TE_DIGEST_LEN: usize = 20;
 /// The page every pager file reserves for its [`ShardHeader`].
 pub const SHARD_HEADER_PAGE: PageId = PageId(0);
 
-const MANIFEST_FIXED_LEN: usize = 24;
-const SHARD_META_LEN: usize = 112;
+const MANIFEST_FIXED_LEN: usize = 32;
+
+/// Exact byte length of one encoded [`ShardMeta`] (see
+/// [`ShardMeta::to_bytes`]); also the per-shard stride inside the manifest
+/// page.
+pub const SHARD_META_LEN: usize = 112;
+
 const CHECKSUM_OFFSET: usize = PAGE_SIZE - 8;
 
 /// Maximum shard count a single manifest page can describe.
@@ -109,6 +124,10 @@ pub struct Manifest {
     pub record_size: u32,
     /// Inclusive key-domain bound of the published layout.
     pub domain: u32,
+    /// Number of checkpoints the deployment has taken (monotonic). Each
+    /// checkpoint flushes cached pages, saves the manifest, and truncates
+    /// the per-shard WAL segments the manifest now supersedes.
+    pub checkpoint_seq: u64,
     /// Per-shard metadata, in ascending shard order.
     pub shards: Vec<ShardMeta>,
 }
@@ -133,6 +152,70 @@ fn read_tree_meta(page: &Page, at: usize) -> (TreeMeta, usize) {
     )
 }
 
+fn write_shard_meta(page: &mut Page, at: usize, shard: &ShardMeta) {
+    page.write_u32(at, shard.upper);
+    page.write_u64(at + 4, shard.epoch);
+    let mut inner = write_tree_meta(page, at + 12, &shard.sp_index);
+    page.write_u64(inner, shard.heap_record_count);
+    page.write_u64(inner + 8, shard.heap_page_count);
+    page.write_page_id(inner + 16, shard.heap_dir_head);
+    inner = write_tree_meta(page, inner + 24, &shard.te_tree);
+    page.write_bytes(inner, &shard.te_digest);
+}
+
+fn read_shard_meta(page: &Page, at: usize) -> ShardMeta {
+    let upper = page.read_u32(at);
+    let epoch = page.read_u64(at + 4);
+    let (sp_index, mut inner) = read_tree_meta(page, at + 12);
+    let heap_record_count = page.read_u64(inner);
+    let heap_page_count = page.read_u64(inner + 8);
+    let heap_dir_head = page.read_page_id(inner + 16);
+    let (te_tree, digest_at) = read_tree_meta(page, inner + 24);
+    inner = digest_at;
+    let mut te_digest = [0u8; TE_DIGEST_LEN];
+    te_digest.copy_from_slice(page.read_bytes(inner, TE_DIGEST_LEN));
+    ShardMeta {
+        upper,
+        epoch,
+        sp_index,
+        heap_record_count,
+        heap_page_count,
+        heap_dir_head,
+        te_tree,
+        te_digest,
+    }
+}
+
+impl ShardMeta {
+    /// Serializes the shard metadata into its fixed [`SHARD_META_LEN`]-byte
+    /// form — the same layout the manifest page uses, reused verbatim by the
+    /// WAL's `Commit` record so replay adopts exactly what a checkpoint
+    /// would have published.
+    pub fn to_bytes(&self) -> [u8; SHARD_META_LEN] {
+        let mut page = Page::new();
+        write_shard_meta(&mut page, 0, self);
+        let mut out = [0u8; SHARD_META_LEN];
+        out.copy_from_slice(&page.as_slice()[..SHARD_META_LEN]);
+        out
+    }
+
+    /// Deserializes a [`SHARD_META_LEN`]-byte encoding produced by
+    /// [`ShardMeta::to_bytes`]. Integrity is the caller's concern: WAL
+    /// frames carry a CRC over the whole record, the manifest page a
+    /// checksum over the whole page.
+    pub fn from_bytes(bytes: &[u8]) -> StorageResult<ShardMeta> {
+        if bytes.len() != SHARD_META_LEN {
+            return Err(StorageError::Corrupted(format!(
+                "shard metadata record is {} bytes, expected {SHARD_META_LEN}",
+                bytes.len()
+            )));
+        }
+        let mut page = Page::new();
+        page.write_bytes(0, bytes);
+        Ok(read_shard_meta(&page, 0))
+    }
+}
+
 impl Manifest {
     /// Serializes the manifest into a single checksummed page.
     pub fn encode(&self) -> StorageResult<Page> {
@@ -148,16 +231,10 @@ impl Manifest {
         page.write_u32(12, self.record_size);
         page.write_u32(16, self.domain);
         page.write_u32(20, self.shards.len() as u32);
+        page.write_u64(24, self.checkpoint_seq);
         let mut at = MANIFEST_FIXED_LEN;
         for shard in &self.shards {
-            page.write_u32(at, shard.upper);
-            page.write_u64(at + 4, shard.epoch);
-            let mut inner = write_tree_meta(&mut page, at + 12, &shard.sp_index);
-            page.write_u64(inner, shard.heap_record_count);
-            page.write_u64(inner + 8, shard.heap_page_count);
-            page.write_page_id(inner + 16, shard.heap_dir_head);
-            inner = write_tree_meta(&mut page, inner + 24, &shard.te_tree);
-            page.write_bytes(inner, &shard.te_digest);
+            write_shard_meta(&mut page, at, shard);
             at += SHARD_META_LEN;
         }
         let checksum = fnv1a(&page.as_slice()[..CHECKSUM_OFFSET]);
@@ -193,26 +270,7 @@ impl Manifest {
         let mut shards = Vec::with_capacity(shard_count);
         let mut at = MANIFEST_FIXED_LEN;
         for _ in 0..shard_count {
-            let upper = page.read_u32(at);
-            let epoch = page.read_u64(at + 4);
-            let (sp_index, mut inner) = read_tree_meta(page, at + 12);
-            let heap_record_count = page.read_u64(inner);
-            let heap_page_count = page.read_u64(inner + 8);
-            let heap_dir_head = page.read_page_id(inner + 16);
-            let (te_tree, digest_at) = read_tree_meta(page, inner + 24);
-            inner = digest_at;
-            let mut te_digest = [0u8; TE_DIGEST_LEN];
-            te_digest.copy_from_slice(page.read_bytes(inner, TE_DIGEST_LEN));
-            shards.push(ShardMeta {
-                upper,
-                epoch,
-                sp_index,
-                heap_record_count,
-                heap_page_count,
-                heap_dir_head,
-                te_tree,
-                te_digest,
-            });
+            shards.push(read_shard_meta(page, at));
             at += SHARD_META_LEN;
         }
         if !shards.windows(2).all(|w| w[0].upper < w[1].upper) {
@@ -223,31 +281,17 @@ impl Manifest {
         Ok(Manifest {
             record_size: page.read_u32(12),
             domain: page.read_u32(16),
+            checkpoint_seq: page.read_u64(24),
             shards,
         })
     }
 
-    /// Atomically replaces the manifest at `path`: the page is written to a
-    /// sibling temp file, synced, and renamed into place, so a crash leaves
-    /// either the old or the new manifest — never a torn one.
+    /// Atomically replaces the manifest at `path` via
+    /// [`crate::atomic_replace::atomic_replace`], so a crash leaves either
+    /// the old or the new manifest — never a torn one.
     pub fn save<P: AsRef<Path>>(&self, path: P) -> StorageResult<()> {
-        let path = path.as_ref();
         let page = self.encode()?;
-        let tmp = path.with_extension("tmp");
-        {
-            let mut file = std::fs::File::create(&tmp)?;
-            std::io::Write::write_all(&mut file, page.as_slice())?;
-            file.sync_all()?;
-        }
-        std::fs::rename(&tmp, path)?;
-        // Persist the rename itself. Directory fsync is a unix-ism; treat a
-        // failure to open the directory as best-effort rather than fatal.
-        if let Some(parent) = path.parent() {
-            if let Ok(dir) = std::fs::File::open(parent) {
-                dir.sync_all()?;
-            }
-        }
-        Ok(())
+        crate::atomic_replace::atomic_replace(path, page.as_slice())
     }
 
     /// Loads and validates the manifest at `path`. A missing, short or long
@@ -292,14 +336,14 @@ impl Party {
         }
     }
 
-    fn code(self) -> u8 {
+    pub(crate) fn code(self) -> u8 {
         match self {
             Party::Sp => 0,
             Party::Te => 1,
         }
     }
 
-    fn from_code(code: u8) -> Option<Party> {
+    pub(crate) fn from_code(code: u8) -> Option<Party> {
         match code {
             0 => Some(Party::Sp),
             1 => Some(Party::Te),
@@ -402,6 +446,33 @@ impl ShardHeader {
                 "{party}-{shard} pager file is at epoch {} but the manifest requires epoch \
                  {manifest_epoch}: committed pages are missing",
                 header.epoch
+            )));
+        }
+        Ok(header)
+    }
+
+    /// Reads the header of `store` and checks only the file's *identity*
+    /// against the expected `(shard, party)`, returning the header so the
+    /// caller can judge the epoch itself. WAL-based recovery needs this
+    /// relaxed form: a file epoch ahead of the manifest is normal there (a
+    /// checkpoint ran further than the last manifest save) and is resolved
+    /// by replaying the log, not refused up front.
+    pub fn validate_identity(
+        store: &dyn PageStore,
+        shard: u32,
+        party: Party,
+    ) -> StorageResult<ShardHeader> {
+        if store.page_count() == 0 {
+            return Err(StorageError::Corrupted(format!(
+                "{party}-{shard} pager file has no header page"
+            )));
+        }
+        let header = ShardHeader::decode(&store.read(SHARD_HEADER_PAGE)?)?;
+        if header.shard != shard || header.party != party {
+            return Err(StorageError::Corrupted(format!(
+                "pager file identity mismatch: expected {party} shard {shard}, file says \
+                 {} shard {} — shard files were swapped or renamed",
+                header.party, header.shard
             )));
         }
         Ok(header)
@@ -559,6 +630,7 @@ mod tests {
         Manifest {
             record_size: 500,
             domain: 100_000,
+            checkpoint_seq: 7,
             shards: (0..shards)
                 .map(|i| ShardMeta {
                     upper: (i as u32 + 1) * 25_000,
@@ -581,6 +653,40 @@ mod tests {
             let page = manifest.encode().unwrap();
             assert_eq!(Manifest::decode(&page).unwrap(), manifest);
         }
+    }
+
+    #[test]
+    fn shard_meta_round_trips_through_bytes() {
+        let manifest = sample_manifest(3);
+        for shard in &manifest.shards {
+            let bytes = shard.to_bytes();
+            assert_eq!(bytes.len(), SHARD_META_LEN);
+            assert_eq!(&ShardMeta::from_bytes(&bytes).unwrap(), shard);
+        }
+        // A wrong-length slice is corruption, not a panic.
+        assert!(matches!(
+            ShardMeta::from_bytes(&[0u8; SHARD_META_LEN - 1]),
+            Err(StorageError::Corrupted(_))
+        ));
+    }
+
+    #[test]
+    fn identity_only_validation_ignores_the_epoch() {
+        let store = MemPager::new();
+        let id = store.allocate().unwrap();
+        let header = ShardHeader {
+            shard: 4,
+            party: Party::Sp,
+            epoch: 11,
+        };
+        store.write(id, &header.encode()).unwrap();
+        // Any epoch relationship passes; identity mismatches still fail.
+        assert_eq!(
+            ShardHeader::validate_identity(&store, 4, Party::Sp).unwrap(),
+            header
+        );
+        assert!(ShardHeader::validate_identity(&store, 4, Party::Te).is_err());
+        assert!(ShardHeader::validate_identity(&store, 3, Party::Sp).is_err());
     }
 
     #[test]
@@ -622,6 +728,7 @@ mod tests {
         let empty = Manifest {
             record_size: 1,
             domain: 1,
+            checkpoint_seq: 0,
             shards: Vec::new(),
         };
         assert!(empty.encode().is_err());

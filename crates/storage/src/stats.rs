@@ -23,6 +23,14 @@ pub struct IoStats {
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     syncs: AtomicU64,
+    wal_appends: AtomicU64,
+    wal_bytes: AtomicU64,
+    wal_syncs: AtomicU64,
+    /// Sync/flush errors swallowed by `Drop` paths (which cannot return
+    /// them). Not part of [`IoSnapshot`] — it is a health indicator, not an
+    /// I/O quantity benches should delta — but observable through the
+    /// shared `Arc` even after the owning store is gone.
+    swallowed_sync_errors: AtomicU64,
 }
 
 impl IoStats {
@@ -70,6 +78,32 @@ impl IoStats {
         self.syncs.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one write-ahead-log record append of `bytes` framed bytes.
+    pub fn record_wal_append(&self, bytes: u64) {
+        self.wal_appends.fetch_add(1, Ordering::Relaxed);
+        self.wal_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records one durability barrier on a write-ahead log — the fsync that
+    /// acknowledges a durable write. Callers also record the generic
+    /// [`IoStats::record_sync`] barrier so total fsync accounting stays
+    /// uniform; this counter isolates the ack-path share.
+    pub fn record_wal_sync(&self) {
+        self.wal_syncs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a sync/flush error a `Drop` implementation had to swallow.
+    pub fn record_swallowed_sync_error(&self) {
+        self.swallowed_sync_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Sync/flush errors swallowed by `Drop` paths so far. Zero on a healthy
+    /// store; a non-zero value after teardown means a durability barrier
+    /// failed where no caller could observe it.
+    pub fn swallowed_sync_errors(&self) -> u64 {
+        self.swallowed_sync_errors.load(Ordering::Relaxed)
+    }
+
     /// Takes a point-in-time snapshot of all counters.
     pub fn snapshot(&self) -> IoSnapshot {
         IoSnapshot {
@@ -80,6 +114,9 @@ impl IoStats {
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             syncs: self.syncs.load(Ordering::Relaxed),
+            wal_appends: self.wal_appends.load(Ordering::Relaxed),
+            wal_bytes: self.wal_bytes.load(Ordering::Relaxed),
+            wal_syncs: self.wal_syncs.load(Ordering::Relaxed),
         }
     }
 
@@ -92,6 +129,9 @@ impl IoStats {
         self.cache_hits.store(0, Ordering::Relaxed);
         self.cache_misses.store(0, Ordering::Relaxed);
         self.syncs.store(0, Ordering::Relaxed);
+        self.wal_appends.store(0, Ordering::Relaxed);
+        self.wal_bytes.store(0, Ordering::Relaxed);
+        self.wal_syncs.store(0, Ordering::Relaxed);
     }
 }
 
@@ -113,6 +153,13 @@ pub struct IoSnapshot {
     pub cache_misses: u64,
     /// Durability barriers (`fsync`/`fdatasync`) issued against the store.
     pub syncs: u64,
+    /// Write-ahead-log record appends.
+    pub wal_appends: u64,
+    /// Framed bytes appended to the write-ahead log.
+    pub wal_bytes: u64,
+    /// Durability barriers issued against the write-ahead log — the fsyncs
+    /// that acknowledge durable writes (a subset of [`IoSnapshot::syncs`]).
+    pub wal_syncs: u64,
 }
 
 impl IoSnapshot {
@@ -126,6 +173,9 @@ impl IoSnapshot {
             cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
             cache_misses: self.cache_misses.saturating_sub(earlier.cache_misses),
             syncs: self.syncs.saturating_sub(earlier.syncs),
+            wal_appends: self.wal_appends.saturating_sub(earlier.wal_appends),
+            wal_bytes: self.wal_bytes.saturating_sub(earlier.wal_bytes),
+            wal_syncs: self.wal_syncs.saturating_sub(earlier.wal_syncs),
         }
     }
 
@@ -146,6 +196,9 @@ impl IoSnapshot {
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
         self.syncs += other.syncs;
+        self.wal_appends += other.wal_appends;
+        self.wal_bytes += other.wal_bytes;
+        self.wal_syncs += other.wal_syncs;
     }
 }
 
@@ -270,6 +323,39 @@ mod tests {
         acc.accumulate(&snap);
         assert_eq!(acc.syncs, 4);
         assert_eq!(snap.delta_since(&IoSnapshot::default()).syncs, 2);
+    }
+
+    #[test]
+    fn wal_counters_flow_through_snapshot_delta_and_accumulate() {
+        let stats = IoStats::new_shared();
+        stats.record_wal_append(128);
+        stats.record_wal_append(64);
+        stats.record_wal_sync();
+        let snap = stats.snapshot();
+        assert_eq!(snap.wal_appends, 2);
+        assert_eq!(snap.wal_bytes, 192);
+        assert_eq!(snap.wal_syncs, 1);
+        // WAL traffic is not a node access and charges nothing.
+        assert_eq!(snap.node_accesses(), 0);
+        assert_eq!(CostModel::paper().charge_ms(&snap), 0.0);
+        let mut acc = snap;
+        acc.accumulate(&snap);
+        assert_eq!(acc.wal_appends, 4);
+        assert_eq!(acc.wal_bytes, 384);
+        assert_eq!(snap.delta_since(&IoSnapshot::default()).wal_syncs, 1);
+        stats.reset();
+        assert_eq!(stats.snapshot(), IoSnapshot::default());
+    }
+
+    #[test]
+    fn swallowed_sync_errors_survive_outside_the_snapshot() {
+        let stats = IoStats::new_shared();
+        assert_eq!(stats.swallowed_sync_errors(), 0);
+        stats.record_swallowed_sync_error();
+        stats.record_swallowed_sync_error();
+        assert_eq!(stats.swallowed_sync_errors(), 2);
+        // Not an I/O quantity: the snapshot stays clean.
+        assert_eq!(stats.snapshot(), IoSnapshot::default());
     }
 
     #[test]

@@ -5,7 +5,10 @@
 //! shard files and on-disk tampers are rejected — with typed errors, never a
 //! panic or a silently-empty deployment. The crash-point tests kill the
 //! commit pipeline between its stages (`CommitCrashPoint`) and assert that
-//! reopening lands on a verified committed prefix or a typed error.
+//! reopening *recovers*: the write-ahead log replays every acknowledged
+//! write, so no crash point leaves the directory refusing to open — only
+//! the doomed in-flight write's visibility varies by where the kill landed
+//! relative to the log fsync.
 //!
 //! `SAE_DURABILITY_POLICY=immediate|group|flush-on-close` selects the
 //! commit policy every engine in this file runs under (default immediate),
@@ -315,9 +318,9 @@ fn on_disk_tampering_is_detected_after_reopen() {
 /// Commits a prefix (bulk load + one insert + explicit flush), then returns
 /// the engine and the record the committed prefix must contain.
 fn committed_prefix(dir: &Path, ds: &Dataset) -> (ShardedSaeEngine, Record) {
-    // A write-back cache is what makes the crash window clean: data pages
-    // stay in the pool until the commit flush, so a kill before the flush
-    // leaves the files exactly at the last commit.
+    // The no-steal write-back cache keeps uncommitted mutations out of the
+    // page files, so whatever the kill leaves behind is always the last
+    // checkpoint plus a replayable log.
     let engine = create_engine(dir, ds, 2, Some(512));
     let committed = Record::with_size(8_500_000, 2_000_000, 500);
     engine.insert(&committed).unwrap();
@@ -361,15 +364,15 @@ fn crash_before_commit_recovers_the_verified_committed_prefix() {
     assert!(!ids.contains(&doomed.id), "un-committed write resurrected");
 }
 
-/// A kill after data pages were flushed but before the headers were synced:
-/// the files now hold page contents the old manifest roots do not describe.
-/// With no WAL that state is not recoverable — what the protocol owes is a
-/// *typed refusal* (the reopened TE no longer folds to its published
-/// digest, the heap geometry disagrees), never a silently-torn serving
-/// state. FlushOnClose never reaches the crash point, so its files stay at
-/// the committed prefix instead.
+/// A kill after the transaction was appended to the log but before the log
+/// fsync. Under the `mem::forget` crash model the appended bytes survive,
+/// so log replay recovers the doomed write too (on real hardware the tail
+/// might equally be torn off by the scan — both outcomes serve verified);
+/// what the WAL guarantees is that the reopen *recovers* instead of
+/// refusing, which before the log existed was exactly the torn state that
+/// had to be rejected as corrupted.
 #[test]
-fn crash_after_page_flush_is_rejected_with_a_typed_error() {
+fn crash_after_log_append_recovers_by_replay() {
     let dir = tempfile::tempdir().unwrap();
     let ds = dataset(800, 22);
     let (engine, committed) = committed_prefix(dir.path(), &ds);
@@ -379,28 +382,28 @@ fn crash_after_page_flush_is_rejected_with_a_typed_error() {
     assert_eq!(engine.insert(&doomed).is_err(), writes_commit_eagerly());
     std::mem::forget(engine);
 
-    match ShardedSaeEngine::open_dir(dir.path(), ALG, None) {
-        Err(StorageError::Corrupted(_)) | Err(StorageError::StaleManifest { .. })
-            if writes_commit_eagerly() => {}
-        Ok(reopened) if !writes_commit_eagerly() => {
-            let ids = served_ids(&reopened, &RangeQuery::new(0, DOMAIN));
-            assert!(ids.contains(&committed.id));
-            assert!(!ids.contains(&doomed.id));
-        }
-        other => panic!(
-            "unexpected reopen outcome after page-flush crash (eager={}): {:?}",
-            writes_commit_eagerly(),
-            other.err()
-        ),
-    }
+    let reopened = ShardedSaeEngine::open_dir(dir.path(), ALG, None).unwrap();
+    let full = reopened.query(&RangeQuery::new(0, DOMAIN)).unwrap();
+    assert!(full.verdict.is_ok(), "{:?}", full.verdict);
+    let ids = served_ids(&reopened, &RangeQuery::new(0, DOMAIN));
+    assert!(ids.contains(&committed.id), "committed prefix lost");
+    // Eager policies appended the doomed transaction before the kill, and
+    // the surviving bytes replay; FlushOnClose never logged it.
+    assert_eq!(ids.contains(&doomed.id), writes_commit_eagerly());
+    // Recovery checkpointed the replayed state: reopening again replays
+    // nothing and serves the same ids.
+    reopened.close().unwrap();
+    let again = ShardedSaeEngine::open_dir(dir.path(), ALG, None).unwrap();
+    assert_eq!(served_ids(&again, &RangeQuery::new(0, DOMAIN)), ids);
 }
 
-/// A kill after both pager files were synced at the new epoch but before
-/// the manifest rename — the classic pages-ahead-of-manifest crash — must
-/// surface as `StaleManifest`, exactly as PR 4 promised, under every
-/// policy whose writes commit eagerly.
+/// A kill after the log fsync that made the transaction durable but before
+/// the writer was acknowledged — the pre-WAL pipeline's classic
+/// pages-ahead-of-manifest crash, which used to *refuse* to reopen with
+/// `StaleManifest`. With the log, replay recovers the write: durable means
+/// recoverable, even when the acknowledgement never arrived.
 #[test]
-fn crash_after_header_sync_reports_stale_manifest() {
+fn crash_after_ack_fsync_recovers_the_durable_write() {
     let dir = tempfile::tempdir().unwrap();
     let ds = dataset(800, 23);
     let (engine, committed) = committed_prefix(dir.path(), &ds);
@@ -410,25 +413,91 @@ fn crash_after_header_sync_reports_stale_manifest() {
     assert_eq!(engine.insert(&doomed).is_err(), writes_commit_eagerly());
     std::mem::forget(engine);
 
-    match ShardedSaeEngine::open_dir(dir.path(), ALG, None) {
-        Err(StorageError::StaleManifest {
-            manifest_epoch,
-            file_epoch,
-            ..
-        }) if writes_commit_eagerly() => {
-            assert_eq!(file_epoch, manifest_epoch + 1);
+    let reopened = ShardedSaeEngine::open_dir(dir.path(), ALG, None).unwrap();
+    let full = reopened.query(&RangeQuery::new(0, DOMAIN)).unwrap();
+    assert!(full.verdict.is_ok(), "{:?}", full.verdict);
+    let ids = served_ids(&reopened, &RangeQuery::new(0, DOMAIN));
+    assert!(ids.contains(&committed.id), "committed prefix lost");
+    assert_eq!(ids.contains(&doomed.id), writes_commit_eagerly());
+}
+
+/// The full matrix the WAL exists for: a kill at *every* crash point leaves
+/// a directory that reopens and serves verified — zero refusals — with
+/// every previously acknowledged write intact. `SAE_DURABILITY_POLICY`
+/// extends the matrix across policies.
+#[test]
+fn crash_matrix_every_point_reopens_verified_with_acknowledged_writes() {
+    for (round, point) in [
+        CommitCrashPoint::BeforeCommit,
+        CommitCrashPoint::AfterPageFlush,
+        CommitCrashPoint::AfterHeaderSync,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let dir = tempfile::tempdir().unwrap();
+        let ds = dataset(600, 26 + round as u64);
+        let (engine, committed) = committed_prefix(dir.path(), &ds);
+        // An acknowledged write after the committed prefix, then the kill.
+        let acked = Record::with_size(8_800_000, 5_000_000, 500);
+        engine.insert(&acked).unwrap();
+        if !writes_commit_eagerly() {
+            engine.flush().unwrap();
         }
-        Ok(reopened) if !writes_commit_eagerly() => {
-            let ids = served_ids(&reopened, &RangeQuery::new(0, DOMAIN));
-            assert!(ids.contains(&committed.id));
-            assert!(!ids.contains(&doomed.id));
-        }
-        other => panic!(
-            "expected StaleManifest after header-sync crash (eager={}): {:?}",
+        engine.set_commit_crash_point(Some(point));
+        let doomed = Record::with_size(8_800_001, 5_500_000, 500);
+        assert_eq!(
+            engine.insert(&doomed).is_err(),
             writes_commit_eagerly(),
-            other.err()
-        ),
+            "{point:?}"
+        );
+        std::mem::forget(engine);
+
+        let reopened = ShardedSaeEngine::open_dir(dir.path(), ALG, None)
+            .unwrap_or_else(|e| panic!("{point:?}: reopen refused with {e:?}"));
+        let full = reopened.query(&RangeQuery::new(0, DOMAIN)).unwrap();
+        assert!(full.verdict.is_ok(), "{point:?}: {:?}", full.verdict);
+        let ids = served_ids(&reopened, &RangeQuery::new(0, DOMAIN));
+        assert!(
+            ids.contains(&committed.id),
+            "{point:?}: committed prefix lost"
+        );
+        assert!(
+            ids.contains(&acked.id),
+            "{point:?}: acknowledged write lost"
+        );
+        if point == CommitCrashPoint::BeforeCommit {
+            // Killed before the log append: the doomed write left no trace.
+            assert!(
+                !ids.contains(&doomed.id),
+                "{point:?}: unlogged write appeared"
+            );
+        }
     }
+}
+
+/// `close()` surfaces the checkpoint errors that `Drop` can only swallow
+/// (and record on [`sae::storage::IoStats::swallowed_sync_errors`]): with
+/// the deployment directory gone, the final checkpoint's manifest replace
+/// has nowhere to land, and close must report that as a typed error — not
+/// return `Ok` as if the state were durable, and not panic.
+#[test]
+fn close_surfaces_checkpoint_errors_instead_of_swallowing_them() {
+    let dir = tempfile::tempdir().unwrap();
+    let ds = dataset(400, 27);
+    let engine = create_engine(dir.path(), &ds, 2, None);
+    let fresh = Record::with_size(8_900_000, 4_000_000, 500);
+    engine.insert(&fresh).unwrap();
+
+    // Pull the directory out from under the engine. Writes and fsyncs to
+    // the already-open page/log file handles still succeed (the inodes
+    // live on), so the first thing that can fail is the checkpoint's
+    // atomic manifest replacement — exactly the error Drop would swallow.
+    std::fs::remove_dir_all(dir.path()).unwrap();
+    let err = engine
+        .close()
+        .expect_err("close over a vanished deployment directory must fail");
+    assert!(matches!(err, StorageError::Io(_)), "{err:?}");
 }
 
 /// A completed commit followed by a kill (no close, no Drop): the write is
