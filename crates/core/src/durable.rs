@@ -1177,8 +1177,9 @@ impl Durability {
             // 4. Checkpoint when the log is due or the caller insists. The
             //    checkpoint runs here — still under the tree locks — so the
             //    cache flush cannot race a concurrent writer's unlogged
-            //    mutations into the page files; it carries its own barriers,
-            //    so the finish phase skips the log fsync.
+            //    mutations into the page files; it opens with the log fsync
+            //    and carries its own page barriers, so the finish phase
+            //    skips the log fsync.
             if force_checkpoint || shard.wal.log_bytes() >= self.checkpoint_threshold() {
                 self.checkpoint_shard(i, &meta)?;
                 state.epoch = meta.epoch;
@@ -1227,13 +1228,21 @@ impl Durability {
     }
 
     /// Folds a checkpoint into a commit (caller holds the shard's
-    /// commit-state lock and at least its read tree locks): flush both
-    /// caches, republish the headers at the new epoch with a barrier each,
-    /// save a covering manifest, then truncate the log to a fresh segment —
-    /// strictly in that order, so everything the truncation drops is
-    /// already durable elsewhere.
+    /// commit-state lock and at least its read tree locks): fsync the log,
+    /// flush both caches, republish the headers at the new epoch with a
+    /// barrier each, save a covering manifest, then truncate the log to a
+    /// fresh segment — strictly in that order, so everything the truncation
+    /// drops is already durable elsewhere.
     fn checkpoint_shard(&self, i: usize, meta: &ShardMeta) -> StorageResult<()> {
         let shard = self.shard(i);
+        // Log before pages: the caller's just-appended transaction is still
+        // unsynced, and the flushes below push its epoch into the page
+        // files. Without this barrier a crash mid-checkpoint could durably
+        // persist the new pages while the log's recoverable prefix still
+        // ends at the previous epoch — losing the committed pre-images.
+        // This fsync is also what lets the finish phase skip its own
+        // (`already_durable`).
+        shard.wal.sync()?;
         shard.sp.flush()?;
         shard.te.flush()?;
         for (files, party) in [(&shard.sp, Party::Sp), (&shard.te, Party::Te)] {

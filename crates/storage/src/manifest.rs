@@ -41,8 +41,15 @@ use std::path::Path;
 ///
 /// Version 2 added the global `checkpoint_seq` counter (the number of
 /// checkpoints the deployment has taken), recorded so operators can relate
-/// a manifest to the WAL segments that were truncated beneath it.
+/// a manifest to the WAL segments that were truncated beneath it. Version 1
+/// — the pre-WAL format, identical but for a 24-byte fixed header with no
+/// `checkpoint_seq` — is still read (decoding defaults the counter to 0),
+/// so a pre-WAL directory opens through the no-log recovery fallback; the
+/// first checkpoint then rewrites manifest and headers at version 2.
 pub const MANIFEST_VERSION: u32 = 2;
+
+/// The pre-WAL format version, still accepted on read.
+const MANIFEST_V1: u32 = 1;
 
 /// Magic bytes opening the manifest page.
 const MANIFEST_MAGIC: &[u8; 8] = b"SAEMANIF";
@@ -60,6 +67,9 @@ pub const TE_DIGEST_LEN: usize = 20;
 pub const SHARD_HEADER_PAGE: PageId = PageId(0);
 
 const MANIFEST_FIXED_LEN: usize = 32;
+
+/// Fixed-header length of a version-1 manifest (no `checkpoint_seq`).
+const MANIFEST_V1_FIXED_LEN: usize = 24;
 
 /// Exact byte length of one encoded [`ShardMeta`] (see
 /// [`ShardMeta::to_bytes`]); also the per-shard stride inside the manifest
@@ -242,7 +252,9 @@ impl Manifest {
         Ok(page)
     }
 
-    /// Deserializes and validates a manifest page.
+    /// Deserializes and validates a manifest page. Accepts the current
+    /// version and version 1 (the pre-WAL format), whose shorter fixed
+    /// header carries no `checkpoint_seq` — it decodes as 0.
     pub fn decode(page: &Page) -> StorageResult<Manifest> {
         if page.read_bytes(0, 8) != MANIFEST_MAGIC {
             return Err(StorageError::Corrupted(
@@ -250,9 +262,10 @@ impl Manifest {
             ));
         }
         let version = page.read_u32(8);
-        if version != MANIFEST_VERSION {
+        if version != MANIFEST_VERSION && version != MANIFEST_V1 {
             return Err(StorageError::Corrupted(format!(
-                "unsupported manifest version {version} (supported: {MANIFEST_VERSION})"
+                "unsupported manifest version {version} (supported: \
+                 {MANIFEST_V1}..={MANIFEST_VERSION})"
             )));
         }
         let checksum = fnv1a(&page.as_slice()[..CHECKSUM_OFFSET]);
@@ -267,8 +280,13 @@ impl Manifest {
                 "manifest shard count {shard_count} outside 1..={MAX_MANIFEST_SHARDS}"
             )));
         }
+        let (fixed_len, checkpoint_seq) = if version == MANIFEST_V1 {
+            (MANIFEST_V1_FIXED_LEN, 0)
+        } else {
+            (MANIFEST_FIXED_LEN, page.read_u64(24))
+        };
         let mut shards = Vec::with_capacity(shard_count);
-        let mut at = MANIFEST_FIXED_LEN;
+        let mut at = fixed_len;
         for _ in 0..shard_count {
             shards.push(read_shard_meta(page, at));
             at += SHARD_META_LEN;
@@ -281,7 +299,7 @@ impl Manifest {
         Ok(Manifest {
             record_size: page.read_u32(12),
             domain: page.read_u32(16),
-            checkpoint_seq: page.read_u64(24),
+            checkpoint_seq,
             shards,
         })
     }
@@ -382,7 +400,9 @@ impl ShardHeader {
         page
     }
 
-    /// Deserializes and validates a header page.
+    /// Deserializes and validates a header page. Version 1 (pre-WAL)
+    /// headers share this exact layout and are accepted; the next
+    /// checkpoint rewrites them at the current version.
     pub fn decode(page: &Page) -> StorageResult<ShardHeader> {
         if page.read_bytes(0, 8) != HEADER_MAGIC {
             return Err(StorageError::Corrupted(
@@ -390,7 +410,7 @@ impl ShardHeader {
             ));
         }
         let version = page.read_u32(8);
-        if version != MANIFEST_VERSION {
+        if version != MANIFEST_VERSION && version != MANIFEST_V1 {
             return Err(StorageError::Corrupted(format!(
                 "unsupported pager header version {version}"
             )));
@@ -687,6 +707,55 @@ mod tests {
         );
         assert!(ShardHeader::validate_identity(&store, 4, Party::Te).is_err());
         assert!(ShardHeader::validate_identity(&store, 3, Party::Sp).is_err());
+    }
+
+    /// Encodes `manifest` in the version-1 (pre-WAL) layout: 24-byte fixed
+    /// header, no `checkpoint_seq` — byte-for-byte what v1 code wrote.
+    fn encode_v1(manifest: &Manifest) -> Page {
+        let mut page = Page::new();
+        page.write_bytes(0, MANIFEST_MAGIC);
+        page.write_u32(8, MANIFEST_V1);
+        page.write_u32(12, manifest.record_size);
+        page.write_u32(16, manifest.domain);
+        page.write_u32(20, manifest.shards.len() as u32);
+        let mut at = MANIFEST_V1_FIXED_LEN;
+        for shard in &manifest.shards {
+            write_shard_meta(&mut page, at, shard);
+            at += SHARD_META_LEN;
+        }
+        let checksum = fnv1a(&page.as_slice()[..CHECKSUM_OFFSET]);
+        page.write_u64(CHECKSUM_OFFSET, checksum);
+        page
+    }
+
+    #[test]
+    fn version_1_manifest_still_decodes() {
+        let mut manifest = sample_manifest(3);
+        let page = encode_v1(&manifest);
+        // A v1 manifest has no checkpoint counter; decode defaults it to 0.
+        manifest.checkpoint_seq = 0;
+        assert_eq!(Manifest::decode(&page).unwrap(), manifest);
+
+        // And Manifest::load accepts a v1 file on disk.
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("MANIFEST");
+        std::fs::write(&path, page.as_slice()).unwrap();
+        assert_eq!(Manifest::load(&path).unwrap(), manifest);
+    }
+
+    #[test]
+    fn version_1_shard_header_still_decodes() {
+        let header = ShardHeader {
+            shard: 2,
+            party: Party::Te,
+            epoch: 9,
+        };
+        // Same layout as the current version, only the version field (and
+        // therefore the checksum) differs.
+        let mut page = header.encode();
+        page.write_u32(8, MANIFEST_V1);
+        page.write_u64(32, fnv1a(&page.as_slice()[..32]));
+        assert_eq!(ShardHeader::decode(&page).unwrap(), header);
     }
 
     #[test]
