@@ -17,16 +17,17 @@
 
 use sae_bench::{
     print_ablation_memory, print_ablation_scan, print_ablation_updates, print_durability,
-    print_fig5, print_fig6, print_fig7, print_fig8, print_group_commit, print_sharded_throughput,
-    print_throughput, print_wal, report_to_json, rows_to_json, run_ablation_memory,
-    run_ablation_scan, run_ablation_updates, run_comparison, run_durability, run_group_commit,
-    run_sharded_throughput, run_throughput, run_wal, DurabilityConfig, ExperimentConfig,
-    GroupCommitConfig, ShardedThroughputConfig, ThroughputConfig, WalConfig,
+    print_fig5, print_fig6, print_fig7, print_fig8, print_group_commit, print_net,
+    print_sharded_throughput, print_throughput, print_wal, report_to_json, rows_to_json,
+    run_ablation_memory, run_ablation_scan, run_ablation_updates, run_comparison, run_durability,
+    run_group_commit, run_net, run_sharded_throughput, run_throughput, run_wal, DurabilityConfig,
+    ExperimentConfig, GroupCommitConfig, NetConfig, ShardedThroughputConfig, ThroughputConfig,
+    WalConfig,
 };
 
 const USAGE: &str = "usage: experiments \
      <fig5|fig6|fig7|fig8|all|ablation-scan|ablation-updates|ablation-memory|throughput\
-|sharded-throughput|durability|group-commit|wal> \
+|sharded-throughput|durability|group-commit|wal|net> \
      [--full-scale] [--smoke] [--zipf] [--json <path>]
 
 exit codes (shared convention with sae-analyzer):
@@ -61,7 +62,9 @@ impl Cli {
                 &["--full-scale", "--smoke"]
             }
             "throughput" => &["--smoke", "--zipf", "--json"],
-            "sharded-throughput" | "durability" | "group-commit" | "wal" => &["--smoke", "--json"],
+            "sharded-throughput" | "durability" | "group-commit" | "wal" | "net" => {
+                &["--smoke", "--json"]
+            }
             other => return Err(format!("unknown command `{other}`")),
         };
         let mut cli = Cli {
@@ -300,6 +303,29 @@ fn run(cli: &Cli) -> Result<bool, String> {
                 write_json(path, report_to_json(&rows))?;
             }
             rows.iter().all(|r| r.all_verified && r.replay_recovered)
+        }
+        "net" => {
+            let net_config = if cli.smoke {
+                NetConfig::smoke()
+            } else {
+                NetConfig::default()
+            };
+            println!(
+                "net experiment — n={}, shard servers {:?}, {} range queries of {}% extent per \
+                 repeat over loopback TCP; every slice re-verified against the TE token, plus \
+                 byzantine-server and dropped-endpoint legs per row",
+                net_config.cardinality,
+                net_config.shard_counts,
+                net_config.queries,
+                net_config.query_extent * 100.0
+            );
+            let rows = run_net(&net_config);
+            print_net(&rows);
+            if let Some(path) = &cli.json_path {
+                write_json(path, report_to_json(&rows))?;
+            }
+            rows.iter()
+                .all(|r| r.all_verified && r.tamper_detected && r.drop_detected)
         }
         "ablation-scan" => {
             print_ablation_scan(&run_ablation_scan(&config));

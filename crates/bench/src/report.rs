@@ -1,7 +1,7 @@
 //! Pretty-printers that lay the measured rows out like the paper's figures.
 
 use crate::experiments::{
-    AblationRow, ComparisonRow, DurabilityRow, GroupCommitRow, MemoryAblationRow,
+    AblationRow, ComparisonRow, DurabilityRow, GroupCommitRow, MemoryAblationRow, NetRow,
     ShardedThroughputRow, ThroughputRow, UpdateRow, WalRow,
 };
 use serde::Serialize;
@@ -300,6 +300,45 @@ pub fn print_wal(rows: &[WalRow]) {
             r.wal_syncs,
             if r.replay_recovered { "ok" } else { "LOST" },
             if r.all_verified { "all" } else { "NO" }
+        );
+    }
+}
+
+/// Experiment E13: networked scatter-gather serving — verified qps and tail
+/// latency over loopback vs shard-server count, with byzantine and
+/// dropped-endpoint legs.
+pub fn print_net(rows: &[NetRow]) {
+    header("Experiment E13 — networked serving: verified qps + p95 vs shard servers");
+    println!(
+        "  {:>7} {:>8} {:>10} {:>9} {:>9} {:>11} {:>9} {:>9} {:>7} {:>5}",
+        "servers",
+        "queries",
+        "qps",
+        "p50 ms",
+        "p95 ms",
+        "bytes/query",
+        "records",
+        "verified",
+        "tamper",
+        "drop"
+    );
+    for r in rows {
+        println!(
+            "  {:>7} {:>8} {:>10.0} {:>9.3} {:>9.3} {:>11.0} {:>9} {:>9} {:>7} {:>5}",
+            r.shards,
+            r.queries,
+            r.qps,
+            r.p50_ms,
+            r.p95_ms,
+            r.bytes_per_query,
+            r.records_returned,
+            if r.all_verified { "all" } else { "NO" },
+            if r.tamper_detected {
+                "caught"
+            } else {
+                "MISSED"
+            },
+            if r.drop_detected { "caught" } else { "MISSED" }
         );
     }
 }

@@ -61,7 +61,8 @@ pub use engine::{
 pub use metrics::{LatencySummary, QueryMetrics, StorageBreakdown};
 pub use sae::{SaeClient, SaeQueryOutcome, SaeSystem, SaeVerifyError, TrustedEntity};
 pub use sharded::{
-    ShardLayout, ShardSlice, ShardedQueryOutcome, ShardedSaeEngine, ShardedVerifyError,
+    verify_slices, ShardLayout, ShardSlice, ShardedQueryOutcome, ShardedSaeEngine,
+    ShardedVerifyError,
 };
 pub use tamper::TamperStrategy;
 pub use tom::{TomQueryOutcome, TomSystem};

@@ -434,6 +434,18 @@ impl SaeClient {
         }
     }
 
+    /// The hash algorithm this client folds digests with — part of the
+    /// published deployment parameters a remote client must be configured
+    /// with (see `sae-net`).
+    pub fn algorithm(&self) -> HashAlgorithm {
+        self.alg
+    }
+
+    /// The published fixed record length, when known.
+    pub fn record_len(&self) -> Option<usize> {
+        self.record_len
+    }
+
     /// Verifies a claimed result against a verification token. Returns
     /// `(accepted, wall-clock milliseconds spent)`.
     pub fn verify(&self, q: &RangeQuery, result_records: &[Vec<u8>], vt: &Digest) -> (bool, f64) {

@@ -217,6 +217,60 @@ impl std::fmt::Display for ShardedVerifyError {
 
 impl std::error::Error for ShardedVerifyError {}
 
+/// The sound-stitching check of a scatter-gather response, as a free
+/// function of *published* data only — the shard layout, the deployment
+/// parameters inside [`SaeClient`], the query and the claimed slices.
+/// [`ShardedSaeEngine`] runs it in-process and `sae-net`'s `NetClient` runs
+/// the very same code across a wire, so a networked deployment cannot weaken
+/// the verification story by construction.
+///
+/// The client derives, from the layout, exactly which shards must have
+/// answered: anything less (a dropped slice), more, duplicated or reordered
+/// is rejected before any cryptography runs. Each surviving slice then runs
+/// the full per-shard [`SaeClient`] check against its *clamped* sub-query
+/// and its shard's token; disjoint ascending ranges make those checks imply
+/// global key order and cross-shard record-id uniqueness.
+pub fn verify_slices(
+    layout: &ShardLayout,
+    client: &SaeClient,
+    q: &RangeQuery,
+    slices: &[ShardSlice],
+) -> Result<(), ShardedVerifyError> {
+    let expected = layout.overlapping_clamped(q);
+    let exact = slices.len() == expected.len()
+        && slices
+            .iter()
+            .zip(&expected)
+            .all(|(slice, (shard, _))| slice.shard == *shard);
+    if !exact {
+        for (shard, _) in &expected {
+            if !slices.iter().any(|s| s.shard == *shard) {
+                return Err(ShardedVerifyError::MissingShardSlice { shard: *shard });
+            }
+        }
+        if let Some(slice) = slices
+            .iter()
+            .find(|s| !expected.iter().any(|(shard, _)| *shard == s.shard))
+        {
+            return Err(ShardedVerifyError::UnexpectedShardSlice { shard: slice.shard });
+        }
+        return Err(ShardedVerifyError::SlicesOutOfOrder);
+    }
+
+    // The exactness check above proved `slices` and `expected` align
+    // pairwise, so each slice verifies against its own clamped range.
+    for (slice, (_, sub)) in slices.iter().zip(&expected) {
+        let (outcome, _) = client.verify_detailed(sub, &slice.records, &slice.vt);
+        if let Err(error) = outcome {
+            return Err(ShardedVerifyError::Slice {
+                shard: slice.shard,
+                error,
+            });
+        }
+    }
+    Ok(())
+}
+
 /// Everything a sharded query run produces.
 #[derive(Clone, Debug)]
 pub struct ShardedQueryOutcome {
@@ -685,20 +739,38 @@ impl ShardedSaeEngine {
     /// clamped sub-query under its SP read lock held across its TE read, so
     /// every slice is internally consistent.
     pub fn scatter(&self, q: &RangeQuery) -> StorageResult<Vec<ShardSlice>> {
-        let mut slices = Vec::new();
-        for (i, sub) in self.layout.overlapping_clamped(q) {
-            let shard = &self.shards[i];
-            let sp = shard.sp.read();
-            let records = sp.query(&sub)?;
-            let vt = shard.te.read().generate_vt(&sub)?;
-            drop(sp);
-            slices.push(ShardSlice {
-                shard: i,
-                records,
-                vt,
-            });
-        }
-        Ok(slices)
+        self.layout
+            .overlapping_clamped(q)
+            .into_iter()
+            .map(|(i, sub)| self.shard_slice(i, &sub))
+            .collect()
+    }
+
+    /// Answers one shard's clamped sub-query: the records of `sub` from the
+    /// shard's SP plus the shard TE's token over exactly that range, produced
+    /// under the SP read lock held across the TE read so the slice is
+    /// internally consistent. This is the unit a networked shard endpoint
+    /// serves (`sae-net`'s `ShardServer` calls it per request); the returned
+    /// slice is fully owned, so no tree guard outlives this call.
+    pub fn shard_slice(&self, shard: usize, sub: &RangeQuery) -> StorageResult<ShardSlice> {
+        let Some(s) = self.shards.get(shard) else {
+            return Err(StorageError::Corrupted(format!(
+                "shard {shard} does not exist in a {}-shard layout",
+                self.shards.len()
+            )));
+        };
+        let sp = s.sp.read();
+        let records = sp.query(sub)?;
+        let vt = s.te.read().generate_vt(sub)?;
+        drop(sp);
+        Ok(ShardSlice { shard, records, vt })
+    }
+
+    /// The verifying client of this deployment — exposes the published
+    /// parameters (hash algorithm, record length) a *remote* client needs to
+    /// run the identical checks on the other side of a wire.
+    pub fn client(&self) -> &SaeClient {
+        &self.client
     }
 
     /// Client-side stitched verification of a scatter-gather response.
@@ -718,46 +790,7 @@ impl ShardedSaeEngine {
         q: &RangeQuery,
         slices: &[ShardSlice],
     ) -> Result<(), ShardedVerifyError> {
-        // The client knows the layout, so it knows exactly which shards must
-        // have answered: anything less (a dropped slice), more, duplicated or
-        // reordered is rejected before any cryptography runs.
-        let expected = self.layout.overlapping_clamped(q);
-        let exact = slices.len() == expected.len()
-            && slices
-                .iter()
-                .zip(&expected)
-                .all(|(slice, (shard, _))| slice.shard == *shard);
-        if !exact {
-            for (shard, _) in &expected {
-                if !slices.iter().any(|s| s.shard == *shard) {
-                    return Err(ShardedVerifyError::MissingShardSlice { shard: *shard });
-                }
-            }
-            if let Some(slice) = slices
-                .iter()
-                .find(|s| !expected.iter().any(|(shard, _)| *shard == s.shard))
-            {
-                return Err(ShardedVerifyError::UnexpectedShardSlice { shard: slice.shard });
-            }
-            return Err(ShardedVerifyError::SlicesOutOfOrder);
-        }
-
-        // Every slice verifies like an ordinary SAE result, against the
-        // *clamped* sub-query (which pins each record to its shard's key
-        // range) and the shard's own token. Disjoint ascending ranges then
-        // give global order and cross-shard id uniqueness for free. The
-        // exactness check above proved `slices` and `expected` align
-        // pairwise, so each slice verifies against its own clamped range.
-        for (slice, (_, sub)) in slices.iter().zip(&expected) {
-            let (outcome, _) = self.client.verify_detailed(sub, &slice.records, &slice.vt);
-            if let Err(error) = outcome {
-                return Err(ShardedVerifyError::Slice {
-                    shard: slice.shard,
-                    error,
-                });
-            }
-        }
-        Ok(())
+        verify_slices(&self.layout, &self.client, q, slices)
     }
 
     /// Runs one query honestly end to end (scatter, gather, verify).

@@ -1,0 +1,279 @@
+//! The verifying scatter-gather client.
+//!
+//! [`NetClient`] is the networked twin of the in-process
+//! [`sae_core::ShardedSaeEngine::query`] path. Given a published
+//! [`ShardLayout`] and one endpoint per shard, it derives the responder set
+//! *from the layout* (never from who happened to answer), fetches one slice
+//! per overlapping shard over the wire, and hands the gathered slices to
+//! [`sae_core::verify_slices`] — the *same* function the in-process engine
+//! runs. There is no separate, weaker "network verification": an endpoint
+//! that fails, stalls, returns an error, or simply goes missing yields a
+//! [`ShardedVerifyError::MissingShardSlice`] verdict for its shard, and a
+//! byzantine endpoint that doctors records or tokens is caught by the
+//! per-slice token check.
+
+use crate::frame::{read_frame, write_frame, Message, NetError, NetResult};
+use sae_core::ShardedVerifyError;
+use sae_core::{verify_slices, SaeClient, ShardLayout, ShardSlice, ShardedSaeEngine};
+use sae_workload::RangeQuery;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// Timeouts applied to every endpoint connection a [`NetClient`] opens.
+#[derive(Clone, Copy, Debug)]
+pub struct NetClientConfig {
+    /// Bound on establishing a TCP connection to an endpoint.
+    pub connect_timeout: Duration,
+    /// Bound on waiting for a response frame.
+    pub read_timeout: Duration,
+    /// Bound on writing a request frame.
+    pub write_timeout: Duration,
+}
+
+impl Default for NetClientConfig {
+    fn default() -> Self {
+        NetClientConfig {
+            connect_timeout: Duration::from_secs(2),
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// The networked, verifying range-query client: scatter over per-shard
+/// endpoints, gather the slices, verify exactly as in-process.
+///
+/// The client owns one lazily-opened, persistent connection per endpoint
+/// (`&mut self` methods — use one `NetClient` per driver thread). A
+/// connection that errors is discarded and re-dialled once before its shard
+/// is declared missing.
+pub struct NetClient {
+    layout: ShardLayout,
+    client: SaeClient,
+    endpoints: Vec<String>,
+    sockets: Vec<Option<TcpStream>>,
+    cfg: NetClientConfig,
+}
+
+/// Everything one networked range query produced. The query itself is
+/// infallible at the transport level by design: endpoint failures are not
+/// "errors", they are *evidence*, folded into the [`verdict`] exactly like
+/// a shard that refused to answer in-process.
+///
+/// [`verdict`]: NetQueryOutcome::verdict
+#[derive(Debug)]
+pub struct NetQueryOutcome {
+    /// The slices that were actually received, in the order gathered.
+    pub slices: Vec<ShardSlice>,
+    /// The client-side verification verdict over the published layout —
+    /// produced by [`sae_core::verify_slices`], the same function the
+    /// in-process engine uses.
+    pub verdict: Result<(), ShardedVerifyError>,
+    /// Transport- or protocol-level failures, one per affected shard. Each
+    /// of these also surfaces in [`verdict`] as a missing slice.
+    ///
+    /// [`verdict`]: NetQueryOutcome::verdict
+    pub endpoint_errors: Vec<(usize, NetError)>,
+    /// Request bytes written across all endpoints.
+    pub bytes_sent: u64,
+    /// Response bytes read across all endpoints.
+    pub bytes_received: u64,
+    /// Wall-clock time for the whole scatter-gather-verify round.
+    pub elapsed_ms: f64,
+}
+
+impl NetQueryOutcome {
+    /// Total records across all gathered slices.
+    pub fn record_count(&self) -> usize {
+        self.slices.iter().map(|s| s.records.len()).sum()
+    }
+}
+
+impl NetClient {
+    /// A client for a published `layout`, verifying with `client`, talking
+    /// to `endpoints[i]` for shard `i`. Fails if the endpoint list does not
+    /// cover the layout one-to-one.
+    pub fn new(
+        layout: ShardLayout,
+        client: SaeClient,
+        endpoints: Vec<String>,
+        cfg: NetClientConfig,
+    ) -> NetResult<NetClient> {
+        if endpoints.len() != layout.shard_count() {
+            return Err(NetError::Malformed(
+                "endpoint list must name exactly one endpoint per layout shard",
+            ));
+        }
+        let sockets = endpoints.iter().map(|_| None).collect();
+        Ok(NetClient {
+            layout,
+            client,
+            endpoints,
+            sockets,
+            cfg,
+        })
+    }
+
+    /// Convenience constructor taking the layout and verification
+    /// parameters from an engine — the common shape in tests and benches
+    /// where the engine that built the shards also published the layout.
+    pub fn for_engine(engine: &ShardedSaeEngine, endpoints: Vec<String>) -> NetResult<NetClient> {
+        let template = engine.client();
+        let client = match template.record_len() {
+            Some(len) => SaeClient::with_record_len(template.algorithm(), len),
+            None => SaeClient::new(template.algorithm()),
+        };
+        NetClient::new(
+            engine.layout().clone(),
+            client,
+            endpoints,
+            NetClientConfig::default(),
+        )
+    }
+
+    /// The published layout this client scatters over.
+    pub fn layout(&self) -> &ShardLayout {
+        &self.layout
+    }
+
+    /// Health-checks one endpoint with a `Ping`/`Pong` round trip.
+    pub fn ping(&mut self, shard: usize) -> NetResult<()> {
+        let (response, _, _) = self.exchange(shard, &Message::Ping)?;
+        match response {
+            Message::Pong => Ok(()),
+            other => Err(NetError::UnexpectedMessage { got: other.tag() }),
+        }
+    }
+
+    /// One verified scatter-gather range query. Every shard overlapping `q`
+    /// under the published layout **must** produce a verifying slice for the
+    /// verdict to be `Ok` — an endpoint that is down, times out, answers
+    /// with an error, or doctors its slice shows up in the verdict, never as
+    /// silently-accepted partial results.
+    pub fn query(&mut self, q: &RangeQuery) -> NetQueryOutcome {
+        let started = Instant::now();
+        let mut slices = Vec::new();
+        let mut endpoint_errors = Vec::new();
+        let mut bytes_sent = 0u64;
+        let mut bytes_received = 0u64;
+        for (shard, sub) in self.layout.overlapping_clamped(q) {
+            let request = Message::Query {
+                shard: shard as u32,
+                range: sub,
+            };
+            match self.exchange(shard, &request) {
+                Ok((
+                    Message::Slice {
+                        shard: claimed,
+                        records,
+                        vt,
+                        ..
+                    },
+                    sent,
+                    received,
+                )) => {
+                    bytes_sent += sent;
+                    bytes_received += received;
+                    // Keep the *claimed* shard id: misattribution is for
+                    // verification to catch, not for the client to repair.
+                    slices.push(ShardSlice {
+                        shard: claimed as usize,
+                        records,
+                        vt,
+                    });
+                }
+                Ok((
+                    Message::Error {
+                        code,
+                        version,
+                        detail,
+                    },
+                    sent,
+                    received,
+                )) => {
+                    bytes_sent += sent;
+                    bytes_received += received;
+                    endpoint_errors.push((
+                        shard,
+                        NetError::Remote {
+                            code,
+                            version,
+                            detail,
+                        },
+                    ));
+                }
+                Ok((other, sent, received)) => {
+                    bytes_sent += sent;
+                    bytes_received += received;
+                    endpoint_errors.push((shard, NetError::UnexpectedMessage { got: other.tag() }));
+                }
+                Err(e) => endpoint_errors.push((shard, e)),
+            }
+        }
+        let verdict = verify_slices(&self.layout, &self.client, q, &slices);
+        NetQueryOutcome {
+            slices,
+            verdict,
+            endpoint_errors,
+            bytes_sent,
+            bytes_received,
+            elapsed_ms: started.elapsed().as_secs_f64() * 1e3,
+        }
+    }
+
+    /// Sends `request` to `shard`'s endpoint and reads one response frame,
+    /// returning `(response, bytes_sent, bytes_received)`. A failure on a
+    /// pooled connection discards it and re-dials once — a server restart
+    /// must not masquerade as a missing shard.
+    fn exchange(&mut self, shard: usize, request: &Message) -> NetResult<(Message, u64, u64)> {
+        let pooled = self
+            .sockets
+            .get(shard)
+            .is_some_and(std::option::Option::is_some);
+        match self.exchange_once(shard, request) {
+            Ok(ok) => Ok(ok),
+            Err(e) if pooled && matches!(e, NetError::Io(_) | NetError::Disconnected) => {
+                self.sockets[shard] = None;
+                self.exchange_once(shard, request)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn exchange_once(&mut self, shard: usize, request: &Message) -> NetResult<(Message, u64, u64)> {
+        self.ensure_connected(shard)?;
+        let Some(Some(stream)) = self.sockets.get_mut(shard) else {
+            return Err(NetError::Malformed("shard id outside the endpoint list"));
+        };
+        let result = write_frame(stream, request).and_then(|sent| {
+            read_frame(stream).map(|(msg, received)| (msg, sent as u64, received as u64))
+        });
+        if result.is_err() {
+            // Poison the pooled connection: request/response pairing on it
+            // can no longer be trusted.
+            self.sockets[shard] = None;
+        }
+        result
+    }
+
+    fn ensure_connected(&mut self, shard: usize) -> NetResult<()> {
+        let Some(slot) = self.sockets.get_mut(shard) else {
+            return Err(NetError::Malformed("shard id outside the endpoint list"));
+        };
+        if slot.is_some() {
+            return Ok(());
+        }
+        let Some(endpoint) = self.endpoints.get(shard) else {
+            return Err(NetError::Malformed("shard id outside the endpoint list"));
+        };
+        let addr = endpoint
+            .to_socket_addrs()?
+            .next()
+            .ok_or(NetError::Malformed("endpoint resolved to no address"))?;
+        let stream = TcpStream::connect_timeout(&addr, self.cfg.connect_timeout)?;
+        stream.set_read_timeout(Some(self.cfg.read_timeout))?;
+        stream.set_write_timeout(Some(self.cfg.write_timeout))?;
+        *slot = Some(stream);
+        Ok(())
+    }
+}

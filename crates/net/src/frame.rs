@@ -1,0 +1,541 @@
+//! The wire format: CRC-framed, length-prefixed request/response messages.
+//!
+//! The normative byte-level specification lives in `docs/protocol.md`; this
+//! module is its implementation. The framing discipline is the write-ahead
+//! log's ([`sae_storage::wal`]): a little-endian length prefix, a CRC-32/IEEE
+//! over the payload, and a decoder that treats every malformed input — short,
+//! oversized, bit-flipped, wrong version — as a typed [`NetError`], never a
+//! panic and never a silently misparsed message.
+//!
+//! ```text
+//! frame   := [len: u32 LE] [crc32: u32 LE] [payload: len bytes]
+//! payload := [version: u8] [msg_type: u8] [body]
+//! ```
+
+use sae_core::ShardSlice;
+use sae_crypto::{Digest, DIGEST_LEN};
+use sae_workload::RangeQuery;
+use std::io::{Read, Write};
+
+/// The wire protocol version this build speaks. Every payload leads with it;
+/// a peer speaking another version is answered with an
+/// [`Message::Error`] of code [`code::UNSUPPORTED_VERSION`] that carries the
+/// responder's version, which is the whole negotiation story (see
+/// `docs/protocol.md` § Version negotiation).
+pub const WIRE_VERSION: u8 = 1;
+
+/// Frame header length: 4-byte payload length + 4-byte CRC.
+pub const FRAME_HEADER_LEN: usize = 8;
+
+/// Largest payload a peer will buffer. Anything claiming more is rejected
+/// before allocation — a garbage length prefix must not OOM the server.
+pub const MAX_FRAME_PAYLOAD: usize = 4 << 20;
+
+/// Message type tags. `u8` on the wire; additions are a minor, version-
+/// preserving change (unknown tags are rejected with a typed error, not
+/// skipped).
+pub mod msg {
+    /// Client → server: answer one shard's clamped sub-query.
+    pub const QUERY: u8 = 1;
+    /// Server → client: one shard's slice (records + TE token).
+    pub const SLICE: u8 = 2;
+    /// Server → client: a typed failure.
+    pub const ERROR: u8 = 3;
+    /// Client → server: liveness probe.
+    pub const PING: u8 = 4;
+    /// Server → client: liveness answer.
+    pub const PONG: u8 = 5;
+}
+
+/// Error codes carried by [`Message::Error`]. `u16` on the wire.
+pub mod code {
+    /// The request's version byte is not one the server speaks; the error's
+    /// `version` field carries the server's version.
+    pub const UNSUPPORTED_VERSION: u16 = 1;
+    /// The message body did not decode against its type's layout.
+    pub const MALFORMED: u16 = 2;
+    /// The message type tag is not in the catalog.
+    pub const UNKNOWN_MESSAGE: u16 = 3;
+    /// The requested shard is not served by this endpoint.
+    pub const SHARD_NOT_SERVED: u16 = 4;
+    /// The shard exists but answering the query failed server-side.
+    pub const QUERY_FAILED: u16 = 5;
+    /// The answer exists but does not fit in [`super::MAX_FRAME_PAYLOAD`].
+    pub const RESPONSE_TOO_LARGE: u16 = 6;
+}
+
+/// Why a wire operation failed. Every decoder and I/O path returns one of
+/// these; none of them panics on hostile input.
+#[derive(Debug)]
+pub enum NetError {
+    /// The underlying socket failed (includes read/write timeouts).
+    Io(std::io::Error),
+    /// The peer closed the connection at a frame boundary.
+    Disconnected,
+    /// A frame header or payload was cut short.
+    Truncated {
+        /// Bytes the frame claimed or needed.
+        needed: usize,
+        /// Bytes actually available.
+        have: usize,
+    },
+    /// A frame's length prefix exceeds [`MAX_FRAME_PAYLOAD`].
+    Oversized {
+        /// The claimed payload length.
+        len: usize,
+    },
+    /// The payload does not match the frame's CRC — bit rot or tampering;
+    /// the stream cannot be trusted to be in sync any more.
+    CrcMismatch,
+    /// The payload's version byte is not [`WIRE_VERSION`].
+    WrongVersion {
+        /// The version the peer sent.
+        got: u8,
+    },
+    /// The payload's message type tag is not in the catalog.
+    UnknownMessageType(u8),
+    /// The body did not decode against its message type's layout.
+    Malformed(&'static str),
+    /// The peer answered with [`Message::Error`].
+    Remote {
+        /// The error code (see [`code`]).
+        code: u16,
+        /// The peer's wire version (meaningful for `UNSUPPORTED_VERSION`).
+        version: u8,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// The peer answered with a well-formed message of the wrong type.
+    UnexpectedMessage {
+        /// The message type tag that arrived.
+        got: u8,
+    },
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "socket error: {e}"),
+            NetError::Disconnected => write!(f, "peer disconnected"),
+            NetError::Truncated { needed, have } => {
+                write!(f, "truncated frame: needed {needed} bytes, have {have}")
+            }
+            NetError::Oversized { len } => write!(
+                f,
+                "frame claims {len}-byte payload, cap is {MAX_FRAME_PAYLOAD}"
+            ),
+            NetError::CrcMismatch => write!(f, "frame payload fails its CRC"),
+            NetError::WrongVersion { got } => {
+                write!(
+                    f,
+                    "peer speaks wire version {got}, this build speaks {WIRE_VERSION}"
+                )
+            }
+            NetError::UnknownMessageType(tag) => write!(f, "unknown message type {tag}"),
+            NetError::Malformed(what) => write!(f, "malformed message body: {what}"),
+            NetError::Remote {
+                code,
+                version,
+                detail,
+            } => write!(f, "remote error {code} (peer version {version}): {detail}"),
+            NetError::UnexpectedMessage { got } => {
+                write!(f, "unexpected message type {got} for this exchange")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+/// A result on the wire path.
+pub type NetResult<T> = Result<T, NetError>;
+
+/// The message catalog. See `docs/protocol.md` for the normative body
+/// layouts; `Message::encode_body` / `Message::decode` are their
+/// implementation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Message {
+    /// Answer shard `shard`'s sub-query `[lower, upper]`.
+    Query {
+        /// The shard the client routed this sub-query to.
+        shard: u32,
+        /// The clamped sub-range the slice and its token must cover.
+        range: RangeQuery,
+    },
+    /// One shard's contribution to a scatter-gather answer.
+    Slice {
+        /// The shard that produced the slice.
+        shard: u32,
+        /// The fixed encoded record length (0 permitted when `records` is
+        /// empty).
+        record_len: u32,
+        /// The slice's records, each exactly `record_len` bytes.
+        records: Vec<Vec<u8>>,
+        /// The shard TE's verification token over the sub-query.
+        vt: Digest,
+    },
+    /// A typed failure (see [`code`] for the catalog).
+    Error {
+        /// The error code.
+        code: u16,
+        /// The responder's wire version.
+        version: u8,
+        /// Human-readable detail, UTF-8.
+        detail: String,
+    },
+    /// Liveness probe.
+    Ping,
+    /// Liveness answer.
+    Pong,
+}
+
+impl Message {
+    /// The message's type tag on the wire.
+    pub fn tag(&self) -> u8 {
+        match self {
+            Message::Query { .. } => msg::QUERY,
+            Message::Slice { .. } => msg::SLICE,
+            Message::Error { .. } => msg::ERROR,
+            Message::Ping => msg::PING,
+            Message::Pong => msg::PONG,
+        }
+    }
+
+    /// Encodes the body (everything after the `[version, msg_type]` prefix).
+    fn encode_body(&self, out: &mut Vec<u8>) {
+        match self {
+            Message::Query { shard, range } => {
+                out.extend_from_slice(&shard.to_le_bytes());
+                out.extend_from_slice(&range.lower.to_le_bytes());
+                out.extend_from_slice(&range.upper.to_le_bytes());
+            }
+            Message::Slice {
+                shard,
+                record_len,
+                records,
+                vt,
+            } => {
+                out.extend_from_slice(&shard.to_le_bytes());
+                out.extend_from_slice(&record_len.to_le_bytes());
+                out.extend_from_slice(&(records.len() as u32).to_le_bytes());
+                out.extend_from_slice(vt.as_bytes());
+                for record in records {
+                    out.extend_from_slice(record);
+                }
+            }
+            Message::Error {
+                code,
+                version,
+                detail,
+            } => {
+                out.extend_from_slice(&code.to_le_bytes());
+                out.push(*version);
+                out.extend_from_slice(detail.as_bytes());
+            }
+            Message::Ping | Message::Pong => {}
+        }
+    }
+
+    /// Decodes a full payload (version byte, type tag, body). Typed errors
+    /// on every malformed input; never panics.
+    pub fn decode(payload: &[u8]) -> NetResult<Message> {
+        let (&version, rest) = payload
+            .split_first()
+            .ok_or(NetError::Malformed("empty payload"))?;
+        if version != WIRE_VERSION {
+            return Err(NetError::WrongVersion { got: version });
+        }
+        let (&tag, body) = rest
+            .split_first()
+            .ok_or(NetError::Malformed("payload has no message type"))?;
+        match tag {
+            msg::QUERY => {
+                let [shard, lower, upper] = decode_u32s(body, "query body is 12 bytes")?;
+                if lower > upper {
+                    return Err(NetError::Malformed("query lower bound above upper"));
+                }
+                Ok(Message::Query {
+                    shard,
+                    range: RangeQuery::new(lower, upper),
+                })
+            }
+            msg::SLICE => {
+                if body.len() < 12 + DIGEST_LEN {
+                    return Err(NetError::Malformed("slice header is 32 bytes"));
+                }
+                let (header, payload) = body.split_at(12 + DIGEST_LEN);
+                let [shard, record_len, count] =
+                    decode_u32s(&header[..12], "slice header is 32 bytes")?;
+                let vt = Digest::from_slice(&header[12..])
+                    .ok_or(NetError::Malformed("slice token is 20 bytes"))?;
+                let expected = (count as u64).saturating_mul(record_len as u64);
+                if expected != payload.len() as u64 {
+                    return Err(NetError::Malformed(
+                        "slice body length disagrees with count x record_len",
+                    ));
+                }
+                if count > 0 && record_len == 0 {
+                    return Err(NetError::Malformed("non-empty slice with zero record_len"));
+                }
+                let records = payload
+                    .chunks_exact(record_len.max(1) as usize)
+                    .map(<[u8]>::to_vec)
+                    .collect();
+                Ok(Message::Slice {
+                    shard,
+                    record_len,
+                    records,
+                    vt,
+                })
+            }
+            msg::ERROR => {
+                if body.len() < 3 {
+                    return Err(NetError::Malformed("error header is 3 bytes"));
+                }
+                let code = u16::from_le_bytes([body[0], body[1]]);
+                let version = body[2];
+                let detail = String::from_utf8_lossy(&body[3..]).into_owned();
+                Ok(Message::Error {
+                    code,
+                    version,
+                    detail,
+                })
+            }
+            msg::PING | msg::PONG => {
+                if !body.is_empty() {
+                    return Err(NetError::Malformed("ping/pong carries no body"));
+                }
+                Ok(if tag == msg::PING {
+                    Message::Ping
+                } else {
+                    Message::Pong
+                })
+            }
+            other => Err(NetError::UnknownMessageType(other)),
+        }
+    }
+}
+
+/// Decodes `N` consecutive little-endian `u32`s, rejecting any other length.
+fn decode_u32s<const N: usize>(body: &[u8], what: &'static str) -> NetResult<[u32; N]> {
+    if body.len() != 4 * N {
+        return Err(NetError::Malformed(what));
+    }
+    let mut out = [0u32; N];
+    for (slot, chunk) in out.iter_mut().zip(body.chunks_exact(4)) {
+        let Ok(bytes) = <[u8; 4]>::try_from(chunk) else {
+            return Err(NetError::Malformed(what));
+        };
+        *slot = u32::from_le_bytes(bytes);
+    }
+    Ok(out)
+}
+
+/// Encodes one message as a complete frame: header, CRC, versioned payload.
+pub fn encode_frame(message: &Message) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(64);
+    payload.push(WIRE_VERSION);
+    payload.push(message.tag());
+    message.encode_body(&mut payload);
+    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&sae_storage::wal::crc32(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Decodes one frame from the front of `bytes`, returning the message and
+/// the bytes consumed. Pure counterpart of [`read_frame`], shared with the
+/// property tests: truncations, bit flips, oversized claims and wrong
+/// versions all come back as typed errors.
+pub fn decode_frame(bytes: &[u8]) -> NetResult<(Message, usize)> {
+    if bytes.len() < FRAME_HEADER_LEN {
+        return Err(NetError::Truncated {
+            needed: FRAME_HEADER_LEN,
+            have: bytes.len(),
+        });
+    }
+    let Ok(len_bytes) = <[u8; 4]>::try_from(&bytes[0..4]) else {
+        return Err(NetError::Malformed("frame header"));
+    };
+    let Ok(crc_bytes) = <[u8; 4]>::try_from(&bytes[4..8]) else {
+        return Err(NetError::Malformed("frame header"));
+    };
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > MAX_FRAME_PAYLOAD {
+        return Err(NetError::Oversized { len });
+    }
+    let total = FRAME_HEADER_LEN + len;
+    if bytes.len() < total {
+        return Err(NetError::Truncated {
+            needed: total,
+            have: bytes.len(),
+        });
+    }
+    let payload = &bytes[FRAME_HEADER_LEN..total];
+    if sae_storage::wal::crc32(payload) != u32::from_le_bytes(crc_bytes) {
+        return Err(NetError::CrcMismatch);
+    }
+    Ok((Message::decode(payload)?, total))
+}
+
+/// Writes one framed message to `w`, returning the bytes written. A tree
+/// guard must never be live across this call (the `hold-across-sync`
+/// analyzer rule lists it): a slow peer would stall every reader of the
+/// shard for the duration of the socket write.
+pub fn write_frame<W: Write>(w: &mut W, message: &Message) -> NetResult<usize> {
+    let frame = encode_frame(message);
+    w.write_all(&frame)?;
+    Ok(frame.len())
+}
+
+/// Reads one framed message from `r`, returning the message and the bytes
+/// consumed. A clean EOF before the first header byte is
+/// [`NetError::Disconnected`] (the peer hung up between frames); EOF
+/// anywhere inside a frame is a truncation surfaced as [`NetError::Io`].
+pub fn read_frame<R: Read>(r: &mut R) -> NetResult<(Message, usize)> {
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    // Read the first byte separately so an idle peer's hangup (EOF at a
+    // frame boundary) is distinguishable from a frame cut short.
+    match r.read(&mut header[..1])? {
+        0 => return Err(NetError::Disconnected),
+        _ => r.read_exact(&mut header[1..])?,
+    }
+    let Ok(len_bytes) = <[u8; 4]>::try_from(&header[0..4]) else {
+        return Err(NetError::Malformed("frame header"));
+    };
+    let Ok(crc_bytes) = <[u8; 4]>::try_from(&header[4..8]) else {
+        return Err(NetError::Malformed("frame header"));
+    };
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > MAX_FRAME_PAYLOAD {
+        return Err(NetError::Oversized { len });
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    if sae_storage::wal::crc32(&payload) != u32::from_le_bytes(crc_bytes) {
+        return Err(NetError::CrcMismatch);
+    }
+    Ok((Message::decode(&payload)?, FRAME_HEADER_LEN + len))
+}
+
+/// Converts an engine-produced [`ShardSlice`] into its wire message,
+/// refusing slices that exceed the frame cap (the server turns that refusal
+/// into [`code::RESPONSE_TOO_LARGE`]).
+pub fn slice_to_message(slice: &ShardSlice, record_len: usize) -> Option<Message> {
+    let body = 2 + 12 + DIGEST_LEN + slice.records.iter().map(Vec::len).sum::<usize>();
+    if body > MAX_FRAME_PAYLOAD {
+        return None;
+    }
+    Some(Message::Slice {
+        shard: slice.shard as u32,
+        record_len: record_len as u32,
+        records: slice.records.clone(),
+        vt: slice.vt,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(m: Message) {
+        let frame = encode_frame(&m);
+        let (decoded, used) = decode_frame(&frame).expect("own frames decode");
+        assert_eq!(decoded, m);
+        assert_eq!(used, frame.len());
+        let mut cursor = std::io::Cursor::new(frame.clone());
+        let (read, used) = read_frame(&mut cursor).expect("own frames read");
+        assert_eq!(read, m);
+        assert_eq!(used, frame.len());
+    }
+
+    #[test]
+    fn catalog_round_trips() {
+        roundtrip(Message::Ping);
+        roundtrip(Message::Pong);
+        roundtrip(Message::Query {
+            shard: 3,
+            range: RangeQuery::new(17, 4_000_000),
+        });
+        roundtrip(Message::Error {
+            code: code::SHARD_NOT_SERVED,
+            version: WIRE_VERSION,
+            detail: "shard 9 not here".into(),
+        });
+        roundtrip(Message::Slice {
+            shard: 1,
+            record_len: 4,
+            records: vec![vec![1, 2, 3, 4], vec![5, 6, 7, 8]],
+            vt: Digest::new([7u8; DIGEST_LEN]),
+        });
+        roundtrip(Message::Slice {
+            shard: 0,
+            record_len: 0,
+            records: Vec::new(),
+            vt: Digest::ZERO,
+        });
+    }
+
+    #[test]
+    fn wrong_version_is_typed() {
+        let mut frame = encode_frame(&Message::Ping);
+        frame[FRAME_HEADER_LEN] = 9; // version byte
+                                     // Re-seal the CRC so only the version is wrong.
+        let crc = sae_storage::wal::crc32(&frame[FRAME_HEADER_LEN..]);
+        frame[4..8].copy_from_slice(&crc.to_le_bytes());
+        assert!(matches!(
+            decode_frame(&frame),
+            Err(NetError::WrongVersion { got: 9 })
+        ));
+    }
+
+    #[test]
+    fn oversized_claims_are_rejected_before_allocation() {
+        let mut frame = encode_frame(&Message::Ping);
+        frame[0..4].copy_from_slice(&(u32::MAX).to_le_bytes());
+        assert!(matches!(
+            decode_frame(&frame),
+            Err(NetError::Oversized { .. })
+        ));
+    }
+
+    #[test]
+    fn slice_count_must_match_body() {
+        let mut payload = vec![WIRE_VERSION, msg::SLICE];
+        payload.extend_from_slice(&1u32.to_le_bytes()); // shard
+        payload.extend_from_slice(&8u32.to_le_bytes()); // record_len
+        payload.extend_from_slice(&3u32.to_le_bytes()); // count: claims 24 bytes
+        payload.extend_from_slice(&[0u8; DIGEST_LEN]);
+        payload.extend_from_slice(&[0u8; 8]); // only one record present
+        assert!(matches!(
+            Message::decode(&payload),
+            Err(NetError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn disconnect_is_distinguished_from_truncation() {
+        let mut empty = std::io::Cursor::new(Vec::<u8>::new());
+        assert!(matches!(
+            read_frame(&mut empty),
+            Err(NetError::Disconnected)
+        ));
+        let frame = encode_frame(&Message::Ping);
+        let mut torn = std::io::Cursor::new(frame[..frame.len() - 1].to_vec());
+        assert!(matches!(read_frame(&mut torn), Err(NetError::Io(_))));
+    }
+}

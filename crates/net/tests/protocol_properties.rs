@@ -1,0 +1,125 @@
+//! Property-based tests for the wire frame codec.
+//!
+//! The promise `docs/protocol.md` makes — and the shard servers rely on to
+//! face untrusted peers — is exactly this: whatever bytes arrive, the
+//! decoder never panics and never silently accepts a damaged frame.
+//! Truncation at any byte, any single-bit flip, an oversized length claim
+//! and a foreign version byte each map to their own typed [`NetError`].
+
+use proptest::prelude::*;
+use sae_crypto::Digest;
+use sae_net::{decode_frame, encode_frame, Message, NetError, MAX_FRAME_PAYLOAD, WIRE_VERSION};
+use sae_storage::wal::crc32;
+use sae_workload::RangeQuery;
+
+fn arb_query() -> impl Strategy<Value = Message> {
+    (any::<u32>(), any::<u32>(), any::<u32>()).prop_map(|(shard, a, b)| Message::Query {
+        shard,
+        range: RangeQuery::new(a, b),
+    })
+}
+
+fn arb_slice() -> impl Strategy<Value = Message> {
+    (
+        any::<u32>(),
+        1usize..32,
+        prop::collection::vec(any::<u8>(), 0..6),
+        prop::array::uniform20(any::<u8>()),
+    )
+        .prop_map(|(shard, record_len, seeds, vt)| Message::Slice {
+            shard,
+            record_len: record_len as u32,
+            records: seeds.iter().map(|&seed| vec![seed; record_len]).collect(),
+            vt: Digest(vt),
+        })
+}
+
+fn arb_error() -> impl Strategy<Value = Message> {
+    (
+        any::<u16>(),
+        any::<u8>(),
+        prop::collection::vec(32u8..127, 0..24),
+    )
+        .prop_map(|(code, version, detail)| Message::Error {
+            code,
+            version,
+            detail: String::from_utf8_lossy(&detail).into_owned(),
+        })
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    (0u8..4, arb_query(), arb_slice(), arb_error()).prop_map(|(pick, q, s, e)| match pick {
+        0 => q,
+        1 => s,
+        2 => e,
+        _ => Message::Ping,
+    })
+}
+
+proptest! {
+    #[test]
+    fn every_catalog_message_round_trips(msg in arb_message()) {
+        let frame = encode_frame(&msg);
+        let decoded = decode_frame(&frame);
+        prop_assert!(decoded.is_ok());
+        let (decoded, consumed) = decoded.unwrap();
+        prop_assert_eq!(consumed, frame.len());
+        prop_assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn truncation_at_any_byte_is_typed_never_a_panic(msg in arb_message(), cut in any::<usize>()) {
+        let frame = encode_frame(&msg);
+        let cut = cut % frame.len(); // strictly shorter than the full frame
+        let truncated = matches!(decode_frame(&frame[..cut]), Err(NetError::Truncated { .. }));
+        prop_assert!(truncated);
+    }
+
+    #[test]
+    fn any_single_bit_flip_is_rejected(msg in arb_message(), at in any::<usize>(), bit in 0u8..8) {
+        let mut frame = encode_frame(&msg);
+        let at = at % frame.len();
+        frame[at] ^= 1 << bit;
+        // Depending on where the flip landed this is a CRC mismatch, a
+        // truncated or oversized length claim — but never an accepted frame
+        // and never a panic.
+        prop_assert!(decode_frame(&frame).is_err());
+    }
+
+    #[test]
+    fn oversized_length_claims_are_rejected_before_allocation(extra in 1usize..1_000_000, junk in any::<u32>()) {
+        let len = (MAX_FRAME_PAYLOAD + extra) as u32;
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&len.to_le_bytes());
+        frame.extend_from_slice(&junk.to_le_bytes());
+        let oversized = matches!(
+            decode_frame(&frame),
+            Err(NetError::Oversized { len: claimed }) if claimed == len as usize
+        );
+        prop_assert!(oversized);
+    }
+
+    #[test]
+    fn foreign_version_bytes_are_typed(msg in arb_message(), version in any::<u8>()) {
+        prop_assume!(version != WIRE_VERSION);
+        let mut frame = encode_frame(&msg);
+        // Rewrite the payload's version byte and re-seal the CRC so the
+        // *only* defect is the version — the check the decoder must make
+        // first.
+        frame[8] = version;
+        let crc = crc32(&frame[8..]).to_le_bytes();
+        frame[4..8].copy_from_slice(&crc);
+        let wrong_version = matches!(
+            decode_frame(&frame),
+            Err(NetError::WrongVersion { got }) if got == version
+        );
+        prop_assert!(wrong_version);
+    }
+
+    #[test]
+    fn arbitrary_garbage_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        if let Ok((_, consumed)) = decode_frame(&bytes) {
+            prop_assert!(consumed <= bytes.len());
+        }
+    }
+}

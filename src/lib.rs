@@ -18,6 +18,9 @@
 //! * [`xbtree`] — the XB-Tree, the paper's contribution at the trusted entity.
 //! * [`core`] — the end-to-end SAE and TOM deployments (DO / SP / TE /
 //!   client), the malicious-SP model and per-query metrics.
+//! * [`net`] — the networked deployment: a framed TCP wire protocol,
+//!   thread-per-connection shard servers and a scatter-gather client that
+//!   verifies slices and tokens exactly as the in-process client.
 //!
 //! ## Quick start
 //!
@@ -45,6 +48,7 @@ pub use sae_btree as btree;
 pub use sae_core as core;
 pub use sae_crypto as crypto;
 pub use sae_mbtree as mbtree;
+pub use sae_net as net;
 pub use sae_storage as storage;
 pub use sae_workload as workload;
 pub use sae_xbtree as xbtree;
@@ -63,6 +67,10 @@ pub mod prelude {
         DIGEST_LEN,
     };
     pub use sae_mbtree::{MbTree, VerificationObject, VerifyError};
+    pub use sae_net::{
+        NetClient, NetClientConfig, NetError, NetQueryOutcome, ServerTamper, ShardServer,
+        ShardServerConfig,
+    };
     pub use sae_storage::{
         CostModel, FilePager, HeapFile, IoStats, MemPager, PageStore, SharedPageStore, PAGE_SIZE,
     };
