@@ -17,17 +17,17 @@
 
 use sae_bench::{
     print_ablation_memory, print_ablation_scan, print_ablation_updates, print_durability,
-    print_fig5, print_fig6, print_fig7, print_fig8, print_group_commit, print_net,
+    print_fig5, print_fig6, print_fig7, print_fig8, print_group_commit, print_net, print_replicas,
     print_sharded_throughput, print_throughput, print_wal, report_to_json, rows_to_json,
     run_ablation_memory, run_ablation_scan, run_ablation_updates, run_comparison, run_durability,
-    run_group_commit, run_net, run_sharded_throughput, run_throughput, run_wal, DurabilityConfig,
-    ExperimentConfig, GroupCommitConfig, NetConfig, ShardedThroughputConfig, ThroughputConfig,
-    WalConfig,
+    run_group_commit, run_net, run_replicas, run_sharded_throughput, run_throughput, run_wal,
+    DurabilityConfig, ExperimentConfig, GroupCommitConfig, NetConfig, ReplicasConfig,
+    ShardedThroughputConfig, ThroughputConfig, WalConfig,
 };
 
 const USAGE: &str = "usage: experiments \
      <fig5|fig6|fig7|fig8|all|ablation-scan|ablation-updates|ablation-memory|throughput\
-|sharded-throughput|durability|group-commit|wal|net> \
+|sharded-throughput|durability|group-commit|wal|net|replicas> \
      [--full-scale] [--smoke] [--zipf] [--json <path>]
 
 exit codes (shared convention with sae-analyzer):
@@ -62,7 +62,7 @@ impl Cli {
                 &["--full-scale", "--smoke"]
             }
             "throughput" => &["--smoke", "--zipf", "--json"],
-            "sharded-throughput" | "durability" | "group-commit" | "wal" | "net" => {
+            "sharded-throughput" | "durability" | "group-commit" | "wal" | "net" | "replicas" => {
                 &["--smoke", "--json"]
             }
             other => return Err(format!("unknown command `{other}`")),
@@ -326,6 +326,38 @@ fn run(cli: &Cli) -> Result<bool, String> {
             }
             rows.iter()
                 .all(|r| r.all_verified && r.tamper_detected && r.drop_detected)
+        }
+        "replicas" => {
+            let rp_config = if cli.smoke {
+                ReplicasConfig::smoke()
+            } else {
+                ReplicasConfig::default()
+            };
+            println!(
+                "replicas experiment — n={}, {} shards, replica counts {:?} (+1 byzantine \
+                 each), {} client threads x {} zipf queries of {}% extent, {} µs gated service \
+                 delay per replica; every slice re-verified, byzantine and stale-epoch replicas \
+                 routed around per row",
+                rp_config.cardinality,
+                rp_config.shards,
+                rp_config.replica_counts,
+                rp_config.threads,
+                rp_config.queries_per_thread,
+                rp_config.query_extent * 100.0,
+                rp_config.service_delay_micros
+            );
+            // Unique per process so concurrent or previously interrupted
+            // runs cannot collide on a shared path.
+            let dir = std::env::temp_dir().join(format!("sae-replicas-{}", std::process::id()));
+            std::fs::create_dir_all(&dir).expect("create temp dir");
+            let rows = run_replicas(&rp_config, &dir);
+            let _ = std::fs::remove_dir_all(&dir);
+            print_replicas(&rows);
+            if let Some(path) = &cli.json_path {
+                write_json(path, report_to_json(&rows))?;
+            }
+            rows.iter()
+                .all(|r| r.all_verified && r.byzantine_routed_around && r.stale_routed_around)
         }
         "ablation-scan" => {
             print_ablation_scan(&run_ablation_scan(&config));

@@ -6,7 +6,10 @@ use sae_core::{
 };
 use sae_crypto::signer::{Signer, Verifier};
 use sae_crypto::{HashAlgorithm, MacSigner, RsaSigner};
-use sae_net::{NetClient, ServerTamper, ShardServer, ShardServerConfig};
+use sae_net::{
+    NetClient, NetClientConfig, ReplicaServer, ReplicaServerConfig, ServerTamper, ShardServer,
+    ShardServerConfig, Topology,
+};
 use sae_storage::{CostModel, FilePager, MemPager, SharedPageStore};
 use sae_workload::{
     paper, Dataset, DatasetSpec, KeyDistribution, QueryMix, QueryWorkload, RangeQuery, Record,
@@ -1524,6 +1527,283 @@ pub fn run_net(config: &NetConfig) -> Vec<NetRow> {
     rows
 }
 
+/// Configuration of the E14 replica experiment.
+#[derive(Clone, Debug)]
+pub struct ReplicasConfig {
+    /// Dataset cardinality.
+    pub cardinality: usize,
+    /// Encoded record size in bytes.
+    pub record_size: usize,
+    /// Honest-replica counts to sweep (each deployment adds one more
+    /// byzantine replica on top).
+    pub replica_counts: Vec<usize>,
+    /// Shards in the durable primary (every replica serves all of them).
+    pub shards: usize,
+    /// Concurrent client threads, each owning its own `NetClient`.
+    pub threads: usize,
+    /// Range queries per client thread in the measured phase.
+    pub queries_per_thread: usize,
+    /// Query extent as a fraction of the key domain.
+    pub query_extent: f64,
+    /// Simulated per-query service time on every replica, serialized behind
+    /// a server-wide gate — what makes a single replica a saturation point
+    /// and lets added replicas scale the read path.
+    pub service_delay_micros: u64,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ReplicasConfig {
+    fn default() -> Self {
+        ReplicasConfig {
+            cardinality: 12_000,
+            record_size: paper::RECORD_SIZE,
+            replica_counts: vec![1, 2, 3],
+            shards: 2,
+            threads: 3,
+            queries_per_thread: 60,
+            query_extent: 0.01,
+            service_delay_micros: 5_000,
+            seed: 2014,
+        }
+    }
+}
+
+impl ReplicasConfig {
+    /// A fast configuration for smoke tests and the CI bench gate.
+    pub fn smoke() -> Self {
+        ReplicasConfig {
+            cardinality: 3_000,
+            queries_per_thread: 24,
+            ..Default::default()
+        }
+    }
+}
+
+/// One replica count's measurement of the E14 experiment.
+#[derive(Clone, Debug, Serialize)]
+pub struct ReplicaRow {
+    /// Honest replicas in the deployment.
+    pub replicas: usize,
+    /// Total replica endpoints in the topology (honest + 1 byzantine).
+    pub endpoints: usize,
+    /// Concurrent client threads.
+    pub threads: usize,
+    /// Range queries in the measured phase across all threads.
+    pub queries: u64,
+    /// Verified queries per second across all threads.
+    pub qps: f64,
+    /// Median end-to-end latency (scatter + gather + verify), ms.
+    pub p50_ms: f64,
+    /// 95th-percentile end-to-end latency, ms.
+    pub p95_ms: f64,
+    /// qps relative to the smallest replica count in the sweep.
+    pub speedup: f64,
+    /// Queries whose verdict was `Ok` — must equal `queries`.
+    pub verified: u64,
+    /// Every measured query verified despite the armed byzantine replica.
+    pub all_verified: bool,
+    /// Queries issued while the byzantine replica was armed (the whole
+    /// measured phase runs with it in the topology).
+    pub byzantine_queries: u64,
+    /// The byzantine replica was consulted at least once (failover legs
+    /// observed) and zero unverified responses were accepted.
+    pub byzantine_routed_around: bool,
+    /// The stale-epoch leg: a replica advertising epoch 0 was refused by
+    /// the freshness check and its sibling answered, every verdict `Ok`.
+    pub stale_routed_around: bool,
+    /// Failover legs across the measured phase (slow, erroring, stale or
+    /// byzantine sources all count).
+    pub failovers: u64,
+    /// Slices refused by the freshness check during the measured phase.
+    pub stale_refused: u64,
+}
+
+/// What one E14 client thread measured.
+struct ReplicaThreadOut {
+    latencies_ms: Vec<f64>,
+    verified: u64,
+    failovers: u64,
+    stale_refused: u64,
+}
+
+/// Experiment E14: trustless read replicas — verified qps versus replica
+/// count over loopback TCP. One durable primary feeds each deployment's
+/// replicas (snapshot bootstrap + WAL-tail sync); every deployment also
+/// carries one *byzantine* replica (doctored record bytes) that clients
+/// must detect, demote and route around with zero unverified responses.
+/// A final leg per row arms a stale-epoch replica (honest content, epoch
+/// claim below the client's verified high-water mark) and expects the
+/// freshness check to refuse it the same way.
+pub fn run_replicas(config: &ReplicasConfig, dir: &std::path::Path) -> Vec<ReplicaRow> {
+    let dataset = DatasetSpec {
+        cardinality: config.cardinality,
+        distribution: KeyDistribution::unf(),
+        record_size: config.record_size,
+        seed: config.seed,
+    }
+    .generate();
+    let domain = KeyDistribution::unf().domain();
+    let engine = Arc::new(
+        ShardedSaeEngine::create_dir(dir, &dataset, HashAlgorithm::Sha1, config.shards, None)
+            .expect("build durable primary"),
+    );
+    // The primary serves only replica sync — measured queries go to replicas.
+    let primary = ShardServer::spawn(
+        Arc::clone(&engine),
+        (0..config.shards).collect(),
+        "127.0.0.1:0",
+        ShardServerConfig::default(),
+    )
+    .expect("spawn primary server on loopback");
+
+    let replica_cfg = ReplicaServerConfig {
+        server: ShardServerConfig {
+            service_delay: std::time::Duration::from_micros(config.service_delay_micros),
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let client_cfg = NetClientConfig {
+        hedge_timeout: Some(std::time::Duration::from_millis(250)),
+        ..Default::default()
+    };
+
+    let mut rows: Vec<ReplicaRow> = Vec::new();
+    for &replicas in &config.replica_counts {
+        let spawn_replica = || {
+            ReplicaServer::spawn(
+                primary.local_addr().to_string(),
+                engine.layout().clone(),
+                HashAlgorithm::Sha1,
+                config.record_size,
+                (0..config.shards).collect(),
+                "127.0.0.1:0",
+                replica_cfg,
+            )
+            .expect("bootstrap replica from primary")
+        };
+        let honest: Vec<ReplicaServer> = (0..replicas).map(|_| spawn_replica()).collect();
+        let byzantine = spawn_replica();
+        byzantine.set_tamper(Some(ServerTamper::FlipRecordByte));
+        let endpoints: Vec<String> = honest
+            .iter()
+            .chain(std::iter::once(&byzantine))
+            .map(|r| r.local_addr().to_string())
+            .collect();
+        let topology = Topology::replicated(vec![endpoints; config.shards])
+            .expect("every shard has a replica group");
+
+        // Measured phase: every query runs with the byzantine replica armed
+        // and in rotation; verification must route around it every time.
+        let started = std::time::Instant::now();
+        let outs: Vec<ReplicaThreadOut> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..config.threads)
+                .map(|t| {
+                    let topology = topology.clone();
+                    let engine = &engine;
+                    scope.spawn(move || {
+                        let workload =
+                            QueryMix::zipf(domain, config.query_extent, paper::ZIPF_THETA)
+                                .workload(
+                                    config.queries_per_thread,
+                                    config.seed ^ 0xE14 ^ (t as u64).wrapping_mul(7_919),
+                                )
+                                .queries;
+                        let mut client =
+                            NetClient::for_engine_topology(engine, topology, client_cfg)
+                                .expect("topology covers the layout");
+                        let mut out = ReplicaThreadOut {
+                            latencies_ms: Vec::with_capacity(workload.len()),
+                            verified: 0,
+                            failovers: 0,
+                            stale_refused: 0,
+                        };
+                        for q in &workload {
+                            let outcome = client.query(q);
+                            out.verified += u64::from(outcome.verdict.is_ok());
+                            out.latencies_ms.push(outcome.elapsed_ms);
+                            out.failovers += outcome.failovers;
+                            out.stale_refused += outcome.stale_refused;
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("client thread"))
+                .collect()
+        });
+        let elapsed = started.elapsed().as_secs_f64();
+
+        let queries = (config.threads * config.queries_per_thread) as u64;
+        let verified: u64 = outs.iter().map(|o| o.verified).sum();
+        let failovers: u64 = outs.iter().map(|o| o.failovers).sum();
+        let stale_refused: u64 = outs.iter().map(|o| o.stale_refused).sum();
+        let mut latencies_ms: Vec<f64> = outs.into_iter().flat_map(|o| o.latencies_ms).collect();
+        latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("latency is finite"));
+        let all_verified = verified == queries;
+
+        // Stale-epoch leg: a fresh client first raises its verified
+        // high-water marks against honest replicas, then the extra replica
+        // starts advertising epoch 0 — honest bytes, stale claim. The
+        // freshness check must refuse it and the sibling answer, with every
+        // verdict still `Ok`.
+        byzantine.set_tamper(None);
+        let mut stale_client =
+            NetClient::for_engine_topology(&engine, topology.clone(), client_cfg)
+                .expect("topology covers the layout");
+        let full = RangeQuery::new(0, domain);
+        let mut stale_routed_around = stale_client.query(&full).verdict.is_ok();
+        byzantine.set_tamper(Some(ServerTamper::StaleEpoch));
+        let mut leg_refusals = 0u64;
+        for _ in 0..2 * (replicas + 1) + 2 {
+            let outcome = stale_client.query(&full);
+            stale_routed_around &= outcome.verdict.is_ok();
+            leg_refusals += outcome.stale_refused;
+        }
+        stale_routed_around &= leg_refusals > 0;
+
+        rows.push(ReplicaRow {
+            replicas,
+            endpoints: replicas + 1,
+            threads: config.threads,
+            queries,
+            qps: queries as f64 / elapsed.max(1e-9),
+            p50_ms: percentile(&latencies_ms, 0.50),
+            p95_ms: percentile(&latencies_ms, 0.95),
+            speedup: 1.0, // filled in once the sweep's baseline is known
+            verified,
+            all_verified,
+            byzantine_queries: queries,
+            byzantine_routed_around: all_verified && failovers > 0,
+            stale_routed_around,
+            failovers,
+            stale_refused,
+        });
+        for replica in honest {
+            replica.shutdown();
+        }
+        byzantine.shutdown();
+    }
+    primary.shutdown();
+
+    let baseline = rows
+        .iter()
+        .min_by_key(|r| r.replicas)
+        .map(|r| r.qps)
+        .unwrap_or(0.0);
+    for row in &mut rows {
+        row.speedup = if baseline > 0.0 {
+            row.qps / baseline
+        } else {
+            0.0
+        };
+    }
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1719,6 +1999,35 @@ mod tests {
             immediate.writes_per_sec
         );
         assert!((immediate.speedup_vs_immediate - 1.0).abs() < 1e-9);
+    }
+
+    /// Acceptance: read qps must scale > 1.5x from 1 to 3 replicas (each
+    /// replica's gated service delay is the saturation point the siblings
+    /// relieve), with the byzantine and stale-epoch replicas detected and
+    /// routed around on every row and zero unverified responses.
+    #[test]
+    fn replicas_scale_reads_and_route_around_byzantine_and_stale() {
+        let dir = tempfile::tempdir().unwrap();
+        let config = ReplicasConfig {
+            cardinality: 2_000,
+            replica_counts: vec![1, 3],
+            queries_per_thread: 16,
+            ..ReplicasConfig::smoke()
+        };
+        let rows = run_replicas(&config, dir.path());
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            assert!(row.all_verified, "{row:?}");
+            assert!(row.byzantine_routed_around, "{row:?}");
+            assert!(row.stale_routed_around, "{row:?}");
+            assert_eq!(row.byzantine_queries, row.queries);
+        }
+        let three = rows.iter().find(|r| r.replicas == 3).unwrap();
+        assert!(
+            three.speedup > 1.5,
+            "1→3 replica speedup {:.2} (rows {rows:?})",
+            three.speedup
+        );
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use crate::experiments::{
     AblationRow, ComparisonRow, DurabilityRow, GroupCommitRow, MemoryAblationRow, NetRow,
-    ShardedThroughputRow, ThroughputRow, UpdateRow, WalRow,
+    ReplicaRow, ShardedThroughputRow, ThroughputRow, UpdateRow, WalRow,
 };
 use serde::Serialize;
 
@@ -339,6 +339,51 @@ pub fn print_net(rows: &[NetRow]) {
                 "MISSED"
             },
             if r.drop_detected { "caught" } else { "MISSED" }
+        );
+    }
+}
+
+/// Prints the E14 replica table.
+pub fn print_replicas(rows: &[ReplicaRow]) {
+    header("Experiment E14 — trustless read replicas: verified qps vs replica count");
+    println!(
+        "  {:>8} {:>9} {:>7} {:>7} {:>10} {:>9} {:>9} {:>8} {:>9} {:>9} {:>9} {:>5}",
+        "replicas",
+        "endpoints",
+        "threads",
+        "queries",
+        "qps",
+        "p50 ms",
+        "p95 ms",
+        "speedup",
+        "verified",
+        "byzantine",
+        "failovers",
+        "stale"
+    );
+    for r in rows {
+        println!(
+            "  {:>8} {:>9} {:>7} {:>7} {:>10.0} {:>9.3} {:>9.3} {:>7.2}x {:>9} {:>9} {:>9} {:>5}",
+            r.replicas,
+            r.endpoints,
+            r.threads,
+            r.queries,
+            r.qps,
+            r.p50_ms,
+            r.p95_ms,
+            r.speedup,
+            if r.all_verified { "all" } else { "NO" },
+            if r.byzantine_routed_around {
+                "routed"
+            } else {
+                "MISSED"
+            },
+            r.failovers,
+            if r.stale_routed_around {
+                "routed"
+            } else {
+                "MISSED"
+            }
         );
     }
 }

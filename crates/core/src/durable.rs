@@ -1349,6 +1349,126 @@ impl Durability {
         Digest::new(meta.te_digest)
     }
 
+    /// Shard `i`'s last committed epoch (0 until the first commit).
+    pub(crate) fn epoch(&self, i: usize) -> u64 {
+        self.shard(i).state.lock().epoch
+    }
+
+    /// Exports an epoch-stamped snapshot of shard `i`: the replication
+    /// bootstrap a replica installs wholesale. **The caller must hold the
+    /// shard's tree locks (read suffices)** so the pages cannot change
+    /// underneath the export; the commit-state lock is taken here so no
+    /// commit interleaves either.
+    ///
+    /// The format is a [`crate::replica::SnapshotHeader`] prefix followed by
+    /// one synthetic WAL segment — `Seg`, `Begin`, the absolute after-image
+    /// of *every* page of both parties, the full heap page table, `Commit`
+    /// with the same [`ShardMeta`] a commit of the current state would
+    /// publish — so the replica replays it with the exact machinery
+    /// (`scan_log`) recovery uses, CRC-checked frame by frame.
+    ///
+    /// The stamped epoch is the last *committed* epoch: under
+    /// [`DurabilityPolicy::FlushOnClose`] the page images may already carry
+    /// unacknowledged in-memory mutations ahead of that stamp. The snapshot
+    /// is still self-consistent (images, heap table and meta are captured
+    /// under the same locks) — freshness is commit-granular, not
+    /// mutation-granular.
+    pub(crate) fn export_snapshot(
+        &self,
+        i: usize,
+        sp: &SaeServiceProvider,
+        te: &TrustedEntity,
+    ) -> StorageResult<Vec<u8>> {
+        let shard = self.shard(i);
+        let state = shard.state.lock();
+        let epoch = state.epoch;
+        let heap_pages = sp.heap().pages();
+        let meta = ShardMeta {
+            upper: shard.upper,
+            epoch,
+            sp_index: sp.index().meta(),
+            heap_record_count: sp.heap().record_count(),
+            heap_page_count: heap_pages.len() as u64,
+            heap_dir_head: state.heap_dir.head(),
+            te_tree: te.tree().meta(),
+            te_digest: *te.tree().total_xor()?.as_bytes(),
+        };
+        let mut records = Vec::new();
+        records.push(WalRecord::Seg { base_epoch: epoch });
+        records.push(WalRecord::Begin { epoch });
+        // Absolute images of every page, read through the caches so the
+        // content matches the trees being served (dirty pages included).
+        for (party, store) in [(Party::Sp, &shard.sp.store), (Party::Te, &shard.te.store)] {
+            for id in 0..store.page_count() {
+                let page_id = PageId(id);
+                records.push(WalRecord::PageImage {
+                    party,
+                    page_id,
+                    image: Box::new(store.read(page_id)?),
+                });
+            }
+        }
+        for (index, page_id) in heap_pages.iter().enumerate() {
+            records.push(WalRecord::HeapDirEntry {
+                index: index as u64,
+                page_id: *page_id,
+            });
+        }
+        records.push(WalRecord::Commit { meta });
+        let header = crate::replica::SnapshotHeader {
+            shard: i as u32,
+            record_len: self.record_size() as u32,
+            epoch,
+        };
+        let mut out = header.encode();
+        out.extend_from_slice(&sae_storage::encode_records(&records));
+        Ok(out)
+    }
+
+    /// Exports the WAL tail of shard `i` covering every commit after
+    /// `from_epoch`, re-framed as a standalone segment a replica replays
+    /// incrementally. [`StorageError::TailUnavailable`] when a checkpoint
+    /// has already rotated the needed commits away (the replica must fall
+    /// back to [`Durability::export_snapshot`]). Takes only the WAL lock —
+    /// safe to call with no tree locks held.
+    pub(crate) fn export_wal_tail(&self, i: usize, from_epoch: u64) -> StorageResult<Vec<u8>> {
+        let shard = self.shard(i);
+        let image = shard.wal.segment_image()?;
+        let (seg, txs) = scan_log(&image);
+        let Some(seg) = seg else {
+            return Err(StorageError::Corrupted(format!(
+                "shard {i}: wal segment unreadable while exporting a tail"
+            )));
+        };
+        if seg.base_epoch > from_epoch {
+            return Err(StorageError::TailUnavailable {
+                base_epoch: seg.base_epoch,
+                from_epoch,
+            });
+        }
+        let mut records = vec![WalRecord::Seg {
+            base_epoch: from_epoch,
+        }];
+        for tx in txs {
+            if tx.epoch <= from_epoch {
+                continue;
+            }
+            records.push(WalRecord::Begin { epoch: tx.epoch });
+            for (party, page_id, image) in tx.pages {
+                records.push(WalRecord::PageImage {
+                    party,
+                    page_id,
+                    image: Box::new(image),
+                });
+            }
+            for (index, page_id) in tx.heap_entries {
+                records.push(WalRecord::HeapDirEntry { index, page_id });
+            }
+            records.push(WalRecord::Commit { meta: tx.meta });
+        }
+        Ok(sae_storage::encode_records(&records))
+    }
+
     /// Best-effort log barrier, swallowing errors — what `Drop` runs. Each
     /// swallowed failure is *recorded* on the shard's SP stats
     /// ([`sae_storage::IoStats::swallowed_sync_errors`]) so tests and

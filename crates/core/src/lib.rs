@@ -48,6 +48,7 @@
 pub mod durable;
 pub mod engine;
 pub mod metrics;
+pub mod replica;
 pub mod sae;
 pub mod sharded;
 pub mod tamper;
@@ -59,6 +60,7 @@ pub use engine::{
     ThroughputReport, TomEngine, UpdateService,
 };
 pub use metrics::{LatencySummary, QueryMetrics, StorageBreakdown};
+pub use replica::{ReplicaSet, SnapshotHeader, SNAPSHOT_HEADER_LEN, SNAPSHOT_MAGIC};
 pub use sae::{SaeClient, SaeQueryOutcome, SaeSystem, SaeVerifyError, TrustedEntity};
 pub use sharded::{
     verify_slices, ShardLayout, ShardSlice, ShardedQueryOutcome, ShardedSaeEngine,

@@ -1,0 +1,723 @@
+//! The replica side of trustless read replication.
+//!
+//! A [`ReplicaSet`] holds an independent, in-memory copy of each shard it
+//! serves, bootstrapped from a primary's epoch-stamped snapshot
+//! ([`crate::sharded::ShardedSaeEngine::export_shard_snapshot`]) and caught
+//! up by replaying WAL tails
+//! ([`crate::sharded::ShardedSaeEngine::export_wal_tail`]) — the same
+//! CRC-framed transaction format, applied with the same committed-prefix
+//! discipline, as crash recovery uses.
+//!
+//! ## Trust model
+//!
+//! The replica does **not** trust what it syncs. Every frame is CRC-checked
+//! by [`sae_storage::scan_log`]; a snapshot or tail must decode as exactly
+//! the committed transactions it claims; and reopening the trusted entity
+//! recomputes the XB-Tree's total XOR and compares it against the digest the
+//! `Commit` record published — a corrupted or truncated transfer fails
+//! installation instead of producing a servable-but-wrong copy. (A *lying
+//! primary* can of course publish a self-consistent wrong digest — replicas
+//! are as untrusted as primaries, which is the point: the end client's
+//! `verify_slices` against the owner-published token is the only real
+//! authority. The checks here exist so an honest replica never serves
+//! garbage it would fail verification with.)
+//!
+//! ## Epoch discipline
+//!
+//! Installed state only moves forward: a snapshot below the currently
+//! served epoch is refused, and a tail replays strictly epoch-by-epoch from
+//! the served state. A failed tail application leaves the shard *unsynced*
+//! (it refuses queries with a typed error) rather than half-applied.
+
+use crate::durable::Durability;
+use crate::sae::{SaeServiceProvider, TrustedEntity};
+use crate::sharded::{ShardLayout, ShardSlice};
+use parking_lot::RwLock;
+use sae_crypto::HashAlgorithm;
+use sae_storage::{
+    scan_log, MemPager, PageId, PageStore, ShardMeta, SharedPageStore, StorageError, StorageResult,
+    WalTx,
+};
+use sae_workload::RangeQuery;
+use std::sync::Arc;
+
+/// Magic prefix of a shard snapshot (version folded into the last byte).
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"SAESNAP1";
+
+/// Byte length of the fixed snapshot header.
+pub const SNAPSHOT_HEADER_LEN: usize = 24;
+
+/// The fixed prefix of an exported shard snapshot: identity and epoch,
+/// cross-checked against the requesting replica's own published parameters
+/// before a single frame is replayed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SnapshotHeader {
+    /// The shard the snapshot captures.
+    pub shard: u32,
+    /// The deployment's fixed record length.
+    pub record_len: u32,
+    /// The commit epoch the snapshot is stamped with.
+    pub epoch: u64,
+}
+
+impl SnapshotHeader {
+    /// Encodes the 24-byte header: magic, shard, record length, epoch, all
+    /// little-endian.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(SNAPSHOT_HEADER_LEN);
+        out.extend_from_slice(&SNAPSHOT_MAGIC);
+        out.extend_from_slice(&self.shard.to_le_bytes());
+        out.extend_from_slice(&self.record_len.to_le_bytes());
+        out.extend_from_slice(&self.epoch.to_le_bytes());
+        out
+    }
+
+    /// Parses the header off the front of a snapshot, rejecting a short
+    /// prefix or a foreign magic.
+    pub fn parse(bytes: &[u8]) -> StorageResult<SnapshotHeader> {
+        let Some(header) = bytes.get(..SNAPSHOT_HEADER_LEN) else {
+            return Err(StorageError::Corrupted(format!(
+                "snapshot shorter than its {SNAPSHOT_HEADER_LEN}-byte header"
+            )));
+        };
+        if header.get(..8) != Some(&SNAPSHOT_MAGIC[..]) {
+            return Err(StorageError::Corrupted(
+                "snapshot does not start with the SAESNAP1 magic".into(),
+            ));
+        }
+        let read_u32 = |at: usize| -> u32 {
+            let mut buf = [0u8; 4];
+            buf.copy_from_slice(&header[at..at + 4]);
+            u32::from_le_bytes(buf)
+        };
+        let mut buf = [0u8; 8];
+        buf.copy_from_slice(&header[16..24]);
+        Ok(SnapshotHeader {
+            shard: read_u32(8),
+            record_len: read_u32(12),
+            epoch: u64::from_le_bytes(buf),
+        })
+    }
+}
+
+/// One installed shard copy: both parties' trees over private in-memory
+/// stores, plus the meta they were opened from.
+struct ReplicaState {
+    sp: SaeServiceProvider,
+    te: TrustedEntity,
+    sp_store: SharedPageStore,
+    te_store: SharedPageStore,
+    meta: ShardMeta,
+}
+
+/// One shard slot of a replica. `None` until a snapshot installs — and again
+/// after a failed tail application, so a half-applied copy is never served.
+struct ReplicaShard {
+    slot: RwLock<Option<ReplicaState>>,
+}
+
+/// A verified read replica of (a subset of) a sharded deployment: installs
+/// snapshots, replays WAL tails, and answers shard slices from its own copy.
+/// See the module docs for the trust model.
+pub struct ReplicaSet {
+    layout: ShardLayout,
+    alg: HashAlgorithm,
+    record_len: usize,
+    shards: Vec<ReplicaShard>,
+}
+
+/// Extends an in-memory store until `id` is a valid page — replayed images
+/// may target pages past the current count, exactly as in crash recovery.
+fn ensure_page(store: &dyn PageStore, id: PageId) -> StorageResult<()> {
+    while store.page_count() <= id.0 {
+        store.allocate()?;
+    }
+    Ok(())
+}
+
+/// Applies one committed transaction's page images and heap page-table
+/// entries onto a replica's stores, with the same append-only cross-checks
+/// recovery enforces.
+fn apply_tx_images(
+    sp_store: &dyn PageStore,
+    te_store: &dyn PageStore,
+    heap_pages: &mut Vec<PageId>,
+    tx: &WalTx,
+) -> StorageResult<()> {
+    for (party, page_id, image) in &tx.pages {
+        let store = match party {
+            sae_storage::Party::Sp => sp_store,
+            sae_storage::Party::Te => te_store,
+        };
+        ensure_page(store, *page_id)?;
+        store.write(*page_id, image)?;
+    }
+    for (index, page_id) in &tx.heap_entries {
+        let at = *index as usize;
+        if at == heap_pages.len() {
+            heap_pages.push(*page_id);
+        } else {
+            match heap_pages.get(at) {
+                Some(got) if got == page_id => {}
+                got => {
+                    return Err(StorageError::Corrupted(format!(
+                        "replicated tx places heap page {} at index {index} but the replica's \
+                         page table has {:?} there",
+                        page_id.0, got
+                    )));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+impl ReplicaSet {
+    /// An empty replica of a deployment with the published `layout`, hash
+    /// algorithm and record length. Every shard starts unsynced.
+    pub fn new(layout: ShardLayout, alg: HashAlgorithm, record_len: usize) -> ReplicaSet {
+        let shards = (0..layout.shard_count())
+            .map(|_| ReplicaShard {
+                slot: RwLock::new(None),
+            })
+            .collect();
+        ReplicaSet {
+            layout,
+            alg,
+            record_len,
+            shards,
+        }
+    }
+
+    /// The published layout the replica mirrors.
+    pub fn layout(&self) -> &ShardLayout {
+        &self.layout
+    }
+
+    /// The deployment's fixed record length.
+    pub fn record_len(&self) -> usize {
+        self.record_len
+    }
+
+    /// The epoch shard `shard` currently serves, or `None` when unsynced.
+    pub fn epoch(&self, shard: usize) -> Option<u64> {
+        let s = self.shards.get(shard)?;
+        s.slot.read().as_ref().map(|state| state.meta.epoch)
+    }
+
+    fn shard_slot(&self, shard: usize) -> StorageResult<&ReplicaShard> {
+        self.shards.get(shard).ok_or_else(|| {
+            StorageError::Corrupted(format!(
+                "shard {shard} does not exist in a {}-shard layout",
+                self.shards.len()
+            ))
+        })
+    }
+
+    /// Installs a full snapshot into shard `shard`, replacing whatever was
+    /// served before. The new copy is built completely — every frame
+    /// CRC-checked, the heap table cross-checked, the TE digest recomputed —
+    /// before the serving slot is swapped, so a failed installation leaves
+    /// the previous state (or the unsynced state) untouched. Refuses an
+    /// epoch *regression* (a snapshot older than what is already served);
+    /// re-installing the same epoch is idempotent. Returns the installed
+    /// epoch.
+    pub fn install_snapshot(&self, shard: usize, bytes: &[u8]) -> StorageResult<u64> {
+        let slot = &self.shard_slot(shard)?.slot;
+        let header = SnapshotHeader::parse(bytes)?;
+        if header.shard != shard as u32 {
+            return Err(StorageError::Corrupted(format!(
+                "snapshot is for shard {} but was installed into shard {shard}",
+                header.shard
+            )));
+        }
+        if header.record_len != self.record_len as u32 {
+            return Err(StorageError::Corrupted(format!(
+                "snapshot record length {} disagrees with the published {}",
+                header.record_len, self.record_len
+            )));
+        }
+        let frames = bytes.get(SNAPSHOT_HEADER_LEN..).unwrap_or(&[]);
+        let (seg, txs) = scan_log(frames);
+        let Some(seg) = seg else {
+            return Err(StorageError::Corrupted(
+                "snapshot body does not open with a valid segment frame".into(),
+            ));
+        };
+        if seg.base_epoch != header.epoch {
+            return Err(StorageError::Corrupted(format!(
+                "snapshot header claims epoch {} but its segment starts at {}",
+                header.epoch, seg.base_epoch
+            )));
+        }
+        let [tx] = txs.as_slice() else {
+            return Err(StorageError::Corrupted(format!(
+                "snapshot must carry exactly one committed transaction, found {} — truncated \
+                 or corrupted in transit",
+                txs.len()
+            )));
+        };
+        if tx.epoch != header.epoch {
+            return Err(StorageError::Corrupted(format!(
+                "snapshot header claims epoch {} but its transaction commits epoch {}",
+                header.epoch, tx.epoch
+            )));
+        }
+        if tx.meta.upper != self.layout.range(shard).upper {
+            return Err(StorageError::Corrupted(format!(
+                "snapshot commits shard bound {} but the published layout says {}",
+                tx.meta.upper,
+                self.layout.range(shard).upper
+            )));
+        }
+        // Pre-check the regression *before* the expensive build, and again
+        // under the write lock before the swap (a sibling sync thread may
+        // have installed something newer meanwhile).
+        if let Some(current) = slot.read().as_ref().map(|s| s.meta.epoch) {
+            if header.epoch < current {
+                return Err(StorageError::Corrupted(format!(
+                    "snapshot at epoch {} regresses below the served epoch {current}",
+                    header.epoch
+                )));
+            }
+        }
+        let state = Self::build_state(self.alg, self.record_len, tx)?;
+        let mut guard = slot.write();
+        if let Some(current) = guard.as_ref().map(|s| s.meta.epoch) {
+            if header.epoch < current {
+                return Err(StorageError::Corrupted(format!(
+                    "snapshot at epoch {} regresses below the served epoch {current}",
+                    header.epoch
+                )));
+            }
+        }
+        *guard = Some(state);
+        Ok(header.epoch)
+    }
+
+    /// Builds a complete serving state from a snapshot's single transaction:
+    /// fresh in-memory stores, replayed images, reconstructed heap table,
+    /// and both trees reopened — which is where the TE digest is verified.
+    fn build_state(
+        alg: HashAlgorithm,
+        record_len: usize,
+        tx: &WalTx,
+    ) -> StorageResult<ReplicaState> {
+        let sp_store: SharedPageStore = Arc::new(MemPager::new());
+        let te_store: SharedPageStore = Arc::new(MemPager::new());
+        let mut heap_pages: Vec<PageId> = Vec::new();
+        apply_tx_images(sp_store.as_ref(), te_store.as_ref(), &mut heap_pages, tx)?;
+        if heap_pages.len() as u64 != tx.meta.heap_page_count {
+            return Err(StorageError::Corrupted(format!(
+                "snapshot carries {} heap page-table entries but its meta claims {}",
+                heap_pages.len(),
+                tx.meta.heap_page_count
+            )));
+        }
+        let sp = SaeServiceProvider::open(
+            Arc::clone(&sp_store),
+            record_len,
+            tx.meta.heap_record_count,
+            heap_pages,
+            tx.meta.sp_index,
+        )?;
+        let te = TrustedEntity::open(
+            Arc::clone(&te_store),
+            tx.meta.te_tree,
+            alg,
+            Durability::digest_of(&tx.meta),
+        )?;
+        Ok(ReplicaState {
+            sp,
+            te,
+            sp_store,
+            te_store,
+            meta: tx.meta.clone(),
+        })
+    }
+
+    /// Replays a WAL tail onto shard `shard`'s installed copy, advancing it
+    /// commit by commit. The tail must come from
+    /// [`crate::sharded::ShardedSaeEngine::export_wal_tail`] (or be the
+    /// equivalent committed-prefix encoding): commits at or below the served
+    /// epoch are skipped as already applied, and the remainder must step by
+    /// at most one epoch at a time from the served state. On *any* failure
+    /// mid-application the shard is left unsynced — it refuses queries
+    /// rather than serving a half-applied copy — and must be re-seeded by a
+    /// snapshot. Returns the served epoch after application.
+    pub fn apply_wal_tail(&self, shard: usize, bytes: &[u8]) -> StorageResult<u64> {
+        let slot = &self.shard_slot(shard)?.slot;
+        let (seg, txs) = scan_log(bytes);
+        if seg.is_none() {
+            return Err(StorageError::Corrupted(
+                "wal tail does not open with a valid segment frame".into(),
+            ));
+        }
+        let mut guard = slot.write();
+        let Some(state) = guard.take() else {
+            return Err(StorageError::Corrupted(
+                "wal tail applied to an unsynced replica shard — install a snapshot first".into(),
+            ));
+        };
+        let current = state.meta.epoch;
+        // Validate the whole tail against the served epoch before touching
+        // any page, so a non-applicable tail leaves the copy served as-is.
+        let applicable: Vec<&WalTx> = txs.iter().filter(|tx| tx.epoch > current).collect();
+        let mut last = current;
+        let mut valid = Ok(());
+        for tx in &applicable {
+            if tx.epoch > last + 1 {
+                valid = Err(StorageError::TailUnavailable {
+                    base_epoch: tx.epoch,
+                    from_epoch: last,
+                });
+                break;
+            }
+            if tx.meta.upper != state.meta.upper {
+                valid = Err(StorageError::Corrupted(format!(
+                    "wal tail commits shard bound {} but the replica serves bound {}",
+                    tx.meta.upper, state.meta.upper
+                )));
+                break;
+            }
+            last = tx.epoch;
+        }
+        if let Err(e) = valid {
+            *guard = Some(state);
+            return Err(e);
+        }
+        if applicable.is_empty() {
+            *guard = Some(state);
+            return Ok(current);
+        }
+        // The serving SP already holds the exact heap page table the copy
+        // was opened with; incoming entries extend it.
+        let mut heap_pages: Vec<PageId> = state.sp.heap().pages().to_vec();
+        // Destructure so the stores survive the tree handles being rebuilt.
+        let ReplicaState {
+            sp,
+            te,
+            sp_store,
+            te_store,
+            meta,
+        } = state;
+        drop(sp);
+        drop(te);
+        let rebuilt = (|| -> StorageResult<ReplicaState> {
+            let mut new_meta = meta.clone();
+            for tx in &applicable {
+                apply_tx_images(sp_store.as_ref(), te_store.as_ref(), &mut heap_pages, tx)?;
+                new_meta = tx.meta.clone();
+            }
+            if heap_pages.len() as u64 != new_meta.heap_page_count {
+                return Err(StorageError::Corrupted(format!(
+                    "replayed tail leaves {} heap pages but the final meta claims {}",
+                    heap_pages.len(),
+                    new_meta.heap_page_count
+                )));
+            }
+            let sp = SaeServiceProvider::open(
+                Arc::clone(&sp_store),
+                self.record_len,
+                new_meta.heap_record_count,
+                heap_pages.clone(),
+                new_meta.sp_index,
+            )?;
+            let te = TrustedEntity::open(
+                Arc::clone(&te_store),
+                new_meta.te_tree,
+                self.alg,
+                Durability::digest_of(&new_meta),
+            )?;
+            Ok(ReplicaState {
+                sp,
+                te,
+                sp_store: Arc::clone(&sp_store),
+                te_store: Arc::clone(&te_store),
+                meta: new_meta,
+            })
+        })();
+        match rebuilt {
+            Ok(state) => {
+                let epoch = state.meta.epoch;
+                *guard = Some(state);
+                Ok(epoch)
+            }
+            // The slot stays `None`: a half-applied copy is never served.
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Answers shard `shard`'s clamped sub-query from the replica's copy:
+    /// the records plus the replica TE's token, and the epoch the copy
+    /// serves. `Ok(None)` when the shard is unsynced (a server maps that to
+    /// a typed NOT_SYNCED refusal).
+    pub fn replica_slice(
+        &self,
+        shard: usize,
+        sub: &RangeQuery,
+    ) -> StorageResult<Option<(ShardSlice, u64)>> {
+        let slot = &self.shard_slot(shard)?.slot;
+        let guard = slot.read();
+        let Some(state) = guard.as_ref() else {
+            return Ok(None);
+        };
+        let records = state.sp.query(sub)?;
+        let vt = state.te.generate_vt(sub)?;
+        Ok(Some((ShardSlice { shard, records, vt }, state.meta.epoch)))
+    }
+}
+
+impl std::fmt::Debug for ReplicaSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let epochs: Vec<Option<u64>> = (0..self.shards.len()).map(|i| self.epoch(i)).collect();
+        f.debug_struct("ReplicaSet")
+            .field("shards", &self.shards.len())
+            .field("record_len", &self.record_len)
+            .field("epochs", &epochs)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sharded::ShardedSaeEngine;
+    use sae_crypto::HashAlgorithm;
+    use sae_workload::{Dataset, DatasetSpec, KeyDistribution, Record, RecordKey};
+
+    const DOMAIN: RecordKey = 50_000;
+    const RECORD_SIZE: usize = 96;
+
+    fn dataset(n: usize) -> Dataset {
+        DatasetSpec {
+            cardinality: n,
+            distribution: KeyDistribution::Uniform { domain: DOMAIN },
+            record_size: RECORD_SIZE,
+            seed: 77,
+        }
+        .generate()
+    }
+
+    fn durable_engine(dir: &std::path::Path, shards: usize) -> ShardedSaeEngine {
+        ShardedSaeEngine::create_dir(dir, &dataset(600), HashAlgorithm::Sha1, shards, None).unwrap()
+    }
+
+    fn replica_of(engine: &ShardedSaeEngine) -> ReplicaSet {
+        ReplicaSet::new(
+            engine.layout().clone(),
+            engine.client().algorithm(),
+            RECORD_SIZE,
+        )
+    }
+
+    fn sync_all(engine: &ShardedSaeEngine, replica: &ReplicaSet) {
+        for shard in 0..engine.shard_count() {
+            let snap = engine.export_shard_snapshot(shard).unwrap();
+            replica.install_snapshot(shard, &snap).unwrap();
+        }
+    }
+
+    fn assert_slices_match(engine: &ShardedSaeEngine, replica: &ReplicaSet) {
+        for shard in 0..engine.shard_count() {
+            let sub = engine.layout().range(shard);
+            let primary = engine.shard_slice(shard, &sub).unwrap();
+            let (copy, epoch) = replica.replica_slice(shard, &sub).unwrap().unwrap();
+            assert_eq!(copy.records, primary.records, "shard {shard}");
+            assert_eq!(copy.vt, primary.vt, "shard {shard}");
+            assert_eq!(epoch, engine.shard_epoch(shard), "shard {shard}");
+        }
+    }
+
+    #[test]
+    fn installed_snapshots_serve_identical_slices() {
+        let dir = tempfile::tempdir().unwrap();
+        let engine = durable_engine(dir.path(), 2);
+        let replica = replica_of(&engine);
+        assert_eq!(replica.epoch(0), None);
+        assert!(replica
+            .replica_slice(0, &engine.layout().range(0))
+            .unwrap()
+            .is_none());
+        sync_all(&engine, &replica);
+        assert_slices_match(&engine, &replica);
+    }
+
+    #[test]
+    fn wal_tails_advance_a_stale_replica() {
+        let dir = tempfile::tempdir().unwrap();
+        let engine = durable_engine(dir.path(), 2);
+        let replica = replica_of(&engine);
+        sync_all(&engine, &replica);
+        // Advance the primary; the replica is now stale.
+        for i in 0..6u64 {
+            let key = (i * 7_001 % DOMAIN as u64) as RecordKey;
+            engine
+                .insert(&Record::with_size(900_000 + i, key, RECORD_SIZE))
+                .unwrap();
+        }
+        for shard in 0..engine.shard_count() {
+            let from = replica.epoch(shard).unwrap();
+            let tail = engine.export_wal_tail(shard, from).unwrap();
+            let got = replica.apply_wal_tail(shard, &tail).unwrap();
+            assert_eq!(got, engine.shard_epoch(shard), "shard {shard}");
+            // Replaying the same tail is idempotent: everything is skipped.
+            let again = replica.apply_wal_tail(shard, &tail).unwrap();
+            assert_eq!(again, got, "shard {shard}");
+        }
+        assert_slices_match(&engine, &replica);
+    }
+
+    #[test]
+    fn epoch_regressions_are_refused() {
+        let dir = tempfile::tempdir().unwrap();
+        let engine = durable_engine(dir.path(), 1);
+        let stale = engine.export_shard_snapshot(0).unwrap();
+        engine
+            .insert(&Record::with_size(900_001, 123, RECORD_SIZE))
+            .unwrap();
+        let fresh = engine.export_shard_snapshot(0).unwrap();
+        let replica = replica_of(&engine);
+        let epoch = replica.install_snapshot(0, &fresh).unwrap();
+        let err = replica.install_snapshot(0, &stale).unwrap_err();
+        assert!(err.to_string().contains("regresses"), "{err}");
+        assert_eq!(replica.epoch(0), Some(epoch));
+        // Same-epoch reinstallation is idempotent, not a regression.
+        assert_eq!(replica.install_snapshot(0, &fresh).unwrap(), epoch);
+    }
+
+    #[test]
+    fn tails_with_an_epoch_gap_demand_a_snapshot() {
+        let dir = tempfile::tempdir().unwrap();
+        let engine = durable_engine(dir.path(), 1);
+        let replica = replica_of(&engine);
+        sync_all(&engine, &replica);
+        let installed = replica.epoch(0).unwrap();
+        for i in 0..3u64 {
+            engine
+                .insert(&Record::with_size(
+                    910_000 + i,
+                    (100 + i) as RecordKey,
+                    RECORD_SIZE,
+                ))
+                .unwrap();
+        }
+        // A tail starting past the replica's epoch skips commits it never saw.
+        let gapped = engine.export_wal_tail(0, installed + 1).unwrap();
+        let err = replica.apply_wal_tail(0, &gapped).unwrap_err();
+        assert!(matches!(err, StorageError::TailUnavailable { .. }), "{err}");
+        // The refusal left the installed copy serving, untouched.
+        assert_eq!(replica.epoch(0), Some(installed));
+        let full = engine.export_wal_tail(0, installed).unwrap();
+        replica.apply_wal_tail(0, &full).unwrap();
+        assert_slices_match(&engine, &replica);
+    }
+
+    #[test]
+    fn corrupted_snapshots_never_install() {
+        let dir = tempfile::tempdir().unwrap();
+        let engine = durable_engine(dir.path(), 1);
+        let snap = engine.export_shard_snapshot(0).unwrap();
+        let replica = replica_of(&engine);
+        // Flip one byte somewhere in the framed body: either the CRC kills
+        // the frame (transaction count changes) or the rebuilt TE digest
+        // disagrees — both must refuse installation.
+        let mut bad = snap.clone();
+        let at = SNAPSHOT_HEADER_LEN + bad.len() / 2;
+        bad[at] ^= 0x40;
+        assert!(replica.install_snapshot(0, &bad).is_err());
+        assert_eq!(replica.epoch(0), None);
+        // Truncation mid-body loses the commit frame.
+        let cut = &snap[..snap.len() - 9];
+        assert!(replica.install_snapshot(0, cut).is_err());
+        assert_eq!(replica.epoch(0), None);
+        // Wrong-shard and wrong-record-length headers are refused outright.
+        let err = replica.install_snapshot(1, &snap).unwrap_err();
+        assert!(err.to_string().contains("does not exist"), "{err}");
+        let other = ReplicaSet::new(engine.layout().clone(), HashAlgorithm::Sha1, 128);
+        let err = other.install_snapshot(0, &snap).unwrap_err();
+        assert!(err.to_string().contains("record length"), "{err}");
+    }
+
+    #[test]
+    fn unsynced_shards_refuse_tails_and_queries() {
+        let dir = tempfile::tempdir().unwrap();
+        let engine = durable_engine(dir.path(), 1);
+        let replica = replica_of(&engine);
+        let tail = engine.export_wal_tail(0, engine.shard_epoch(0)).unwrap();
+        let err = replica.apply_wal_tail(0, &tail).unwrap_err();
+        assert!(err.to_string().contains("unsynced"), "{err}");
+        assert!(replica
+            .replica_slice(0, &engine.layout().range(0))
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn snapshot_headers_round_trip_and_reject_noise() {
+        let h = SnapshotHeader {
+            shard: 3,
+            record_len: 500,
+            epoch: 42,
+        };
+        let bytes = h.encode();
+        assert_eq!(bytes.len(), SNAPSHOT_HEADER_LEN);
+        assert_eq!(SnapshotHeader::parse(&bytes).unwrap(), h);
+        assert!(SnapshotHeader::parse(&bytes[..10]).is_err());
+        let mut bad = bytes.clone();
+        bad[0] ^= 1;
+        assert!(SnapshotHeader::parse(&bad).is_err());
+    }
+
+    #[test]
+    fn a_failed_tail_leaves_the_shard_unsynced() {
+        let dir = tempfile::tempdir().unwrap();
+        let engine = durable_engine(dir.path(), 1);
+        let replica = replica_of(&engine);
+        sync_all(&engine, &replica);
+        engine
+            .insert(&Record::with_size(920_000, 4_321, RECORD_SIZE))
+            .unwrap();
+        let from = replica.epoch(0).unwrap();
+        let tail = engine.export_wal_tail(0, from).unwrap();
+        // Corrupt a page image late in the tail: validation (which only
+        // reads epochs and bounds) passes, application rebuilds a TE whose
+        // recomputed digest disagrees with the committed one.
+        let (seg, txs) = scan_log(&tail);
+        assert!(seg.is_some());
+        assert_eq!(txs.len(), 1);
+        let mut records = vec![sae_storage::WalRecord::Seg { base_epoch: from }];
+        let tx = &txs[0];
+        records.push(sae_storage::WalRecord::Begin { epoch: tx.epoch });
+        for (party, page_id, image) in &tx.pages {
+            let mut image = image.clone();
+            image.as_mut_slice()[17] ^= 0x10;
+            records.push(sae_storage::WalRecord::PageImage {
+                party: *party,
+                page_id: *page_id,
+                image: Box::new(image),
+            });
+        }
+        for (index, page_id) in &tx.heap_entries {
+            records.push(sae_storage::WalRecord::HeapDirEntry {
+                index: *index,
+                page_id: *page_id,
+            });
+        }
+        records.push(sae_storage::WalRecord::Commit {
+            meta: tx.meta.clone(),
+        });
+        let poisoned = sae_storage::encode_records(&records);
+        assert!(replica.apply_wal_tail(0, &poisoned).is_err());
+        // Half-applied state must never serve: the slot is unsynced now.
+        assert_eq!(replica.epoch(0), None);
+        assert!(replica
+            .replica_slice(0, &engine.layout().range(0))
+            .unwrap()
+            .is_none());
+        // A fresh snapshot re-seeds it.
+        let snap = engine.export_shard_snapshot(0).unwrap();
+        replica.install_snapshot(0, &snap).unwrap();
+        assert_slices_match(&engine, &replica);
+    }
+}

@@ -766,6 +766,57 @@ impl ShardedSaeEngine {
         Ok(ShardSlice { shard, records, vt })
     }
 
+    /// Shard `shard`'s last committed epoch — what a serving endpoint
+    /// advertises on its slices. 0 for in-memory engines (which have no
+    /// commit pipeline) and for durable shards that never committed.
+    pub fn shard_epoch(&self, shard: usize) -> u64 {
+        match &self.durability {
+            Some(d) if shard < self.shards.len() => d.epoch(shard),
+            _ => 0,
+        }
+    }
+
+    /// Exports an epoch-stamped snapshot of shard `shard` for replica
+    /// bootstrap: a [`crate::replica::SnapshotHeader`] followed by one
+    /// synthetic WAL segment holding every page image, the heap page table
+    /// and a `Commit` with the full shard meta (see
+    /// `docs/replication.md`). Captured under the shard's tree read locks,
+    /// so a consistent cut even with writers active.
+    /// [`StorageError::ReplicationUnsupported`] on in-memory engines.
+    pub fn export_shard_snapshot(&self, shard: usize) -> StorageResult<Vec<u8>> {
+        let Some(d) = &self.durability else {
+            return Err(StorageError::ReplicationUnsupported);
+        };
+        let Some(s) = self.shards.get(shard) else {
+            return Err(StorageError::Corrupted(format!(
+                "shard {shard} does not exist in a {}-shard layout",
+                self.shards.len()
+            )));
+        };
+        let sp = s.sp.read();
+        let te = s.te.read();
+        d.export_snapshot(shard, &sp, &te)
+    }
+
+    /// Exports the WAL tail of shard `shard` covering every commit after
+    /// `from_epoch`, for incremental replica catch-up.
+    /// [`StorageError::TailUnavailable`] when a checkpoint rotated the
+    /// needed commits away (the replica falls back to a snapshot);
+    /// [`StorageError::ReplicationUnsupported`] on in-memory engines. Takes
+    /// no tree locks.
+    pub fn export_wal_tail(&self, shard: usize, from_epoch: u64) -> StorageResult<Vec<u8>> {
+        let Some(d) = &self.durability else {
+            return Err(StorageError::ReplicationUnsupported);
+        };
+        if shard >= self.shards.len() {
+            return Err(StorageError::Corrupted(format!(
+                "shard {shard} does not exist in a {}-shard layout",
+                self.shards.len()
+            )));
+        }
+        d.export_wal_tail(shard, from_epoch)
+    }
+
     /// The verifying client of this deployment — exposes the published
     /// parameters (hash algorithm, record length) a *remote* client needs to
     /// run the identical checks on the other side of a wire.

@@ -1,25 +1,40 @@
-//! The verifying scatter-gather client.
+//! The verifying scatter-gather client with replica failover.
 //!
 //! [`NetClient`] is the networked twin of the in-process
 //! [`sae_core::ShardedSaeEngine::query`] path. Given a published
-//! [`ShardLayout`] and one endpoint per shard, it derives the responder set
-//! *from the layout* (never from who happened to answer), fetches one slice
-//! per overlapping shard over the wire, and hands the gathered slices to
-//! [`sae_core::verify_slices`] — the *same* function the in-process engine
-//! runs. There is no separate, weaker "network verification": an endpoint
-//! that fails, stalls, returns an error, or simply goes missing yields a
-//! [`ShardedVerifyError::MissingShardSlice`] verdict for its shard, and a
-//! byzantine endpoint that doctors records or tokens is caught by the
-//! per-slice token check.
+//! [`ShardLayout`] and a [`Topology`] naming every replica endpoint per
+//! shard, it derives the responder set *from the layout* (never from who
+//! happened to answer), fetches one slice per overlapping shard over the
+//! wire, and hands the gathered slices to [`sae_core::verify_slices`] — the
+//! *same* function the in-process engine runs. There is no separate, weaker
+//! "network verification".
+//!
+//! Replicas change *availability*, never *trust*: every endpoint is equally
+//! untrusted, so failover needs no handshake — a replica that is down,
+//! slow (hedged reads), returns an error, advertises an epoch below the
+//! client's verified high-water mark, or doctors its slice is **demoted**
+//! and the sub-query re-issued to a sibling, whose slice faces the exact
+//! same token verification. Demoted endpoints are retried by
+//! [`NetClient::probe_health`] (optionally auto-run every
+//! [`NetClientConfig::probe_every`] queries) so a restarted replica
+//! re-admits itself.
+//!
+//! Freshness is a *heuristic*, not a proof: the advertised epoch is not
+//! covered by the token (an old slice verifies against old state), so the
+//! high-water check can only detect staleness relative to what this client
+//! has already verified — see `docs/replication.md` for the exact
+//! guarantee.
 
 use crate::frame::{read_frame, write_frame, Message, NetError, NetResult};
+use crate::topology::Topology;
 use sae_core::ShardedVerifyError;
 use sae_core::{verify_slices, SaeClient, ShardLayout, ShardSlice, ShardedSaeEngine};
 use sae_workload::RangeQuery;
+use std::collections::{HashMap, HashSet};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
 
-/// Timeouts applied to every endpoint connection a [`NetClient`] opens.
+/// Timeouts and failover knobs for every connection a [`NetClient`] opens.
 #[derive(Clone, Copy, Debug)]
 pub struct NetClientConfig {
     /// Bound on establishing a TCP connection to an endpoint.
@@ -28,6 +43,17 @@ pub struct NetClientConfig {
     pub read_timeout: Duration,
     /// Bound on writing a request frame.
     pub write_timeout: Duration,
+    /// Hedged reads: when a shard has sibling replicas, its *first* fetch
+    /// attempt waits only this long before the slow replica is demoted and
+    /// the sub-query re-issued to a sibling. `None` (default) disables
+    /// hedging; retry attempts always get the full [`read_timeout`].
+    ///
+    /// [`read_timeout`]: NetClientConfig::read_timeout
+    pub hedge_timeout: Option<Duration>,
+    /// Run [`NetClient::probe_health`] automatically every this many
+    /// queries, re-admitting demoted replicas that answer a `Ping` again.
+    /// 0 (the default) disables auto-probing.
+    pub probe_every: usize,
 }
 
 impl Default for NetClientConfig {
@@ -36,23 +62,49 @@ impl Default for NetClientConfig {
             connect_timeout: Duration::from_secs(2),
             read_timeout: Duration::from_secs(5),
             write_timeout: Duration::from_secs(5),
+            hedge_timeout: None,
+            probe_every: 0,
         }
     }
 }
 
 /// The networked, verifying range-query client: scatter over per-shard
-/// endpoints, gather the slices, verify exactly as in-process.
+/// replica groups, gather one slice per overlapping shard, verify exactly
+/// as in-process, failing over between siblings as needed.
 ///
 /// The client owns one lazily-opened, persistent connection per endpoint
 /// (`&mut self` methods — use one `NetClient` per driver thread). A
-/// connection that errors is discarded and re-dialled once before its shard
-/// is declared missing.
+/// connection that errors is discarded; for transport errors on a pooled
+/// connection the same endpoint is re-dialled once before its replica is
+/// demoted and a sibling tried.
 pub struct NetClient {
     layout: ShardLayout,
     client: SaeClient,
-    endpoints: Vec<String>,
-    sockets: Vec<Option<TcpStream>>,
+    topology: Topology,
+    pool: HashMap<String, TcpStream>,
+    demoted: HashSet<String>,
+    /// Per-shard round-robin cursor into the replica group.
+    cursor: Vec<usize>,
+    /// Per-shard verified-epoch high-water mark: the freshness floor below
+    /// which an advertised epoch demotes its replica. Raised only by
+    /// slices that passed verification.
+    hwm: Vec<u64>,
     cfg: NetClientConfig,
+    since_probe: usize,
+}
+
+/// What one [`NetClient::probe_health`] sweep found.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProbeReport {
+    /// Pooled connections that answered the probe.
+    pub pooled_alive: u64,
+    /// Pooled connections that failed and were discarded.
+    pub pooled_dropped: u64,
+    /// Demoted endpoints that answered a fresh-dial probe and were
+    /// re-admitted.
+    pub revived: u64,
+    /// Demoted endpoints still not answering.
+    pub still_down: u64,
 }
 
 /// Everything one networked range query produced. The query itself is
@@ -63,17 +115,24 @@ pub struct NetClient {
 /// [`verdict`]: NetQueryOutcome::verdict
 #[derive(Debug)]
 pub struct NetQueryOutcome {
-    /// The slices that were actually received, in the order gathered.
+    /// The slices that were actually received and kept, ascending by shard.
     pub slices: Vec<ShardSlice>,
     /// The client-side verification verdict over the published layout —
     /// produced by [`sae_core::verify_slices`], the same function the
     /// in-process engine uses.
     pub verdict: Result<(), ShardedVerifyError>,
-    /// Transport- or protocol-level failures, one per affected shard. Each
-    /// of these also surfaces in [`verdict`] as a missing slice.
+    /// Transport- or protocol-level failures, one per affected attempt.
+    /// A shard with no surviving slice also surfaces in [`verdict`] as a
+    /// missing slice.
     ///
     /// [`verdict`]: NetQueryOutcome::verdict
     pub endpoint_errors: Vec<(usize, NetError)>,
+    /// Failover legs: demote-and-retry hops to a sibling replica (slow,
+    /// dead, erroring, stale or byzantine sources all count).
+    pub failovers: u64,
+    /// Slices refused by the freshness check (advertised epoch below the
+    /// verified high-water mark) before any sibling was consulted.
+    pub stale_refused: u64,
     /// Request bytes written across all endpoints.
     pub bytes_sent: u64,
     /// Response bytes read across all endpoints.
@@ -89,46 +148,81 @@ impl NetQueryOutcome {
     }
 }
 
+/// One shard's fetch state across the gather, freshness and verify passes.
+struct ShardFetch {
+    shard: usize,
+    sub: RangeQuery,
+    /// Endpoints already consulted for this shard in this query — bounds
+    /// every refetch loop by the replica group size.
+    tried: HashSet<String>,
+    /// The endpoint whose slice is currently held for this shard.
+    source: Option<String>,
+    epoch: u64,
+}
+
+/// Mutable counters threaded through the passes.
+#[derive(Default)]
+struct QueryCounters {
+    bytes_sent: u64,
+    bytes_received: u64,
+    failovers: u64,
+    stale_refused: u64,
+    errors: Vec<(usize, NetError)>,
+}
+
 impl NetClient {
-    /// A client for a published `layout`, verifying with `client`, talking
-    /// to `endpoints[i]` for shard `i`. Fails if the endpoint list does not
-    /// cover the layout one-to-one.
+    /// A client for a published `layout`, verifying with `client`, scattering
+    /// over `topology`. Fails if the topology does not cover the layout
+    /// one group per shard.
     pub fn new(
         layout: ShardLayout,
         client: SaeClient,
-        endpoints: Vec<String>,
+        topology: Topology,
         cfg: NetClientConfig,
     ) -> NetResult<NetClient> {
-        if endpoints.len() != layout.shard_count() {
+        if topology.shard_count() != layout.shard_count() {
             return Err(NetError::Malformed(
-                "endpoint list must name exactly one endpoint per layout shard",
+                "topology must name exactly one replica group per layout shard",
             ));
         }
-        let sockets = endpoints.iter().map(|_| None).collect();
+        let shards = layout.shard_count();
         Ok(NetClient {
             layout,
             client,
-            endpoints,
-            sockets,
+            topology,
+            pool: HashMap::new(),
+            demoted: HashSet::new(),
+            cursor: vec![0; shards],
+            hwm: vec![0; shards],
             cfg,
+            since_probe: 0,
         })
     }
 
     /// Convenience constructor taking the layout and verification
-    /// parameters from an engine — the common shape in tests and benches
-    /// where the engine that built the shards also published the layout.
+    /// parameters from an engine, with one endpoint per shard — the PR 8
+    /// shape, still the common one in tests.
     pub fn for_engine(engine: &ShardedSaeEngine, endpoints: Vec<String>) -> NetResult<NetClient> {
+        Self::for_engine_topology(
+            engine,
+            Topology::single(endpoints),
+            NetClientConfig::default(),
+        )
+    }
+
+    /// Convenience constructor for a replicated deployment: layout and
+    /// verification parameters from the engine, endpoints from `topology`.
+    pub fn for_engine_topology(
+        engine: &ShardedSaeEngine,
+        topology: Topology,
+        cfg: NetClientConfig,
+    ) -> NetResult<NetClient> {
         let template = engine.client();
         let client = match template.record_len() {
             Some(len) => SaeClient::with_record_len(template.algorithm(), len),
             None => SaeClient::new(template.algorithm()),
         };
-        NetClient::new(
-            engine.layout().clone(),
-            client,
-            endpoints,
-            NetClientConfig::default(),
-        )
+        NetClient::new(engine.layout().clone(), client, topology, cfg)
     }
 
     /// The published layout this client scatters over.
@@ -136,35 +230,241 @@ impl NetClient {
         &self.layout
     }
 
-    /// Health-checks one endpoint with a `Ping`/`Pong` round trip.
+    /// The topology this client fails over across.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Endpoints currently demoted (answered badly and not yet re-admitted).
+    pub fn demoted(&self) -> Vec<String> {
+        let mut list: Vec<String> = self.demoted.iter().cloned().collect();
+        list.sort();
+        list
+    }
+
+    /// The verified-epoch high-water mark for `shard` (0 until a slice at a
+    /// positive epoch verifies).
+    pub fn high_water_mark(&self, shard: usize) -> u64 {
+        self.hwm.get(shard).copied().unwrap_or(0)
+    }
+
+    /// Health-checks shard `shard`'s preferred replica with a `Ping`/`Pong`
+    /// round trip.
     pub fn ping(&mut self, shard: usize) -> NetResult<()> {
-        let (response, _, _) = self.exchange(shard, &Message::Ping)?;
+        let candidates = self.candidates(shard);
+        let Some(endpoint) = candidates.first() else {
+            return Err(NetError::Malformed("shard id outside the topology"));
+        };
+        self.ping_endpoint(&endpoint.clone())
+    }
+
+    /// `Ping`s one endpoint by name, pooling the connection on success.
+    fn ping_endpoint(&mut self, endpoint: &str) -> NetResult<()> {
+        let (response, _, _) = self.exchange(endpoint, &Message::Ping, self.cfg.read_timeout)?;
         match response {
             Message::Pong => Ok(()),
             other => Err(NetError::UnexpectedMessage { got: other.tag() }),
         }
     }
 
+    /// One health sweep (the S1 probe): `Ping` every pooled connection
+    /// (discarding dead ones) and fresh-dial every demoted endpoint,
+    /// re-admitting those that answer `Pong` again. Run it manually after a
+    /// deployment change, or let [`NetClientConfig::probe_every`] schedule
+    /// it.
+    pub fn probe_health(&mut self) -> ProbeReport {
+        let mut report = ProbeReport::default();
+        let pooled: Vec<String> = self
+            .pool
+            .keys()
+            .filter(|e| !self.demoted.contains(*e))
+            .cloned()
+            .collect();
+        for endpoint in pooled {
+            if self.ping_endpoint(&endpoint).is_ok() {
+                report.pooled_alive += 1;
+            } else {
+                // The failed exchange already evicted the socket.
+                report.pooled_dropped += 1;
+            }
+        }
+        let down: Vec<String> = self.demoted.iter().cloned().collect();
+        for endpoint in down {
+            // A demoted endpoint's pooled socket (if any) is untrustworthy;
+            // probe over a fresh dial.
+            self.pool.remove(&endpoint);
+            if self.ping_endpoint(&endpoint).is_ok() {
+                self.demoted.remove(&endpoint);
+                report.revived += 1;
+            } else {
+                report.still_down += 1;
+            }
+        }
+        report
+    }
+
     /// One verified scatter-gather range query. Every shard overlapping `q`
     /// under the published layout **must** produce a verifying slice for the
-    /// verdict to be `Ok` — an endpoint that is down, times out, answers
-    /// with an error, or doctors its slice shows up in the verdict, never as
-    /// silently-accepted partial results.
+    /// verdict to be `Ok` — a replica that is down, times out, answers with
+    /// an error, advertises a stale epoch, or doctors its slice is demoted
+    /// and its siblings tried; only when a whole replica group fails does
+    /// the shard surface in the verdict as missing.
     pub fn query(&mut self, q: &RangeQuery) -> NetQueryOutcome {
         let started = Instant::now();
-        let mut slices = Vec::new();
-        let mut endpoint_errors = Vec::new();
-        let mut bytes_sent = 0u64;
-        let mut bytes_received = 0u64;
+        if self.cfg.probe_every > 0 {
+            self.since_probe += 1;
+            if self.since_probe >= self.cfg.probe_every {
+                self.since_probe = 0;
+                self.probe_health();
+            }
+        }
+        let mut counters = QueryCounters::default();
+        let mut fetches: Vec<ShardFetch> = Vec::new();
+        let mut gathered: Vec<ShardSlice> = Vec::new();
+        // `origin[i]` is the index in `fetches` that produced `gathered[i]`.
+        let mut origin: Vec<usize> = Vec::new();
         for (shard, sub) in self.layout.overlapping_clamped(q) {
-            let request = Message::Query {
-                shard: shard as u32,
-                range: sub,
+            let mut fetch = ShardFetch {
+                shard,
+                sub,
+                tried: HashSet::new(),
+                source: None,
+                epoch: 0,
             };
-            match self.exchange(shard, &request) {
+            if let Some(slice) = self.fetch_fresh(&mut fetch, &mut counters, 2) {
+                gathered.push(slice);
+                origin.push(fetches.len());
+            }
+            fetches.push(fetch);
+        }
+        // Verify; on a per-slice failure demote the source, refetch from an
+        // untried sibling and re-verify. Each leg consumes an endpoint from
+        // the shard's `tried` set, so the loop is bounded by group size.
+        let verdict = loop {
+            let verdict = verify_slices(&self.layout, &self.client, q, &gathered);
+            let Err(ShardedVerifyError::Slice { shard, .. }) = &verdict else {
+                break verdict;
+            };
+            let Some(at) = origin
+                .iter()
+                .position(|&fi| fetches.get(fi).is_some_and(|f| f.shard == *shard))
+            else {
+                break verdict;
+            };
+            let fi = origin[at];
+            if let Some(source) = fetches[fi].source.take() {
+                self.demoted.insert(source);
+            }
+            counters.failovers += 1;
+            match self.fetch_fresh(&mut fetches[fi], &mut counters, 1) {
+                Some(slice) => gathered[at] = slice,
+                // No sibling left: keep the doctored slice and report its
+                // verification failure honestly.
+                None => break verdict,
+            }
+        };
+        // Only *verified* slices raise the freshness floor.
+        if verdict.is_ok() {
+            for &fi in &origin {
+                if let Some(fetch) = fetches.get(fi) {
+                    if let Some(hwm) = self.hwm.get_mut(fetch.shard) {
+                        *hwm = (*hwm).max(fetch.epoch);
+                    }
+                }
+            }
+        }
+        NetQueryOutcome {
+            slices: gathered,
+            verdict,
+            endpoint_errors: counters.errors,
+            failovers: counters.failovers,
+            stale_refused: counters.stale_refused,
+            bytes_sent: counters.bytes_sent,
+            bytes_received: counters.bytes_received,
+            elapsed_ms: started.elapsed().as_secs_f64() * 1e3,
+        }
+    }
+
+    /// Fetches a slice for one shard and applies the freshness check:
+    /// a slice advertising an epoch below the shard's verified high-water
+    /// mark demotes its replica and a sibling is consulted, until a fresh
+    /// slice arrives or the group is exhausted (then a typed
+    /// [`NetError::StaleSlice`] is recorded and the shard left unanswered).
+    fn fetch_fresh(
+        &mut self,
+        fetch: &mut ShardFetch,
+        counters: &mut QueryCounters,
+        attempts: usize,
+    ) -> Option<ShardSlice> {
+        let floor = self.hwm.get(fetch.shard).copied().unwrap_or(0);
+        let mut freshest = 0u64;
+        let mut budget = attempts;
+        loop {
+            let slice = self.fetch_once(fetch, counters, budget)?;
+            if fetch.epoch >= floor {
+                return Some(slice);
+            }
+            freshest = freshest.max(fetch.epoch);
+            counters.stale_refused += 1;
+            counters.failovers += 1;
+            if let Some(source) = fetch.source.take() {
+                self.demoted.insert(source);
+            }
+            budget = 1;
+            // Group exhausted? Record the staleness and give up the shard.
+            if self
+                .candidates(fetch.shard)
+                .iter()
+                .all(|e| fetch.tried.contains(e))
+            {
+                counters.errors.push((
+                    fetch.shard,
+                    NetError::StaleSlice {
+                        shard: fetch.shard as u32,
+                        epoch: freshest,
+                        high_water: floor,
+                    },
+                ));
+                return None;
+            }
+        }
+    }
+
+    /// One failover pass for a shard: try up to `attempts` untried replicas
+    /// (preferring non-demoted ones, round-robin within the group) until
+    /// one returns a slice. Erroring endpoints are demoted and recorded.
+    fn fetch_once(
+        &mut self,
+        fetch: &mut ShardFetch,
+        counters: &mut QueryCounters,
+        attempts: usize,
+    ) -> Option<ShardSlice> {
+        let candidates: Vec<String> = self
+            .candidates(fetch.shard)
+            .into_iter()
+            .filter(|e| !fetch.tried.contains(e))
+            .collect();
+        let group = self.topology.replicas(fetch.shard).len();
+        if let Some(cursor) = self.cursor.get_mut(fetch.shard) {
+            *cursor = cursor.wrapping_add(1) % group.max(1);
+        }
+        let request = Message::Query {
+            shard: fetch.shard as u32,
+            range: fetch.sub,
+        };
+        for (attempt, endpoint) in candidates.into_iter().take(attempts.max(1)).enumerate() {
+            fetch.tried.insert(endpoint.clone());
+            // Hedge only the first attempt, and only when a sibling exists
+            // to hedge *to*.
+            let read_timeout = match self.cfg.hedge_timeout {
+                Some(hedge) if attempt == 0 && group > 1 => hedge,
+                _ => self.cfg.read_timeout,
+            };
+            match self.exchange(&endpoint, &request, read_timeout) {
                 Ok((
                     Message::Slice {
                         shard: claimed,
+                        epoch,
                         records,
                         vt,
                         ..
@@ -172,11 +472,13 @@ impl NetClient {
                     sent,
                     received,
                 )) => {
-                    bytes_sent += sent;
-                    bytes_received += received;
+                    counters.bytes_sent += sent;
+                    counters.bytes_received += received;
+                    fetch.source = Some(endpoint);
+                    fetch.epoch = epoch;
                     // Keep the *claimed* shard id: misattribution is for
                     // verification to catch, not for the client to repair.
-                    slices.push(ShardSlice {
+                    return Some(ShardSlice {
                         shard: claimed as usize,
                         records,
                         vt,
@@ -191,10 +493,10 @@ impl NetClient {
                     sent,
                     received,
                 )) => {
-                    bytes_sent += sent;
-                    bytes_received += received;
-                    endpoint_errors.push((
-                        shard,
+                    counters.bytes_sent += sent;
+                    counters.bytes_received += received;
+                    counters.errors.push((
+                        fetch.shard,
                         NetError::Remote {
                             code,
                             version,
@@ -203,69 +505,88 @@ impl NetClient {
                     ));
                 }
                 Ok((other, sent, received)) => {
-                    bytes_sent += sent;
-                    bytes_received += received;
-                    endpoint_errors.push((shard, NetError::UnexpectedMessage { got: other.tag() }));
+                    counters.bytes_sent += sent;
+                    counters.bytes_received += received;
+                    counters.errors.push((
+                        fetch.shard,
+                        NetError::UnexpectedMessage { got: other.tag() },
+                    ));
                 }
-                Err(e) => endpoint_errors.push((shard, e)),
+                Err(e) => counters.errors.push((fetch.shard, e)),
             }
+            // This endpoint answered badly: demote it and count the leg to
+            // the next sibling (if any remains in the attempt budget).
+            self.demoted.insert(endpoint);
+            counters.failovers += 1;
         }
-        let verdict = verify_slices(&self.layout, &self.client, q, &slices);
-        NetQueryOutcome {
-            slices,
-            verdict,
-            endpoint_errors,
-            bytes_sent,
-            bytes_received,
-            elapsed_ms: started.elapsed().as_secs_f64() * 1e3,
-        }
+        None
     }
 
-    /// Sends `request` to `shard`'s endpoint and reads one response frame,
-    /// returning `(response, bytes_sent, bytes_received)`. A failure on a
-    /// pooled connection discards it and re-dials once — a server restart
-    /// must not masquerade as a missing shard.
-    fn exchange(&mut self, shard: usize, request: &Message) -> NetResult<(Message, u64, u64)> {
-        let pooled = self
-            .sockets
-            .get(shard)
-            .is_some_and(std::option::Option::is_some);
-        match self.exchange_once(shard, request) {
+    /// The replica group for `shard`, round-robin rotated, non-demoted
+    /// endpoints first.
+    fn candidates(&self, shard: usize) -> Vec<String> {
+        let group = self.topology.replicas(shard);
+        if group.is_empty() {
+            return Vec::new();
+        }
+        let start = self.cursor.get(shard).copied().unwrap_or(0) % group.len();
+        let rotated = group[start..].iter().chain(group[..start].iter());
+        let (healthy, demoted): (Vec<&String>, Vec<&String>) =
+            rotated.partition(|e| !self.demoted.contains(*e));
+        healthy.into_iter().chain(demoted).cloned().collect()
+    }
+
+    /// Sends `request` to `endpoint` and reads one response frame, returning
+    /// `(response, bytes_sent, bytes_received)`. A transport failure on a
+    /// pooled connection discards it and re-dials the same endpoint once —
+    /// a server restart must not masquerade as a dead replica. *Any* error
+    /// evicts the socket from the pool: after a framing error the stream
+    /// can no longer be trusted to be at a frame boundary.
+    fn exchange(
+        &mut self,
+        endpoint: &str,
+        request: &Message,
+        read_timeout: Duration,
+    ) -> NetResult<(Message, u64, u64)> {
+        let pooled = self.pool.contains_key(endpoint);
+        match self.exchange_once(endpoint, request, read_timeout) {
             Ok(ok) => Ok(ok),
             Err(e) if pooled && matches!(e, NetError::Io(_) | NetError::Disconnected) => {
-                self.sockets[shard] = None;
-                self.exchange_once(shard, request)
+                self.exchange_once(endpoint, request, read_timeout)
             }
             Err(e) => Err(e),
         }
     }
 
-    fn exchange_once(&mut self, shard: usize, request: &Message) -> NetResult<(Message, u64, u64)> {
-        self.ensure_connected(shard)?;
-        let Some(Some(stream)) = self.sockets.get_mut(shard) else {
-            return Err(NetError::Malformed("shard id outside the endpoint list"));
+    fn exchange_once(
+        &mut self,
+        endpoint: &str,
+        request: &Message,
+        read_timeout: Duration,
+    ) -> NetResult<(Message, u64, u64)> {
+        if !self.pool.contains_key(endpoint) {
+            let stream = self.dial(endpoint)?;
+            self.pool.insert(endpoint.to_string(), stream);
+        }
+        let Some(stream) = self.pool.get_mut(endpoint) else {
+            return Err(NetError::Malformed("endpoint vanished from the pool"));
         };
-        let result = write_frame(stream, request).and_then(|sent| {
-            read_frame(stream).map(|(msg, received)| (msg, sent as u64, received as u64))
-        });
+        let result = stream
+            .set_read_timeout(Some(read_timeout))
+            .map_err(NetError::from)
+            .and_then(|()| write_frame(stream, request))
+            .and_then(|sent| {
+                read_frame(stream).map(|(msg, received)| (msg, sent as u64, received as u64))
+            });
         if result.is_err() {
-            // Poison the pooled connection: request/response pairing on it
-            // can no longer be trusted.
-            self.sockets[shard] = None;
+            // Pool hygiene: request/response pairing on this socket can no
+            // longer be trusted after any failure, framing-level included.
+            self.pool.remove(endpoint);
         }
         result
     }
 
-    fn ensure_connected(&mut self, shard: usize) -> NetResult<()> {
-        let Some(slot) = self.sockets.get_mut(shard) else {
-            return Err(NetError::Malformed("shard id outside the endpoint list"));
-        };
-        if slot.is_some() {
-            return Ok(());
-        }
-        let Some(endpoint) = self.endpoints.get(shard) else {
-            return Err(NetError::Malformed("shard id outside the endpoint list"));
-        };
+    fn dial(&self, endpoint: &str) -> NetResult<TcpStream> {
         let addr = endpoint
             .to_socket_addrs()?
             .next()
@@ -273,7 +594,6 @@ impl NetClient {
         let stream = TcpStream::connect_timeout(&addr, self.cfg.connect_timeout)?;
         stream.set_read_timeout(Some(self.cfg.read_timeout))?;
         stream.set_write_timeout(Some(self.cfg.write_timeout))?;
-        *slot = Some(stream);
-        Ok(())
+        Ok(stream)
     }
 }

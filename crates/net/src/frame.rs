@@ -45,6 +45,20 @@ pub mod msg {
     pub const PING: u8 = 4;
     /// Server → client: liveness answer.
     pub const PONG: u8 = 5;
+    /// Replica → primary: what epoch does this endpoint serve for a shard?
+    pub const STATUS: u8 = 6;
+    /// Primary → replica: served-epoch advertisement for one shard.
+    pub const STATUS_INFO: u8 = 7;
+    /// Replica → primary: fetch one chunk of an epoch-stamped shard snapshot.
+    pub const FETCH_SNAPSHOT: u8 = 8;
+    /// Primary → replica: one snapshot chunk (with the chunk count and the
+    /// snapshot's epoch, so a replica can detect a snapshot that changed
+    /// between chunk fetches).
+    pub const SNAPSHOT_CHUNK: u8 = 9;
+    /// Replica → primary: stream the WAL tail from a given epoch.
+    pub const FETCH_TAIL: u8 = 10;
+    /// Primary → replica: the requested WAL tail, as WAL-framed bytes.
+    pub const TAIL: u8 = 11;
 }
 
 /// Error codes carried by [`Message::Error`]. `u16` on the wire.
@@ -62,6 +76,15 @@ pub mod code {
     pub const QUERY_FAILED: u16 = 5;
     /// The answer exists but does not fit in [`super::MAX_FRAME_PAYLOAD`].
     pub const RESPONSE_TOO_LARGE: u16 = 6;
+    /// The requested WAL tail starts before the server's current segment;
+    /// the replica must fall back to a full snapshot.
+    pub const TAIL_UNAVAILABLE: u16 = 7;
+    /// The endpoint serves this shard but has not finished installing a
+    /// snapshot for it yet — ask a sibling.
+    pub const NOT_SYNCED: u16 = 8;
+    /// The endpoint cannot export snapshots or WAL tails (e.g. it fronts an
+    /// in-memory engine, or is itself a replica).
+    pub const REPLICATION_UNSUPPORTED: u16 = 9;
 }
 
 /// Why a wire operation failed. Every decoder and I/O path returns one of
@@ -110,6 +133,22 @@ pub enum NetError {
         /// The message type tag that arrived.
         got: u8,
     },
+    /// Replica-side synchronization failed: snapshot or tail bytes arrived
+    /// intact at the framing level but could not be validated or installed
+    /// (or kept changing under a chunked fetch).
+    Replication(String),
+    /// Every reachable replica of a shard advertised an epoch below the
+    /// client's verified high-water mark — the responses verify against the
+    /// token but are provably older than state this client has already
+    /// seen, so they were refused rather than silently served.
+    StaleSlice {
+        /// The shard whose replicas are all stale.
+        shard: u32,
+        /// The freshest epoch any of them advertised.
+        epoch: u64,
+        /// The client's verified high-water mark for the shard.
+        high_water: u64,
+    },
 }
 
 impl std::fmt::Display for NetError {
@@ -141,6 +180,16 @@ impl std::fmt::Display for NetError {
             NetError::UnexpectedMessage { got } => {
                 write!(f, "unexpected message type {got} for this exchange")
             }
+            NetError::Replication(what) => write!(f, "replica sync failed: {what}"),
+            NetError::StaleSlice {
+                shard,
+                epoch,
+                high_water,
+            } => write!(
+                f,
+                "shard {shard}: every replica is stale (freshest epoch {epoch}, verified \
+                 high-water mark {high_water})"
+            ),
         }
     }
 }
@@ -182,6 +231,11 @@ pub enum Message {
         /// The fixed encoded record length (0 permitted when `records` is
         /// empty).
         record_len: u32,
+        /// The commit epoch of the state the slice was served from (0 for
+        /// in-memory deployments). Advertised, not verified: the client uses
+        /// it only as a freshness heuristic against its high-water mark —
+        /// correctness still rests entirely on the TE token.
+        epoch: u64,
         /// The slice's records, each exactly `record_len` bytes.
         records: Vec<Vec<u8>>,
         /// The shard TE's verification token over the sub-query.
@@ -200,6 +254,58 @@ pub enum Message {
     Ping,
     /// Liveness answer.
     Pong,
+    /// What epoch does this endpoint serve shard `shard` at?
+    Status {
+        /// The shard being asked about.
+        shard: u32,
+    },
+    /// Served-epoch advertisement for one shard.
+    StatusInfo {
+        /// The shard described.
+        shard: u32,
+        /// Whether the endpoint currently serves the shard (a replica that
+        /// has not installed a snapshot yet answers `false`).
+        synced: bool,
+        /// The commit epoch of the served state (0 when `synced` is false
+        /// or the deployment is in-memory).
+        epoch: u64,
+    },
+    /// Fetch chunk `chunk` of shard `shard`'s current snapshot.
+    FetchSnapshot {
+        /// The shard whose snapshot is wanted.
+        shard: u32,
+        /// Zero-based chunk index.
+        chunk: u32,
+    },
+    /// One chunk of an epoch-stamped shard snapshot.
+    SnapshotChunk {
+        /// The shard the snapshot belongs to.
+        shard: u32,
+        /// Zero-based index of this chunk.
+        chunk: u32,
+        /// Total chunk count of the snapshot (≥ 1).
+        chunks: u32,
+        /// The snapshot's commit epoch; a replica rejects a chunk set whose
+        /// epochs disagree (the primary committed between fetches).
+        epoch: u64,
+        /// The chunk's bytes.
+        bytes: Vec<u8>,
+    },
+    /// Stream the WAL tail covering every commit after `from_epoch`.
+    FetchTail {
+        /// The shard whose tail is wanted.
+        shard: u32,
+        /// The epoch the requester is already at.
+        from_epoch: u64,
+    },
+    /// The requested WAL tail: a WAL-framed segment image replaying every
+    /// commit after the requested epoch.
+    Tail {
+        /// The shard the tail belongs to.
+        shard: u32,
+        /// The WAL-framed bytes.
+        bytes: Vec<u8>,
+    },
 }
 
 impl Message {
@@ -211,6 +317,12 @@ impl Message {
             Message::Error { .. } => msg::ERROR,
             Message::Ping => msg::PING,
             Message::Pong => msg::PONG,
+            Message::Status { .. } => msg::STATUS,
+            Message::StatusInfo { .. } => msg::STATUS_INFO,
+            Message::FetchSnapshot { .. } => msg::FETCH_SNAPSHOT,
+            Message::SnapshotChunk { .. } => msg::SNAPSHOT_CHUNK,
+            Message::FetchTail { .. } => msg::FETCH_TAIL,
+            Message::Tail { .. } => msg::TAIL,
         }
     }
 
@@ -225,12 +337,14 @@ impl Message {
             Message::Slice {
                 shard,
                 record_len,
+                epoch,
                 records,
                 vt,
             } => {
                 out.extend_from_slice(&shard.to_le_bytes());
                 out.extend_from_slice(&record_len.to_le_bytes());
                 out.extend_from_slice(&(records.len() as u32).to_le_bytes());
+                out.extend_from_slice(&epoch.to_le_bytes());
                 out.extend_from_slice(vt.as_bytes());
                 for record in records {
                     out.extend_from_slice(record);
@@ -246,6 +360,43 @@ impl Message {
                 out.extend_from_slice(detail.as_bytes());
             }
             Message::Ping | Message::Pong => {}
+            Message::Status { shard } => {
+                out.extend_from_slice(&shard.to_le_bytes());
+            }
+            Message::StatusInfo {
+                shard,
+                synced,
+                epoch,
+            } => {
+                out.extend_from_slice(&shard.to_le_bytes());
+                out.push(u8::from(*synced));
+                out.extend_from_slice(&epoch.to_le_bytes());
+            }
+            Message::FetchSnapshot { shard, chunk } => {
+                out.extend_from_slice(&shard.to_le_bytes());
+                out.extend_from_slice(&chunk.to_le_bytes());
+            }
+            Message::SnapshotChunk {
+                shard,
+                chunk,
+                chunks,
+                epoch,
+                bytes,
+            } => {
+                out.extend_from_slice(&shard.to_le_bytes());
+                out.extend_from_slice(&chunk.to_le_bytes());
+                out.extend_from_slice(&chunks.to_le_bytes());
+                out.extend_from_slice(&epoch.to_le_bytes());
+                out.extend_from_slice(bytes);
+            }
+            Message::FetchTail { shard, from_epoch } => {
+                out.extend_from_slice(&shard.to_le_bytes());
+                out.extend_from_slice(&from_epoch.to_le_bytes());
+            }
+            Message::Tail { shard, bytes } => {
+                out.extend_from_slice(&shard.to_le_bytes());
+                out.extend_from_slice(bytes);
+            }
         }
     }
 
@@ -273,13 +424,14 @@ impl Message {
                 })
             }
             msg::SLICE => {
-                if body.len() < 12 + DIGEST_LEN {
-                    return Err(NetError::Malformed("slice header is 32 bytes"));
+                if body.len() < 20 + DIGEST_LEN {
+                    return Err(NetError::Malformed("slice header is 40 bytes"));
                 }
-                let (header, payload) = body.split_at(12 + DIGEST_LEN);
+                let (header, payload) = body.split_at(20 + DIGEST_LEN);
                 let [shard, record_len, count] =
-                    decode_u32s(&header[..12], "slice header is 32 bytes")?;
-                let vt = Digest::from_slice(&header[12..])
+                    decode_u32s(&header[..12], "slice header is 40 bytes")?;
+                let epoch = decode_u64(&header[12..20], "slice header is 40 bytes")?;
+                let vt = Digest::from_slice(&header[20..])
                     .ok_or(NetError::Malformed("slice token is 20 bytes"))?;
                 let expected = (count as u64).saturating_mul(record_len as u64);
                 if expected != payload.len() as u64 {
@@ -297,6 +449,7 @@ impl Message {
                 Ok(Message::Slice {
                     shard,
                     record_len,
+                    epoch,
                     records,
                     vt,
                 })
@@ -324,9 +477,83 @@ impl Message {
                     Message::Pong
                 })
             }
+            msg::STATUS => {
+                let [shard] = decode_u32s(body, "status body is 4 bytes")?;
+                Ok(Message::Status { shard })
+            }
+            msg::STATUS_INFO => {
+                if body.len() != 13 {
+                    return Err(NetError::Malformed("status-info body is 13 bytes"));
+                }
+                let [shard] = decode_u32s(&body[..4], "status-info body is 13 bytes")?;
+                let synced = match body[4] {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(NetError::Malformed("status-info synced flag is 0 or 1")),
+                };
+                let epoch = decode_u64(&body[5..], "status-info body is 13 bytes")?;
+                Ok(Message::StatusInfo {
+                    shard,
+                    synced,
+                    epoch,
+                })
+            }
+            msg::FETCH_SNAPSHOT => {
+                let [shard, chunk] = decode_u32s(body, "fetch-snapshot body is 8 bytes")?;
+                Ok(Message::FetchSnapshot { shard, chunk })
+            }
+            msg::SNAPSHOT_CHUNK => {
+                if body.len() < 20 {
+                    return Err(NetError::Malformed("snapshot-chunk header is 20 bytes"));
+                }
+                let (header, bytes) = body.split_at(20);
+                let [shard, chunk, chunks] =
+                    decode_u32s(&header[..12], "snapshot-chunk header is 20 bytes")?;
+                let epoch = decode_u64(&header[12..], "snapshot-chunk header is 20 bytes")?;
+                if chunks == 0 {
+                    return Err(NetError::Malformed("snapshot has zero chunks"));
+                }
+                if chunk >= chunks {
+                    return Err(NetError::Malformed("snapshot chunk index past chunk count"));
+                }
+                Ok(Message::SnapshotChunk {
+                    shard,
+                    chunk,
+                    chunks,
+                    epoch,
+                    bytes: bytes.to_vec(),
+                })
+            }
+            msg::FETCH_TAIL => {
+                if body.len() != 12 {
+                    return Err(NetError::Malformed("fetch-tail body is 12 bytes"));
+                }
+                let [shard] = decode_u32s(&body[..4], "fetch-tail body is 12 bytes")?;
+                let from_epoch = decode_u64(&body[4..], "fetch-tail body is 12 bytes")?;
+                Ok(Message::FetchTail { shard, from_epoch })
+            }
+            msg::TAIL => {
+                if body.len() < 4 {
+                    return Err(NetError::Malformed("tail header is 4 bytes"));
+                }
+                let (header, bytes) = body.split_at(4);
+                let [shard] = decode_u32s(header, "tail header is 4 bytes")?;
+                Ok(Message::Tail {
+                    shard,
+                    bytes: bytes.to_vec(),
+                })
+            }
             other => Err(NetError::UnknownMessageType(other)),
         }
     }
+}
+
+/// Decodes one little-endian `u64`, rejecting any other length.
+fn decode_u64(body: &[u8], what: &'static str) -> NetResult<u64> {
+    let Ok(bytes) = <[u8; 8]>::try_from(body) else {
+        return Err(NetError::Malformed(what));
+    };
+    Ok(u64::from_le_bytes(bytes))
 }
 
 /// Decodes `N` consecutive little-endian `u32`s, rejecting any other length.
@@ -435,14 +662,15 @@ pub fn read_frame<R: Read>(r: &mut R) -> NetResult<(Message, usize)> {
 /// Converts an engine-produced [`ShardSlice`] into its wire message,
 /// refusing slices that exceed the frame cap (the server turns that refusal
 /// into [`code::RESPONSE_TOO_LARGE`]).
-pub fn slice_to_message(slice: &ShardSlice, record_len: usize) -> Option<Message> {
-    let body = 2 + 12 + DIGEST_LEN + slice.records.iter().map(Vec::len).sum::<usize>();
+pub fn slice_to_message(slice: &ShardSlice, record_len: usize, epoch: u64) -> Option<Message> {
+    let body = 2 + 20 + DIGEST_LEN + slice.records.iter().map(Vec::len).sum::<usize>();
     if body > MAX_FRAME_PAYLOAD {
         return None;
     }
     Some(Message::Slice {
         shard: slice.shard as u32,
         record_len: record_len as u32,
+        epoch,
         records: slice.records.clone(),
         vt: slice.vt,
     })
@@ -479,15 +707,79 @@ mod tests {
         roundtrip(Message::Slice {
             shard: 1,
             record_len: 4,
+            epoch: 17,
             records: vec![vec![1, 2, 3, 4], vec![5, 6, 7, 8]],
             vt: Digest::new([7u8; DIGEST_LEN]),
         });
         roundtrip(Message::Slice {
             shard: 0,
             record_len: 0,
+            epoch: 0,
             records: Vec::new(),
             vt: Digest::ZERO,
         });
+        roundtrip(Message::Status { shard: 2 });
+        roundtrip(Message::StatusInfo {
+            shard: 2,
+            synced: true,
+            epoch: 99,
+        });
+        roundtrip(Message::StatusInfo {
+            shard: 0,
+            synced: false,
+            epoch: 0,
+        });
+        roundtrip(Message::FetchSnapshot { shard: 1, chunk: 3 });
+        roundtrip(Message::SnapshotChunk {
+            shard: 1,
+            chunk: 3,
+            chunks: 5,
+            epoch: 42,
+            bytes: vec![0xAB; 100],
+        });
+        roundtrip(Message::SnapshotChunk {
+            shard: 0,
+            chunk: 0,
+            chunks: 1,
+            epoch: 0,
+            bytes: Vec::new(),
+        });
+        roundtrip(Message::FetchTail {
+            shard: 7,
+            from_epoch: 12,
+        });
+        roundtrip(Message::Tail {
+            shard: 7,
+            bytes: vec![1, 2, 3],
+        });
+    }
+
+    #[test]
+    fn snapshot_chunk_indices_are_validated() {
+        // chunks == 0 and chunk >= chunks are both malformed.
+        for (chunk, chunks) in [(0u32, 0u32), (5, 5), (6, 5)] {
+            let mut payload = vec![WIRE_VERSION, msg::SNAPSHOT_CHUNK];
+            payload.extend_from_slice(&1u32.to_le_bytes());
+            payload.extend_from_slice(&chunk.to_le_bytes());
+            payload.extend_from_slice(&chunks.to_le_bytes());
+            payload.extend_from_slice(&9u64.to_le_bytes());
+            assert!(
+                matches!(Message::decode(&payload), Err(NetError::Malformed(_))),
+                "chunk {chunk}/{chunks} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn status_info_synced_flag_must_be_boolean() {
+        let mut payload = vec![WIRE_VERSION, msg::STATUS_INFO];
+        payload.extend_from_slice(&1u32.to_le_bytes());
+        payload.push(2); // not 0/1
+        payload.extend_from_slice(&9u64.to_le_bytes());
+        assert!(matches!(
+            Message::decode(&payload),
+            Err(NetError::Malformed(_))
+        ));
     }
 
     #[test]
@@ -519,6 +811,7 @@ mod tests {
         payload.extend_from_slice(&1u32.to_le_bytes()); // shard
         payload.extend_from_slice(&8u32.to_le_bytes()); // record_len
         payload.extend_from_slice(&3u32.to_le_bytes()); // count: claims 24 bytes
+        payload.extend_from_slice(&0u64.to_le_bytes()); // epoch
         payload.extend_from_slice(&[0u8; DIGEST_LEN]);
         payload.extend_from_slice(&[0u8; 8]); // only one record present
         assert!(matches!(

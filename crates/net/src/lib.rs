@@ -1,22 +1,31 @@
 //! # sae-net
 //!
 //! The verified network serving layer: a hand-rolled, dependency-free
-//! binary wire protocol over TCP, thread-per-connection shard servers, and
-//! a scatter-gather client that verifies results **exactly** as the
-//! in-process one.
+//! binary wire protocol over TCP, thread-per-connection shard servers,
+//! trustless read replicas, and a scatter-gather client that verifies
+//! results **exactly** as the in-process one.
 //!
-//! The normative byte-level specification lives in `docs/protocol.md`; this
-//! crate is its reference implementation. The design carries the paper's
-//! trust model onto the wire unchanged:
+//! The normative byte-level specification lives in `docs/protocol.md` and
+//! the replication design in `docs/replication.md`; this crate is their
+//! reference implementation. The design carries the paper's trust model
+//! onto the wire unchanged:
 //!
-//! * the [`ShardServer`] is the *service provider* — untrusted. It executes
-//!   queries and ships back result slices plus the trusted entity's 20-byte
-//!   verification token, but nothing it says is believed;
+//! * the [`ShardServer`] is the *service provider* — untrusted. It fronts
+//!   any [`SliceSource`] (a primary engine or an installed replica copy),
+//!   executes queries and ships back result slices plus the trusted
+//!   entity's 20-byte verification token, but nothing it says is believed;
+//! * a [`ReplicaServer`] syncs a [`sae_core::ReplicaSet`] from a primary —
+//!   chunked epoch-stamped snapshots, then incremental WAL tails — and
+//!   serves it exactly like a primary. Replicas add *availability*, never
+//!   trust: their slices face the same client verification;
 //! * the [`NetClient`] derives the responder set from the *published*
-//!   [`sae_core::ShardLayout`] and runs [`sae_core::verify_slices`] — the
-//!   very function the in-process engine uses — over whatever arrived. A
-//!   dropped endpoint is a [`sae_core::ShardedVerifyError::MissingShardSlice`];
-//!   a doctored record or token is a per-slice verification failure. Network
+//!   [`sae_core::ShardLayout`], scatters over a [`Topology`] of replica
+//!   groups with failover and optional hedged reads, and runs
+//!   [`sae_core::verify_slices`] — the very function the in-process engine
+//!   uses — over whatever arrived. A dropped endpoint is a
+//!   [`sae_core::ShardedVerifyError::MissingShardSlice`];
+//!   a doctored record or token is a per-slice verification failure that
+//!   demotes the replica and re-issues the sub-query to a sibling. Network
 //!   failure and byzantine behaviour collapse into the same typed verdicts
 //!   as in-process tampering;
 //! * the framing ([`frame`]) reuses the WAL's CRC-32/IEEE discipline:
@@ -74,11 +83,19 @@
 
 pub mod client;
 pub mod frame;
+pub mod replica;
 pub mod server;
+pub mod source;
+pub mod topology;
 
-pub use client::{NetClient, NetClientConfig, NetQueryOutcome};
+pub use client::{NetClient, NetClientConfig, NetQueryOutcome, ProbeReport};
 pub use frame::{
     decode_frame, encode_frame, read_frame, slice_to_message, write_frame, Message, NetError,
     NetResult, FRAME_HEADER_LEN, MAX_FRAME_PAYLOAD, WIRE_VERSION,
 };
-pub use server::{NetStats, NetStatsSnapshot, ServerTamper, ShardServer, ShardServerConfig};
+pub use replica::{ReplicaServer, ReplicaServerConfig};
+pub use server::{
+    NetStats, NetStatsSnapshot, ServerTamper, ShardServer, ShardServerConfig, SNAPSHOT_CHUNK_SIZE,
+};
+pub use source::SliceSource;
+pub use topology::Topology;

@@ -1,15 +1,21 @@
 //! The shard server: a thread-per-connection TCP front for one or more
-//! shards of a [`ShardedSaeEngine`].
+//! shards of a [`SliceSource`] — a primary [`ShardedSaeEngine`] or a
+//! synced [`sae_core::ReplicaSet`].
 //!
 //! The server is the *service provider* side of the wire — untrusted by
 //! construction. It answers [`Message::Query`] requests with
 //! [`Message::Slice`] responses produced by
-//! [`ShardedSaeEngine::shard_slice`], which returns a fully-owned slice, so
+//! [`SliceSource::source_slice`], which returns a fully-owned slice, so
 //! **no tree guard is ever live across a socket write** (a slow peer must
 //! never stall a shard's readers; the analyzer's `hold-across-sync` rule
 //! lists the frame-write calls for exactly this reason). Because clients
 //! verify every slice against the trusted entity's token, a byzantine server
 //! — simulated by [`ServerTamper`] — is *detected*, never trusted.
+//!
+//! Primaries additionally answer the replication catalog:
+//! [`Message::Status`] (served-epoch advertisement),
+//! [`Message::FetchSnapshot`] (chunked, epoch-stamped shard snapshots) and
+//! [`Message::FetchTail`] (incremental WAL tails) — see `docs/replication.md`.
 //!
 //! Connection handling: per-connection read/write timeouts, per-server
 //! [`NetStats`] counters in the spirit of [`sae_storage::IoStats`], and a
@@ -17,16 +23,23 @@
 //! every live connection and joins every worker thread.
 
 use crate::frame::{
-    code, read_frame, slice_to_message, write_frame, Message, NetError, NetResult, WIRE_VERSION,
+    code, read_frame, slice_to_message, write_frame, Message, NetError, NetResult,
+    MAX_FRAME_PAYLOAD, WIRE_VERSION,
 };
+use crate::source::SliceSource;
 use parking_lot::Mutex;
-use sae_core::{ShardSlice, ShardedSaeEngine};
+use sae_core::{ShardSlice, ShardedSaeEngine, SnapshotHeader};
+use sae_storage::StorageError;
 use std::io::Read;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// Snapshot transfers are chunked at this size so one chunk always fits a
+/// frame ([`MAX_FRAME_PAYLOAD`] is 4 MiB) with room for the chunk header.
+pub const SNAPSHOT_CHUNK_SIZE: usize = 1 << 20;
 
 /// Tuning knobs for a [`ShardServer`].
 #[derive(Clone, Copy, Debug)]
@@ -38,6 +51,11 @@ pub struct ShardServerConfig {
     /// stall one worker thread (never a shard — no tree guard spans a
     /// write).
     pub write_timeout: Duration,
+    /// Artificial per-query service time, applied under a server-wide gate
+    /// so concurrent queries serialize behind it — models a single-endpoint
+    /// saturation point for the E14 replica-scaling bench. Zero (the
+    /// default) disables both the delay and the gate.
+    pub service_delay: Duration,
 }
 
 impl Default for ShardServerConfig {
@@ -45,14 +63,16 @@ impl Default for ShardServerConfig {
         ShardServerConfig {
             read_timeout: Duration::from_millis(200),
             write_timeout: Duration::from_secs(5),
+            service_delay: Duration::ZERO,
         }
     }
 }
 
-/// Byzantine behaviours a server can be armed with, for tests and the E13
-/// tamper leg. Each doctors the slice *after* the engine produced it —
-/// exactly what a malicious service provider controlling the wire could do —
-/// and each is caught by the client's token verification.
+/// Byzantine behaviours a server can be armed with, for tests and the
+/// E13/E14 tamper legs. Each doctors the response *after* the source
+/// produced it — exactly what a malicious service provider controlling the
+/// wire could do — and each is caught client-side: the first three by token
+/// verification, the last by the client's epoch high-water mark.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ServerTamper {
     /// Flip one payload byte of the first record: the record still decodes,
@@ -63,12 +83,18 @@ pub enum ServerTamper {
     DropFirstRecord,
     /// Flip one bit of the verification token itself.
     FlipTokenBit,
+    /// Serve honest content but advertise epoch 0 — a replica frozen at (or
+    /// lying about) ancient state. Token verification *passes* (the content
+    /// is genuinely old-but-consistent in the real attack); only the
+    /// client's high-water freshness check routes around it.
+    StaleEpoch,
 }
 
 const TAMPER_NONE: u8 = 0;
 const TAMPER_FLIP_RECORD: u8 = 1;
 const TAMPER_DROP_RECORD: u8 = 2;
 const TAMPER_FLIP_TOKEN: u8 = 3;
+const TAMPER_STALE_EPOCH: u8 = 4;
 
 /// Monotonic per-server wire counters, in the spirit of
 /// [`sae_storage::IoStats`]: workers update them lock-free and
@@ -81,6 +107,8 @@ pub struct NetStats {
     bytes_in: AtomicU64,
     bytes_out: AtomicU64,
     queries: AtomicU64,
+    snapshot_chunks: AtomicU64,
+    tails: AtomicU64,
     errors_sent: AtomicU64,
     decode_errors: AtomicU64,
 }
@@ -95,6 +123,8 @@ impl NetStats {
             bytes_in: self.bytes_in.load(Ordering::Relaxed),
             bytes_out: self.bytes_out.load(Ordering::Relaxed),
             queries: self.queries.load(Ordering::Relaxed),
+            snapshot_chunks: self.snapshot_chunks.load(Ordering::Relaxed),
+            tails: self.tails.load(Ordering::Relaxed),
             errors_sent: self.errors_sent.load(Ordering::Relaxed),
             decode_errors: self.decode_errors.load(Ordering::Relaxed),
         }
@@ -116,6 +146,10 @@ pub struct NetStatsSnapshot {
     pub bytes_out: u64,
     /// Query requests answered with a slice.
     pub queries: u64,
+    /// Snapshot chunks served to syncing replicas.
+    pub snapshot_chunks: u64,
+    /// WAL tails served to syncing replicas.
+    pub tails: u64,
     /// Error responses sent.
     pub errors_sent: u64,
     /// Frames that failed to decode (bad version, unknown type, malformed).
@@ -124,12 +158,16 @@ pub struct NetStatsSnapshot {
 
 /// Everything the acceptor and the per-connection workers share.
 struct Shared {
-    engine: Arc<ShardedSaeEngine>,
+    source: Arc<dyn SliceSource>,
     served: Vec<usize>,
     cfg: ShardServerConfig,
     stats: NetStats,
     shutdown: AtomicBool,
     tamper: AtomicU8,
+    /// Serializes the artificial `service_delay`, modelling one saturated
+    /// service lane per endpoint. Rank `gate` in `analyzer.toml`; held only
+    /// across the sleep, never across source calls or socket I/O.
+    gate: Mutex<()>,
     /// Live connections: a stream clone (so shutdown can half-close blocked
     /// readers) paired with its worker's join handle. Lock order: `conns` is
     /// the outermost rank in `analyzer.toml` and is never held across
@@ -138,7 +176,7 @@ struct Shared {
 }
 
 /// A running shard endpoint: a TCP listener plus one worker thread per live
-/// connection, fronting the `served` shards of one [`ShardedSaeEngine`].
+/// connection, fronting the `served` shards of one [`SliceSource`].
 ///
 /// Dropping the server shuts it down gracefully; prefer calling
 /// [`ShardServer::shutdown`] to observe the join.
@@ -159,15 +197,27 @@ impl ShardServer {
         addr: impl ToSocketAddrs,
         cfg: ShardServerConfig,
     ) -> NetResult<ShardServer> {
+        Self::spawn_source(engine, served, addr, cfg)
+    }
+
+    /// Like [`ShardServer::spawn`] for any [`SliceSource`] — the entry a
+    /// [`crate::ReplicaServer`] uses to serve its installed copies.
+    pub fn spawn_source(
+        source: Arc<dyn SliceSource>,
+        served: Vec<usize>,
+        addr: impl ToSocketAddrs,
+        cfg: ShardServerConfig,
+    ) -> NetResult<ShardServer> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
-            engine,
+            source,
             served,
             cfg,
             stats: NetStats::default(),
             shutdown: AtomicBool::new(false),
             tamper: AtomicU8::new(TAMPER_NONE),
+            gate: Mutex::new(()),
             conns: Mutex::new(Vec::new()),
         });
         let accept_shared = Arc::clone(&shared);
@@ -197,14 +247,17 @@ impl ShardServer {
     }
 
     /// Arms (or clears) a byzantine behaviour on every subsequent slice —
-    /// the E13 tamper leg and the loopback tests use this to prove doctored
-    /// slices are *detected* by client verification, not trusted.
+    /// the E13/E14 tamper legs and the loopback tests use this to prove
+    /// doctored slices are *detected* by client verification (or, for
+    /// [`ServerTamper::StaleEpoch`], routed around by the freshness check),
+    /// not trusted.
     pub fn set_tamper(&self, tamper: Option<ServerTamper>) {
         let code = match tamper {
             None => TAMPER_NONE,
             Some(ServerTamper::FlipRecordByte) => TAMPER_FLIP_RECORD,
             Some(ServerTamper::DropFirstRecord) => TAMPER_DROP_RECORD,
             Some(ServerTamper::FlipTokenBit) => TAMPER_FLIP_TOKEN,
+            Some(ServerTamper::StaleEpoch) => TAMPER_STALE_EPOCH,
         };
         self.shared.tamper.store(code, Ordering::Relaxed);
     }
@@ -391,9 +444,20 @@ fn respond(message: &Message, shared: &Shared) -> Option<Message> {
     match message {
         Message::Ping => Some(Message::Pong),
         Message::Query { shard, range } => Some(answer_query(*shard, range, shared)),
+        Message::Status { shard } => Some(answer_status(*shard, shared)),
+        Message::FetchSnapshot { shard, chunk } => {
+            Some(answer_fetch_snapshot(*shard, *chunk, shared))
+        }
+        Message::FetchTail { shard, from_epoch } => {
+            Some(answer_fetch_tail(*shard, *from_epoch, shared))
+        }
         // Responses are not requests: a peer sending one is confused or
         // probing; answer with a typed error rather than guessing.
-        Message::Slice { .. } | Message::Error { .. } => Some(error_message(
+        Message::Slice { .. }
+        | Message::Error { .. }
+        | Message::StatusInfo { .. }
+        | Message::SnapshotChunk { .. }
+        | Message::Tail { .. } => Some(error_message(
             code::MALFORMED,
             format!("message type {} is not a request", message.tag()),
         )),
@@ -401,28 +465,163 @@ fn respond(message: &Message, shared: &Shared) -> Option<Message> {
     }
 }
 
+fn served_here(shard: u32, shared: &Shared) -> bool {
+    shared.served.contains(&(shard as usize))
+}
+
 fn answer_query(shard: u32, range: &sae_workload::RangeQuery, shared: &Shared) -> Message {
-    if !shared.served.contains(&(shard as usize)) {
+    if !served_here(shard, shared) {
         return error_message(
             code::SHARD_NOT_SERVED,
             format!("shard {shard} is not served by this endpoint"),
         );
     }
-    // `shard_slice` returns a fully-owned slice: both tree guards are
+    // `source_slice` returns a fully-owned slice: every source-side guard is
     // released before the frame write below — a slow client cannot stall
     // the shard's readers.
-    let mut slice = match shared.engine.shard_slice(shard as usize, range) {
-        Ok(slice) => slice,
+    let (mut slice, mut epoch) = match shared.source.source_slice(shard as usize, range) {
+        Ok(Some(answer)) => answer,
+        Ok(None) => {
+            return error_message(
+                code::NOT_SYNCED,
+                format!("shard {shard} has no installed snapshot yet; ask a sibling replica"),
+            )
+        }
         Err(e) => return error_message(code::QUERY_FAILED, format!("query failed: {e}")),
     };
-    apply_tamper(&mut slice, shared.tamper.load(Ordering::Relaxed));
+    let tamper = shared.tamper.load(Ordering::Relaxed);
+    apply_tamper(&mut slice, tamper);
+    if tamper == TAMPER_STALE_EPOCH {
+        epoch = 0;
+    }
+    if !shared.cfg.service_delay.is_zero() {
+        // Serialize the artificial service time behind the gate — queries
+        // queue exactly as they would behind one saturated endpoint. No
+        // other lock is held here and none is taken under it.
+        let _lane = shared.gate.lock();
+        std::thread::sleep(shared.cfg.service_delay);
+    }
     shared.stats.queries.fetch_add(1, Ordering::Relaxed);
     let record_len = slice.records.first().map_or(0, Vec::len);
-    match slice_to_message(&slice, record_len) {
+    match slice_to_message(&slice, record_len, epoch) {
         Some(message) => message,
         None => error_message(
             code::RESPONSE_TOO_LARGE,
             "slice exceeds the frame payload cap; narrow the sub-query".to_string(),
+        ),
+    }
+}
+
+fn answer_status(shard: u32, shared: &Shared) -> Message {
+    if !served_here(shard, shared) {
+        return error_message(
+            code::SHARD_NOT_SERVED,
+            format!("shard {shard} is not served by this endpoint"),
+        );
+    }
+    match shared.source.served_epoch(shard as usize) {
+        Some(epoch) => Message::StatusInfo {
+            shard,
+            synced: true,
+            epoch,
+        },
+        None => Message::StatusInfo {
+            shard,
+            synced: false,
+            epoch: 0,
+        },
+    }
+}
+
+fn answer_fetch_snapshot(shard: u32, chunk: u32, shared: &Shared) -> Message {
+    if !served_here(shard, shared) {
+        return error_message(
+            code::SHARD_NOT_SERVED,
+            format!("shard {shard} is not served by this endpoint"),
+        );
+    }
+    // Re-exported per chunk rather than cached: simple, always-current, and
+    // safe — the client cross-checks every chunk's epoch and restarts the
+    // fetch if the primary committed between chunks.
+    let snapshot = match shared.source.export_snapshot(shard as usize) {
+        Ok(bytes) => bytes,
+        Err(e) => return replication_error(&e),
+    };
+    let epoch = match SnapshotHeader::parse(&snapshot) {
+        Ok(header) => header.epoch,
+        Err(e) => {
+            return error_message(
+                code::QUERY_FAILED,
+                format!("snapshot export unreadable: {e}"),
+            )
+        }
+    };
+    let chunks = snapshot.len().div_ceil(SNAPSHOT_CHUNK_SIZE).max(1) as u32;
+    if chunk >= chunks {
+        return error_message(
+            code::MALFORMED,
+            format!("chunk {chunk} out of range: this snapshot has {chunks} chunks"),
+        );
+    }
+    let at = chunk as usize * SNAPSHOT_CHUNK_SIZE;
+    let bytes = snapshot
+        .get(at..snapshot.len().min(at + SNAPSHOT_CHUNK_SIZE))
+        .unwrap_or(&[])
+        .to_vec();
+    shared.stats.snapshot_chunks.fetch_add(1, Ordering::Relaxed);
+    Message::SnapshotChunk {
+        shard,
+        chunk,
+        chunks,
+        epoch,
+        bytes,
+    }
+}
+
+fn answer_fetch_tail(shard: u32, from_epoch: u64, shared: &Shared) -> Message {
+    if !served_here(shard, shared) {
+        return error_message(
+            code::SHARD_NOT_SERVED,
+            format!("shard {shard} is not served by this endpoint"),
+        );
+    }
+    let bytes = match shared.source.export_tail(shard as usize, from_epoch) {
+        Ok(bytes) => bytes,
+        Err(e) => return replication_error(&e),
+    };
+    // 4-byte shard header + the framed bytes must fit one frame; a tail
+    // that outgrew the cap means the replica fell far behind — a snapshot
+    // is the right recovery, same as a rotated-away segment.
+    if bytes.len() + 4 + 2 > MAX_FRAME_PAYLOAD {
+        return error_message(
+            code::TAIL_UNAVAILABLE,
+            format!("tail from epoch {from_epoch} exceeds the frame cap; fetch a snapshot instead"),
+        );
+    }
+    shared.stats.tails.fetch_add(1, Ordering::Relaxed);
+    Message::Tail { shard, bytes }
+}
+
+/// Maps a replication-export failure to its typed wire error.
+fn replication_error(e: &StorageError) -> Message {
+    match e {
+        StorageError::TailUnavailable {
+            base_epoch,
+            from_epoch,
+        } => error_message(
+            code::TAIL_UNAVAILABLE,
+            format!(
+                "tail from epoch {from_epoch} unavailable: segment starts at epoch {base_epoch}; \
+                 fetch a snapshot"
+            ),
+        ),
+        StorageError::ReplicationUnsupported => error_message(
+            code::REPLICATION_UNSUPPORTED,
+            "this endpoint does not export snapshots or tails".to_string(),
+        ),
+        other => error_message(
+            code::QUERY_FAILED,
+            format!("replication export failed: {other}"),
         ),
     }
 }

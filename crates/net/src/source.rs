@@ -1,0 +1,91 @@
+//! What a shard endpoint serves from: the [`SliceSource`] seam between the
+//! wire front ([`crate::ShardServer`]) and whatever holds the shard data.
+//!
+//! PR 8 bolted the server directly onto a [`ShardedSaeEngine`]. Replication
+//! introduces a second kind of endpoint — a [`ReplicaSet`] serving an
+//! installed copy — and this trait is the refactor that lets one server
+//! front either: queries, served-epoch advertisement, and (for primaries)
+//! snapshot/WAL-tail export all go through it. Implementations must return
+//! *fully-owned* slices so no tree guard is ever live across a socket
+//! write.
+
+use sae_core::{ReplicaSet, ShardSlice, ShardedSaeEngine};
+use sae_storage::{StorageError, StorageResult};
+use sae_workload::RangeQuery;
+
+/// A source of verifiable shard slices, served behind a
+/// [`crate::ShardServer`].
+pub trait SliceSource: Send + Sync {
+    /// Answers shard `shard`'s clamped sub-query from the source's current
+    /// state, returning the slice plus the commit epoch it was served at
+    /// (0 for in-memory deployments). `Ok(None)` means the source knows
+    /// the shard but cannot serve it *yet* — a replica that has not
+    /// installed a snapshot — and maps to a typed `NOT_SYNCED` refusal.
+    fn source_slice(
+        &self,
+        shard: usize,
+        sub: &RangeQuery,
+    ) -> StorageResult<Option<(ShardSlice, u64)>>;
+
+    /// The commit epoch shard `shard` is currently served at, or `None`
+    /// when the source cannot serve it yet.
+    fn served_epoch(&self, shard: usize) -> Option<u64>;
+
+    /// Exports an epoch-stamped snapshot of shard `shard` for a syncing
+    /// replica. Sources that cannot export (in-memory engines, replicas
+    /// themselves) return [`StorageError::ReplicationUnsupported`].
+    fn export_snapshot(&self, shard: usize) -> StorageResult<Vec<u8>>;
+
+    /// Exports the WAL tail replaying every commit after `from_epoch`, or
+    /// [`StorageError::TailUnavailable`] when the segment no longer reaches
+    /// back that far, or [`StorageError::ReplicationUnsupported`] as above.
+    fn export_tail(&self, shard: usize, from_epoch: u64) -> StorageResult<Vec<u8>>;
+}
+
+impl SliceSource for ShardedSaeEngine {
+    fn source_slice(
+        &self,
+        shard: usize,
+        sub: &RangeQuery,
+    ) -> StorageResult<Option<(ShardSlice, u64)>> {
+        let slice = self.shard_slice(shard, sub)?;
+        Ok(Some((slice, self.shard_epoch(shard))))
+    }
+
+    fn served_epoch(&self, shard: usize) -> Option<u64> {
+        Some(self.shard_epoch(shard))
+    }
+
+    fn export_snapshot(&self, shard: usize) -> StorageResult<Vec<u8>> {
+        self.export_shard_snapshot(shard)
+    }
+
+    fn export_tail(&self, shard: usize, from_epoch: u64) -> StorageResult<Vec<u8>> {
+        self.export_wal_tail(shard, from_epoch)
+    }
+}
+
+impl SliceSource for ReplicaSet {
+    fn source_slice(
+        &self,
+        shard: usize,
+        sub: &RangeQuery,
+    ) -> StorageResult<Option<(ShardSlice, u64)>> {
+        self.replica_slice(shard, sub)
+    }
+
+    fn served_epoch(&self, shard: usize) -> Option<u64> {
+        self.epoch(shard)
+    }
+
+    // Replicas do not chain: a replica of a replica would add a sync hop
+    // with no trust benefit (verification is end-to-end anyway) while
+    // multiplying staleness. Syncers must talk to the primary.
+    fn export_snapshot(&self, _shard: usize) -> StorageResult<Vec<u8>> {
+        Err(StorageError::ReplicationUnsupported)
+    }
+
+    fn export_tail(&self, _shard: usize, _from_epoch: u64) -> StorageResult<Vec<u8>> {
+        Err(StorageError::ReplicationUnsupported)
+    }
+}

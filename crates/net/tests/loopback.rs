@@ -249,6 +249,75 @@ fn shutdown_joins_workers_and_frees_the_port() {
 }
 
 #[test]
+fn a_pooled_connection_survives_a_server_restart_on_the_same_port() {
+    let (engine, servers, mut client) = deploy(1);
+    let full = RangeQuery::new(0, DOMAIN);
+    // Pool the connection, then restart the server on the same port
+    // mid-session: the pooled socket is now a dead one.
+    assert!(client.query(&full).verdict.is_ok());
+    let addr = servers[0].local_addr();
+    for server in servers {
+        server.shutdown();
+    }
+    let revived = ShardServer::spawn(
+        Arc::clone(&engine),
+        vec![0],
+        addr,
+        ShardServerConfig::default(),
+    )
+    .unwrap();
+    // The one-retry redial absorbs the restart: same endpoint answers, no
+    // failover leg is charged and nothing gets demoted.
+    let outcome = client.query(&full);
+    assert!(outcome.verdict.is_ok(), "{:?}", outcome.verdict);
+    assert_eq!(outcome.failovers, 0, "{:?}", outcome.endpoint_errors);
+    assert!(client.demoted().is_empty());
+    revived.shutdown();
+}
+
+#[test]
+fn probe_health_re_admits_a_restarted_replica() {
+    let (engine, mut servers, mut client) = deploy(2);
+    let full = RangeQuery::new(0, DOMAIN);
+    assert!(client.query(&full).verdict.is_ok());
+
+    // Kill shard 1's only replica: the query demotes the endpoint and the
+    // verdict reports the withheld slice.
+    let dead = servers.remove(1);
+    let addr = dead.local_addr();
+    dead.shutdown();
+    let outcome = client.query(&full);
+    assert!(matches!(
+        outcome.verdict,
+        Err(ShardedVerifyError::MissingShardSlice { shard: 1 })
+    ));
+    assert_eq!(client.demoted().len(), 1);
+
+    // While it is down a probe keeps it demoted...
+    let report = client.probe_health();
+    assert_eq!(report.revived, 0);
+    assert_eq!(report.still_down, 1);
+
+    // ...and once it restarts on the same port, the next probe re-admits it
+    // without any manual intervention.
+    let revived = ShardServer::spawn(
+        Arc::clone(&engine),
+        vec![1],
+        addr,
+        ShardServerConfig::default(),
+    )
+    .unwrap();
+    let report = client.probe_health();
+    assert_eq!(report.revived, 1, "{report:?}");
+    assert!(client.demoted().is_empty());
+    assert!(client.query(&full).verdict.is_ok());
+    revived.shutdown();
+    for server in servers {
+        server.shutdown();
+    }
+}
+
+#[test]
 fn stats_count_queries_and_traffic() {
     let (_engine, servers, mut client) = deploy(2);
     for _ in 0..3 {

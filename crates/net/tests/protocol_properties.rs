@@ -23,15 +23,48 @@ fn arb_slice() -> impl Strategy<Value = Message> {
     (
         any::<u32>(),
         1usize..32,
+        any::<u64>(),
         prop::collection::vec(any::<u8>(), 0..6),
         prop::array::uniform20(any::<u8>()),
     )
-        .prop_map(|(shard, record_len, seeds, vt)| Message::Slice {
+        .prop_map(|(shard, record_len, epoch, seeds, vt)| Message::Slice {
             shard,
             record_len: record_len as u32,
+            epoch,
             records: seeds.iter().map(|&seed| vec![seed; record_len]).collect(),
             vt: Digest(vt),
         })
+}
+
+fn arb_status_info() -> impl Strategy<Value = Message> {
+    (any::<u32>(), any::<bool>(), any::<u64>()).prop_map(|(shard, synced, epoch)| {
+        Message::StatusInfo {
+            shard,
+            synced,
+            epoch,
+        }
+    })
+}
+
+fn arb_snapshot_chunk() -> impl Strategy<Value = Message> {
+    (
+        any::<u32>(),
+        1u32..8,
+        any::<u64>(),
+        prop::collection::vec(any::<u8>(), 0..48),
+    )
+        .prop_map(|(shard, chunks, epoch, bytes)| Message::SnapshotChunk {
+            shard,
+            chunk: chunks - 1,
+            chunks,
+            epoch,
+            bytes,
+        })
+}
+
+fn arb_tail() -> impl Strategy<Value = Message> {
+    (any::<u32>(), prop::collection::vec(any::<u8>(), 0..48))
+        .prop_map(|(shard, bytes)| Message::Tail { shard, bytes })
 }
 
 fn arb_error() -> impl Strategy<Value = Message> {
@@ -47,13 +80,45 @@ fn arb_error() -> impl Strategy<Value = Message> {
         })
 }
 
+/// One of the six replication-catalog messages, uniformly.
+fn arb_replication() -> impl Strategy<Value = Message> {
+    (
+        0u8..6,
+        (any::<u32>(), any::<u64>()),
+        arb_status_info(),
+        arb_snapshot_chunk(),
+        arb_tail(),
+    )
+        .prop_map(
+            |(pick, (shard, from_epoch), info, chunk, tail)| match pick {
+                0 => Message::Status { shard },
+                1 => info,
+                2 => Message::FetchSnapshot {
+                    shard,
+                    chunk: from_epoch as u32 % 64,
+                },
+                3 => chunk,
+                4 => Message::FetchTail { shard, from_epoch },
+                _ => tail,
+            },
+        )
+}
+
 fn arb_message() -> impl Strategy<Value = Message> {
-    (0u8..4, arb_query(), arb_slice(), arb_error()).prop_map(|(pick, q, s, e)| match pick {
-        0 => q,
-        1 => s,
-        2 => e,
-        _ => Message::Ping,
-    })
+    (
+        0u8..5,
+        arb_query(),
+        arb_slice(),
+        arb_error(),
+        arb_replication(),
+    )
+        .prop_map(|(pick, q, s, e, r)| match pick {
+            0 => q,
+            1 => s,
+            2 => e,
+            3 => r,
+            _ => Message::Ping,
+        })
 }
 
 proptest! {

@@ -1,0 +1,184 @@
+//! Property-based tests for the replication byte streams — the snapshot
+//! and WAL-tail payloads a replica installs from an *untrusted* primary.
+//!
+//! The promise mirrors `protocol_properties.rs` one layer up: whatever
+//! bytes arrive claiming to be a snapshot or a tail, installation never
+//! panics, never serves a half-built copy, and never regresses an epoch.
+//! Truncation at any byte and any single-bit flip must be refused outright
+//! (snapshots) or at worst apply a shorter *committed* prefix (tails —
+//! the same longest-valid-prefix rule crash recovery uses).
+
+use proptest::prelude::*;
+use sae_core::{ReplicaSet, ShardLayout, ShardedSaeEngine};
+use sae_crypto::HashAlgorithm;
+use sae_workload::{DatasetSpec, KeyDistribution, RangeQuery, Record};
+use std::sync::OnceLock;
+
+const DOMAIN: u32 = 40_000;
+const RECORD_SIZE: usize = 48;
+
+/// Exported replication byte streams from one small durable deployment,
+/// built once: `snap1` at the bootstrap epoch, then five committed inserts,
+/// then `snap2` and the WAL tail spanning `epoch1 → epoch2`.
+struct Fixture {
+    layout: ShardLayout,
+    alg: HashAlgorithm,
+    snap1: Vec<u8>,
+    epoch1: u64,
+    snap2: Vec<u8>,
+    epoch2: u64,
+    tail: Vec<u8>,
+    records_at_2: usize,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let dir = tempfile::tempdir().unwrap();
+        let dataset = DatasetSpec {
+            cardinality: 120,
+            distribution: KeyDistribution::Uniform { domain: DOMAIN },
+            record_size: RECORD_SIZE,
+            seed: 9,
+        }
+        .generate();
+        let engine =
+            ShardedSaeEngine::create_dir(dir.path(), &dataset, HashAlgorithm::Sha1, 1, None)
+                .unwrap();
+        let snap1 = engine.export_shard_snapshot(0).unwrap();
+        let epoch1 = engine.shard_epoch(0);
+        for i in 0..5u64 {
+            let key = (i * 5_003 % DOMAIN as u64) as u32;
+            engine
+                .insert(&Record::with_size(800_000 + i, key, RECORD_SIZE))
+                .unwrap();
+        }
+        let snap2 = engine.export_shard_snapshot(0).unwrap();
+        let epoch2 = engine.shard_epoch(0);
+        let tail = engine.export_wal_tail(0, epoch1).unwrap();
+        let out = engine.query(&RangeQuery::new(0, DOMAIN)).unwrap();
+        let records_at_2 = out.slices.iter().map(|s| s.records.len()).sum();
+        Fixture {
+            layout: engine.layout().clone(),
+            alg: engine.client().algorithm(),
+            snap1,
+            epoch1,
+            snap2,
+            epoch2,
+            tail,
+            records_at_2,
+        }
+    })
+}
+
+fn fresh_set() -> ReplicaSet {
+    let f = fixture();
+    ReplicaSet::new(f.layout.clone(), f.alg, RECORD_SIZE)
+}
+
+proptest! {
+    /// The untouched streams always work, from any starting point: snapshot
+    /// installs at its stamped epoch and the tail advances snap1 to snap2.
+    #[test]
+    fn pristine_snapshots_install_and_tails_advance(via_tail in any::<bool>()) {
+        let f = fixture();
+        let set = fresh_set();
+        if via_tail {
+            prop_assert_eq!(set.install_snapshot(0, &f.snap1).unwrap(), f.epoch1);
+            prop_assert_eq!(set.apply_wal_tail(0, &f.tail).unwrap(), f.epoch2);
+        } else {
+            prop_assert_eq!(set.install_snapshot(0, &f.snap2).unwrap(), f.epoch2);
+        }
+        let (slice, epoch) = set
+            .replica_slice(0, &RangeQuery::new(0, DOMAIN))
+            .unwrap()
+            .unwrap();
+        prop_assert_eq!(epoch, f.epoch2);
+        prop_assert_eq!(slice.records.len(), f.records_at_2);
+    }
+
+    /// A snapshot truncated at *any* byte is refused outright and the slot
+    /// stays unsynced — a crash mid-transfer can never leave a replica
+    /// serving a half-installed copy.
+    #[test]
+    fn truncation_at_any_byte_never_installs(cut in any::<usize>()) {
+        let f = fixture();
+        let cut = cut % f.snap2.len(); // strictly shorter than the full snapshot
+        let set = fresh_set();
+        prop_assert!(set.install_snapshot(0, &f.snap2[..cut]).is_err());
+        prop_assert_eq!(set.epoch(0), None);
+        prop_assert!(set.replica_slice(0, &RangeQuery::new(0, DOMAIN)).unwrap().is_none());
+    }
+
+    /// Any single-bit flip anywhere in a snapshot — header or WAL body — is
+    /// caught by the magic/identity checks or the frame CRCs.
+    #[test]
+    fn any_single_bit_flip_is_rejected(at in any::<usize>(), bit in 0u8..8) {
+        let f = fixture();
+        let mut bytes = f.snap2.clone();
+        let at = at % bytes.len();
+        bytes[at] ^= 1 << bit;
+        let set = fresh_set();
+        prop_assert!(set.install_snapshot(0, &bytes).is_err());
+        prop_assert_eq!(set.epoch(0), None);
+    }
+
+    /// Damaged tails never panic and never over-advance: truncation or a
+    /// bit flip can at worst shorten the stream to a valid committed prefix
+    /// (exactly the crash-recovery rule), so a successful apply lands
+    /// between the installed epoch and the primary's.
+    #[test]
+    fn damaged_tails_apply_at_most_a_committed_prefix(
+        cut in any::<usize>(),
+        flip in any::<usize>(),
+        bit in 0u8..8,
+        mode in any::<bool>(),
+    ) {
+        let f = fixture();
+        let set = fresh_set();
+        set.install_snapshot(0, &f.snap1).unwrap();
+        let mut bytes = f.tail.clone();
+        if mode {
+            bytes.truncate(cut % bytes.len());
+        } else {
+            let at = flip % bytes.len();
+            bytes[at] ^= 1 << bit;
+        }
+        match set.apply_wal_tail(0, &bytes) {
+            Ok(epoch) => {
+                prop_assert!(epoch >= f.epoch1 && epoch <= f.epoch2, "epoch {epoch}");
+                prop_assert_eq!(set.epoch(0), Some(epoch));
+            }
+            Err(_) => {
+                // Refused during validation (state untouched) or failed
+                // mid-apply (slot left unsynced) — either way the replica
+                // never serves bytes it cannot vouch for, and a snapshot
+                // re-seeds it.
+                let epoch = set.epoch(0);
+                prop_assert!(epoch == Some(f.epoch1) || epoch.is_none(), "{epoch:?}");
+                set.install_snapshot(0, &f.snap2).unwrap();
+                prop_assert_eq!(set.epoch(0), Some(f.epoch2));
+            }
+        }
+    }
+
+    /// Epoch regressions are refused no matter how the stale state arrives:
+    /// an older snapshot over a newer one, installed directly or reached
+    /// via the tail.
+    #[test]
+    fn epoch_regressions_are_refused(via_tail in any::<bool>()) {
+        let f = fixture();
+        let set = fresh_set();
+        if via_tail {
+            set.install_snapshot(0, &f.snap1).unwrap();
+            set.apply_wal_tail(0, &f.tail).unwrap();
+        } else {
+            set.install_snapshot(0, &f.snap2).unwrap();
+        }
+        let err = set.install_snapshot(0, &f.snap1).unwrap_err();
+        prop_assert!(err.to_string().contains("regresses"), "{}", err);
+        prop_assert_eq!(set.epoch(0), Some(f.epoch2));
+        // The newest state is still idempotently re-installable.
+        prop_assert_eq!(set.install_snapshot(0, &f.snap2).unwrap(), f.epoch2);
+    }
+}

@@ -64,6 +64,18 @@ pub enum StorageError {
         /// Commit epoch found in the pager file's header.
         file_epoch: u64,
     },
+    /// A replica asked for the WAL tail from an epoch the primary's current
+    /// segment no longer covers (a checkpoint rotated it away). The replica
+    /// must fall back to a full snapshot.
+    TailUnavailable {
+        /// First epoch the primary's current segment can replay from.
+        base_epoch: u64,
+        /// Epoch the replica asked to stream from.
+        from_epoch: u64,
+    },
+    /// Replication export was requested from a deployment that has no
+    /// durable state to export (e.g. a purely in-memory engine).
+    ReplicationUnsupported,
     /// Underlying I/O failure.
     Io(io::Error),
 }
@@ -109,6 +121,17 @@ impl fmt::Display for StorageError {
                 "stale manifest: shard {shard}'s pager file is at commit epoch {file_epoch} \
                  but the manifest records epoch {manifest_epoch}"
             ),
+            StorageError::TailUnavailable {
+                base_epoch,
+                from_epoch,
+            } => write!(
+                f,
+                "WAL tail unavailable from epoch {from_epoch}: the current segment starts at \
+                 epoch {base_epoch}; a full snapshot is required"
+            ),
+            StorageError::ReplicationUnsupported => {
+                write!(f, "replication export requires a durable deployment")
+            }
             StorageError::Io(e) => write!(f, "I/O error: {e}"),
         }
     }
@@ -160,6 +183,15 @@ mod tests {
         assert!(e.to_string().contains("stale manifest"));
         assert!(e.to_string().contains("shard 3"));
         assert!(e.to_string().contains("epoch 5"));
+        let e = StorageError::TailUnavailable {
+            base_epoch: 9,
+            from_epoch: 6,
+        };
+        assert!(e.to_string().contains("epoch 6"));
+        assert!(e.to_string().contains("epoch 9"));
+        assert!(e.to_string().contains("snapshot"));
+        let e = StorageError::ReplicationUnsupported;
+        assert!(e.to_string().contains("durable"));
     }
 
     #[test]

@@ -56,4 +56,4 @@ pub use manifest::{
 pub use page::{Page, PageId, PAGE_SIZE};
 pub use pager::{FilePager, MemPager, PageStore, SharedPageStore};
 pub use stats::{CostModel, IoSnapshot, IoStats};
-pub use wal::{scan_log, WalRecord, WalSegment, WalTx, WalWriter};
+pub use wal::{encode_records, scan_log, WalRecord, WalSegment, WalTx, WalWriter};

@@ -235,6 +235,17 @@ pub fn encode_frame(record: &WalRecord) -> Vec<u8> {
     out
 }
 
+/// Encodes `records` as one contiguous run of frames — the byte layout a
+/// [`scan_log`] of the result decodes back. Used by the replication layer
+/// to synthesize snapshot and WAL-tail streams in the exact on-disk format.
+pub fn encode_records(records: &[WalRecord]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for record in records {
+        out.extend_from_slice(&encode_frame(record));
+    }
+    out
+}
+
 /// Decodes the frame at the front of `bytes`, returning the record and the
 /// frame's total length. `None` for anything invalid: a short header, a
 /// zero or oversized length, a truncated payload, a CRC mismatch, or an
@@ -446,6 +457,21 @@ impl WalWriter {
         self.stats.record_sync();
         self.stats.record_wal_sync();
         Ok(())
+    }
+
+    /// Reads the current segment file back as one byte image, serialized
+    /// against concurrent appends and rotations (both hold the same lock),
+    /// so the image is always a frame-aligned prefix of some segment —
+    /// exactly what a replica's `scan_log` expects. Refuses a poisoned
+    /// writer: the file tail is in an unknown state and must not be shipped.
+    pub fn segment_image(&self) -> StorageResult<Vec<u8>> {
+        let inner = self.wal.lock();
+        if let Some(msg) = &inner.poisoned {
+            return Err(StorageError::Io(std::io::Error::other(format!(
+                "WAL writer poisoned by an earlier append failure: {msg}"
+            ))));
+        }
+        Ok(std::fs::read(&self.path)?)
     }
 
     /// Truncates the log to a fresh segment at `base_epoch` — called by a
@@ -667,6 +693,40 @@ mod tests {
         let (_, txs) = scan_log(&std::fs::read(&path).unwrap());
         assert_eq!(txs.len(), 1);
         assert_eq!(txs[0].epoch, 5);
+    }
+
+    #[test]
+    fn encode_records_concatenates_scannable_frames() {
+        let records = vec![
+            WalRecord::Seg { base_epoch: 7 },
+            WalRecord::Begin { epoch: 8 },
+            WalRecord::Commit { meta: meta(8) },
+        ];
+        let bytes = encode_records(&records);
+        let (seg, txs) = scan_log(&bytes);
+        assert_eq!(seg, Some(WalSegment { base_epoch: 7 }));
+        assert_eq!(txs.len(), 1);
+        assert_eq!(txs[0].epoch, 8);
+    }
+
+    #[test]
+    fn segment_image_reflects_appends_and_rotation() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join(wal_file_name(2));
+        let wal = WalWriter::create(&path, 1, IoStats::new_shared()).unwrap();
+        wal.append(&[
+            WalRecord::Begin { epoch: 2 },
+            WalRecord::Commit { meta: meta(2) },
+        ])
+        .unwrap();
+        let image = wal.segment_image().unwrap();
+        let (seg, txs) = scan_log(&image);
+        assert_eq!(seg, Some(WalSegment { base_epoch: 1 }));
+        assert_eq!(txs.len(), 1);
+        wal.rotate(2).unwrap();
+        let (seg, txs) = scan_log(&wal.segment_image().unwrap());
+        assert_eq!(seg, Some(WalSegment { base_epoch: 2 }));
+        assert!(txs.is_empty());
     }
 
     #[test]
