@@ -17,17 +17,17 @@
 
 use sae_bench::{
     print_ablation_memory, print_ablation_scan, print_ablation_updates, print_durability,
-    print_fig5, print_fig6, print_fig7, print_fig8, print_group_commit, print_net, print_replicas,
-    print_sharded_throughput, print_throughput, print_wal, report_to_json, rows_to_json,
-    run_ablation_memory, run_ablation_scan, run_ablation_updates, run_comparison, run_durability,
-    run_group_commit, run_net, run_replicas, run_sharded_throughput, run_throughput, run_wal,
-    DurabilityConfig, ExperimentConfig, GroupCommitConfig, NetConfig, ReplicasConfig,
-    ShardedThroughputConfig, ThroughputConfig, WalConfig,
+    print_fanout, print_fig5, print_fig6, print_fig7, print_fig8, print_group_commit, print_net,
+    print_replicas, print_sharded_throughput, print_throughput, print_wal, report_to_json,
+    rows_to_json, run_ablation_memory, run_ablation_scan, run_ablation_updates, run_comparison,
+    run_durability, run_fanout, run_group_commit, run_net, run_replicas, run_sharded_throughput,
+    run_throughput, run_wal, DurabilityConfig, ExperimentConfig, FanoutConfig, GroupCommitConfig,
+    NetConfig, ReplicasConfig, ShardedThroughputConfig, ThroughputConfig, WalConfig,
 };
 
 const USAGE: &str = "usage: experiments \
      <fig5|fig6|fig7|fig8|all|ablation-scan|ablation-updates|ablation-memory|throughput\
-|sharded-throughput|durability|group-commit|wal|net|replicas> \
+|sharded-throughput|durability|group-commit|wal|net|replicas|fanout> \
      [--full-scale] [--smoke] [--zipf] [--json <path>]
 
 exit codes (shared convention with sae-analyzer):
@@ -62,9 +62,8 @@ impl Cli {
                 &["--full-scale", "--smoke"]
             }
             "throughput" => &["--smoke", "--zipf", "--json"],
-            "sharded-throughput" | "durability" | "group-commit" | "wal" | "net" | "replicas" => {
-                &["--smoke", "--json"]
-            }
+            "sharded-throughput" | "durability" | "group-commit" | "wal" | "net" | "replicas"
+            | "fanout" => &["--smoke", "--json"],
             other => return Err(format!("unknown command `{other}`")),
         };
         let mut cli = Cli {
@@ -359,6 +358,32 @@ fn run(cli: &Cli) -> Result<bool, String> {
             rows.iter()
                 .all(|r| r.all_verified && r.byzantine_routed_around && r.stale_routed_around)
         }
+        "fanout" => {
+            let fo_config = if cli.smoke {
+                FanoutConfig::smoke()
+            } else {
+                FanoutConfig::default()
+            };
+            println!(
+                "fanout experiment — n={}, {} shard servers at {} µs gated service delay, {} \
+                 span-all-shards queries per dispatch mode; hedge leg: fast {} µs vs slow {} µs \
+                 replica, {} µs hedge window, {} queries per client; every slice re-verified",
+                fo_config.cardinality,
+                fo_config.shards,
+                fo_config.service_delay_micros,
+                fo_config.fanout_queries,
+                fo_config.fast_delay_micros,
+                fo_config.slow_delay_micros,
+                fo_config.hedge_timeout_micros,
+                fo_config.hedge_queries
+            );
+            let rows = run_fanout(&fo_config);
+            print_fanout(&rows);
+            if let Some(path) = &cli.json_path {
+                write_json(path, report_to_json(&rows))?;
+            }
+            rows.iter().all(|r| r.all_verified)
+        }
         "ablation-scan" => {
             print_ablation_scan(&run_ablation_scan(&config));
             true
@@ -409,5 +434,11 @@ mod tests {
         assert_eq!(cli.json_path.as_deref(), Some("out.json"));
         let cli = Cli::parse(&strings(&["throughput", "--zipf"])).unwrap();
         assert!(cli.zipf);
+        let cli = Cli::parse(&strings(&["fanout", "--smoke", "--json", "fo.json"])).unwrap();
+        assert_eq!(cli.command, "fanout");
+        assert!(cli.smoke);
+        assert_eq!(cli.json_path.as_deref(), Some("fo.json"));
+        // --full-scale exists, but `fanout` does not consume it.
+        assert!(Cli::parse(&strings(&["fanout", "--full-scale"])).is_err());
     }
 }

@@ -1804,6 +1804,270 @@ pub fn run_replicas(config: &ReplicasConfig, dir: &std::path::Path) -> Vec<Repli
     rows
 }
 
+/// Configuration of the E16 fan-out experiment.
+#[derive(Clone, Debug)]
+pub struct FanoutConfig {
+    /// Dataset cardinality.
+    pub cardinality: usize,
+    /// Encoded record size in bytes.
+    pub record_size: usize,
+    /// Shard servers in the fan-out deployment (one endpoint per shard).
+    pub shards: usize,
+    /// Measured span-all-shards queries per fan-out leg.
+    pub fanout_queries: usize,
+    /// Simulated per-query service time on every fan-out server — the wait
+    /// the concurrent dispatch must overlap.
+    pub service_delay_micros: u64,
+    /// Measured queries per hedge leg.
+    pub hedge_queries: usize,
+    /// Service time of the fast replica in the hedge deployment.
+    pub fast_delay_micros: u64,
+    /// Service time of the deliberately slow replica.
+    pub slow_delay_micros: u64,
+    /// The hedged client's `hedge_timeout`.
+    pub hedge_timeout_micros: u64,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for FanoutConfig {
+    fn default() -> Self {
+        // The dataset is kept deliberately small (and the records short):
+        // E16 measures how dispatch overlaps *service waits*, so the
+        // serial per-query cost — scan, transfer, client-side verify —
+        // must stay well below the simulated delays or it compresses the
+        // ratio toward 1 regardless of how well the fan-out overlaps.
+        FanoutConfig {
+            cardinality: 2_400,
+            record_size: 64,
+            shards: 4,
+            fanout_queries: 40,
+            service_delay_micros: 5_000,
+            hedge_queries: 40,
+            fast_delay_micros: 1_000,
+            slow_delay_micros: 80_000,
+            hedge_timeout_micros: 10_000,
+            seed: 2016,
+        }
+    }
+}
+
+impl FanoutConfig {
+    /// A fast configuration for smoke tests and the CI bench gate.
+    pub fn smoke() -> Self {
+        FanoutConfig {
+            cardinality: 1_200,
+            fanout_queries: 24,
+            hedge_queries: 24,
+            ..Default::default()
+        }
+    }
+}
+
+/// One leg's measurement of the E16 fan-out experiment.
+#[derive(Clone, Debug, Serialize)]
+pub struct FanoutRow {
+    /// `sequential` / `concurrent` (fan-out legs) or `unhedged` / `hedged`
+    /// (hedge legs).
+    pub leg: String,
+    /// Shards in the deployment.
+    pub shards: usize,
+    /// Replica endpoints in the topology.
+    pub endpoints: usize,
+    /// Measured queries (after warm-up).
+    pub queries: u64,
+    /// Mean end-to-end latency (scatter + gather + verify), ms.
+    pub mean_ms: f64,
+    /// Median end-to-end latency, ms.
+    pub p50_ms: f64,
+    /// 95th-percentile end-to-end latency, ms.
+    pub p95_ms: f64,
+    /// 99th-percentile end-to-end latency, ms.
+    pub p99_ms: f64,
+    /// Latency relative to the leg's baseline: p50 vs `sequential` for the
+    /// `concurrent` leg, p99 vs `unhedged` for the `hedged` leg, 1.0 for
+    /// the baselines themselves.
+    pub ratio_vs_baseline: f64,
+    /// Hedge legs raced across the measured queries.
+    pub hedges: u64,
+    /// Failover hops across the measured queries.
+    pub failovers: u64,
+    /// Every measured query verified via the shared `verify_slices` with no
+    /// endpoint errors.
+    pub all_verified: bool,
+}
+
+/// Drives `queries` measured full-domain queries (after two warm-ups that
+/// also populate the connection pool) and folds them into a [`FanoutRow`].
+fn fanout_leg(
+    leg: &str,
+    engine: &ShardedSaeEngine,
+    topology: Topology,
+    cfg: NetClientConfig,
+    full: &RangeQuery,
+    queries: usize,
+) -> FanoutRow {
+    let endpoints = topology.max_group();
+    let mut client =
+        NetClient::for_engine_topology(engine, topology, cfg).expect("topology covers the layout");
+    let mut all_verified = true;
+    for _ in 0..2 {
+        all_verified &= client.query(full).verdict.is_ok();
+    }
+    let mut latencies_ms = Vec::with_capacity(queries);
+    let mut hedges = 0u64;
+    let mut failovers = 0u64;
+    for _ in 0..queries {
+        let outcome = client.query(full);
+        all_verified &= outcome.verdict.is_ok() && outcome.endpoint_errors.is_empty();
+        latencies_ms.push(outcome.elapsed_ms);
+        hedges += outcome.hedges;
+        failovers += outcome.failovers;
+    }
+    let mean_ms = latencies_ms.iter().sum::<f64>() / latencies_ms.len().max(1) as f64;
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("latency is finite"));
+    FanoutRow {
+        leg: leg.to_string(),
+        shards: engine.shard_count(),
+        endpoints,
+        queries: queries as u64,
+        mean_ms,
+        p50_ms: percentile(&latencies_ms, 0.50),
+        p95_ms: percentile(&latencies_ms, 0.95),
+        p99_ms: percentile(&latencies_ms, 0.99),
+        ratio_vs_baseline: 1.0, // filled in once the leg's baseline is known
+        hedges,
+        failovers,
+        all_verified,
+    }
+}
+
+/// Experiment E16: the concurrent scatter phase and true hedged reads.
+///
+/// Fan-out legs: one delayed `ShardServer` per shard (every query waits
+/// `service_delay` at every endpoint), span-all-shards queries dispatched
+/// sequentially vs concurrently by the *same* `NetClient` code — the
+/// concurrent leg must pay roughly the max of the per-shard waits instead
+/// of their sum. Hedge legs: one shard behind a fast and a deliberately
+/// slow replica; the round-robin cursor makes half the unhedged queries pay
+/// the slow replica's full service time, while the hedged client races the
+/// fast sibling after `hedge_timeout` and takes the first valid slice —
+/// p99 must drop. Every slice on every leg passes the shared
+/// `verify_slices`.
+pub fn run_fanout(config: &FanoutConfig) -> Vec<FanoutRow> {
+    let dataset = DatasetSpec {
+        cardinality: config.cardinality,
+        distribution: KeyDistribution::unf(),
+        record_size: config.record_size,
+        seed: config.seed,
+    }
+    .generate();
+    let domain = KeyDistribution::unf().domain();
+    let full = RangeQuery::new(0, domain);
+
+    // --- Fan-out legs: sequential vs concurrent dispatch over one delayed
+    // server per shard.
+    let engine = Arc::new(
+        ShardedSaeEngine::build_in_memory(&dataset, HashAlgorithm::Sha1, config.shards)
+            .expect("build sharded engine"),
+    );
+    let servers: Vec<ShardServer> = (0..config.shards)
+        .map(|shard| {
+            ShardServer::spawn(
+                Arc::clone(&engine),
+                vec![shard],
+                "127.0.0.1:0",
+                ShardServerConfig {
+                    service_delay: std::time::Duration::from_micros(config.service_delay_micros),
+                    ..Default::default()
+                },
+            )
+            .expect("spawn shard server on loopback")
+        })
+        .collect();
+    let endpoints: Vec<String> = servers.iter().map(|s| s.local_addr().to_string()).collect();
+    let sequential = fanout_leg(
+        "sequential",
+        &engine,
+        Topology::single(endpoints.clone()),
+        NetClientConfig {
+            sequential_fanout: true,
+            ..Default::default()
+        },
+        &full,
+        config.fanout_queries,
+    );
+    let mut concurrent = fanout_leg(
+        "concurrent",
+        &engine,
+        Topology::single(endpoints),
+        NetClientConfig::default(),
+        &full,
+        config.fanout_queries,
+    );
+    concurrent.ratio_vs_baseline = if sequential.p50_ms > 0.0 {
+        concurrent.p50_ms / sequential.p50_ms
+    } else {
+        0.0
+    };
+    for server in servers {
+        server.shutdown();
+    }
+
+    // --- Hedge legs: one shard behind a fast and a deliberately slow
+    // replica; round-robin alternates which one a query prefers.
+    let hedge_engine = Arc::new(
+        ShardedSaeEngine::build_in_memory(&dataset, HashAlgorithm::Sha1, 1)
+            .expect("build single-shard engine"),
+    );
+    let spawn_delayed = |delay_micros: u64| {
+        ShardServer::spawn(
+            Arc::clone(&hedge_engine),
+            vec![0],
+            "127.0.0.1:0",
+            ShardServerConfig {
+                service_delay: std::time::Duration::from_micros(delay_micros),
+                ..Default::default()
+            },
+        )
+        .expect("spawn replica server on loopback")
+    };
+    let fast = spawn_delayed(config.fast_delay_micros);
+    let slow = spawn_delayed(config.slow_delay_micros);
+    let group = vec![fast.local_addr().to_string(), slow.local_addr().to_string()];
+    let topology = Topology::replicated(vec![group]).expect("non-empty replica group");
+    let unhedged = fanout_leg(
+        "unhedged",
+        &hedge_engine,
+        topology.clone(),
+        NetClientConfig::default(),
+        &full,
+        config.hedge_queries,
+    );
+    let mut hedged = fanout_leg(
+        "hedged",
+        &hedge_engine,
+        topology,
+        NetClientConfig {
+            hedge_timeout: Some(std::time::Duration::from_micros(
+                config.hedge_timeout_micros,
+            )),
+            ..Default::default()
+        },
+        &full,
+        config.hedge_queries,
+    );
+    hedged.ratio_vs_baseline = if unhedged.p99_ms > 0.0 {
+        hedged.p99_ms / unhedged.p99_ms
+    } else {
+        0.0
+    };
+    fast.shutdown();
+    slow.shutdown();
+
+    vec![sequential, concurrent, unhedged, hedged]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2027,6 +2291,47 @@ mod tests {
             three.speedup > 1.5,
             "1→3 replica speedup {:.2} (rows {rows:?})",
             three.speedup
+        );
+    }
+
+    /// Acceptance: the concurrent fan-out must overlap the per-shard
+    /// service waits (concurrent p50 clearly below sequential p50), and the
+    /// hedged client must cut the tail a slow replica inflicts (hedged p99
+    /// below unhedged p99, with hedges actually fired) — every leg fully
+    /// verified. Delays are large relative to scheduler noise so the test
+    /// is robust in debug builds.
+    #[test]
+    fn fanout_overlaps_shard_waits_and_hedges_the_slow_replica() {
+        let config = FanoutConfig {
+            cardinality: 2_000,
+            fanout_queries: 12,
+            hedge_queries: 12,
+            service_delay_micros: 20_000,
+            fast_delay_micros: 2_000,
+            slow_delay_micros: 80_000,
+            hedge_timeout_micros: 10_000,
+            ..FanoutConfig::smoke()
+        };
+        let rows = run_fanout(&config);
+        assert_eq!(rows.len(), 4);
+        assert!(rows.iter().all(|r| r.all_verified), "{rows:?}");
+        let seq = rows.iter().find(|r| r.leg == "sequential").unwrap();
+        let conc = rows.iter().find(|r| r.leg == "concurrent").unwrap();
+        assert!(
+            conc.p50_ms < 0.75 * seq.p50_ms,
+            "concurrent p50 {:.1} ms vs sequential {:.1} ms",
+            conc.p50_ms,
+            seq.p50_ms
+        );
+        let unhedged = rows.iter().find(|r| r.leg == "unhedged").unwrap();
+        let hedged = rows.iter().find(|r| r.leg == "hedged").unwrap();
+        assert_eq!(unhedged.hedges, 0, "{unhedged:?}");
+        assert!(hedged.hedges > 0, "{hedged:?}");
+        assert!(
+            hedged.p99_ms < unhedged.p99_ms,
+            "hedged p99 {:.1} ms vs unhedged {:.1} ms",
+            hedged.p99_ms,
+            unhedged.p99_ms
         );
     }
 

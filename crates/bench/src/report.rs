@@ -1,8 +1,8 @@
 //! Pretty-printers that lay the measured rows out like the paper's figures.
 
 use crate::experiments::{
-    AblationRow, ComparisonRow, DurabilityRow, GroupCommitRow, MemoryAblationRow, NetRow,
-    ReplicaRow, ShardedThroughputRow, ThroughputRow, UpdateRow, WalRow,
+    AblationRow, ComparisonRow, DurabilityRow, FanoutRow, GroupCommitRow, MemoryAblationRow,
+    NetRow, ReplicaRow, ShardedThroughputRow, ThroughputRow, UpdateRow, WalRow,
 };
 use serde::Serialize;
 
@@ -384,6 +384,43 @@ pub fn print_replicas(rows: &[ReplicaRow]) {
             } else {
                 "MISSED"
             }
+        );
+    }
+}
+
+/// Prints the E16 fan-out and hedge table.
+pub fn print_fanout(rows: &[FanoutRow]) {
+    header("Experiment E16 — concurrent fan-out and hedged reads: latency by dispatch mode");
+    println!(
+        "  {:>10} {:>6} {:>9} {:>7} {:>9} {:>9} {:>9} {:>9} {:>7} {:>6} {:>9} {:>8}",
+        "leg",
+        "shards",
+        "endpoints",
+        "queries",
+        "mean ms",
+        "p50 ms",
+        "p95 ms",
+        "p99 ms",
+        "ratio",
+        "hedges",
+        "failovers",
+        "verified"
+    );
+    for r in rows {
+        println!(
+            "  {:>10} {:>6} {:>9} {:>7} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>6.2}x {:>6} {:>9} {:>8}",
+            r.leg,
+            r.shards,
+            r.endpoints,
+            r.queries,
+            r.mean_ms,
+            r.p50_ms,
+            r.p95_ms,
+            r.p99_ms,
+            r.ratio_vs_baseline,
+            r.hedges,
+            r.failovers,
+            if r.all_verified { "all" } else { "NO" }
         );
     }
 }

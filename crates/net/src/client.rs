@@ -1,4 +1,5 @@
-//! The verifying scatter-gather client with replica failover.
+//! The verifying scatter-gather client with concurrent fan-out, replica
+//! failover, and true hedged reads.
 //!
 //! [`NetClient`] is the networked twin of the in-process
 //! [`sae_core::ShardedSaeEngine::query`] path. Given a published
@@ -9,13 +10,23 @@
 //! *same* function the in-process engine runs. There is no separate, weaker
 //! "network verification".
 //!
+//! The scatter phase actually scatters: `query` dispatches one fetch job
+//! per overlapping shard onto a small reusable worker pool and gathers the
+//! slices over a channel, so a query spanning S shards pays roughly the
+//! *max* of the per-shard round trips instead of their sum. Only the stitch
+//! and the `verify_slices` verdict run on the caller thread. Failover and
+//! stale-refetch legs re-dispatch concurrently the same way.
+//!
 //! Replicas change *availability*, never *trust*: every endpoint is equally
 //! untrusted, so failover needs no handshake — a replica that is down,
-//! slow (hedged reads), returns an error, advertises an epoch below the
-//! client's verified high-water mark, or doctors its slice is **demoted**
-//! and the sub-query re-issued to a sibling, whose slice faces the exact
-//! same token verification. Demoted endpoints are retried by
-//! [`NetClient::probe_health`] (optionally auto-run every
+//! returns an error, advertises an epoch below the client's verified
+//! high-water mark, or doctors its slice is **demoted** and the sub-query
+//! re-issued to a sibling, whose slice faces the exact same token
+//! verification. A merely *slow* replica is hedged, not demoted: with
+//! [`NetClientConfig::hedge_timeout`] set, a sibling is raced after the
+//! window expires and the first valid slice wins, while the loser drains in
+//! the background and returns its connection to the pool. Demoted endpoints
+//! are retried by [`NetClient::probe_health`] (optionally auto-run every
 //! [`NetClientConfig::probe_every`] queries) so a restarted replica
 //! re-admits itself.
 //!
@@ -27,11 +38,13 @@
 
 use crate::frame::{read_frame, write_frame, Message, NetError, NetResult};
 use crate::topology::Topology;
+use parking_lot::Mutex;
 use sae_core::ShardedVerifyError;
 use sae_core::{verify_slices, SaeClient, ShardLayout, ShardSlice, ShardedSaeEngine};
 use sae_workload::RangeQuery;
 use std::collections::{HashMap, HashSet};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
 /// Timeouts and failover knobs for every connection a [`NetClient`] opens.
@@ -43,17 +56,22 @@ pub struct NetClientConfig {
     pub read_timeout: Duration,
     /// Bound on writing a request frame.
     pub write_timeout: Duration,
-    /// Hedged reads: when a shard has sibling replicas, its *first* fetch
-    /// attempt waits only this long before the slow replica is demoted and
-    /// the sub-query re-issued to a sibling. `None` (default) disables
-    /// hedging; retry attempts always get the full [`read_timeout`].
-    ///
-    /// [`read_timeout`]: NetClientConfig::read_timeout
+    /// True hedged reads: when a shard has sibling replicas and its first
+    /// leg has produced no response after this window, a second leg races
+    /// the next untried sibling and the **first valid slice wins**. The
+    /// loser is drained in the background (its pooled connection survives)
+    /// and is *not* demoted for being slow — only for answering badly.
+    /// `None` (the default) disables hedging.
     pub hedge_timeout: Option<Duration>,
     /// Run [`NetClient::probe_health`] automatically every this many
     /// queries, re-admitting demoted replicas that answer a `Ping` again.
     /// 0 (the default) disables auto-probing.
     pub probe_every: usize,
+    /// Dispatch per-shard fetch jobs one at a time on the caller thread
+    /// instead of concurrently on the worker pool. Off by default; exists
+    /// as the measured baseline for the E16 fan-out experiment and for
+    /// debugging.
+    pub sequential_fanout: bool,
 }
 
 impl Default for NetClientConfig {
@@ -64,33 +82,114 @@ impl Default for NetClientConfig {
             write_timeout: Duration::from_secs(5),
             hedge_timeout: None,
             probe_every: 0,
+            sequential_fanout: false,
         }
     }
 }
 
 /// The networked, verifying range-query client: scatter over per-shard
-/// replica groups, gather one slice per overlapping shard, verify exactly
-/// as in-process, failing over between siblings as needed.
+/// replica groups concurrently, gather one slice per overlapping shard,
+/// verify exactly as in-process, failing over between siblings as needed.
 ///
-/// The client owns one lazily-opened, persistent connection per endpoint
-/// (`&mut self` methods — use one `NetClient` per driver thread). A
-/// connection that errors is discarded; for transport errors on a pooled
-/// connection the same endpoint is re-dialled once before its replica is
-/// demoted and a sibling tried.
+/// Connections are owned handles in a shared pool: a fetch leg *checks out*
+/// the endpoint's pooled connection (or dials its own), uses it exclusively,
+/// and returns it on success — so concurrent legs never interleave frames
+/// on one socket. A connection that errors is discarded; for transport
+/// errors on a pooled connection the same endpoint is re-dialled once
+/// before its replica is demoted and a sibling tried.
+///
+/// The public API stays `&mut self`: one `NetClient` per driver thread,
+/// with the concurrency internal to each call.
 pub struct NetClient {
     layout: ShardLayout,
     client: SaeClient,
-    topology: Topology,
-    pool: HashMap<String, TcpStream>,
-    demoted: HashSet<String>,
-    /// Per-shard round-robin cursor into the replica group.
-    cursor: Vec<usize>,
+    shared: Arc<ClientShared>,
+    workers: WorkerPool,
     /// Per-shard verified-epoch high-water mark: the freshness floor below
     /// which an advertised epoch demotes its replica. Raised only by
-    /// slices that passed verification.
+    /// slices that passed verification, only on the caller thread — fetch
+    /// jobs receive the floor by value and never write it back.
     hwm: Vec<u64>,
-    cfg: NetClientConfig,
     since_probe: usize,
+}
+
+/// State shared between the caller thread, pool workers, and detached hedge
+/// legs. Each field has its own mutex and none is ever held while another
+/// is acquired (enforced by the `jobs`/`pool`/`demoted`/`cursor` lock ranks
+/// in `analyzer.toml`): every access copies data out or mutates in place
+/// within a single statement.
+struct ClientShared {
+    topology: Topology,
+    cfg: NetClientConfig,
+    /// Idle pooled connections by endpoint, checked out exclusively.
+    pool: Mutex<HashMap<String, TcpStream>>,
+    /// Endpoints that answered badly and were not yet re-admitted.
+    demoted: Mutex<HashSet<String>>,
+    /// Per-shard round-robin cursor into the replica group.
+    cursor: Mutex<Vec<usize>>,
+}
+
+/// A boxed fetch job for the worker pool.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A small reusable worker pool over `std::sync::mpsc`: per-query fetch
+/// jobs and probe pings run here. Hedge legs do NOT — a leg abandoned to
+/// drain in the background must never occupy a pool slot, so legs are
+/// detached threads (see `spawn_leg`).
+struct WorkerPool {
+    tx: Option<mpsc::Sender<Job>>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    fn spawn(size: usize) -> NetResult<WorkerPool> {
+        let (tx, rx) = mpsc::channel::<Job>();
+        let jobs = Arc::new(Mutex::new(rx));
+        let mut threads = Vec::with_capacity(size);
+        for i in 0..size {
+            let jobs = Arc::clone(&jobs);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("sae-net-io-{i}"))
+                    .spawn(move || loop {
+                        // The receiver lock is held only to dequeue, never
+                        // while the job runs.
+                        let job = match jobs.lock().recv() {
+                            Ok(job) => job,
+                            Err(_) => return,
+                        };
+                        job();
+                    })
+                    .map_err(NetError::from)?,
+            );
+        }
+        Ok(WorkerPool {
+            tx: Some(tx),
+            threads,
+        })
+    }
+
+    /// Runs `job` on a worker thread; if the pool is unavailable the job
+    /// runs inline so callers never lose a result.
+    fn submit(&self, job: Job) {
+        match &self.tx {
+            Some(tx) => {
+                if let Err(mpsc::SendError(job)) = tx.send(job) {
+                    job();
+                }
+            }
+            None => job(),
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        drop(self.tx.take());
+        for handle in self.threads.drain(..) {
+            drop(handle.join());
+        }
+    }
 }
 
 /// What one [`NetClient::probe_health`] sweep found.
@@ -127,17 +226,25 @@ pub struct NetQueryOutcome {
     ///
     /// [`verdict`]: NetQueryOutcome::verdict
     pub endpoint_errors: Vec<(usize, NetError)>,
-    /// Failover legs: demote-and-retry hops to a sibling replica (slow,
-    /// dead, erroring, stale or byzantine sources all count).
+    /// Failover legs: demote-and-retry hops to a sibling replica (dead,
+    /// erroring, stale or byzantine sources all count).
     pub failovers: u64,
     /// Slices refused by the freshness check (advertised epoch below the
     /// verified high-water mark) before any sibling was consulted.
     pub stale_refused: u64,
+    /// Hedge legs raced: a sibling was dispatched because the first leg
+    /// produced no response within [`NetClientConfig::hedge_timeout`].
+    /// Unlike [`failovers`], a hedge demotes nobody.
+    ///
+    /// [`failovers`]: NetQueryOutcome::failovers
+    pub hedges: u64,
     /// Request bytes written across all endpoints.
     pub bytes_sent: u64,
     /// Response bytes read across all endpoints.
     pub bytes_received: u64,
-    /// Wall-clock time for the whole scatter-gather-verify round.
+    /// Wall-clock time for the scatter-gather-verify round. Housekeeping
+    /// (the periodic [`NetClient::probe_health`] sweep) runs before the
+    /// clock starts, so this measures the query alone.
     pub elapsed_ms: f64,
 }
 
@@ -148,32 +255,68 @@ impl NetQueryOutcome {
     }
 }
 
-/// One shard's fetch state across the gather, freshness and verify passes.
-struct ShardFetch {
+/// One per-shard fetch job as dispatched to the worker pool.
+struct FetchJob {
+    /// Index into the query's expected-shard table (slot to fill).
+    at: usize,
     shard: usize,
     sub: RangeQuery,
+    /// The shard's verified-epoch freshness floor at dispatch time.
+    floor: u64,
     /// Endpoints already consulted for this shard in this query — bounds
     /// every refetch loop by the replica group size.
     tried: HashSet<String>,
+    attempts: usize,
+}
+
+/// What one fetch job produced, sent back over the gather channel.
+struct FetchDone {
+    at: usize,
+    shard: usize,
+    sub: RangeQuery,
+    slice: Option<ShardSlice>,
     /// The endpoint whose slice is currently held for this shard.
     source: Option<String>,
     epoch: u64,
+    tried: HashSet<String>,
+    counters: QueryCounters,
 }
 
-/// Mutable counters threaded through the passes.
+/// Mutable counters threaded through the passes. Each fetch job accumulates
+/// its own copy; the caller thread merges them — no shared counter locks.
 #[derive(Default)]
 struct QueryCounters {
     bytes_sent: u64,
     bytes_received: u64,
     failovers: u64,
     stale_refused: u64,
+    hedges: u64,
     errors: Vec<(usize, NetError)>,
+}
+
+impl QueryCounters {
+    fn merge(&mut self, other: QueryCounters) {
+        self.bytes_sent += other.bytes_sent;
+        self.bytes_received += other.bytes_received;
+        self.failovers += other.failovers;
+        self.stale_refused += other.stale_refused;
+        self.hedges += other.hedges;
+        self.errors.extend(other.errors);
+    }
+}
+
+/// One request/response exchange against one endpoint, as seen from a leg.
+struct Leg {
+    endpoint: String,
+    outcome: Result<(ShardSlice, u64), NetError>,
+    bytes_sent: u64,
+    bytes_received: u64,
 }
 
 impl NetClient {
     /// A client for a published `layout`, verifying with `client`, scattering
     /// over `topology`. Fails if the topology does not cover the layout
-    /// one group per shard.
+    /// one group per shard, or if the worker pool cannot start.
     pub fn new(
         layout: ShardLayout,
         client: SaeClient,
@@ -186,15 +329,22 @@ impl NetClient {
             ));
         }
         let shards = layout.shard_count();
+        // One worker per shard saturates the widest possible fan-out; the
+        // floor keeps probe sweeps parallel on small layouts and the cap
+        // keeps thread counts sane on very wide ones.
+        let workers = WorkerPool::spawn(shards.clamp(4, 16))?;
         Ok(NetClient {
             layout,
             client,
-            topology,
-            pool: HashMap::new(),
-            demoted: HashSet::new(),
-            cursor: vec![0; shards],
+            shared: Arc::new(ClientShared {
+                topology,
+                cfg,
+                pool: Mutex::new(HashMap::new()),
+                demoted: Mutex::new(HashSet::new()),
+                cursor: Mutex::new(vec![0; shards]),
+            }),
+            workers,
             hwm: vec![0; shards],
-            cfg,
             since_probe: 0,
         })
     }
@@ -232,12 +382,12 @@ impl NetClient {
 
     /// The topology this client fails over across.
     pub fn topology(&self) -> &Topology {
-        &self.topology
+        &self.shared.topology
     }
 
     /// Endpoints currently demoted (answered badly and not yet re-admitted).
     pub fn demoted(&self) -> Vec<String> {
-        let mut list: Vec<String> = self.demoted.iter().cloned().collect();
+        let mut list: Vec<String> = self.shared.demoted.lock().iter().cloned().collect();
         list.sort();
         list
     }
@@ -251,53 +401,57 @@ impl NetClient {
     /// Health-checks shard `shard`'s preferred replica with a `Ping`/`Pong`
     /// round trip.
     pub fn ping(&mut self, shard: usize) -> NetResult<()> {
-        let candidates = self.candidates(shard);
-        let Some(endpoint) = candidates.first() else {
+        let list = candidates(&self.shared, shard);
+        let Some(endpoint) = list.first() else {
             return Err(NetError::Malformed("shard id outside the topology"));
         };
-        self.ping_endpoint(&endpoint.clone())
-    }
-
-    /// `Ping`s one endpoint by name, pooling the connection on success.
-    fn ping_endpoint(&mut self, endpoint: &str) -> NetResult<()> {
-        let (response, _, _) = self.exchange(endpoint, &Message::Ping, self.cfg.read_timeout)?;
-        match response {
-            Message::Pong => Ok(()),
-            other => Err(NetError::UnexpectedMessage { got: other.tag() }),
-        }
+        ping_endpoint(&self.shared, endpoint)
     }
 
     /// One health sweep (the S1 probe): `Ping` every pooled connection
     /// (discarding dead ones) and fresh-dial every demoted endpoint,
-    /// re-admitting those that answer `Pong` again. Run it manually after a
-    /// deployment change, or let [`NetClientConfig::probe_every`] schedule
-    /// it.
+    /// re-admitting those that answer `Pong` again. All pings run
+    /// concurrently on the worker pool. Run it manually after a deployment
+    /// change, or let [`NetClientConfig::probe_every`] schedule it.
     pub fn probe_health(&mut self) -> ProbeReport {
-        let mut report = ProbeReport::default();
-        let pooled: Vec<String> = self
-            .pool
-            .keys()
-            .filter(|e| !self.demoted.contains(*e))
-            .cloned()
-            .collect();
-        for endpoint in pooled {
-            if self.ping_endpoint(&endpoint).is_ok() {
-                report.pooled_alive += 1;
-            } else {
-                // The failed exchange already evicted the socket.
-                report.pooled_dropped += 1;
-            }
-        }
-        let down: Vec<String> = self.demoted.iter().cloned().collect();
-        for endpoint in down {
+        let demoted_now: Vec<String> = self.demoted();
+        let mut pooled: Vec<String> = self.shared.pool.lock().keys().cloned().collect();
+        pooled.retain(|e| !demoted_now.contains(e));
+        for endpoint in &demoted_now {
             // A demoted endpoint's pooled socket (if any) is untrustworthy;
             // probe over a fresh dial.
-            self.pool.remove(&endpoint);
-            if self.ping_endpoint(&endpoint).is_ok() {
-                self.demoted.remove(&endpoint);
-                report.revived += 1;
-            } else {
-                report.still_down += 1;
+            self.shared.pool.lock().remove(endpoint);
+        }
+        let (tx, rx) = mpsc::channel();
+        let mut outstanding = 0usize;
+        let probes = pooled
+            .into_iter()
+            .map(|e| (e, false))
+            .chain(demoted_now.into_iter().map(|e| (e, true)));
+        for (endpoint, was_demoted) in probes {
+            let shared = Arc::clone(&self.shared);
+            let tx = tx.clone();
+            outstanding += 1;
+            self.workers.submit(Box::new(move || {
+                let alive = ping_endpoint(&shared, &endpoint).is_ok();
+                drop(tx.send((was_demoted, alive, endpoint)));
+            }));
+        }
+        drop(tx);
+        let mut report = ProbeReport::default();
+        for _ in 0..outstanding {
+            let Ok((was_demoted, alive, endpoint)) = rx.recv() else {
+                break;
+            };
+            match (was_demoted, alive) {
+                (false, true) => report.pooled_alive += 1,
+                // The failed exchange already evicted the socket.
+                (false, false) => report.pooled_dropped += 1,
+                (true, true) => {
+                    self.shared.demoted.lock().remove(&endpoint);
+                    report.revived += 1;
+                }
+                (true, false) => report.still_down += 1,
             }
         }
         report
@@ -309,67 +463,116 @@ impl NetClient {
     /// an error, advertises a stale epoch, or doctors its slice is demoted
     /// and its siblings tried; only when a whole replica group fails does
     /// the shard surface in the verdict as missing.
+    ///
+    /// The per-shard fetch jobs run concurrently on the worker pool (see
+    /// the module docs); the stitch and the [`sae_core::verify_slices`]
+    /// verdict run here on the caller thread.
     pub fn query(&mut self, q: &RangeQuery) -> NetQueryOutcome {
-        let started = Instant::now();
-        if self.cfg.probe_every > 0 {
+        // Housekeeping runs before the clock starts: latency stats measure
+        // the query, not the periodic probe sweep.
+        if self.shared.cfg.probe_every > 0 {
             self.since_probe += 1;
-            if self.since_probe >= self.cfg.probe_every {
+            if self.since_probe >= self.shared.cfg.probe_every {
                 self.since_probe = 0;
                 self.probe_health();
             }
         }
+        let started = Instant::now();
         let mut counters = QueryCounters::default();
-        let mut fetches: Vec<ShardFetch> = Vec::new();
-        let mut gathered: Vec<ShardSlice> = Vec::new();
-        // `origin[i]` is the index in `fetches` that produced `gathered[i]`.
-        let mut origin: Vec<usize> = Vec::new();
-        for (shard, sub) in self.layout.overlapping_clamped(q) {
-            let mut fetch = ShardFetch {
+        let jobs: Vec<FetchJob> = self
+            .layout
+            .overlapping_clamped(q)
+            .into_iter()
+            .enumerate()
+            .map(|(at, (shard, sub))| FetchJob {
+                at,
                 shard,
                 sub,
+                floor: self.hwm.get(shard).copied().unwrap_or(0),
                 tried: HashSet::new(),
-                source: None,
-                epoch: 0,
-            };
-            if let Some(slice) = self.fetch_fresh(&mut fetch, &mut counters, 2) {
+                attempts: 2,
+            })
+            .collect();
+        let mut done = self.run_jobs(jobs, &mut counters);
+        // Stitch: slices land in expected-shard order (done is sorted by
+        // `at`), so the ascending-by-shard invariant holds by construction.
+        let mut gathered: Vec<ShardSlice> = Vec::new();
+        // `origin[i]` is the index in `done` that produced `gathered[i]`.
+        let mut origin: Vec<usize> = Vec::new();
+        for (fi, d) in done.iter_mut().enumerate() {
+            if let Some(slice) = d.slice.take() {
                 gathered.push(slice);
-                origin.push(fetches.len());
+                origin.push(fi);
             }
-            fetches.push(fetch);
         }
-        // Verify; on a per-slice failure demote the source, refetch from an
-        // untried sibling and re-verify. Each leg consumes an endpoint from
-        // the shard's `tried` set, so the loop is bounded by group size.
+        // Verify; on per-slice failures demote every failing source and
+        // refetch all of them from untried siblings concurrently, then
+        // re-verify. Each leg consumes an endpoint from the shard's `tried`
+        // set, so the loop is bounded by group size.
         let verdict = loop {
             let verdict = verify_slices(&self.layout, &self.client, q, &gathered);
-            let Err(ShardedVerifyError::Slice { shard, .. }) = &verdict else {
+            if !matches!(&verdict, Err(ShardedVerifyError::Slice { .. })) {
                 break verdict;
-            };
-            let Some(at) = origin
-                .iter()
-                .position(|&fi| fetches.get(fi).is_some_and(|f| f.shard == *shard))
-            else {
-                break verdict;
-            };
-            let fi = origin[at];
-            if let Some(source) = fetches[fi].source.take() {
-                self.demoted.insert(source);
             }
-            counters.failovers += 1;
-            match self.fetch_fresh(&mut fetches[fi], &mut counters, 1) {
-                Some(slice) => gathered[at] = slice,
+            // Identify *every* failing slice with the same per-slice check
+            // `verify_slices` applies, so all bad shards refetch in one
+            // concurrent wave instead of one verify round each.
+            let bad: Vec<usize> = gathered
+                .iter()
+                .enumerate()
+                .filter(|(at, slice)| {
+                    let d = &done[origin[*at]];
+                    self.client
+                        .verify_detailed(&d.sub, &slice.records, &slice.vt)
+                        .0
+                        .is_err()
+                })
+                .map(|(at, _)| at)
+                .collect();
+            if bad.is_empty() {
+                break verdict;
+            }
+            let mut refetches: Vec<FetchJob> = Vec::with_capacity(bad.len());
+            for &at in &bad {
+                let d = &mut done[origin[at]];
+                if let Some(source) = d.source.take() {
+                    self.shared.demoted.lock().insert(source);
+                }
+                counters.failovers += 1;
+                refetches.push(FetchJob {
+                    at,
+                    shard: d.shard,
+                    sub: d.sub,
+                    floor: self.hwm.get(d.shard).copied().unwrap_or(0),
+                    tried: std::mem::take(&mut d.tried),
+                    attempts: 1,
+                });
+            }
+            let redone = self.run_jobs(refetches, &mut counters);
+            let mut replaced = 0usize;
+            for mut r in redone {
+                let fi = origin[r.at];
+                let at = r.at;
+                done[fi].tried = std::mem::take(&mut r.tried);
+                if let Some(slice) = r.slice.take() {
+                    gathered[at] = slice;
+                    done[fi].source = r.source.take();
+                    done[fi].epoch = r.epoch;
+                    replaced += 1;
+                }
                 // No sibling left: keep the doctored slice and report its
                 // verification failure honestly.
-                None => break verdict,
+            }
+            if replaced == 0 {
+                break verdict;
             }
         };
         // Only *verified* slices raise the freshness floor.
         if verdict.is_ok() {
             for &fi in &origin {
-                if let Some(fetch) = fetches.get(fi) {
-                    if let Some(hwm) = self.hwm.get_mut(fetch.shard) {
-                        *hwm = (*hwm).max(fetch.epoch);
-                    }
+                let d = &done[fi];
+                if let Some(hwm) = self.hwm.get_mut(d.shard) {
+                    *hwm = (*hwm).max(d.epoch);
                 }
             }
         }
@@ -379,221 +582,437 @@ impl NetClient {
             endpoint_errors: counters.errors,
             failovers: counters.failovers,
             stale_refused: counters.stale_refused,
+            hedges: counters.hedges,
             bytes_sent: counters.bytes_sent,
             bytes_received: counters.bytes_received,
             elapsed_ms: started.elapsed().as_secs_f64() * 1e3,
         }
     }
 
-    /// Fetches a slice for one shard and applies the freshness check:
-    /// a slice advertising an epoch below the shard's verified high-water
-    /// mark demotes its replica and a sibling is consulted, until a fresh
-    /// slice arrives or the group is exhausted (then a typed
-    /// [`NetError::StaleSlice`] is recorded and the shard left unanswered).
-    fn fetch_fresh(
-        &mut self,
-        fetch: &mut ShardFetch,
-        counters: &mut QueryCounters,
-        attempts: usize,
-    ) -> Option<ShardSlice> {
-        let floor = self.hwm.get(fetch.shard).copied().unwrap_or(0);
-        let mut freshest = 0u64;
-        let mut budget = attempts;
-        loop {
-            let slice = self.fetch_once(fetch, counters, budget)?;
-            if fetch.epoch >= floor {
-                return Some(slice);
+    /// Runs one wave of fetch jobs — concurrently on the worker pool, or
+    /// inline when [`NetClientConfig::sequential_fanout`] is set — merging
+    /// every job's counters and returning the results sorted by slot.
+    fn run_jobs(&self, jobs: Vec<FetchJob>, counters: &mut QueryCounters) -> Vec<FetchDone> {
+        let mut out: Vec<FetchDone> = if self.shared.cfg.sequential_fanout {
+            jobs.into_iter()
+                .map(|job| fetch_shard(&self.shared, job))
+                .collect()
+        } else {
+            let (tx, rx) = mpsc::channel();
+            let expected = jobs.len();
+            for job in jobs {
+                let shared = Arc::clone(&self.shared);
+                let tx = tx.clone();
+                self.workers.submit(Box::new(move || {
+                    drop(tx.send(fetch_shard(&shared, job)));
+                }));
             }
-            freshest = freshest.max(fetch.epoch);
-            counters.stale_refused += 1;
-            counters.failovers += 1;
-            if let Some(source) = fetch.source.take() {
-                self.demoted.insert(source);
+            drop(tx);
+            let mut out = Vec::with_capacity(expected);
+            while let Ok(done) = rx.recv() {
+                out.push(done);
             }
-            budget = 1;
-            // Group exhausted? Record the staleness and give up the shard.
-            if self
-                .candidates(fetch.shard)
-                .iter()
-                .all(|e| fetch.tried.contains(e))
-            {
-                counters.errors.push((
-                    fetch.shard,
-                    NetError::StaleSlice {
-                        shard: fetch.shard as u32,
-                        epoch: freshest,
-                        high_water: floor,
-                    },
-                ));
-                return None;
-            }
-        }
-    }
-
-    /// One failover pass for a shard: try up to `attempts` untried replicas
-    /// (preferring non-demoted ones, round-robin within the group) until
-    /// one returns a slice. Erroring endpoints are demoted and recorded.
-    fn fetch_once(
-        &mut self,
-        fetch: &mut ShardFetch,
-        counters: &mut QueryCounters,
-        attempts: usize,
-    ) -> Option<ShardSlice> {
-        let candidates: Vec<String> = self
-            .candidates(fetch.shard)
-            .into_iter()
-            .filter(|e| !fetch.tried.contains(e))
-            .collect();
-        let group = self.topology.replicas(fetch.shard).len();
-        if let Some(cursor) = self.cursor.get_mut(fetch.shard) {
-            *cursor = cursor.wrapping_add(1) % group.max(1);
-        }
-        let request = Message::Query {
-            shard: fetch.shard as u32,
-            range: fetch.sub,
+            out
         };
-        for (attempt, endpoint) in candidates.into_iter().take(attempts.max(1)).enumerate() {
-            fetch.tried.insert(endpoint.clone());
-            // Hedge only the first attempt, and only when a sibling exists
-            // to hedge *to*.
-            let read_timeout = match self.cfg.hedge_timeout {
-                Some(hedge) if attempt == 0 && group > 1 => hedge,
-                _ => self.cfg.read_timeout,
-            };
-            match self.exchange(&endpoint, &request, read_timeout) {
-                Ok((
-                    Message::Slice {
-                        shard: claimed,
-                        epoch,
-                        records,
-                        vt,
-                        ..
-                    },
-                    sent,
-                    received,
-                )) => {
-                    counters.bytes_sent += sent;
-                    counters.bytes_received += received;
-                    fetch.source = Some(endpoint);
-                    fetch.epoch = epoch;
-                    // Keep the *claimed* shard id: misattribution is for
-                    // verification to catch, not for the client to repair.
-                    return Some(ShardSlice {
-                        shard: claimed as usize,
-                        records,
-                        vt,
-                    });
-                }
-                Ok((
-                    Message::Error {
-                        code,
-                        version,
-                        detail,
-                    },
-                    sent,
-                    received,
-                )) => {
-                    counters.bytes_sent += sent;
-                    counters.bytes_received += received;
-                    counters.errors.push((
-                        fetch.shard,
-                        NetError::Remote {
-                            code,
-                            version,
-                            detail,
-                        },
-                    ));
-                }
-                Ok((other, sent, received)) => {
-                    counters.bytes_sent += sent;
-                    counters.bytes_received += received;
-                    counters.errors.push((
-                        fetch.shard,
-                        NetError::UnexpectedMessage { got: other.tag() },
-                    ));
-                }
-                Err(e) => counters.errors.push((fetch.shard, e)),
-            }
-            // This endpoint answered badly: demote it and count the leg to
-            // the next sibling (if any remains in the attempt budget).
-            self.demoted.insert(endpoint);
-            counters.failovers += 1;
+        out.sort_by_key(|d| d.at);
+        for d in &mut out {
+            counters.merge(std::mem::take(&mut d.counters));
         }
-        None
+        out
     }
+}
 
-    /// The replica group for `shard`, round-robin rotated, non-demoted
-    /// endpoints first.
-    fn candidates(&self, shard: usize) -> Vec<String> {
-        let group = self.topology.replicas(shard);
-        if group.is_empty() {
-            return Vec::new();
+/// Fetches a slice for one shard and applies the freshness check: a slice
+/// advertising an epoch below the shard's verified high-water mark demotes
+/// its replica and a sibling is consulted, until a fresh slice arrives or
+/// the group is exhausted (then a typed [`NetError::StaleSlice`] is
+/// recorded and the shard left unanswered). Runs on a worker thread.
+fn fetch_shard(shared: &Arc<ClientShared>, job: FetchJob) -> FetchDone {
+    let FetchJob {
+        at,
+        shard,
+        sub,
+        floor,
+        mut tried,
+        attempts,
+    } = job;
+    let mut counters = QueryCounters::default();
+    let mut out = FetchDone {
+        at,
+        shard,
+        sub,
+        slice: None,
+        source: None,
+        epoch: 0,
+        tried: HashSet::new(),
+        counters: QueryCounters::default(),
+    };
+    let mut freshest = 0u64;
+    let mut budget = attempts;
+    while let Some((slice, source, epoch)) =
+        fetch_once(shared, shard, &sub, &mut tried, &mut counters, budget)
+    {
+        if epoch >= floor {
+            out.slice = Some(slice);
+            out.source = Some(source);
+            out.epoch = epoch;
+            break;
         }
-        let start = self.cursor.get(shard).copied().unwrap_or(0) % group.len();
-        let rotated = group[start..].iter().chain(group[..start].iter());
-        let (healthy, demoted): (Vec<&String>, Vec<&String>) =
-            rotated.partition(|e| !self.demoted.contains(*e));
-        healthy.into_iter().chain(demoted).cloned().collect()
-    }
-
-    /// Sends `request` to `endpoint` and reads one response frame, returning
-    /// `(response, bytes_sent, bytes_received)`. A transport failure on a
-    /// pooled connection discards it and re-dials the same endpoint once —
-    /// a server restart must not masquerade as a dead replica. *Any* error
-    /// evicts the socket from the pool: after a framing error the stream
-    /// can no longer be trusted to be at a frame boundary.
-    fn exchange(
-        &mut self,
-        endpoint: &str,
-        request: &Message,
-        read_timeout: Duration,
-    ) -> NetResult<(Message, u64, u64)> {
-        let pooled = self.pool.contains_key(endpoint);
-        match self.exchange_once(endpoint, request, read_timeout) {
-            Ok(ok) => Ok(ok),
-            Err(e) if pooled && matches!(e, NetError::Io(_) | NetError::Disconnected) => {
-                self.exchange_once(endpoint, request, read_timeout)
-            }
-            Err(e) => Err(e),
+        // Stale: refuse the slice, demote its source, consult a sibling.
+        freshest = freshest.max(epoch);
+        counters.stale_refused += 1;
+        counters.failovers += 1;
+        shared.demoted.lock().insert(source);
+        budget = 1;
+        // Group exhausted? Record the staleness and give up the shard.
+        if shared
+            .topology
+            .replicas(shard)
+            .iter()
+            .all(|e| tried.contains(e))
+        {
+            counters.errors.push((
+                shard,
+                NetError::StaleSlice {
+                    shard: shard as u32,
+                    epoch: freshest,
+                    high_water: floor,
+                },
+            ));
+            break;
         }
     }
+    out.tried = tried;
+    out.counters = counters;
+    out
+}
 
-    fn exchange_once(
-        &mut self,
-        endpoint: &str,
-        request: &Message,
-        read_timeout: Duration,
-    ) -> NetResult<(Message, u64, u64)> {
-        if !self.pool.contains_key(endpoint) {
-            let stream = self.dial(endpoint)?;
-            self.pool.insert(endpoint.to_string(), stream);
-        }
-        let Some(stream) = self.pool.get_mut(endpoint) else {
-            return Err(NetError::Malformed("endpoint vanished from the pool"));
+/// The per-fetch-pass context shared by the plain and hedged legs: the
+/// request, its shard, and the candidate ordering captured at pass entry.
+struct FetchPass<'a> {
+    shared: &'a Arc<ClientShared>,
+    shard: usize,
+    request: Message,
+    /// Candidate ordering for this pass (round-robin rotation and demotion
+    /// preference as of pass entry — the cursor bump applies to the *next*
+    /// pass, so concurrent shards rotate independently).
+    ordered: Vec<String>,
+}
+
+/// One failover pass for a shard: try up to `attempts` untried replicas
+/// (preferring non-demoted ones, round-robin within the group) until one
+/// returns a slice. The first attempt is hedged when configured and a
+/// sibling exists to hedge *to*; erroring endpoints are demoted by the leg
+/// that observed the error.
+fn fetch_once(
+    shared: &Arc<ClientShared>,
+    shard: usize,
+    sub: &RangeQuery,
+    tried: &mut HashSet<String>,
+    counters: &mut QueryCounters,
+    attempts: usize,
+) -> Option<(ShardSlice, String, u64)> {
+    let pass = FetchPass {
+        shared,
+        shard,
+        request: Message::Query {
+            shard: shard as u32,
+            range: *sub,
+        },
+        ordered: candidates(shared, shard),
+    };
+    advance_cursor(shared, shard);
+    let group = shared.topology.replicas(shard).len();
+    for attempt in 0..attempts.max(1) {
+        let endpoint = pass.ordered.iter().find(|e| !tried.contains(*e)).cloned()?;
+        tried.insert(endpoint.clone());
+        let hedge = match shared.cfg.hedge_timeout {
+            Some(window) if attempt == 0 && group > 1 => Some(window),
+            _ => None,
         };
-        let result = stream
-            .set_read_timeout(Some(read_timeout))
-            .map_err(NetError::from)
-            .and_then(|()| write_frame(stream, request))
-            .and_then(|sent| {
-                read_frame(stream).map(|(msg, received)| (msg, sent as u64, received as u64))
-            });
-        if result.is_err() {
-            // Pool hygiene: request/response pairing on this socket can no
-            // longer be trusted after any failure, framing-level included.
-            self.pool.remove(endpoint);
+        let won = match hedge {
+            Some(window) => hedged_fetch(&pass, endpoint, window, tried, counters),
+            None => plain_fetch(&pass, endpoint, counters),
+        };
+        if won.is_some() {
+            return won;
         }
-        result
+        // The endpoint (and any hedge sibling) answered badly: the legs
+        // already demoted them; count the hop to the next sibling.
+        counters.failovers += 1;
     }
+    None
+}
 
-    fn dial(&self, endpoint: &str) -> NetResult<TcpStream> {
-        let addr = endpoint
-            .to_socket_addrs()?
-            .next()
-            .ok_or(NetError::Malformed("endpoint resolved to no address"))?;
-        let stream = TcpStream::connect_timeout(&addr, self.cfg.connect_timeout)?;
-        stream.set_read_timeout(Some(self.cfg.read_timeout))?;
-        stream.set_write_timeout(Some(self.cfg.write_timeout))?;
-        Ok(stream)
+/// One ordinary (non-hedged) leg, run inline on the calling worker.
+fn plain_fetch(
+    pass: &FetchPass<'_>,
+    endpoint: String,
+    counters: &mut QueryCounters,
+) -> Option<(ShardSlice, String, u64)> {
+    let leg = request_leg(
+        pass.shared,
+        endpoint,
+        &pass.request,
+        pass.shared.cfg.read_timeout,
+    );
+    counters.bytes_sent += leg.bytes_sent;
+    counters.bytes_received += leg.bytes_received;
+    match leg.outcome {
+        Ok((slice, epoch)) => Some((slice, leg.endpoint, epoch)),
+        Err(e) => {
+            counters.errors.push((pass.shard, e));
+            None
+        }
     }
+}
+
+/// A true hedged fetch: the primary leg runs detached; if the hedge window
+/// expires with no response, the next untried sibling is raced and the
+/// **first valid slice wins**. The loser keeps draining in the background
+/// and returns its connection to the pool itself — a slow-but-honest
+/// replica is never demoted, only one that answers badly (the leg demotes
+/// on error even after abandonment).
+fn hedged_fetch(
+    pass: &FetchPass<'_>,
+    endpoint: String,
+    window: Duration,
+    tried: &mut HashSet<String>,
+    counters: &mut QueryCounters,
+) -> Option<(ShardSlice, String, u64)> {
+    let (tx, rx) = mpsc::channel::<Leg>();
+    let mut in_flight = 0usize;
+    if spawn_leg(pass.shared, endpoint.clone(), &pass.request, tx.clone()) {
+        in_flight += 1;
+    } else {
+        // Thread spawn failed (resource exhaustion): degrade to an
+        // ordinary non-hedged leg rather than dropping the attempt.
+        return plain_fetch(pass, endpoint, counters);
+    }
+    let mut hedged = false;
+    let mut wait = window;
+    while in_flight > 0 {
+        match rx.recv_timeout(wait) {
+            Ok(leg) => {
+                in_flight -= 1;
+                counters.bytes_sent += leg.bytes_sent;
+                counters.bytes_received += leg.bytes_received;
+                match leg.outcome {
+                    // First valid slice wins; a still-outstanding loser
+                    // drains detached and re-pools its own connection.
+                    Ok((slice, epoch)) => return Some((slice, leg.endpoint, epoch)),
+                    Err(e) => counters.errors.push((pass.shard, e)),
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) if !hedged => {
+                // The window expired with no answer: race the next untried
+                // sibling. The slow leg is NOT cancelled or demoted — slow
+                // is not byzantine — it keeps running and may still win.
+                hedged = true;
+                wait = pass.shared.cfg.read_timeout;
+                if let Some(sibling) = pass.ordered.iter().find(|e| !tried.contains(*e)).cloned() {
+                    tried.insert(sibling.clone());
+                    if spawn_leg(pass.shared, sibling, &pass.request, tx.clone()) {
+                        in_flight += 1;
+                        counters.hedges += 1;
+                    }
+                }
+            }
+            // The full read timeout elapsed after hedging: abandon the
+            // attempt. The legs' own socket timeouts will expire and each
+            // leg demotes its endpoint itself.
+            Err(_) => break,
+        }
+    }
+    None
+}
+
+/// Spawns one detached request leg. Detached (not a pool job) on purpose:
+/// an abandoned hedge loser must never occupy a worker-pool slot while it
+/// drains. Returns false if the thread could not be spawned.
+fn spawn_leg(
+    shared: &Arc<ClientShared>,
+    endpoint: String,
+    request: &Message,
+    tx: mpsc::Sender<Leg>,
+) -> bool {
+    let shared = Arc::clone(shared);
+    let request = request.clone();
+    std::thread::Builder::new()
+        .name("sae-net-leg".to_string())
+        .spawn(move || {
+            let leg = request_leg(&shared, endpoint, &request, shared.cfg.read_timeout);
+            // The race may already be decided; a closed channel is fine.
+            drop(tx.send(leg));
+        })
+        .is_ok()
+}
+
+/// One request/response exchange against one endpoint: classify the reply
+/// and — on any bad answer — demote the endpoint *here, in the leg*, so an
+/// abandoned hedge loser still routes itself out of future preference.
+fn request_leg(
+    shared: &ClientShared,
+    endpoint: String,
+    request: &Message,
+    read_timeout: Duration,
+) -> Leg {
+    let (outcome, sent, received) = match exchange(shared, &endpoint, request, read_timeout) {
+        Ok((
+            Message::Slice {
+                shard: claimed,
+                epoch,
+                records,
+                vt,
+                ..
+            },
+            sent,
+            received,
+        )) => (
+            // Keep the *claimed* shard id: misattribution is for
+            // verification to catch, not for the client to repair.
+            Ok((
+                ShardSlice {
+                    shard: claimed as usize,
+                    records,
+                    vt,
+                },
+                epoch,
+            )),
+            sent,
+            received,
+        ),
+        Ok((
+            Message::Error {
+                code,
+                version,
+                detail,
+            },
+            sent,
+            received,
+        )) => (
+            Err(NetError::Remote {
+                code,
+                version,
+                detail,
+            }),
+            sent,
+            received,
+        ),
+        Ok((other, sent, received)) => (
+            Err(NetError::UnexpectedMessage { got: other.tag() }),
+            sent,
+            received,
+        ),
+        Err(e) => (Err(e), 0, 0),
+    };
+    if outcome.is_err() {
+        shared.demoted.lock().insert(endpoint.clone());
+    }
+    Leg {
+        endpoint,
+        outcome,
+        bytes_sent: sent,
+        bytes_received: received,
+    }
+}
+
+/// `Ping`s one endpoint by name, pooling the connection on success.
+fn ping_endpoint(shared: &ClientShared, endpoint: &str) -> NetResult<()> {
+    let (response, _, _) = exchange(shared, endpoint, &Message::Ping, shared.cfg.read_timeout)?;
+    match response {
+        Message::Pong => Ok(()),
+        other => Err(NetError::UnexpectedMessage { got: other.tag() }),
+    }
+}
+
+/// The replica group for `shard`, round-robin rotated, non-demoted
+/// endpoints first. Demotion is a *preference*, not an exclusion.
+fn candidates(shared: &ClientShared, shard: usize) -> Vec<String> {
+    let group = shared.topology.replicas(shard);
+    if group.is_empty() {
+        return Vec::new();
+    }
+    let start = shared.cursor.lock().get(shard).copied().unwrap_or(0) % group.len();
+    let down = shared.demoted.lock().clone();
+    let rotated = group[start..].iter().chain(group[..start].iter());
+    let (healthy, demoted): (Vec<&String>, Vec<&String>) =
+        rotated.partition(|e| !down.contains(*e));
+    healthy.into_iter().chain(demoted).cloned().collect()
+}
+
+/// Advances the shard's round-robin cursor by one, once per fetch pass.
+fn advance_cursor(shared: &ClientShared, shard: usize) {
+    let group = shared.topology.replicas(shard).len().max(1);
+    if let Some(cursor) = shared.cursor.lock().get_mut(shard) {
+        *cursor = cursor.wrapping_add(1) % group;
+    }
+}
+
+/// Sends `request` to `endpoint` and reads one response frame, returning
+/// `(response, bytes_sent, bytes_received)`. The endpoint's pooled
+/// connection is *checked out* for exclusive use (concurrent legs to the
+/// same endpoint each dial their own rather than interleave frames). A
+/// transport failure on a previously-pooled connection re-dials the same
+/// endpoint once — a server restart must not masquerade as a dead replica.
+/// *Any* error discards the socket: after a framing error the stream can no
+/// longer be trusted to be at a frame boundary.
+fn exchange(
+    shared: &ClientShared,
+    endpoint: &str,
+    request: &Message,
+    read_timeout: Duration,
+) -> NetResult<(Message, u64, u64)> {
+    let pooled = shared.pool.lock().remove(endpoint);
+    let was_pooled = pooled.is_some();
+    let stream = match pooled {
+        Some(stream) => stream,
+        None => dial(shared, endpoint)?,
+    };
+    match exchange_on(shared, endpoint, stream, request, read_timeout) {
+        Err(e) if was_pooled && matches!(e, NetError::Io(_) | NetError::Disconnected) => {
+            let stream = dial(shared, endpoint)?;
+            exchange_on(shared, endpoint, stream, request, read_timeout)
+        }
+        other => other,
+    }
+}
+
+/// One exchange over an owned connection; on success the connection goes
+/// (back) to the pool, on failure it is dropped.
+fn exchange_on(
+    shared: &ClientShared,
+    endpoint: &str,
+    mut stream: TcpStream,
+    request: &Message,
+    read_timeout: Duration,
+) -> NetResult<(Message, u64, u64)> {
+    let result = stream
+        .set_read_timeout(Some(read_timeout))
+        .map_err(NetError::from)
+        .and_then(|()| write_frame(&mut stream, request))
+        .and_then(|sent| {
+            read_frame(&mut stream).map(|(msg, received)| (msg, sent as u64, received as u64))
+        });
+    if result.is_ok() {
+        // Return the borrowed connection; if a concurrent leg pooled one
+        // for this endpoint first, keep that one and drop ours.
+        shared
+            .pool
+            .lock()
+            .entry(endpoint.to_string())
+            .or_insert(stream);
+    }
+    result
+}
+
+fn dial(shared: &ClientShared, endpoint: &str) -> NetResult<TcpStream> {
+    let addr = endpoint
+        .to_socket_addrs()?
+        .next()
+        .ok_or(NetError::Malformed("endpoint resolved to no address"))?;
+    let stream = TcpStream::connect_timeout(&addr, shared.cfg.connect_timeout)?;
+    stream.set_read_timeout(Some(shared.cfg.read_timeout))?;
+    stream.set_write_timeout(Some(shared.cfg.write_timeout))?;
+    Ok(stream)
 }
